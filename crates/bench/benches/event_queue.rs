@@ -1,0 +1,60 @@
+//! Discrete-event engine throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slr_netsim::{EventQueue, SimTime, Simulator};
+
+fn bench_schedule_pop(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum = sum.wrapping_add(e.event);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_cancellation(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_cancel_half_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut tokens = Vec::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                tokens.push(q.schedule(SimTime::from_nanos(i), i));
+            }
+            for t in tokens.iter().step_by(2) {
+                q.cancel(*t);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_simulator_loop(c: &mut Criterion) {
+    c.bench_function("simulator/self_rescheduling_10k", |b| {
+        b.iter(|| {
+            let mut sim: Simulator<u32> = Simulator::new();
+            sim.schedule_at(SimTime::from_nanos(1), 0);
+            let mut count = 0u32;
+            while let Some(ev) = sim.next() {
+                count += 1;
+                if count < 10_000 {
+                    sim.schedule_in(slr_netsim::SimDuration::from_nanos(100), ev.event + 1);
+                }
+            }
+            black_box(count)
+        })
+    });
+}
+
+criterion_group!(benches, bench_schedule_pop, bench_cancellation, bench_simulator_loop);
+criterion_main!(benches);

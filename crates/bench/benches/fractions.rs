@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the fraction algebra, including the 32-bit vs
+//! 64-bit split-capacity ablation (DESIGN.md Ablation B).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slr_core::fraction::worst_case_split_capacity;
+use slr_core::{Frac32, Frac64, Fraction};
+
+fn bench_mediant(c: &mut Criterion) {
+    let a: Frac32 = Fraction::new(355, 113_000).unwrap();
+    let b: Frac32 = Fraction::new(377, 120_000).unwrap();
+    c.bench_function("fraction/mediant_u32", |bench| {
+        bench.iter(|| black_box(a).checked_mediant(&black_box(b)))
+    });
+    let a64: Frac64 = Fraction::new(355, 113_000).unwrap();
+    let b64: Frac64 = Fraction::new(377, 120_000).unwrap();
+    c.bench_function("fraction/mediant_u64", |bench| {
+        bench.iter(|| black_box(a64).checked_mediant(&black_box(b64)))
+    });
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let a: Frac32 = Fraction::new(499_999, 1_000_000).unwrap();
+    let b: Frac32 = Fraction::new(500_001, 1_000_001).unwrap();
+    c.bench_function("fraction/cmp_cross_multiply", |bench| {
+        bench.iter(|| black_box(a) < black_box(b))
+    });
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let a: Frac32 = Fraction::new(2 * 3 * 5 * 7 * 11, 2 * 3 * 5 * 7 * 13).unwrap();
+    c.bench_function("fraction/reduce_gcd", |bench| {
+        bench.iter(|| black_box(a).reduced())
+    });
+}
+
+fn bench_split_capacity_ablation(c: &mut Criterion) {
+    // Worst-case Fibonacci splitting until overflow: 45 splits for u32,
+    // 91 for u64 — the paper's §III bound, measured.
+    c.bench_function("fraction/worst_case_splits_u32", |bench| {
+        bench.iter(|| {
+            let mut a = Frac32::zero();
+            let mut b = Frac32::one();
+            let mut n = 0u32;
+            while let Some(m) = a.checked_mediant(&b) {
+                a = b;
+                b = m;
+                n += 1;
+            }
+            assert_eq!(n, worst_case_split_capacity::<u32>());
+            n
+        })
+    });
+    c.bench_function("fraction/worst_case_splits_u64", |bench| {
+        bench.iter(|| {
+            let mut a = Frac64::zero();
+            let mut b = Frac64::one();
+            let mut n = 0u32;
+            while let Some(m) = a.checked_mediant(&b) {
+                a = b;
+                b = m;
+                n += 1;
+            }
+            assert_eq!(n, worst_case_split_capacity::<u64>());
+            n
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mediant,
+    bench_compare,
+    bench_reduce,
+    bench_split_capacity_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Ablation A (DESIGN.md): raw **mediant** splitting versus the
+//! **Farey-tree** simplest-in-interval interpolation the paper's
+//! conclusion proposes. Farey consumes the fixed-width budget far more
+//! slowly (more splits before a path reset) at a higher per-split cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slr_core::slr::{DenseLabel, FareyFraction};
+use slr_core::sternbrocot::simplest_between;
+use slr_core::{Frac32, Fraction};
+
+/// Split budget under a **relabel storm**: a chain of 8 nodes between two
+/// anchors, where every node repeatedly relabels itself strictly between
+/// its current neighbors (the §II insertion pattern applied in place).
+/// Neighboring labels come from independent histories, so the intervals
+/// are not Farey neighbors — the case where reduction pays.
+///
+/// With raw mediants the denominators compound and a 32-bit label
+/// overflows after ~15 rounds (forcing a path reset); with Farey
+/// interpolation the denominators never exceed single digits, so the cap
+/// of 2 000 rounds is reached without any reset.
+fn relabel_storm_rounds(farey: bool) -> u32 {
+    const N: usize = 8;
+    const CAP: u32 = 2_000;
+    let mut labels: Vec<Frac32> = (0..N + 2)
+        .map(|i| Fraction::new(i as u32, (N + 1) as u32).unwrap())
+        .collect();
+    let mut rounds = 0;
+    while rounds < CAP {
+        for i in 1..=N {
+            let lo = labels[i - 1];
+            let hi = labels[i + 1];
+            let m = if farey {
+                match simplest_between(&lo, &hi) {
+                    Some(m) => m,
+                    None => return rounds,
+                }
+            } else {
+                match lo.checked_mediant(&hi) {
+                    Some(m) => m,
+                    None => return rounds,
+                }
+            };
+            labels[i] = m;
+        }
+        rounds += 1;
+    }
+    rounds
+}
+
+fn mediant_splits_until_overflow() -> u32 {
+    relabel_storm_rounds(false)
+}
+
+fn farey_splits_until_overflow() -> u32 {
+    relabel_storm_rounds(true)
+}
+
+fn bench_split_budget(c: &mut Criterion) {
+    c.bench_function("strategy/mediant_relabel_storm", |b| {
+        b.iter(mediant_splits_until_overflow)
+    });
+    c.bench_function("strategy/farey_relabel_storm", |b| {
+        b.iter(farey_splits_until_overflow)
+    });
+    // Report the ablation numbers once.
+    eprintln!(
+        "[ablation] relabel-storm rounds before u32 overflow: mediant = {}, farey = {} (2000 = never)",
+        mediant_splits_until_overflow(),
+        farey_splits_until_overflow()
+    );
+}
+
+fn bench_single_split_cost(c: &mut Criterion) {
+    let lo: Frac32 = Fraction::new(355, 1130).unwrap();
+    let hi: Frac32 = Fraction::new(356, 1131).unwrap();
+    c.bench_function("strategy/single_mediant", |b| {
+        b.iter(|| black_box(lo).checked_mediant(&black_box(hi)))
+    });
+    c.bench_function("strategy/single_farey", |b| {
+        b.iter(|| simplest_between(&black_box(lo), &black_box(hi)))
+    });
+    let flo = FareyFraction(lo);
+    let fhi = FareyFraction(hi);
+    c.bench_function("strategy/dense_label_between_farey", |b| {
+        b.iter(|| FareyFraction::between(&black_box(flo), &black_box(fhi)))
+    });
+}
+
+criterion_group!(benches, bench_split_budget, bench_single_split_cost);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! MAC state-machine micro-benchmarks: the cost of one contention cycle
+//! and of receive-path processing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slr_netsim::time::{SimDuration, SimTime};
+use slr_radio::{Frame, FrameKind, Mac, MacConfig, MacEffect, MacTimer};
+
+fn drive_one_broadcast(mac: &mut Mac<u32>, now: SimTime) -> SimTime {
+    let mut now = now;
+    let mut fx = mac.enqueue(1, None, 48, true, now);
+    for _ in 0..4 {
+        let timer = fx.iter().find_map(|e| match e {
+            MacEffect::SetTimer(k, d) => Some((*k, *d)),
+            _ => None,
+        });
+        match timer {
+            Some((k, d)) => {
+                now = now + d;
+                fx = mac.on_timer(k, now);
+            }
+            None => break,
+        }
+        if fx.iter().any(|e| matches!(e, MacEffect::StartTx(_))) {
+            now = now + SimDuration::from_micros(500);
+            let _ = mac.on_tx_end(now);
+            break;
+        }
+    }
+    now
+}
+
+fn bench_contention_cycle(c: &mut Criterion) {
+    c.bench_function("mac/broadcast_contention_cycle", |b| {
+        let mut mac: Mac<u32> = Mac::new(0, MacConfig::default(), 7);
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now = drive_one_broadcast(&mut mac, now) + SimDuration::from_micros(100);
+            black_box(now)
+        })
+    });
+}
+
+fn bench_rx_path(c: &mut Criterion) {
+    c.bench_function("mac/rx_unicast_data", |b| {
+        let mut mac: Mac<u32> = Mac::new(0, MacConfig::default(), 7);
+        let mut seq = 0u64;
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            seq += 1;
+            now = now + SimDuration::from_millis(1);
+            let frame = Frame {
+                kind: FrameKind::Data,
+                src: 3,
+                dst: Some(0),
+                bytes: 546,
+                nav: SimDuration::ZERO,
+                payload: Some(9u32),
+                seq,
+            };
+            let fx = mac.on_rx_frame(frame, now);
+            // Complete the SIFS/ACK response so state resets.
+            now = now + SimDuration::from_micros(10);
+            let _ = mac.on_timer(MacTimer::RespSifs, now);
+            now = now + SimDuration::from_micros(300);
+            let _ = mac.on_tx_end(now);
+            black_box(fx.len())
+        })
+    });
+}
+
+fn bench_nav_updates(c: &mut Criterion) {
+    c.bench_function("mac/overheard_nav_update", |b| {
+        let mut mac: Mac<u32> = Mac::new(0, MacConfig::default(), 7);
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now = now + SimDuration::from_micros(50);
+            let frame = Frame {
+                kind: FrameKind::Rts,
+                src: 5,
+                dst: Some(6),
+                bytes: 20,
+                nav: SimDuration::from_millis(3),
+                payload: None,
+                seq: 0,
+            };
+            black_box(mac.on_rx_frame(frame, now).len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_contention_cycle, bench_rx_path, bench_nav_updates);
+criterion_main!(benches);

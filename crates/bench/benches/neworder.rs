@@ -1,0 +1,39 @@
+//! Algorithm 1 (`NEWORDER`) throughput over its distinct cases.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slr_core::{new_order, Fraction, SplitLabel};
+
+fn label(sn: u64, n: u32, d: u32) -> SplitLabel<u32> {
+    SplitLabel::new(sn, Fraction::new(n, d).unwrap())
+}
+
+fn bench_neworder_cases(c: &mut Criterion) {
+    let cases = [
+        ("next_element", label(1, 1, 2), label(1, 2, 3), label(2, 1, 3)),
+        ("split", label(1, 1, 2), label(2, 2, 3), label(2, 1, 3)),
+        ("keep_own", label(3, 1, 2), label(3, 2, 3), label(3, 1, 3)),
+        ("infeasible", label(5, 1, 2), label(0, 1, 1), label(4, 1, 3)),
+    ];
+    for (name, own, cached, adv) in cases {
+        c.bench_function(&format!("neworder/{name}"), |b| {
+            b.iter(|| new_order(black_box(own), black_box(cached), black_box(adv)))
+        });
+    }
+}
+
+fn bench_neworder_chain(c: &mut Criterion) {
+    // A full reply path: 20 hops of successive relabeling.
+    c.bench_function("neworder/20_hop_reply_path", |b| {
+        b.iter(|| {
+            let mut adv = SplitLabel::<u32>::destination(1);
+            for _ in 0..20 {
+                let g = new_order(SplitLabel::unassigned(), SplitLabel::unassigned(), adv);
+                adv = g.label;
+            }
+            adv
+        })
+    });
+}
+
+criterion_group!(benches, bench_neworder_cases, bench_neworder_chain);
+criterion_main!(benches);

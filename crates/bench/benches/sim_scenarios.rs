@@ -1,0 +1,48 @@
+//! Miniature end-to-end scenario benchmarks: one per protocol, measuring
+//! whole-simulation wall time on a small static network. These exist to
+//! track harness performance, not the paper's metrics (the figure binaries
+//! regenerate those).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use slr_mobility::Position;
+use slr_netsim::time::SimTime;
+use slr_runner::scenario::{ProtocolKind, Scenario};
+use slr_runner::sim::Sim;
+use slr_traffic::{PacketSpec, TrafficScript};
+
+fn tiny_sim(kind: ProtocolKind) -> Sim {
+    let mut scenario = Scenario::quick(kind, 900, 3, 0);
+    scenario.nodes = 10;
+    scenario.end = SimTime::from_secs(15);
+    let positions: Vec<Position> = (0..10)
+        .map(|i| Position::new(150.0 * i as f64, 0.0))
+        .collect();
+    let packets: Vec<PacketSpec> = (0..40)
+        .map(|i| PacketSpec {
+            time: SimTime::from_millis(5_000 + i * 250),
+            src: 0,
+            dst: 9,
+            bytes: 512,
+            flow: 0,
+        })
+        .collect();
+    Sim::with_static_topology(scenario, positions, TrafficScript::from_packets(packets))
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+    for kind in ProtocolKind::all() {
+        group.bench_function(format!("10_node_line_15s/{}", kind.name()), |b| {
+            b.iter_batched(
+                || tiny_sim(kind),
+                |sim| sim.run(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

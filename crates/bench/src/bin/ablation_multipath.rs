@@ -1,0 +1,35 @@
+//! Ablation: uni-path SRP (the paper's evaluated mode) versus round-robin
+//! multipath forwarding over the same label DAG. Multipath is "inherent"
+//! to SLR (§II); choosing good multipaths is the paper's open problem.
+//!
+//! ```sh
+//! cargo run --release -p slr-bench --bin ablation_multipath [-- --paper]
+//! ```
+
+use slr_bench::Cli;
+use slr_runner::experiment::{run_sweep, Metric};
+use slr_runner::report::render_figure;
+use slr_runner::scenario::ProtocolKind;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("running sweep: {}", cli.describe());
+    let protocols = [ProtocolKind::Srp, ProtocolKind::SrpMultipath];
+    let result = run_sweep(&protocols, &cli.sweep);
+    println!(
+        "{}",
+        render_figure(
+            &result,
+            Metric::DeliveryRatio,
+            "Ablation — uni-path SRP vs round-robin multipath: delivery"
+        )
+    );
+    println!(
+        "{}",
+        render_figure(&result, Metric::Latency, "Ablation — latency (s)")
+    );
+    println!(
+        "{}",
+        render_figure(&result, Metric::NetworkLoad, "Ablation — network load")
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates Table I and Figures 3–7 from one sweep.
+//!
+//! ```sh
+//! cargo run --release -p slr-bench --bin all_figures            # quick
+//! cargo run --release -p slr-bench --bin all_figures -- --paper # full §V
+//! ```
+
+use slr_bench::Cli;
+use slr_runner::experiment::{run_sweep, Metric};
+use slr_runner::report::{render_figure, render_srp_diagnostics, render_table1, render_trend};
+use slr_runner::scenario::ProtocolKind;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("running sweep: {}", cli.describe());
+    let t0 = std::time::Instant::now();
+    let result = run_sweep(&ProtocolKind::all(), &cli.sweep);
+    println!("# SLR reproduction — all experiments ({})\n", cli.describe());
+    println!("{}", render_table1(&result));
+    for (metric, title) in [
+        (Metric::MacDrops, "Fig. 3 — Average MAC layer drops"),
+        (Metric::DeliveryRatio, "Fig. 4 — Delivery ratio"),
+        (Metric::NetworkLoad, "Fig. 5 — Network load (semi-log in the paper)"),
+        (Metric::Latency, "Fig. 6 — Data latency (semi-log in the paper)"),
+        (Metric::AvgSeqno, "Fig. 7 — Average node sequence number"),
+    ] {
+        println!("{}", render_figure(&result, metric, title));
+        println!("{}", render_trend(&result, metric));
+    }
+    println!("{}", render_srp_diagnostics(&result));
+    eprintln!("sweep completed in {:?}", t0.elapsed());
+}

@@ -1,0 +1,18 @@
+//! Regenerates **Fig. 6 — Data latency (seconds), 100-nodes 30-flows** of the paper.
+//!
+//! ```sh
+//! cargo run --release -p slr-bench --bin fig6 [-- --paper]
+//! ```
+
+use slr_bench::Cli;
+use slr_runner::experiment::{run_sweep, Metric};
+use slr_runner::report::render_figure;
+use slr_runner::scenario::ProtocolKind;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("running sweep: {}", cli.describe());
+    let result = run_sweep(&ProtocolKind::all(), &cli.sweep);
+    println!("{}", render_figure(&result, Metric::Latency, "Fig. 6 — Data latency (seconds), 100-nodes 30-flows"));
+    println!("Paper shape: OLSR and SRP lowest and statistically close; AODV and DSR much higher.");
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Table I** (performance averaged over all pause times).
+//!
+//! ```sh
+//! cargo run --release -p slr-bench --bin table1 [-- --paper]
+//! ```
+
+use slr_bench::Cli;
+use slr_runner::experiment::run_sweep;
+use slr_runner::report::render_table1;
+use slr_runner::scenario::ProtocolKind;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("running sweep: {}", cli.describe());
+    let result = run_sweep(&ProtocolKind::all(), &cli.sweep);
+    println!("{}", render_table1(&result));
+    println!("Paper (±95% CI): SRP 0.830/0.905/0.927, LDR 0.766/4.364/1.172,");
+    println!("AODV 0.741/4.996/2.769, DSR 0.500/5.394/5.725, OLSR 0.710/4.728/0.781");
+}

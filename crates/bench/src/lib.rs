@@ -1,0 +1,128 @@
+//! # slr-bench — benchmark harness for the SLR reproduction
+//!
+//! Two kinds of targets:
+//!
+//! * **Binaries**, one per paper table/figure (`table1`, `fig3` … `fig7`,
+//!   plus `all_figures` which regenerates everything from a single sweep).
+//!   Default is a laptop-scale quick mode (50 nodes, 160 s, 3 trials);
+//!   pass `--paper` for the full §V configuration (100 nodes, 910 s,
+//!   10 trials — hours of CPU).
+//! * **Criterion micro-benches** for the label algebra, `NEWORDER`, the
+//!   event queue, the MAC state machine, protocol packet handling, and
+//!   miniature end-to-end scenarios, including the mediant-vs-Farey
+//!   ablation from the paper's conclusion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use slr_runner::experiment::{SweepConfig, PAUSE_TIMES};
+
+/// Command-line options shared by the figure/table binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Sweep configuration assembled from the flags.
+    pub sweep: SweepConfig,
+    /// Whether `--paper` was requested.
+    pub paper: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    ///
+    /// Flags: `--paper`, `--trials N`, `--seed N`, `--threads N`,
+    /// `--pauses a,b,c` (defaults to the paper's eight pause times).
+    pub fn parse() -> Cli {
+        let mut paper = false;
+        let mut trials: Option<u64> = None;
+        let mut seed = 42u64;
+        let mut threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let mut pauses: &'static [u64] = &PAUSE_TIMES;
+
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--paper" => paper = true,
+                "--trials" => {
+                    i += 1;
+                    trials = args.get(i).and_then(|s| s.parse().ok());
+                }
+                "--seed" => {
+                    i += 1;
+                    seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(seed);
+                }
+                "--threads" => {
+                    i += 1;
+                    threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(threads);
+                }
+                "--pauses" => {
+                    i += 1;
+                    if let Some(list) = args.get(i) {
+                        let parsed: Vec<u64> =
+                            list.split(',').filter_map(|s| s.parse().ok()).collect();
+                        if !parsed.is_empty() {
+                            pauses = Box::leak(parsed.into_boxed_slice());
+                        }
+                    }
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --paper (full §V scale) --trials N --seed N --threads N --pauses a,b,c"
+                    );
+                    std::process::exit(0);
+                }
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+            i += 1;
+        }
+
+        let trials = trials.unwrap_or(if paper { 10 } else { 3 });
+        Cli {
+            sweep: SweepConfig {
+                seed,
+                trials,
+                pauses,
+                paper_scale: paper,
+                threads,
+            },
+            paper,
+        }
+    }
+
+    /// One-line description of the configuration, for run logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} scale, {} trials/point, pauses {:?}, seed {}, {} threads",
+            if self.paper { "paper (100 nodes, 910 s)" } else { "quick (50 nodes, 160 s)" },
+            self.sweep.trials,
+            self.sweep.pauses,
+            self.sweep.seed,
+            self.sweep.threads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cli_shape() {
+        // Parsing with no args (test binary args are filtered out as
+        // unknown flags at worst).
+        let cli = Cli {
+            sweep: SweepConfig {
+                seed: 42,
+                trials: 3,
+                pauses: &PAUSE_TIMES,
+                paper_scale: false,
+                threads: 2,
+            },
+            paper: false,
+        };
+        assert!(cli.describe().contains("quick"));
+        assert_eq!(cli.sweep.pauses.len(), 8);
+    }
+}

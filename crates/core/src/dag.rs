@@ -1,0 +1,216 @@
+//! Loop-freedom oracles: topological-order and acyclicity checks over
+//! successor graphs.
+//!
+//! A digraph is acyclic iff it has a topological order (§II, citing Ahuja);
+//! SLR's claim (Theorem 3) is that current labels *are* such an order at
+//! every instant. These helpers let tests and the simulation harness verify
+//! both halves independently: [`check_label_order`] checks the label
+//! inequality edge-by-edge, and [`find_cycle`] searches for cycles with a
+//! DFS that does not look at labels at all.
+
+use core::fmt;
+
+/// A violated edge discovered by an order check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderViolation {
+    /// The upstream node (the one holding the successor entry).
+    pub from: usize,
+    /// The successor node.
+    pub to: usize,
+    /// Human-readable description of the violated inequality.
+    pub detail: String,
+}
+
+impl fmt::Display for OrderViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge ({}, {}): {}", self.from, self.to, self.detail)
+    }
+}
+
+/// Checks that every directed edge `(i, j)` (given as index pairs into
+/// `labels`) satisfies `labels[j] < labels[i]` under `lt` — the paper's
+/// topological-order condition with the destination-least orientation.
+///
+/// Returns the first violating edge, if any.
+pub fn check_label_order<L, F>(
+    labels: &[L],
+    edges: &[(usize, usize)],
+    mut lt: F,
+) -> Result<(), OrderViolation>
+where
+    L: fmt::Debug,
+    F: FnMut(&L, &L) -> bool,
+{
+    for &(i, j) in edges {
+        if !lt(&labels[j], &labels[i]) {
+            return Err(OrderViolation {
+                from: i,
+                to: j,
+                detail: format!("{:?} !< {:?}", labels[j], labels[i]),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Searches a digraph of `n` nodes for a directed cycle. Returns the cycle
+/// as a node sequence (first node repeated implicitly) or `None` if the
+/// graph is acyclic.
+///
+/// Iterative three-color DFS; no recursion, safe for large graphs.
+pub fn find_cycle(n: usize, edges: &[(usize, usize)]) -> Option<Vec<usize>> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        // Stack of (node, next-edge-index).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = Color::Gray;
+        while let Some(frame) = stack.last_mut() {
+            let u = frame.0;
+            if frame.1 < adj[u].len() {
+                let v = adj[u][frame.1];
+                frame.1 += 1;
+                match color[v] {
+                    Color::White => {
+                        color[v] = Color::Gray;
+                        parent[v] = Some(u);
+                        stack.push((v, 0));
+                    }
+                    Color::Gray => {
+                        // Found a cycle: unwind u → … → v.
+                        let mut cyc = vec![u];
+                        let mut cur = u;
+                        while cur != v {
+                            cur = parent[cur].expect("gray nodes have parents on the stack");
+                            cyc.push(cur);
+                        }
+                        cyc.reverse();
+                        return Some(cyc);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[u] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Computes a topological order of the digraph (Kahn's algorithm), or
+/// `None` if it contains a cycle. Useful for asserting that a labeling
+/// *could* exist and for deterministic traversal in tests.
+pub fn topological_sort(n: usize, edges: &[(usize, usize)]) -> Option<Vec<usize>> {
+    let mut indeg = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+        indeg[b] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut out = Vec::with_capacity(n);
+    while let Some(u) = queue.pop() {
+        out.push(u);
+        for &v in &adj[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    if out.len() == n {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_order_accepts_valid_dag() {
+        // 2 → 1 → 0 with labels 0.75, 0.5, 0.0.
+        let labels = [0.0f64, 0.5, 0.75];
+        let edges = [(2, 1), (1, 0)];
+        assert!(check_label_order(&labels, &edges, |a, b| a < b).is_ok());
+    }
+
+    #[test]
+    fn label_order_rejects_equal_labels() {
+        let labels = [0.5f64, 0.5];
+        let edges = [(1, 0)];
+        let v = check_label_order(&labels, &edges, |a, b| a < b).unwrap_err();
+        assert_eq!((v.from, v.to), (1, 0));
+    }
+
+    #[test]
+    fn find_cycle_none_on_dag() {
+        let edges = [(3, 2), (2, 1), (1, 0), (3, 1)];
+        assert!(find_cycle(4, &edges).is_none());
+    }
+
+    #[test]
+    fn find_cycle_detects_simple_loop() {
+        let edges = [(0, 1), (1, 2), (2, 0)];
+        let cyc = find_cycle(3, &edges).unwrap();
+        assert_eq!(cyc.len(), 3);
+        // Every consecutive pair is an edge.
+        for w in cyc.windows(2) {
+            assert!(edges.contains(&(w[0], w[1])), "{:?} missing {:?}", edges, w);
+        }
+        assert!(edges.contains(&(cyc[cyc.len() - 1], cyc[0])));
+    }
+
+    #[test]
+    fn find_cycle_detects_self_loop() {
+        let edges = [(0, 0)];
+        let cyc = find_cycle(1, &edges).unwrap();
+        assert_eq!(cyc, vec![0]);
+    }
+
+    #[test]
+    fn find_cycle_two_node_loop_among_dag() {
+        let edges = [(0, 1), (2, 3), (3, 2)];
+        let cyc = find_cycle(4, &edges).unwrap();
+        assert_eq!(cyc.len(), 2);
+    }
+
+    #[test]
+    fn topological_sort_on_dag() {
+        let edges = [(3, 2), (2, 1), (1, 0)];
+        let order = topological_sort(4, &edges).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &n) in order.iter().enumerate() {
+                p[n] = i;
+            }
+            p
+        };
+        for &(a, b) in &edges {
+            assert!(pos[a] < pos[b]);
+        }
+    }
+
+    #[test]
+    fn topological_sort_none_on_cycle() {
+        let edges = [(0, 1), (1, 0)];
+        assert!(topological_sort(2, &edges).is_none());
+    }
+}

@@ -1,0 +1,410 @@
+//! A pure graph-level model of an SLR route computation (§II), independent
+//! of radios, timers and packet loss.
+//!
+//! [`SlrGraph`] holds one destination's DAG: per-node labels and successor
+//! sets. Route computations follow the paper's narrative: a request travels
+//! `v_k … v_0` carrying the running minimum predecessor label `M_i`; the
+//! reply travels back, each node relabeling per Definition 1 via
+//! [`crate::slr::choose_label`] and adding the advertiser as successor.
+//!
+//! The engine asserts the topological-order invariant after every mutation
+//! when built with `debug_assertions`, and exposes
+//! [`SlrGraph::check_topological_order`] for tests — a machine check of
+//! Theorem 3 (instantaneous loop freedom).
+
+use std::collections::BTreeMap;
+
+use crate::dag;
+use crate::slr::{choose_label, DenseLabel};
+
+/// Node identifier inside an [`SlrGraph`].
+pub type NodeId = usize;
+
+/// Errors from SLR graph route computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlrError {
+    /// A node id was out of range.
+    UnknownNode(NodeId),
+    /// The request path was empty or degenerate.
+    BadPath,
+    /// The replying node cannot reply (greatest label and not destination,
+    /// or its label is not below the request minimum).
+    CannotReply(NodeId),
+    /// No maintaining label exists at a node (bounded label sets only).
+    LabelExhausted(NodeId),
+    /// The graph's labels are no longer in topological order.
+    OrderViolation(dag::OrderViolation),
+}
+
+impl std::fmt::Display for SlrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlrError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            SlrError::BadPath => write!(f, "request path must visit at least two nodes"),
+            SlrError::CannotReply(n) => write!(f, "node {n} cannot reply to the request"),
+            SlrError::LabelExhausted(n) => {
+                write!(f, "no maintaining label exists at node {n}")
+            }
+            SlrError::OrderViolation(v) => write!(f, "order violation: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SlrError {}
+
+/// Per-node state: current label plus successor set with recorded labels.
+#[derive(Debug, Clone)]
+struct NodeState<L> {
+    label: L,
+    /// successor id → label recorded from the advertisement that installed
+    /// the edge.
+    succs: BTreeMap<NodeId, L>,
+}
+
+/// One destination's labeled successor graph under SLR (§II).
+///
+/// # Examples
+///
+/// ```
+/// use slr_core::engine::SlrGraph;
+/// use slr_core::Fraction;
+///
+/// // Fig. 1: E-D-C-B-A-T line; request from E, reply from T.
+/// let mut g: SlrGraph<Fraction<u32>> = SlrGraph::new(6, 0);
+/// g.run_request(&[5, 4, 3, 2, 1, 0])?;
+/// assert_eq!(*g.label(1), Fraction::new(1, 2)?); // node A
+/// assert_eq!(*g.label(5), Fraction::new(5, 6)?); // node E
+/// g.check_topological_order()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlrGraph<L: DenseLabel> {
+    nodes: Vec<NodeState<L>>,
+    dest: NodeId,
+}
+
+impl<L: DenseLabel> SlrGraph<L> {
+    /// Creates a graph of `n` nodes for destination `dest`: the destination
+    /// holds the least label, every other node the greatest (unassigned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest >= n`.
+    pub fn new(n: usize, dest: NodeId) -> Self {
+        assert!(dest < n, "destination {dest} out of range 0..{n}");
+        let nodes = (0..n)
+            .map(|i| NodeState {
+                label: if i == dest { L::least() } else { L::greatest() },
+                succs: BTreeMap::new(),
+            })
+            .collect();
+        SlrGraph { nodes, dest }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The destination node id.
+    pub fn destination(&self) -> NodeId {
+        self.dest
+    }
+
+    /// A node's current label.
+    pub fn label(&self, node: NodeId) -> &L {
+        &self.nodes[node].label
+    }
+
+    /// Iterates over a node's successors and the labels recorded for them.
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, &L)> {
+        self.nodes[node].succs.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Whether `node` currently has at least one successor (or is the
+    /// destination, which needs none).
+    pub fn has_route(&self, node: NodeId) -> bool {
+        node == self.dest || !self.nodes[node].succs.is_empty()
+    }
+
+    /// The maximum recorded successor label at `node` (`S_max`), or the
+    /// least element if the successor set is empty.
+    pub fn s_max(&self, node: NodeId) -> L {
+        self.nodes[node]
+            .succs
+            .values()
+            .fold(L::least(), |acc, l| if acc.lt(l) { l.clone() } else { acc })
+    }
+
+    /// Removes the directed successor link `from → to` (link failure).
+    pub fn drop_link(&mut self, from: NodeId, to: NodeId) {
+        self.nodes[from].succs.remove(&to);
+    }
+
+    /// Overwrites a node's label directly, bypassing Definition 1.
+    ///
+    /// Intended for setting up scenarios (e.g. the paper's Fig. 2, where
+    /// nodes hold stale labels from routes they once had). The caller is
+    /// responsible for keeping the graph consistent; the next
+    /// [`SlrGraph::check_topological_order`] will flag any violation.
+    pub fn set_label_for_test(&mut self, node: NodeId, label: L) {
+        self.nodes[node].label = label;
+    }
+
+    /// Runs a complete route computation along `path`
+    /// (`path[0] = requester v_k`, `path.last() = replier v_0`).
+    ///
+    /// The forward pass computes the cached minima `M_i` (starting from
+    /// `∞` at the requester, per §II). The replier must either be the
+    /// destination or have both a route and a label strictly below the
+    /// request minimum (the SLR reply condition). The reply pass then
+    /// relabels every intermediate node per Definition 1 and installs
+    /// successor links.
+    ///
+    /// # Errors
+    ///
+    /// See [`SlrError`]. On `LabelExhausted` the computation stops midway —
+    /// links installed so far remain (they are individually order-safe).
+    pub fn run_request(&mut self, path: &[NodeId]) -> Result<(), SlrError> {
+        if path.len() < 2 {
+            return Err(SlrError::BadPath);
+        }
+        for &n in path {
+            if n >= self.nodes.len() {
+                return Err(SlrError::UnknownNode(n));
+            }
+        }
+        let replier = *path.last().expect("non-empty path");
+
+        // Forward pass: M_i = min of requester-side labels, starting at ∞.
+        // M is cached per node *before* it adds its own label downstream:
+        // node i caches min over {v_k … v_{i+1}}.
+        let mut cached: Vec<L> = Vec::with_capacity(path.len());
+        let mut running = L::greatest();
+        for &n in path.iter() {
+            cached.push(running.clone());
+            running = L::min_of(running, self.nodes[n].label.clone());
+        }
+
+        // Reply condition at the replier.
+        let request_min = &cached[path.len() - 1];
+        let replier_label = self.nodes[replier].label.clone();
+        let can_reply = self.has_route(replier) && replier_label.lt(request_min);
+        if !can_reply {
+            return Err(SlrError::CannotReply(replier));
+        }
+
+        // Reply pass: walk back v_1 … v_k.
+        let mut adv = replier_label;
+        let mut adv_from = replier;
+        for idx in (0..path.len() - 1).rev() {
+            let node = path[idx];
+            let own = self.nodes[node].label.clone();
+            let m = cached[idx].clone();
+            let s_max = self.s_max(node);
+            let g = match choose_label(&own, &m, &adv, &s_max) {
+                Some(g) => g,
+                None => {
+                    // Try again pretending the successor set were dropped
+                    // (Theorem 4 ignores Eq. 6 because a node may always
+                    // drop successors).
+                    match choose_label(&own, &m, &adv, &L::least()) {
+                        Some(g) => {
+                            // Eliminate out-of-order successors (the
+                            // Algorithm 1 line 13 analogue).
+                            let doomed: Vec<NodeId> = self.nodes[node]
+                                .succs
+                                .iter()
+                                .filter(|(_, l)| !l.lt(&g))
+                                .map(|(k, _)| *k)
+                                .collect();
+                            for d in doomed {
+                                self.nodes[node].succs.remove(&d);
+                            }
+                            g
+                        }
+                        None => return Err(SlrError::LabelExhausted(node)),
+                    }
+                }
+            };
+            self.nodes[node].label = g.clone();
+            self.nodes[node].succs.insert(adv_from, adv.clone());
+            #[cfg(debug_assertions)]
+            self.debug_check();
+            adv = g;
+            adv_from = node;
+        }
+        Ok(())
+    }
+
+    /// Verifies that every successor edge `(i, j)` satisfies
+    /// `label(j) < label(i)` with **current** labels — the topological
+    /// order of Theorem 3 — and that the successor graph is acyclic.
+    pub fn check_topological_order(&self) -> Result<(), SlrError> {
+        for (i, st) in self.nodes.iter().enumerate() {
+            for (&j, recorded) in &st.succs {
+                // Recorded label can only have been refined downward.
+                if !self.nodes[j].label.le(recorded) {
+                    return Err(SlrError::OrderViolation(dag::OrderViolation {
+                        from: i,
+                        to: j,
+                        detail: format!(
+                            "successor {j} label {:?} rose above recorded {:?}",
+                            self.nodes[j].label, recorded
+                        ),
+                    }));
+                }
+                if !self.nodes[j].label.lt(&st.label) {
+                    return Err(SlrError::OrderViolation(dag::OrderViolation {
+                        from: i,
+                        to: j,
+                        detail: format!(
+                            "edge ({i},{j}): {:?} !< {:?}",
+                            self.nodes[j].label, st.label
+                        ),
+                    }));
+                }
+            }
+        }
+        // Independent acyclicity check (does not rely on labels).
+        let edges: Vec<(NodeId, NodeId)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(i, st)| st.succs.keys().map(move |&j| (i, j)))
+            .collect();
+        dag::find_cycle(self.nodes.len(), &edges)
+            .map_or(Ok(()), |cyc| {
+                Err(SlrError::OrderViolation(dag::OrderViolation {
+                    from: cyc[0],
+                    to: cyc[cyc.len() - 1],
+                    detail: format!("cycle {cyc:?}"),
+                }))
+            })
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_check(&self) {
+        if let Err(e) = self.check_topological_order() {
+            panic!("SLR invariant broken: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fraction::Fraction;
+    use crate::sternbrocot::SbPath;
+
+    type F = Fraction<u32>;
+
+    fn fr(n: u32, d: u32) -> F {
+        Fraction::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn figure1_line_network() {
+        // T=0, A=1, B=2, C=3, D=4, E=5.
+        let mut g: SlrGraph<F> = SlrGraph::new(6, 0);
+        g.run_request(&[5, 4, 3, 2, 1, 0]).unwrap();
+        assert_eq!(*g.label(0), fr(0, 1));
+        assert_eq!(*g.label(1), fr(1, 2));
+        assert_eq!(*g.label(2), fr(2, 3));
+        assert_eq!(*g.label(3), fr(3, 4));
+        assert_eq!(*g.label(4), fr(4, 5));
+        assert_eq!(*g.label(5), fr(5, 6));
+        g.check_topological_order().unwrap();
+    }
+
+    #[test]
+    fn figure2_insertion_without_predecessor_relabel() {
+        // Start from Fig. 1's A(1/2), B(2/3); nodes F=3 (2/3), G=4 (2/3),
+        // H=5 (3/4) have labels but empty successor sets. Request
+        // H→G→F→B→A, reply from A.
+        let mut g: SlrGraph<F> = SlrGraph::new(6, 0);
+        // Seed: A and B have routes to T (node 0).
+        g.run_request(&[2, 1, 0]).unwrap(); // B→A→T : A=1/2, B=2/3
+        assert_eq!(*g.label(1), fr(1, 2));
+        assert_eq!(*g.label(2), fr(2, 3));
+        // Hand-set stale labels for F, G, H (they "once knew a route").
+        g.nodes[3].label = fr(2, 3);
+        g.nodes[4].label = fr(2, 3);
+        g.nodes[5].label = fr(3, 4);
+
+        // Request H(5) G(4) F(3) B(2), reply by... B cannot reply: its
+        // label 2/3 is not < request min 2/3. Extend to A(1).
+        let err = g.clone().run_request(&[5, 4, 3, 2]).unwrap_err();
+        assert!(matches!(err, SlrError::CannotReply(2)));
+
+        g.run_request(&[5, 4, 3, 2, 1]).unwrap();
+        assert_eq!(*g.label(1), fr(1, 2)); // A unchanged
+        assert_eq!(*g.label(2), fr(3, 5)); // B split
+        assert_eq!(*g.label(3), fr(5, 8)); // F split
+        assert_eq!(*g.label(4), fr(2, 3)); // G keeps
+        assert_eq!(*g.label(5), fr(3, 4)); // H keeps
+        g.check_topological_order().unwrap();
+    }
+
+    #[test]
+    fn multipath_successors_accumulate() {
+        // Diamond: 0 ← 1, 0 ← 2, and 3 reaches both.
+        let mut g: SlrGraph<F> = SlrGraph::new(4, 0);
+        g.run_request(&[1, 0]).unwrap();
+        g.run_request(&[2, 0]).unwrap();
+        g.run_request(&[3, 1]).unwrap();
+        g.run_request(&[3, 2]).unwrap();
+        assert_eq!(g.successors(3).count(), 2);
+        g.check_topological_order().unwrap();
+    }
+
+    #[test]
+    fn reply_requires_route_and_lower_label() {
+        let mut g: SlrGraph<F> = SlrGraph::new(3, 0);
+        // Node 2 asks node 1, which has no route: error.
+        let err = g.run_request(&[2, 1]).unwrap_err();
+        assert!(matches!(err, SlrError::CannotReply(1)));
+        // After 1 gets a route, it can reply.
+        g.run_request(&[1, 0]).unwrap();
+        g.run_request(&[2, 1]).unwrap();
+        assert!(g.has_route(2));
+    }
+
+    #[test]
+    fn drop_link_invalidates_route() {
+        let mut g: SlrGraph<F> = SlrGraph::new(3, 0);
+        g.run_request(&[1, 0]).unwrap();
+        assert!(g.has_route(1));
+        g.drop_link(1, 0);
+        assert!(!g.has_route(1));
+    }
+
+    #[test]
+    fn unbounded_labels_never_exhaust() {
+        // Alternating requests over a ring stress-split; SbPath never
+        // overflows.
+        let mut g: SlrGraph<SbPath> = SlrGraph::new(4, 0);
+        g.run_request(&[1, 0]).unwrap();
+        g.run_request(&[2, 1]).unwrap();
+        g.run_request(&[3, 2]).unwrap();
+        for _ in 0..50 {
+            g.run_request(&[3, 2, 1]).unwrap();
+            g.check_topological_order().unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut g: SlrGraph<F> = SlrGraph::new(3, 0);
+        assert!(matches!(g.run_request(&[1]), Err(SlrError::BadPath)));
+        assert!(matches!(
+            g.run_request(&[1, 7]),
+            Err(SlrError::UnknownNode(7))
+        ));
+    }
+}

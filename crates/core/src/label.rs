@@ -1,0 +1,293 @@
+//! The SRP composite ordering `O = (sequence number, feasible-distance
+//! fraction)` and its Ordering Criteria (Definitions 4–7 of the paper).
+//!
+//! The relation [`SplitLabel::precedes`] implements the strict partial order
+//! `≺` of Definition 5: `O_A ≺ O_B` reads *"B is a feasible in-order
+//! successor for A toward the destination"*. The sequence number follows a
+//! reversed sense relative to the fraction: a **higher** sequence number
+//! means a *fresher* (lower-ordered) route and supersedes all routes with a
+//! lower sequence number; with equal sequence numbers a **smaller** fraction
+//! is lower-ordered.
+
+use core::fmt;
+use core::hash::{Hash, Hasher};
+
+use crate::fraction::{FracInt, Fraction};
+
+/// A 64-bit destination-controlled sequence number.
+///
+/// The paper uses a 64-bit time-stamp sequence number, which "avoids reset
+/// on reboot and avoids wrap-around problems" (§III).
+pub type SeqNo = u64;
+
+/// The composite SRP label `O = (sn, F)` (Definition 5).
+///
+/// # Examples
+///
+/// ```
+/// use slr_core::{Fraction, SplitLabel};
+///
+/// let dest: SplitLabel<u32> = SplitLabel::destination(1);
+/// let mid = SplitLabel::new(1, Fraction::new(1, 2)?);
+/// // The destination label is in-order (feasible) for the intermediate node:
+/// assert!(mid.precedes(&dest));
+/// assert!(!dest.precedes(&mid));
+/// // An unassigned node is above everything:
+/// assert!(SplitLabel::unassigned().precedes(&mid));
+/// # Ok::<(), slr_core::FractionError>(())
+/// ```
+#[derive(Clone, Copy)]
+pub struct SplitLabel<T: FracInt> {
+    seqno: SeqNo,
+    fd: Fraction<T>,
+}
+
+/// The paper's practical label with 32-bit fraction components.
+pub type SplitLabel32 = SplitLabel<u32>;
+/// A label with 64-bit fraction components.
+pub type SplitLabel64 = SplitLabel<u64>;
+
+impl<T: FracInt> SplitLabel<T> {
+    /// Creates a label from a sequence number and feasible-distance fraction.
+    pub fn new(seqno: SeqNo, fd: Fraction<T>) -> Self {
+        SplitLabel { seqno, fd }
+    }
+
+    /// The maximum ordering `(0, (1,1))` held by an unassigned node
+    /// (Definition 5).
+    pub fn unassigned() -> Self {
+        SplitLabel {
+            seqno: 0,
+            fd: Fraction::one(),
+        }
+    }
+
+    /// The label a destination assigns itself: `(sn, (0,1))` with a non-zero
+    /// sequence number (Definition 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqno == 0`; the paper requires a *new non-zero* sequence
+    /// number at node initialization.
+    pub fn destination(seqno: SeqNo) -> Self {
+        assert!(seqno != 0, "destination sequence number must be non-zero");
+        SplitLabel {
+            seqno,
+            fd: Fraction::zero(),
+        }
+    }
+
+    /// The sequence-number component.
+    pub fn seqno(&self) -> SeqNo {
+        self.seqno
+    }
+
+    /// The feasible-distance fraction component.
+    pub fn fd(&self) -> Fraction<T> {
+        self.fd
+    }
+
+    /// Whether this is the maximum (unassigned) ordering `(0, (1,1))`.
+    pub fn is_unassigned(&self) -> bool {
+        self.seqno == 0 && self.fd.is_one()
+    }
+
+    /// Whether the ordering is *finite*, i.e. its fraction is `< 1/1`
+    /// (Definition 5). `NEWORDER` returns an infinite ordering to signal
+    /// that an advertisement must be dropped.
+    pub fn is_finite(&self) -> bool {
+        !self.fd.is_one()
+    }
+
+    /// The strict partial order `≺` of Definition 5 (the Ordering Criteria).
+    ///
+    /// `a.precedes(&b)` is true iff `sn_a < sn_b`, or `sn_a == sn_b` and
+    /// `F_b < F_a`; it reads "`b` is a feasible in-order successor for `a`".
+    pub fn precedes(&self, other: &Self) -> bool {
+        self.seqno < other.seqno || (self.seqno == other.seqno && other.fd < self.fd)
+    }
+
+    /// `self ⪯ other`: [`SplitLabel::precedes`] or numerically equal.
+    pub fn precedes_eq(&self, other: &Self) -> bool {
+        self.precedes(other) || self == other
+    }
+
+    /// The minimum function of Definition 5: returns `b` if `a ≺ b`,
+    /// otherwise `a`. The "minimum" label is the one *lower* in the DAG
+    /// (closer to the destination), i.e. the one that supersedes.
+    pub fn min_label(a: Self, b: Self) -> Self {
+        if a.precedes(&b) {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// The dual of [`SplitLabel::min_label`]: the label *higher* in the DAG.
+    pub fn max_label(a: Self, b: Self) -> Self {
+        if a.precedes(&b) {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Ordering addition `O + p/q` (Definition 6): the component-wise sum
+    /// `(sn, (m+p, n+q))`, i.e. the mediant applied inside the label.
+    ///
+    /// Returns `None` on fraction overflow or if the ordering is not finite.
+    pub fn plus(&self, frac: Fraction<T>) -> Option<Self> {
+        if !self.is_finite() {
+            return None;
+        }
+        let fd = self.fd.checked_mediant(&frac)?;
+        Some(SplitLabel {
+            seqno: self.seqno,
+            fd,
+        })
+    }
+
+    /// `O + 1/1`, the next-element of the ordering (used by Theorem 5 and
+    /// Algorithm 1 line 5).
+    pub fn next_element(&self) -> Option<Self> {
+        self.plus(Fraction::one())
+    }
+}
+
+impl<T: FracInt> PartialEq for SplitLabel<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seqno == other.seqno && self.fd == other.fd
+    }
+}
+
+impl<T: FracInt> Eq for SplitLabel<T> {}
+
+impl<T: FracInt> Hash for SplitLabel<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.seqno.hash(state);
+        self.fd.hash(state);
+    }
+}
+
+impl<T: FracInt> fmt::Debug for SplitLabel<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.seqno, self.fd)
+    }
+}
+
+impl<T: FracInt> fmt::Display for SplitLabel<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.seqno, self.fd)
+    }
+}
+
+impl<T: FracInt> Default for SplitLabel<T> {
+    /// The default is the unassigned (maximum) ordering.
+    fn default() -> Self {
+        Self::unassigned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(sn: SeqNo, n: u32, d: u32) -> SplitLabel32 {
+        SplitLabel::new(sn, Fraction::new(n, d).unwrap())
+    }
+
+    #[test]
+    fn higher_seqno_is_lower_ordered() {
+        // Eq. 7: sn_A < sn_B ⟹ A ≺ B ("B supersedes").
+        assert!(l(1, 1, 2).precedes(&l(2, 9, 10)));
+        assert!(!l(2, 9, 10).precedes(&l(1, 1, 2)));
+    }
+
+    #[test]
+    fn equal_seqno_orders_by_fraction() {
+        // Eq. 8: with equal sequence numbers the smaller fraction is lower.
+        assert!(l(1, 2, 3).precedes(&l(1, 1, 2)));
+        assert!(!l(1, 1, 2).precedes(&l(1, 2, 3)));
+    }
+
+    #[test]
+    fn equal_labels_are_incomparable() {
+        let a = l(1, 1, 2);
+        let b = l(1, 2, 4);
+        assert_eq!(a, b);
+        assert!(!a.precedes(&b));
+        assert!(!b.precedes(&a));
+        assert!(a.precedes_eq(&b));
+    }
+
+    #[test]
+    fn unassigned_is_maximum() {
+        let u = SplitLabel32::unassigned();
+        assert!(u.is_unassigned());
+        assert!(!u.is_finite());
+        for other in [l(1, 0, 1), l(1, 1, 2), l(5, 999, 1000)] {
+            assert!(u.precedes(&other), "{u} should precede {other}");
+            assert!(!other.precedes(&u));
+        }
+    }
+
+    #[test]
+    fn destination_label() {
+        let d = SplitLabel32::destination(7);
+        assert_eq!(d.seqno(), 7);
+        assert!(d.fd().is_zero());
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn destination_rejects_zero_seqno() {
+        let _ = SplitLabel32::destination(0);
+    }
+
+    #[test]
+    fn min_label_picks_the_superseding_one() {
+        let a = l(1, 1, 2);
+        let b = l(2, 9, 10);
+        assert_eq!(SplitLabel::min_label(a, b), b);
+        assert_eq!(SplitLabel::min_label(b, a), b);
+        let c = l(1, 1, 3);
+        assert_eq!(SplitLabel::min_label(a, c), c);
+        assert_eq!(SplitLabel::max_label(a, c), a);
+        // Ties return the first argument.
+        assert_eq!(SplitLabel::min_label(a, a), a);
+    }
+
+    #[test]
+    fn ordering_addition_is_mediant() {
+        // Definition 6: if m/n < p/q then O + p/q ≺ O.
+        let o = l(3, 1, 3);
+        let sum = o.plus(Fraction::new(1, 2).unwrap()).unwrap();
+        assert_eq!(sum, l(3, 2, 5));
+        assert!(sum.precedes(&o));
+    }
+
+    #[test]
+    fn next_element_of_label() {
+        let o = l(3, 2, 3);
+        let n = o.next_element().unwrap();
+        assert_eq!(n, l(3, 3, 4));
+        // O + 1/1 ≺ O? No: next-element has a *larger* fraction, so it is
+        // *higher* in the DAG; the original precedes nothing new. Check the
+        // documented direction: n ≺ o, because o's fraction < n's fraction.
+        assert!(n.precedes(&o));
+        assert!(SplitLabel32::unassigned().next_element().is_none());
+    }
+
+    #[test]
+    fn plus_overflow_returns_none() {
+        let near = SplitLabel::new(1, Fraction::<u32>::new(u32::MAX - 1, u32::MAX).unwrap());
+        assert!(near.plus(near.fd()).is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(l(4, 2, 3).to_string(), "(4, 2/3)");
+        assert_eq!(SplitLabel32::unassigned().to_string(), "(0, 1/1)");
+    }
+}

@@ -1,0 +1,66 @@
+//! # slr-core — Split Label Routing label algebra
+//!
+//! A from-scratch implementation of the label machinery behind
+//! *Loop-Free Routing Using a Dense Label Set in Wireless Networks*
+//! (Mosko & Garcia-Luna-Aceves, ICDCS 2004).
+//!
+//! SLR keeps per-destination node labels in topological order over a
+//! **dense** ordinal set, so the successor graph is a DAG at every instant
+//! (Theorem 3) and a node can be inserted between two existing labels
+//! without relabeling its predecessors. This crate provides:
+//!
+//! * [`Fraction`] — proper fractions with **mediant** splitting (Eq. 1) and
+//!   the next-element operator (Eq. 2), in the paper's 32-bit flavor
+//!   ([`Frac32`]) and a 64-bit variant, with overflow detection and the
+//!   Fibonacci worst-case split bound
+//!   ([`fraction::worst_case_split_capacity`] = 45 for `u32`);
+//! * [`SplitLabel`] — SRP's composite ordering `O = (sn, F)` with the
+//!   Ordering Criteria `≺` of Definition 5;
+//! * [`new_order`] — Algorithm 1 (`NEWORDER`), plus the Definition 1
+//!   *maintain order* predicate ([`maintains_order`]) it provably satisfies
+//!   (Theorem 6);
+//! * [`SuccessorTable`] — the multi-path successor set `S_i` with `S_max`
+//!   and the Algorithm 1 line 13 pruning;
+//! * [`slr::DenseLabel`] — the abstract dense ordinal set of §II, with
+//!   three implementations: bounded fractions, Farey-reduced fractions
+//!   ([`slr::FareyFraction`], the conclusion's future-work extension), and
+//!   an unbounded Stern–Brocot path label ([`sternbrocot::SbPath`], the
+//!   "lexicographically sorted string" the paper mentions);
+//! * [`engine::SlrGraph`] — a pure graph-level model of §II route
+//!   computations used to machine-check Theorems 1–4;
+//! * [`dag`] — loop-freedom oracles (label-order check, cycle search).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use slr_core::engine::SlrGraph;
+//! use slr_core::Fraction;
+//!
+//! // The paper's Fig. 1: a line E-D-C-B-A-T. E requests a route to T.
+//! let mut g: SlrGraph<Fraction<u32>> = SlrGraph::new(6, 0);
+//! g.run_request(&[5, 4, 3, 2, 1, 0])?;
+//! // Final topological order 5/6 → 4/5 → 3/4 → 2/3 → 1/2 → 0/1.
+//! assert_eq!(*g.label(5), Fraction::new(5, 6)?);
+//! g.check_topological_order()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod engine;
+pub mod fraction;
+pub mod label;
+pub mod neworder;
+pub mod slr;
+pub mod sternbrocot;
+pub mod successors;
+
+pub use fraction::{Frac32, Frac64, FracInt, Fraction, FractionError};
+pub use label::{SeqNo, SplitLabel, SplitLabel32, SplitLabel64};
+pub use neworder::{
+    check_order, maintains_order, needs_denominator_reset, new_order, NewOrder, NewOrderCase,
+    OrderCheck,
+};
+pub use successors::{SuccessorEntry, SuccessorTable};

@@ -1,0 +1,372 @@
+//! Algorithm 1 of the paper: `NEWORDER`, the label-selection procedure of
+//! SRP, together with the Definition 1 "maintain order" predicate it must
+//! satisfy (Theorem 6).
+//!
+//! Given a node's current ordering `O_A`, the cached minimum-predecessor
+//! ordering `C_A?` recorded when the corresponding solicitation was relayed,
+//! and the ordering `O_?` carried by an incoming advertisement, `NEWORDER`
+//! either returns a new finite ordering that maintains the graph's
+//! topological order, or the infinite ordering `(0, (1,1))`, which forces
+//! the caller (Procedure 3, *Set Route*) to ignore the advertisement.
+
+use crate::fraction::FracInt;
+use crate::label::SplitLabel;
+
+/// The outcome of [`new_order`] with the reason it was chosen, mirroring the
+/// five assignment cases distinguished in the proof of Theorem 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NewOrderCase {
+    /// Line 2: the advertisement is infeasible, or splitting would overflow;
+    /// the returned ordering is infinite and must be discarded.
+    Infeasible,
+    /// Line 5: fresher sequence number than both the node and its cached
+    /// predecessors — take the advertisement's next-element `O_? + 1/1`.
+    NextElement,
+    /// Lines 7/12: split the cached predecessor ordering and the advertised
+    /// ordering with the mediant.
+    Split,
+    /// Line 10: the node's current label already satisfies predecessor
+    /// order; keep it.
+    KeepOwn,
+}
+
+/// The result of [`new_order`]: the chosen ordering plus which case fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NewOrder<T: FracInt> {
+    /// The proposed new ordering `G_A^T` (infinite when infeasible).
+    pub label: SplitLabel<T>,
+    /// Which assignment case of Algorithm 1 produced it.
+    pub case: NewOrderCase,
+}
+
+/// Algorithm 1 (`NEWORDER`) from §III of the paper.
+///
+/// * `own` — the node's current ordering `O_A^T` (unassigned if none).
+/// * `cached` — the cached solicitation ordering `C_A^?` (the minimum label
+///   of the predecessors along the request's reverse path). For
+///   advertisements without a cached solicitation (RREQ or hello
+///   advertisements) or when the node is the terminus of the reply, pass
+///   [`SplitLabel::unassigned`] per Procedure 3.
+/// * `adv` — the ordering `O_?^T` in the received advertisement.
+///
+/// Returns the proposed ordering; when it is not finite the advertisement
+/// must be dropped (Procedure 3). Successor pruning (line 13) is the
+/// caller's responsibility because the successor table lives with the
+/// routing protocol — see `SuccessorTable::prune_out_of_order` in
+/// [`crate::successors`].
+///
+/// # Examples
+///
+/// ```
+/// use slr_core::{new_order, Fraction, NewOrderCase, SplitLabel};
+///
+/// // A fresher destination sequence number resets the path: take the
+/// // advertisement's next-element.
+/// let own: SplitLabel<u32> = SplitLabel::new(1, Fraction::new(1, 2)?);
+/// let cached = SplitLabel::new(1, Fraction::new(2, 3)?);
+/// let adv = SplitLabel::new(2, Fraction::new(1, 4)?);
+/// let g = new_order(own, cached, adv);
+/// assert_eq!(g.case, NewOrderCase::NextElement);
+/// assert_eq!(g.label, SplitLabel::new(2, Fraction::new(2, 5)?));
+/// # Ok::<(), slr_core::FractionError>(())
+/// ```
+pub fn new_order<T: FracInt>(
+    own: SplitLabel<T>,
+    cached: SplitLabel<T>,
+    adv: SplitLabel<T>,
+) -> NewOrder<T> {
+    let infeasible = NewOrder {
+        label: SplitLabel::unassigned(),
+        case: NewOrderCase::Infeasible,
+    };
+
+    if own.seqno() < adv.seqno() {
+        if cached.seqno() < adv.seqno() {
+            // Line 5: G ← O_? + 1/1.
+            match adv.next_element() {
+                Some(g) => NewOrder {
+                    label: g,
+                    case: NewOrderCase::NextElement,
+                },
+                None => infeasible,
+            }
+        } else {
+            // Line 6–7: split C and O_? if n + q does not overflow.
+            match cached.fd().checked_mediant(&adv.fd()) {
+                Some(fd) => NewOrder {
+                    label: SplitLabel::new(adv.seqno(), fd),
+                    case: NewOrderCase::Split,
+                },
+                None => infeasible,
+            }
+        }
+    } else if own.seqno() == adv.seqno() {
+        if cached.precedes(&own) {
+            // Line 10: current label already satisfies predecessor order.
+            NewOrder {
+                label: own,
+                case: NewOrderCase::KeepOwn,
+            }
+        } else {
+            // Line 11–12: split C and O_?.
+            match cached.fd().checked_mediant(&adv.fd()) {
+                Some(fd) => NewOrder {
+                    label: SplitLabel::new(adv.seqno(), fd),
+                    case: NewOrderCase::Split,
+                },
+                None => infeasible,
+            }
+        }
+    } else {
+        // sn_A > sn_?: contradicts feasibility; return the infinite
+        // ordering (Theorem 6, Case I).
+        infeasible
+    }
+}
+
+/// The four inequalities of Definition 1 (*Maintain Order*), restated for
+/// the SRP ordering `≺` where "less" means closer to the destination.
+///
+/// For a proposed label `g` at a node with current label `own`, cached
+/// minimum-predecessor ordering `cached`, advertisement ordering `adv`, and
+/// (optionally) the maximum successor ordering `s_max`:
+///
+/// * **Eq. 3** `G ⪯ L_i` — labels are non-increasing: `own ≺ g` or `g == own`.
+/// * **Eq. 4** `G < M_i` — the relayed advertisement stays feasible along
+///   the reverse path: `cached ≺ g`.
+/// * **Eq. 5** `L_? < G` — the advertiser is strictly below: `g ≺ adv`.
+/// * **Eq. 6** `S_max < G` — existing successors stay strictly below:
+///   `g ≺ s_max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderCheck {
+    /// Eq. 3 — the new label does not increase.
+    pub non_increasing: bool,
+    /// Eq. 4 — predecessor (cached solicitation) order is kept.
+    pub predecessor_order: bool,
+    /// Eq. 5 — the advertised successor is strictly lower.
+    pub successor_feasible: bool,
+    /// Eq. 6 — existing successors remain strictly lower (true when the
+    /// successor set is empty).
+    pub existing_successors: bool,
+}
+
+impl OrderCheck {
+    /// Whether all four inequalities hold.
+    pub fn maintains_order(&self) -> bool {
+        self.non_increasing
+            && self.predecessor_order
+            && self.successor_feasible
+            && self.existing_successors
+    }
+}
+
+/// Evaluates Definition 1 for a proposed label `g`.
+///
+/// `s_max` is the maximum successor ordering (`None` when the successor set
+/// is empty, in which case Eq. 6 is trivially satisfied: the paper takes
+/// `S_max` as the least element then).
+pub fn check_order<T: FracInt>(
+    g: &SplitLabel<T>,
+    own: &SplitLabel<T>,
+    cached: &SplitLabel<T>,
+    adv: &SplitLabel<T>,
+    s_max: Option<&SplitLabel<T>>,
+) -> OrderCheck {
+    OrderCheck {
+        non_increasing: own.precedes_eq(g),
+        predecessor_order: cached.precedes(g),
+        successor_feasible: g.precedes(adv),
+        existing_successors: s_max.map_or(true, |s| g.precedes(s)),
+    }
+}
+
+/// Convenience wrapper: true iff `g` maintains order per Definition 1.
+pub fn maintains_order<T: FracInt>(
+    g: &SplitLabel<T>,
+    own: &SplitLabel<T>,
+    cached: &SplitLabel<T>,
+    adv: &SplitLabel<T>,
+    s_max: Option<&SplitLabel<T>>,
+) -> bool {
+    check_order(g, own, cached, adv, s_max).maintains_order()
+}
+
+/// A helper mirroring Procedure 3's overflow safeguard: whether a label's
+/// feasible-distance denominator exceeds `max_denom`, in which case the
+/// terminus of an advertisement should request a path reset (unicast RREQ
+/// with the D bit set). The paper uses `max_denom = 10^9`.
+pub fn needs_denominator_reset<T: FracInt>(label: &SplitLabel<T>, max_denom: u64) -> bool {
+    label.fd().den().as_u128() > max_denom as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fraction::Fraction;
+
+    type L = SplitLabel<u32>;
+
+    fn l(sn: u64, n: u32, d: u32) -> L {
+        SplitLabel::new(sn, Fraction::new(n, d).unwrap())
+    }
+
+    fn una() -> L {
+        SplitLabel::unassigned()
+    }
+
+    #[test]
+    fn case_next_element_fresher_seqno() {
+        // own and cached both stale: adopt adv's next-element.
+        let g = new_order(l(1, 1, 2), l(1, 2, 3), l(2, 1, 3));
+        assert_eq!(g.case, NewOrderCase::NextElement);
+        assert_eq!(g.label, l(2, 2, 4));
+    }
+
+    #[test]
+    fn case_split_when_cached_has_same_seqno_as_adv() {
+        // own stale, cached at adv's seqno: split cached and adv fractions.
+        let g = new_order(l(1, 1, 2), l(2, 2, 3), l(2, 1, 3));
+        assert_eq!(g.case, NewOrderCase::Split);
+        // mediant of 2/3 and 1/3 = 3/6.
+        assert_eq!(g.label, l(2, 3, 6));
+        // The result is strictly between adv (below) and cached (above):
+        // cached ≺ g (Eq. 4) and g ≺ adv (Eq. 5).
+        assert!(l(2, 2, 3).precedes(&g.label));
+        assert!(g.label.precedes(&l(2, 1, 3)));
+    }
+
+    #[test]
+    fn case_keep_own() {
+        // Equal seqno and cached ≺ own: keep the current label.
+        let own = l(3, 1, 2);
+        let cached = l(3, 2, 3); // F_own (1/2) < F_cached (2/3) → cached ≺ own
+        let adv = l(3, 1, 3);
+        let g = new_order(own, cached, adv);
+        assert_eq!(g.case, NewOrderCase::KeepOwn);
+        assert_eq!(g.label, own);
+    }
+
+    #[test]
+    fn case_split_same_seqno_out_of_order() {
+        // Equal seqno, cached ⊀ own (node is out of order w.r.t. the
+        // request): split cached and adv.
+        let own = l(3, 3, 4);
+        let cached = l(3, 2, 3); // F_own (3/4) > F_cached (2/3) → cached ⊀ own
+        let adv = l(3, 1, 2);
+        let g = new_order(own, cached, adv);
+        assert_eq!(g.case, NewOrderCase::Split);
+        assert_eq!(g.label, l(3, 3, 5)); // mediant(2/3, 1/2)
+    }
+
+    #[test]
+    fn case_infeasible_higher_own_seqno() {
+        // sn_A > sn_?: Theorem 6 Case I — never accept.
+        let g = new_order(l(5, 1, 2), una(), l(4, 1, 3));
+        assert_eq!(g.case, NewOrderCase::Infeasible);
+        assert!(!g.label.is_finite());
+    }
+
+    #[test]
+    fn case_infeasible_on_overflow() {
+        let big = Fraction::<u32>::new(u32::MAX - 1, u32::MAX).unwrap();
+        let own = l(1, 1, 2);
+        let cached = SplitLabel::new(2, big);
+        let adv = SplitLabel::new(2, big);
+        let g = new_order(own, cached, adv);
+        assert_eq!(g.case, NewOrderCase::Infeasible);
+    }
+
+    #[test]
+    fn unassigned_node_adopts_next_element() {
+        // A node with no label hearing a fresh advertisement takes the
+        // next-element (fresher seqno path, cached unassigned → sn 0 < adv).
+        let g = new_order(una(), una(), l(1, 0, 1));
+        assert_eq!(g.case, NewOrderCase::NextElement);
+        assert_eq!(g.label, l(1, 1, 2));
+    }
+
+    #[test]
+    fn theorem6_feasible_results_maintain_order() {
+        // Whenever Fact 1 (own ≺ adv or own unassigned-below) and Fact 2
+        // (cached ≺ adv) hold and the result is finite, the chosen label
+        // must satisfy Eqs. 3–5.
+        let fracs: Vec<Fraction<u32>> = [
+            (0u32, 1u32),
+            (1, 4),
+            (1, 3),
+            (2, 5),
+            (1, 2),
+            (3, 5),
+            (2, 3),
+            (3, 4),
+            (1, 1),
+        ]
+        .iter()
+        .map(|&(n, d)| Fraction::new(n, d).unwrap())
+        .collect();
+        let mut checked = 0;
+        for &sn_own in &[0u64, 1, 2] {
+            for &sn_c in &[0u64, 1, 2] {
+                for &sn_adv in &[1u64, 2] {
+                    for &f_own in &fracs {
+                        for &f_c in &fracs {
+                            for &f_adv in &fracs {
+                                let own = SplitLabel::new(sn_own, f_own);
+                                let cached = SplitLabel::new(sn_c, f_c);
+                                let adv = SplitLabel::new(sn_adv, f_adv);
+                                if !own.precedes(&adv) || !cached.precedes(&adv) {
+                                    continue; // Facts 1–2 violated.
+                                }
+                                let g = new_order(own, cached, adv);
+                                if !g.label.is_finite() {
+                                    continue; // overflow path, allowed.
+                                }
+                                let chk = check_order(&g.label, &own, &cached, &adv, None);
+                                assert!(
+                                    chk.non_increasing && chk.predecessor_order
+                                        && chk.successor_feasible,
+                                    "own={own} cached={cached} adv={adv} g={:?} chk={chk:?}",
+                                    g
+                                );
+                                checked += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 100, "exhaustive sweep too small: {checked}");
+    }
+
+    #[test]
+    fn check_order_flags_each_inequality() {
+        let own = l(1, 1, 2);
+        let cached = l(1, 2, 3);
+        let adv = l(1, 1, 3);
+        // Proposal above own label → Eq. 3 violated.
+        let too_high = l(1, 3, 4);
+        assert!(!check_order(&too_high, &own, &cached, &adv, None).non_increasing);
+        // Proposal below adv → Eq. 5 violated.
+        let too_low = l(1, 1, 4);
+        assert!(!check_order(&too_low, &own, &cached, &adv, None).successor_feasible);
+        // Valid proposal between adv and own.
+        let good = l(1, 2, 5);
+        let chk = check_order(&good, &own, &cached, &adv, None);
+        assert!(chk.maintains_order());
+        // Eq. 6 with a successor max above the proposal.
+        let s_max = l(1, 1, 4);
+        assert!(check_order(&good, &own, &cached, &adv, Some(&s_max)).existing_successors);
+        let s_bad = l(1, 3, 10); // 3/10 < ... wait 3/10 < 2/5: successor fraction must be < g
+        let _ = s_bad;
+        let s_above = l(1, 1, 2);
+        assert!(!check_order(&good, &own, &cached, &adv, Some(&s_above)).existing_successors);
+    }
+
+    #[test]
+    fn denominator_reset_threshold() {
+        let ok = l(1, 1, 1_000_000);
+        assert!(!needs_denominator_reset(&ok, 1_000_000_000));
+        let big = SplitLabel::new(1, Fraction::<u32>::new(1, 2_000_000_000).unwrap());
+        assert!(needs_denominator_reset(&big, 1_000_000_000));
+    }
+}

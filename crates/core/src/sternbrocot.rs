@@ -1,0 +1,621 @@
+//! Stern–Brocot / Farey-tree machinery.
+//!
+//! The paper's conclusion names two open extensions this module implements:
+//!
+//! 1. **Fraction reduction via the Farey tree** — "We would like to find a
+//!    method to interpolate relatively prime proper fractions that yields a
+//!    relatively prime proper fraction. Our current research is developing
+//!    methods based on walking a Farey tree." [`simplest_between`] returns
+//!    the unique fraction of *smallest denominator* strictly inside an open
+//!    interval: every Stern–Brocot tree node is in lowest terms, so
+//!    interpolating this way always yields relatively prime fractions and
+//!    consumes the split budget far more slowly than the raw mediant.
+//! 2. **An unbounded dense label set** — §II allows "a lexicographically
+//!    sorted string" as the ordinal set. [`SbPath`] is exactly that: a
+//!    label is a path in the Stern–Brocot tree (a string over `{L, R}`),
+//!    ordered lexicographically with the convention `L < ε < R`, plus
+//!    adjoined least/greatest elements. Splitting never overflows.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+use crate::fraction::{FracInt, Fraction};
+
+/// Returns the fraction with the smallest denominator strictly inside the
+/// open interval `(lo, hi)`, as a `(num, den)` pair in lowest terms.
+///
+/// This walks the Stern–Brocot tree with run-length acceleration (each
+/// burst of same-direction steps is taken in one division), so it runs in
+/// `O(log(den))` rather than `O(den)` steps.
+///
+/// Returns `None` when the interval is empty (`lo >= hi`) or the result
+/// does not fit in `T`.
+///
+/// # Examples
+///
+/// ```
+/// use slr_core::fraction::Fraction;
+/// use slr_core::sternbrocot::simplest_between;
+///
+/// let lo: Fraction<u32> = Fraction::new(2, 7)?;
+/// let hi = Fraction::new(1, 3)?;
+/// // The simplest fraction in (2/7, 1/3) is 3/10.
+/// assert_eq!(simplest_between(&lo, &hi), Some(Fraction::new(3, 10)?));
+/// # Ok::<(), slr_core::fraction::FractionError>(())
+/// ```
+pub fn simplest_between<T: FracInt>(lo: &Fraction<T>, hi: &Fraction<T>) -> Option<Fraction<T>> {
+    if lo >= hi {
+        return None;
+    }
+    let (n, d) = simplest_between_raw(
+        lo.num().as_u128(),
+        lo.den().as_u128(),
+        hi.num().as_u128(),
+        hi.den().as_u128(),
+    );
+    let num = T::try_from_u128(n)?;
+    let den = T::try_from_u128(d)?;
+    Some(Fraction::new(num, den).expect("stern-brocot result is a valid fraction"))
+}
+
+/// Raw Stern–Brocot search over `u128` components. Requires
+/// `a/b < c/d` strictly. Returns the simplest fraction in the open interval.
+fn simplest_between_raw(a: u128, b: u128, c: u128, d: u128) -> (u128, u128) {
+    // Fences: left (ln/ld) <= lo, right (rn/rd) >= hi; mediant walks inward.
+    let (mut ln, mut ld): (u128, u128) = (0, 1);
+    let (mut rn, mut rd): (u128, u128) = (1, 0); // +infinity
+    loop {
+        // How many right-steps k can we take while the mediant stays <= lo?
+        // mediant_k = (ln + k*rn) / (ld + k*rd); condition:
+        // (ln + k*rn) * b <= a * (ld + k*rd)
+        //   k * (rn*b - a*rd) <= a*ld - ln*b
+        let rhs = a * ld - ln * b; // >= 0 since ln/ld <= a/b
+        let coeff = rn * b; // rn*b - a*rd, computed carefully below
+        let coeff = coeff.saturating_sub(a * rd);
+        if coeff > 0 {
+            let k = rhs / coeff;
+            if k > 0 {
+                ln += k * rn;
+                ld += k * rd;
+            }
+        }
+        // Now the mediant of the fences is > lo. Check against hi.
+        let mn = ln + rn;
+        let md = ld + rd;
+        if mn * d < c * md {
+            // mediant < hi, and by construction mediant > lo: done.
+            return (mn, md);
+        }
+        // How many left-steps while the mediant stays >= hi?
+        // (ln + k*... ) symmetric: mediant_k = (rn + k*ln)/(rd + k*ld) >= c/d
+        //   (rn + k*ln)*d >= c*(rd + k*ld)
+        //   k*(c*ld - ln*d) <= rn*d - c*rd
+        let rhs = rn * d - c * rd; // >= 0 since rn/rd >= c/d
+        let coeff = (c * ld).saturating_sub(ln * d);
+        if coeff > 0 {
+            let k = rhs / coeff;
+            if k > 0 {
+                rn += k * ln;
+                rd += k * ld;
+            }
+        }
+        let mn = ln + rn;
+        let md = ld + rd;
+        if a * md < mn * b && mn * d < c * md {
+            return (mn, md);
+        }
+        // Otherwise loop: at least one accelerated step strictly shrank the
+        // continued-fraction expansion, so this terminates.
+    }
+}
+
+/// One step direction in the Stern–Brocot tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Step {
+    /// Move toward smaller values.
+    L,
+    /// Move toward larger values.
+    R,
+}
+
+/// An element of the unbounded dense ordinal set: a Stern–Brocot tree path,
+/// plus adjoined `Least` and `Greatest` elements.
+///
+/// Order is lexicographic with `L < (end of string) < R` at the first
+/// divergence — the standard Stern–Brocot order, under which the tree node
+/// reached by a path compares exactly like its rational value. Between any
+/// two paths there is always another (append one step), so the set is dense
+/// and splitting never fails: this realizes the paper's unbounded label set
+/// from §II, where "there is no need for path resets, however the size of
+/// the labels becomes large".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SbPath {
+    /// The least element (the destination's label).
+    Least,
+    /// An interior tree node identified by its root path.
+    Path(Vec<Step>),
+    /// The greatest element (an unassigned node).
+    Greatest,
+}
+
+impl SbPath {
+    /// The root of the tree (the fraction `1/2` of the unit interval).
+    pub fn root() -> Self {
+        SbPath::Path(Vec::new())
+    }
+
+    /// Path length (label size in steps); 0 for `Least`/`Greatest`/root.
+    pub fn depth(&self) -> usize {
+        match self {
+            SbPath::Path(p) => p.len(),
+            _ => 0,
+        }
+    }
+
+    /// Compares two paths in Stern–Brocot (value) order.
+    pub fn cmp_value(&self, other: &Self) -> Ordering {
+        use SbPath::*;
+        match (self, other) {
+            (Least, Least) | (Greatest, Greatest) => Ordering::Equal,
+            (Least, _) => Ordering::Less,
+            (_, Least) => Ordering::Greater,
+            (Greatest, _) => Ordering::Greater,
+            (_, Greatest) => Ordering::Less,
+            (Path(a), Path(b)) => cmp_paths(a, b),
+        }
+    }
+
+    /// The label exactly between `lo` and `hi` that has the shortest path:
+    /// the Stern–Brocot analogue of the mediant. Requires `lo < hi`;
+    /// returns `None` otherwise. Never overflows.
+    pub fn between(lo: &Self, hi: &Self) -> Option<Self> {
+        if lo.cmp_value(hi) != Ordering::Less {
+            return None;
+        }
+        // Walk from the root, staying outside (lo, hi) until we fall in.
+        let mut cur: Vec<Step> = Vec::new();
+        loop {
+            let node = SbPath::Path(cur.clone());
+            match (node.cmp_value(lo), node.cmp_value(hi)) {
+                (Ordering::Greater, Ordering::Less) => return Some(node),
+                (Ordering::Less, _) | (Ordering::Equal, _) => cur.push(Step::R),
+                (_, Ordering::Greater) | (_, Ordering::Equal) => cur.push(Step::L),
+            }
+        }
+    }
+
+    /// A label strictly greater than `self` (the next-element analogue).
+    /// `Greatest` has none.
+    pub fn next_up(&self) -> Option<Self> {
+        match self {
+            SbPath::Least => Some(SbPath::root()),
+            SbPath::Path(p) => {
+                let mut q = p.clone();
+                q.push(Step::R);
+                Some(SbPath::Path(q))
+            }
+            SbPath::Greatest => None,
+        }
+    }
+
+    /// The rational value of this path in the unit interval (`Least` = 0,
+    /// `Greatest` = 1, root = 1/2), as a `(num, den)` pair in lowest terms.
+    pub fn to_fraction(&self) -> (u128, u128) {
+        match self {
+            SbPath::Least => (0, 1),
+            SbPath::Greatest => (1, 1),
+            SbPath::Path(p) => {
+                let (mut ln, mut ld): (u128, u128) = (0, 1);
+                let (mut rn, mut rd): (u128, u128) = (1, 1);
+                for s in p {
+                    let mn = ln + rn;
+                    let md = ld + rd;
+                    match s {
+                        Step::L => {
+                            rn = mn;
+                            rd = md;
+                        }
+                        Step::R => {
+                            ln = mn;
+                            ld = md;
+                        }
+                    }
+                }
+                (ln + rn, ld + rd)
+            }
+        }
+    }
+
+    /// Builds the path for the reduced fraction `num/den` strictly inside
+    /// `(0, 1)`. Returns `None` for endpoint values.
+    pub fn from_fraction(num: u128, den: u128) -> Option<Self> {
+        if num == 0 || num >= den {
+            return None;
+        }
+        let (mut ln, mut ld): (u128, u128) = (0, 1);
+        let (mut rn, mut rd): (u128, u128) = (1, 1);
+        let mut path = Vec::new();
+        loop {
+            let mn = ln + rn;
+            let md = ld + rd;
+            match (num * md).cmp(&(mn * den)) {
+                Ordering::Equal => return Some(SbPath::Path(path)),
+                Ordering::Less => {
+                    path.push(Step::L);
+                    rn = mn;
+                    rd = md;
+                }
+                Ordering::Greater => {
+                    path.push(Step::R);
+                    ln = mn;
+                    ld = md;
+                }
+            }
+        }
+    }
+}
+
+/// The continued-fraction expansion `[a0; a1, a2, …]` of `num/den`
+/// (`den > 0`), using the standard Euclidean form where every coefficient
+/// after `a0` is positive.
+///
+/// The sum of coefficients (minus one) is the Stern–Brocot depth of the
+/// reduced fraction — the quantity [`crate::Fraction::stern_brocot_depth`]
+/// reports — so this exposes exactly how much split budget a label has
+/// consumed and where.
+///
+/// # Examples
+///
+/// ```
+/// use slr_core::sternbrocot::continued_fraction;
+/// assert_eq!(continued_fraction(3, 10), vec![0, 3, 3]); // 3/10 = 0+1/(3+1/3)
+/// assert_eq!(continued_fraction(5, 8), vec![0, 1, 1, 1, 2]);
+/// ```
+pub fn continued_fraction(num: u128, den: u128) -> Vec<u128> {
+    assert!(den > 0, "denominator must be positive");
+    let mut out = Vec::new();
+    let (mut a, mut b) = (num, den);
+    loop {
+        out.push(a / b);
+        let r = a % b;
+        if r == 0 {
+            return out;
+        }
+        a = b;
+        b = r;
+    }
+}
+
+/// Reconstructs `num/den` (in lowest terms) from a continued fraction.
+///
+/// # Panics
+///
+/// Panics if `cf` is empty or a coefficient after the first is zero.
+pub fn from_continued_fraction(cf: &[u128]) -> (u128, u128) {
+    assert!(!cf.is_empty(), "continued fraction needs a coefficient");
+    let mut num = *cf.last().expect("non-empty");
+    let mut den: u128 = 1;
+    for &c in cf[..cf.len() - 1].iter().rev() {
+        assert!(num != 0, "interior coefficients must be positive");
+        // x → c + 1/x.
+        let new_num = c * num + den;
+        den = num;
+        num = new_num;
+    }
+    (num, den)
+}
+
+/// The Farey sequence `F_n`: all reduced fractions in `[0, 1]` with
+/// denominator ≤ `n`, ascending. Uses the classic next-term recurrence,
+/// so it runs in O(|F_n|) with O(1) state.
+///
+/// Mediants of adjacent Farey terms are exactly the next-denominator
+/// insertions — the structure behind both SRP's splitting and the
+/// conclusion's reduction proposal.
+///
+/// # Examples
+///
+/// ```
+/// use slr_core::sternbrocot::farey_sequence;
+/// let f5: Vec<(u64, u64)> = farey_sequence(5).collect();
+/// assert_eq!(f5.len(), 11);
+/// assert_eq!(f5[0], (0, 1));
+/// assert_eq!(f5[5], (1, 2));
+/// assert_eq!(f5[10], (1, 1));
+/// ```
+pub fn farey_sequence(n: u64) -> FareySequence {
+    assert!(n >= 1, "Farey order must be at least 1");
+    FareySequence {
+        n,
+        cur: Some(((0, 1), (1, n))),
+    }
+}
+
+/// Iterator over a Farey sequence; see [`farey_sequence`].
+#[derive(Debug, Clone)]
+pub struct FareySequence {
+    n: u64,
+    /// The two most recent terms `(a/b, c/d)`, or `None` when exhausted.
+    cur: Option<((u64, u64), (u64, u64))>,
+}
+
+impl Iterator for FareySequence {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        let ((a, b), (c, d)) = self.cur?;
+        if (a, b) == (1, 1) {
+            self.cur = None;
+            return Some((1, 1));
+        }
+        // Standard recurrence: e/f = (⌊(n+b)/d⌋·c − a, ⌊(n+b)/d⌋·d − b).
+        let k = (self.n + b) / d;
+        let e = k * c - a;
+        let f = k * d - b;
+        self.cur = Some(((c, d), (e, f)));
+        Some((a, b))
+    }
+}
+
+/// Lexicographic comparison with `L < ε < R`.
+fn cmp_paths(a: &[Step], b: &[Step]) -> Ordering {
+    let n = a.len().min(b.len());
+    for i in 0..n {
+        match (a[i], b[i]) {
+            (Step::L, Step::R) => return Ordering::Less,
+            (Step::R, Step::L) => return Ordering::Greater,
+            _ => {}
+        }
+    }
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => Ordering::Equal,
+        Ordering::Less => {
+            // b continues: b < a if next step L, b > a if next step R.
+            match b[n] {
+                Step::L => Ordering::Greater,
+                Step::R => Ordering::Less,
+            }
+        }
+        Ordering::Greater => match a[n] {
+            Step::L => Ordering::Less,
+            Step::R => Ordering::Greater,
+        },
+    }
+}
+
+impl fmt::Display for SbPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SbPath::Least => write!(f, "0"),
+            SbPath::Greatest => write!(f, "1"),
+            SbPath::Path(p) if p.is_empty() => write!(f, "ε"),
+            SbPath::Path(p) => {
+                for s in p {
+                    write!(f, "{}", if *s == Step::L { 'L' } else { 'R' })?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(n: u32, d: u32) -> Fraction<u32> {
+        Fraction::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn simplest_between_known_cases() {
+        assert_eq!(simplest_between(&f(2, 7), &f(1, 3)), Some(f(3, 10)));
+        assert_eq!(simplest_between(&f(0, 1), &f(1, 1)), Some(f(1, 2)));
+        assert_eq!(simplest_between(&f(1, 2), &f(1, 1)), Some(f(2, 3)));
+        assert_eq!(simplest_between(&f(0, 1), &f(1, 2)), Some(f(1, 3)));
+        assert_eq!(simplest_between(&f(1, 3), &f(1, 2)), Some(f(2, 5)));
+        // Tiny interval near zero: accelerated walk must not take 10^6 steps.
+        assert_eq!(
+            simplest_between(&f(1, 1_000_001), &f(1, 1_000_000)),
+            None.or(simplest_between(&f(1, 1_000_001), &f(1, 1_000_000)))
+        );
+    }
+
+    #[test]
+    fn simplest_between_is_inside_and_simplest() {
+        let cases = [
+            (f(1, 4), f(1, 3)),
+            (f(3, 7), f(5, 9)),
+            (f(99, 100), f(1, 1)),
+            (f(0, 1), f(1, 100)),
+            (f(17, 19), f(18, 19)),
+        ];
+        for (lo, hi) in cases {
+            let m = simplest_between(&lo, &hi).unwrap();
+            assert!(lo < m && m < hi, "{m} not inside ({lo},{hi})");
+            // No fraction with a smaller denominator fits inside.
+            for d in 1..m.den() {
+                for n in 1..d {
+                    let cand = f(n, d);
+                    assert!(
+                        !(lo < cand && cand < hi),
+                        "{cand} simpler than {m} in ({lo},{hi})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simplest_between_rejects_empty_interval() {
+        assert_eq!(simplest_between(&f(1, 2), &f(1, 2)), None);
+        assert_eq!(simplest_between(&f(2, 3), &f(1, 2)), None);
+    }
+
+    #[test]
+    fn simplest_between_deep_interval_is_fast() {
+        // Interval (1/1000000, 1/999999): simplest is 2/1999999 — reachable
+        // only via run-length acceleration in reasonable time.
+        let lo = Fraction::<u32>::new(1, 1_000_000).unwrap();
+        let hi = Fraction::<u32>::new(1, 999_999).unwrap();
+        let m = simplest_between(&lo, &hi).unwrap();
+        assert!(lo < m && m < hi);
+        assert_eq!(m, Fraction::<u32>::new(2, 1_999_999).unwrap());
+    }
+
+    #[test]
+    fn sb_path_order() {
+        use SbPath::*;
+        let root = SbPath::root();
+        let l = Path(vec![Step::L]);
+        let r = Path(vec![Step::R]);
+        assert_eq!(Least.cmp_value(&root), Ordering::Less);
+        assert_eq!(root.cmp_value(&Greatest), Ordering::Less);
+        assert_eq!(l.cmp_value(&root), Ordering::Less);
+        assert_eq!(root.cmp_value(&r), Ordering::Less);
+        assert_eq!(l.cmp_value(&r), Ordering::Less);
+        // LR > L, LR < root.
+        let lr = Path(vec![Step::L, Step::R]);
+        assert_eq!(l.cmp_value(&lr), Ordering::Less);
+        assert_eq!(lr.cmp_value(&root), Ordering::Less);
+    }
+
+    #[test]
+    fn sb_path_matches_fraction_values() {
+        // Path order must agree with rational value order.
+        let paths = [
+            SbPath::Least,
+            SbPath::Path(vec![Step::L, Step::L]),
+            SbPath::Path(vec![Step::L]),
+            SbPath::Path(vec![Step::L, Step::R]),
+            SbPath::root(),
+            SbPath::Path(vec![Step::R, Step::L]),
+            SbPath::Path(vec![Step::R]),
+            SbPath::Path(vec![Step::R, Step::R]),
+            SbPath::Greatest,
+        ];
+        for w in paths.windows(2) {
+            assert_eq!(w[0].cmp_value(&w[1]), Ordering::Less, "{} !< {}", w[0], w[1]);
+            let (an, ad) = w[0].to_fraction();
+            let (bn, bd) = w[1].to_fraction();
+            assert!(an * bd < bn * ad, "{}={}/{} vs {}={}/{}", w[0], an, ad, w[1], bn, bd);
+        }
+    }
+
+    #[test]
+    fn sb_between_always_succeeds_inside() {
+        let a = SbPath::Path(vec![Step::L, Step::L, Step::R]);
+        let b = SbPath::Path(vec![Step::L, Step::R]);
+        let m = SbPath::between(&a, &b).unwrap();
+        assert_eq!(a.cmp_value(&m), Ordering::Less);
+        assert_eq!(m.cmp_value(&b), Ordering::Less);
+        // Endpoints.
+        let m2 = SbPath::between(&SbPath::Least, &SbPath::Greatest).unwrap();
+        assert_eq!(m2, SbPath::root());
+        assert!(SbPath::between(&b, &a).is_none());
+    }
+
+    #[test]
+    fn sb_next_up() {
+        let r = SbPath::root().next_up().unwrap();
+        assert_eq!(SbPath::root().cmp_value(&r), Ordering::Less);
+        assert!(SbPath::Greatest.next_up().is_none());
+        let l0 = SbPath::Least.next_up().unwrap();
+        assert_eq!(SbPath::Least.cmp_value(&l0), Ordering::Less);
+    }
+
+    #[test]
+    fn sb_fraction_roundtrip() {
+        for (n, d) in [(1u128, 2u128), (1, 3), (2, 3), (3, 10), (17, 19)] {
+            let p = SbPath::from_fraction(n, d).unwrap();
+            assert_eq!(p.to_fraction(), (n, d), "roundtrip {n}/{d}");
+        }
+        assert!(SbPath::from_fraction(0, 1).is_none());
+        assert!(SbPath::from_fraction(1, 1).is_none());
+    }
+
+    #[test]
+    fn continued_fraction_roundtrip() {
+        for (n, d) in [(3u128, 10u128), (5, 8), (1, 2), (2, 3), (355, 113_0), (17, 19)] {
+            let cf = continued_fraction(n, d);
+            let (rn, rd) = from_continued_fraction(&cf);
+            // Roundtrip reproduces the reduced value.
+            assert_eq!(n * rd, rn * d, "{n}/{d} → {cf:?} → {rn}/{rd}");
+        }
+        // Depth relation: sum of coefficients − 1 = Stern–Brocot depth.
+        let f = Fraction::<u32>::new(3, 10).unwrap();
+        let cf = continued_fraction(3, 10);
+        let sum: u128 = cf.iter().sum();
+        assert_eq!(sum as u64 - 1, f.stern_brocot_depth());
+    }
+
+    #[test]
+    fn continued_fraction_of_integers() {
+        assert_eq!(continued_fraction(0, 1), vec![0]);
+        assert_eq!(continued_fraction(1, 1), vec![1]);
+        assert_eq!(continued_fraction(7, 1), vec![7]);
+    }
+
+    #[test]
+    fn farey_sequence_f5_is_known() {
+        let f5: Vec<(u64, u64)> = farey_sequence(5).collect();
+        assert_eq!(
+            f5,
+            vec![
+                (0, 1),
+                (1, 5),
+                (1, 4),
+                (1, 3),
+                (2, 5),
+                (1, 2),
+                (3, 5),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (1, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn farey_sequence_lengths_match_totients() {
+        // |F_n| = 1 + Σ φ(k): 2, 3, 5, 7, 11, 13, 19, 23, 29, 33.
+        let expected = [2usize, 3, 5, 7, 11, 13, 19, 23, 29, 33];
+        for (i, &len) in expected.iter().enumerate() {
+            assert_eq!(farey_sequence(i as u64 + 1).count(), len, "F_{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn farey_adjacent_terms_are_neighbors() {
+        // Adjacent Farey terms satisfy bc − ad = 1 (unimodularity) — the
+        // property that makes their mediant the unique simplest insertion.
+        let terms: Vec<(u64, u64)> = farey_sequence(8).collect();
+        for w in terms.windows(2) {
+            let (a, b) = w[0];
+            let (c, d) = w[1];
+            assert_eq!(c * b - a * d, 1, "{a}/{b} and {c}/{d}");
+        }
+    }
+
+    #[test]
+    fn farey_interpolation_stays_reduced() {
+        // The conclusion's desired property: interpolating with the Farey
+        // tree always yields relatively prime fractions. Use 64-bit
+        // components; the worst-case narrowing is Fibonacci-like, so 80
+        // iterations stay within the u64 split capacity of 91.
+        let mut lo = Fraction::<u64>::zero();
+        let mut hi = Fraction::<u64>::one();
+        for i in 0..80 {
+            let m = simplest_between(&lo, &hi).unwrap();
+            let r = m.reduced();
+            assert_eq!(m.num(), r.num(), "step {i}: {m} not reduced");
+            assert_eq!(m.den(), r.den());
+            if i % 2 == 0 {
+                lo = m;
+            } else {
+                hi = m;
+            }
+        }
+    }
+}

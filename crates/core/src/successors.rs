@@ -1,0 +1,215 @@
+//! Per-destination successor tables (the set `S_i` of §II and `S_A^T` of
+//! §III).
+//!
+//! SLR is inherently multi-path: a node may keep any set of successors whose
+//! recorded advertisement orderings are all strictly below its own label.
+//! The table records, per successor, the ordering carried by the
+//! advertisement that created the link plus the measured distance, supports
+//! the maximum-successor query (`S_max`, the strict lower bound for the
+//! node's own label, Eq. 6), and implements line 13 of Algorithm 1 —
+//! eliminating successors that would be out of order under a proposed new
+//! label.
+
+use std::collections::BTreeMap;
+
+use crate::fraction::FracInt;
+use crate::label::SplitLabel;
+
+/// One successor entry: the advertised ordering and measured distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuccessorEntry<T: FracInt> {
+    /// The ordering `O_?^T` advertised when this successor was installed.
+    pub label: SplitLabel<T>,
+    /// Measured distance (cumulative link cost) via this successor. With
+    /// unit link costs this is a hop count. Not used for loop-freedom —
+    /// only for multi-path successor choice (§II).
+    pub distance: u32,
+}
+
+/// The successor set `S_i` for one destination, keyed by neighbor id.
+///
+/// # Examples
+///
+/// ```
+/// use slr_core::{Fraction, SplitLabel, SuccessorTable};
+///
+/// let mut s: SuccessorTable<u64, u32> = SuccessorTable::new();
+/// s.insert(7, SplitLabel::new(1, Fraction::new(1, 3)?), 2);
+/// s.insert(9, SplitLabel::new(1, Fraction::new(1, 2)?), 3);
+/// // S_max is the successor ordering *highest* in the DAG (largest label).
+/// assert_eq!(s.max_label().unwrap(), SplitLabel::new(1, Fraction::new(1, 2)?));
+/// // The best (min-hop) successor is node 7.
+/// assert_eq!(s.best_successor().unwrap().0, 7);
+/// # Ok::<(), slr_core::FractionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuccessorTable<K: Ord + Copy, T: FracInt> {
+    entries: BTreeMap<K, SuccessorEntry<T>>,
+}
+
+impl<K: Ord + Copy, T: FracInt> SuccessorTable<K, T> {
+    /// Creates an empty successor table (an *invalid* route, Definition 2).
+    pub fn new() -> Self {
+        SuccessorTable {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Whether the table is empty (the route is invalid, Definition 2).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of successors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Installs or refreshes a successor with the ordering its
+    /// advertisement carried (`S_A^{T,B} ← O_?^T`, Procedure 3).
+    pub fn insert(&mut self, neighbor: K, label: SplitLabel<T>, distance: u32) {
+        self.entries
+            .insert(neighbor, SuccessorEntry { label, distance });
+    }
+
+    /// Removes a successor (link break, RERR, or route timeout). Returns the
+    /// removed entry if present.
+    pub fn remove(&mut self, neighbor: &K) -> Option<SuccessorEntry<T>> {
+        self.entries.remove(neighbor)
+    }
+
+    /// Clears all successors (invalidating the route).
+    pub fn clear(&mut self) {
+        self.entries.clear()
+    }
+
+    /// Looks up a successor's entry.
+    pub fn get(&self, neighbor: &K) -> Option<&SuccessorEntry<T>> {
+        self.entries.get(neighbor)
+    }
+
+    /// Whether `neighbor` is currently a successor.
+    pub fn contains(&self, neighbor: &K) -> bool {
+        self.entries.contains_key(neighbor)
+    }
+
+    /// Iterates over `(neighbor, entry)` pairs in neighbor order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &SuccessorEntry<T>)> {
+        self.entries.iter()
+    }
+
+    /// The maximum successor ordering `S_max` — the strict lower bound for
+    /// this node's own label (Eq. 6). `None` when the table is empty (the
+    /// paper then takes the least element, making Eq. 6 trivial).
+    pub fn max_label(&self) -> Option<SplitLabel<T>> {
+        let mut it = self.entries.values();
+        let first = it.next()?.label;
+        Some(it.fold(first, |acc, e| SplitLabel::max_label(acc, e.label)))
+    }
+
+    /// The successor with minimum measured distance (ties broken by lowest
+    /// neighbor id) — the simple min-hop uni-path choice from §III.
+    pub fn best_successor(&self) -> Option<(K, SuccessorEntry<T>)> {
+        self.entries
+            .iter()
+            .min_by_key(|(k, e)| (e.distance, **k))
+            .map(|(k, e)| (*k, *e))
+    }
+
+    /// Line 13 of Algorithm 1: eliminate any successor `i` whose recorded
+    /// ordering is not strictly below a proposed label `g`
+    /// (`G_A^T ⊀ S_A^{T,i}`). Returns the neighbors removed.
+    pub fn prune_out_of_order(&mut self, g: &SplitLabel<T>) -> Vec<K> {
+        let doomed: Vec<K> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !g.precedes(&e.label))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &doomed {
+            self.entries.remove(k);
+        }
+        doomed
+    }
+}
+
+impl<K: Ord + Copy, T: FracInt> Default for SuccessorTable<K, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fraction::Fraction;
+
+    type Tbl = SuccessorTable<u32, u32>;
+
+    fn l(sn: u64, n: u32, d: u32) -> SplitLabel<u32> {
+        SplitLabel::new(sn, Fraction::new(n, d).unwrap())
+    }
+
+    #[test]
+    fn empty_route_is_invalid() {
+        let t = Tbl::new();
+        assert!(t.is_empty());
+        assert!(t.max_label().is_none());
+        assert!(t.best_successor().is_none());
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut t = Tbl::new();
+        t.insert(1, l(1, 1, 3), 2);
+        t.insert(2, l(1, 1, 2), 4);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&1));
+        assert_eq!(t.get(&1).unwrap().distance, 2);
+    }
+
+    #[test]
+    fn max_label_is_the_highest_successor() {
+        let mut t = Tbl::new();
+        t.insert(1, l(1, 1, 3), 2); // fraction 1/3
+        t.insert(2, l(1, 1, 2), 4); // fraction 1/2 — higher in DAG
+        t.insert(3, l(2, 2, 3), 1); // seqno 2 — lower in DAG (fresher)
+        // max picks the label *highest* in the DAG: seqno 1, fraction 1/2.
+        assert_eq!(t.max_label().unwrap(), l(1, 1, 2));
+    }
+
+    #[test]
+    fn best_successor_is_min_distance() {
+        let mut t = Tbl::new();
+        t.insert(5, l(1, 1, 3), 3);
+        t.insert(9, l(1, 1, 4), 1);
+        assert_eq!(t.best_successor().unwrap().0, 9);
+        // Tie on distance → lowest id.
+        t.insert(2, l(1, 1, 5), 1);
+        assert_eq!(t.best_successor().unwrap().0, 2);
+    }
+
+    #[test]
+    fn prune_removes_out_of_order_successors() {
+        let mut t = Tbl::new();
+        t.insert(1, l(1, 1, 4), 2); // 1/4 — fine below g = 1/3
+        t.insert(2, l(1, 1, 2), 2); // 1/2 — above g, must go
+        t.insert(3, l(2, 3, 4), 2); // fresher seqno — below g, stays
+        let g = l(1, 1, 3);
+        let removed = t.prune_out_of_order(&g);
+        assert_eq!(removed, vec![2]);
+        assert!(t.contains(&1));
+        assert!(t.contains(&3));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut t = Tbl::new();
+        t.insert(1, l(1, 1, 4), 2);
+        assert!(t.remove(&1).is_some());
+        assert!(t.remove(&1).is_none());
+        t.insert(2, l(1, 1, 4), 2);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

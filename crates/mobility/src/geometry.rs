@@ -1,0 +1,126 @@
+//! Planar geometry: positions and the rectangular simulation terrain.
+
+use core::fmt;
+
+/// A point on the terrain, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// Meters along the terrain's width.
+    pub x: f64,
+    /// Meters along the terrain's height.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    pub fn distance(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared distance (avoids the square root for range comparisons).
+    pub fn distance_sq(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation: the point `frac` of the way toward `other`
+    /// (`frac` clamped to `[0, 1]`).
+    pub fn lerp(&self, other: &Position, frac: f64) -> Position {
+        let f = frac.clamp(0.0, 1.0);
+        Position {
+            x: self.x + (other.x - self.x) * f,
+            y: self.y + (other.y - self.y) * f,
+        }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// The rectangular terrain nodes move on. The paper uses 2200 m × 600 m.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Terrain {
+    /// Width in meters.
+    pub width: f64,
+    /// Height in meters.
+    pub height: f64,
+}
+
+impl Terrain {
+    /// Creates a terrain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not positive and finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width.is_finite() && width > 0.0, "bad terrain width");
+        assert!(height.is_finite() && height > 0.0, "bad terrain height");
+        Terrain { width, height }
+    }
+
+    /// The paper's terrain: 2200 m × 600 m (§V).
+    pub fn paper() -> Self {
+        Terrain::new(2200.0, 600.0)
+    }
+
+    /// Whether a position lies on the terrain (inclusive boundaries).
+    pub fn contains(&self, p: &Position) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Area in square meters.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(&b) - 25.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn lerp_interpolates_and_clamps() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(10.0, 20.0);
+        let m = a.lerp(&b, 0.5);
+        assert!((m.x - 5.0).abs() < 1e-12 && (m.y - 10.0).abs() < 1e-12);
+        assert_eq!(a.lerp(&b, -1.0), a);
+        assert_eq!(a.lerp(&b, 2.0), b);
+    }
+
+    #[test]
+    fn terrain_contains() {
+        let t = Terrain::paper();
+        assert!(t.contains(&Position::new(0.0, 0.0)));
+        assert!(t.contains(&Position::new(2200.0, 600.0)));
+        assert!(!t.contains(&Position::new(-0.1, 0.0)));
+        assert!(!t.contains(&Position::new(0.0, 600.1)));
+        assert!((t.area() - 1_320_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad terrain")]
+    fn terrain_rejects_zero() {
+        let _ = Terrain::new(0.0, 10.0);
+    }
+}

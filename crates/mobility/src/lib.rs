@@ -1,0 +1,29 @@
+//! # slr-mobility — random-waypoint mobility scripts
+//!
+//! Offline-generated node trajectories for the SLR/SRP reproduction,
+//! mirroring §V of the paper: "we fix the topology and traffic pattern
+//! using off-line generated mobility and packet generation scripts", so
+//! that per trial every protocol experiences identical node motion.
+//!
+//! The model is the classical random waypoint with pause times: uniform
+//! random destinations, uniform speed in `(0, 20]` m/s, and pause times
+//! drawn from the paper's sweep {0, 50, 100, 200, 300, 500, 700, 900} s.
+//!
+//! ```
+//! use slr_mobility::{MobilityScript, WaypointConfig};
+//! use slr_netsim::{rng, SimTime};
+//!
+//! let cfg = WaypointConfig::default();
+//! let script = MobilityScript::generate(100, &cfg, &mut rng::stream(42, "mobility", 0));
+//! let p = script.position(3, SimTime::from_secs(10));
+//! assert!(cfg.terrain.contains(&p));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod waypoint;
+
+pub use geometry::{Position, Terrain};
+pub use waypoint::{generate_trajectory, MobilityScript, Segment, Trajectory, WaypointConfig};

@@ -1,0 +1,364 @@
+//! The random-waypoint mobility model with pause times (§V of the paper).
+//!
+//! Each node starts at a uniform random position; repeatedly it picks a
+//! uniform random destination and a uniform random speed in
+//! `(min_speed, max_speed]`, moves there in a straight line, then pauses
+//! for the configured pause time. A pause time of 900 s over a 900 s run
+//! means no mobility; 0 s means constant motion.
+//!
+//! Trajectories are generated **offline** per trial (as the paper does with
+//! "off-line generated mobility … scripts") into piecewise-linear
+//! [`Trajectory`] values that every protocol in the trial shares.
+
+use rand::Rng;
+
+use slr_netsim::time::{SimDuration, SimTime};
+
+use crate::geometry::{Position, Terrain};
+
+/// Configuration for the random waypoint generator.
+#[derive(Debug, Clone, Copy)]
+pub struct WaypointConfig {
+    /// The terrain nodes move on.
+    pub terrain: Terrain,
+    /// Minimum speed in m/s (kept slightly above zero to avoid the
+    /// well-known stalling pathology of v_min = 0).
+    pub min_speed: f64,
+    /// Maximum speed in m/s. The paper uses 20 m/s.
+    pub max_speed: f64,
+    /// Pause time at each waypoint.
+    pub pause: SimDuration,
+    /// How much simulated time the trajectory must cover.
+    pub duration: SimDuration,
+}
+
+impl Default for WaypointConfig {
+    /// The paper's settings: 2200 m × 600 m, speeds (0, 20] m/s, and a
+    /// pause time that callers override per scenario.
+    fn default() -> Self {
+        WaypointConfig {
+            terrain: Terrain::paper(),
+            min_speed: 0.1,
+            max_speed: 20.0,
+            pause: SimDuration::from_secs(0),
+            duration: SimDuration::from_secs(910),
+        }
+    }
+}
+
+/// One linear movement (or pause) leg of a trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// When this leg begins.
+    pub start_time: SimTime,
+    /// When this leg ends.
+    pub end_time: SimTime,
+    /// Position at `start_time`.
+    pub from: Position,
+    /// Position at `end_time` (equal to `from` for a pause leg).
+    pub to: Position,
+}
+
+impl Segment {
+    /// Position at time `t`, clamped into the leg's time range.
+    pub fn position_at(&self, t: SimTime) -> Position {
+        if t <= self.start_time {
+            return self.from;
+        }
+        if t >= self.end_time {
+            return self.to;
+        }
+        let span = (self.end_time - self.start_time).as_secs_f64();
+        if span <= 0.0 {
+            return self.to;
+        }
+        let frac = (t - self.start_time).as_secs_f64() / span;
+        self.from.lerp(&self.to, frac)
+    }
+}
+
+/// A node's full piecewise-linear trajectory for one trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    segments: Vec<Segment>,
+}
+
+impl Trajectory {
+    /// A trajectory that stays at `p` forever (useful for static tests).
+    pub fn stationary(p: Position) -> Self {
+        Trajectory {
+            segments: vec![Segment {
+                start_time: SimTime::ZERO,
+                end_time: SimTime::MAX,
+                from: p,
+                to: p,
+            }],
+        }
+    }
+
+    /// Builds a trajectory from pre-computed segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty or not contiguous in time.
+    pub fn from_segments(segments: Vec<Segment>) -> Self {
+        assert!(!segments.is_empty(), "trajectory needs at least one segment");
+        for w in segments.windows(2) {
+            assert_eq!(
+                w[0].end_time, w[1].start_time,
+                "trajectory segments must be contiguous"
+            );
+        }
+        Trajectory { segments }
+    }
+
+    /// The node's position at time `t` (clamped to the trajectory's span).
+    pub fn position_at(&self, t: SimTime) -> Position {
+        // Binary search for the segment containing t.
+        let idx = self
+            .segments
+            .partition_point(|s| s.end_time < t)
+            .min(self.segments.len() - 1);
+        self.segments[idx].position_at(t)
+    }
+
+    /// The segments (for inspection and tests).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The last time covered by the trajectory.
+    pub fn end_time(&self) -> SimTime {
+        self.segments.last().expect("non-empty").end_time
+    }
+}
+
+/// Generates a random-waypoint trajectory starting at a uniform position.
+pub fn generate_trajectory<R: Rng + ?Sized>(cfg: &WaypointConfig, rng: &mut R) -> Trajectory {
+    assert!(
+        cfg.min_speed > 0.0 && cfg.max_speed >= cfg.min_speed,
+        "speeds must satisfy 0 < min <= max"
+    );
+    let mut segments = Vec::new();
+    let mut now = SimTime::ZERO;
+    let horizon = SimTime::ZERO + cfg.duration;
+    let mut here = random_position(&cfg.terrain, rng);
+
+    while now < horizon {
+        // Movement leg.
+        let dest = random_position(&cfg.terrain, rng);
+        let speed = rng.gen_range(cfg.min_speed..=cfg.max_speed);
+        let dist = here.distance(&dest);
+        let travel = SimDuration::from_secs_f64(dist / speed);
+        let end = now + travel;
+        segments.push(Segment {
+            start_time: now,
+            end_time: end,
+            from: here,
+            to: dest,
+        });
+        now = end;
+        here = dest;
+        // Pause leg.
+        if cfg.pause > SimDuration::ZERO && now < horizon {
+            let end = now + cfg.pause;
+            segments.push(Segment {
+                start_time: now,
+                end_time: end,
+                from: here,
+                to: here,
+            });
+            now = end;
+        }
+    }
+    Trajectory::from_segments(segments)
+}
+
+/// A full mobility script: one trajectory per node, generated from a
+/// dedicated RNG stream so it is identical across protocols within a trial.
+#[derive(Debug, Clone)]
+pub struct MobilityScript {
+    trajectories: Vec<Trajectory>,
+}
+
+impl MobilityScript {
+    /// Generates trajectories for `n` nodes.
+    pub fn generate<R: Rng + ?Sized>(n: usize, cfg: &WaypointConfig, rng: &mut R) -> Self {
+        MobilityScript {
+            trajectories: (0..n).map(|_| generate_trajectory(cfg, rng)).collect(),
+        }
+    }
+
+    /// A static script with the given positions (for tests and examples).
+    pub fn stationary(positions: &[Position]) -> Self {
+        MobilityScript {
+            trajectories: positions.iter().map(|p| Trajectory::stationary(*p)).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Whether the script covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// Position of `node` at time `t`.
+    pub fn position(&self, node: usize, t: SimTime) -> Position {
+        self.trajectories[node].position_at(t)
+    }
+
+    /// All positions at time `t`.
+    pub fn positions_at(&self, t: SimTime) -> Vec<Position> {
+        self.trajectories.iter().map(|tr| tr.position_at(t)).collect()
+    }
+
+    /// The trajectory of one node.
+    pub fn trajectory(&self, node: usize) -> &Trajectory {
+        &self.trajectories[node]
+    }
+}
+
+fn random_position<R: Rng + ?Sized>(terrain: &Terrain, rng: &mut R) -> Position {
+    Position {
+        x: rng.gen_range(0.0..terrain.width),
+        y: rng.gen_range(0.0..terrain.height),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slr_netsim::rng::stream;
+
+    fn cfg(pause_secs: u64) -> WaypointConfig {
+        WaypointConfig {
+            pause: SimDuration::from_secs(pause_secs),
+            duration: SimDuration::from_secs(200),
+            ..WaypointConfig::default()
+        }
+    }
+
+    #[test]
+    fn trajectory_stays_on_terrain() {
+        let c = cfg(10);
+        let mut rng = stream(1, "mob", 0);
+        let tr = generate_trajectory(&c, &mut rng);
+        for i in 0..=200 {
+            let p = tr.position_at(SimTime::from_secs(i));
+            assert!(c.terrain.contains(&p), "t={i}: {p} off terrain");
+        }
+    }
+
+    #[test]
+    fn trajectory_covers_duration() {
+        let c = cfg(0);
+        let mut rng = stream(2, "mob", 0);
+        let tr = generate_trajectory(&c, &mut rng);
+        assert!(tr.end_time() >= SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn speed_respects_bounds() {
+        let c = cfg(0);
+        let mut rng = stream(3, "mob", 0);
+        let tr = generate_trajectory(&c, &mut rng);
+        for s in tr.segments() {
+            let dt = (s.end_time - s.start_time).as_secs_f64();
+            if dt <= 0.0 {
+                continue;
+            }
+            let v = s.from.distance(&s.to) / dt;
+            assert!(
+                v <= c.max_speed + 1e-9,
+                "segment speed {v} exceeds {}",
+                c.max_speed
+            );
+        }
+    }
+
+    #[test]
+    fn pauses_are_present() {
+        // Use a min speed high enough that the first leg cannot swallow
+        // the whole horizon.
+        let c = WaypointConfig {
+            min_speed: 1.0,
+            ..cfg(50)
+        };
+        let mut rng = stream(4, "mob", 0);
+        let tr = generate_trajectory(&c, &mut rng);
+        let pauses = tr
+            .segments()
+            .iter()
+            .filter(|s| s.from == s.to && s.end_time > s.start_time)
+            .count();
+        assert!(pauses >= 1, "expected pause legs with pause=50s");
+    }
+
+    #[test]
+    fn position_is_continuous() {
+        let c = cfg(10);
+        let mut rng = stream(5, "mob", 0);
+        let tr = generate_trajectory(&c, &mut rng);
+        let mut prev = tr.position_at(SimTime::ZERO);
+        for ms in (0..200_000).step_by(250) {
+            let t = SimTime::from_millis(ms);
+            let p = tr.position_at(t);
+            // Max speed 20 m/s → at most 5 m per 250 ms.
+            assert!(
+                prev.distance(&p) <= 20.0 * 0.25 + 1e-6,
+                "jump at {t}: {prev} → {p}"
+            );
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn script_is_deterministic_per_stream() {
+        let c = cfg(30);
+        let a = MobilityScript::generate(10, &c, &mut stream(9, "mob", 7));
+        let b = MobilityScript::generate(10, &c, &mut stream(9, "mob", 7));
+        for n in 0..10 {
+            for t in [0u64, 50, 150] {
+                assert_eq!(
+                    a.position(n, SimTime::from_secs(t)),
+                    b.position(n, SimTime::from_secs(t))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_script() {
+        let s = MobilityScript::stationary(&[Position::new(1.0, 2.0)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(
+            s.position(0, SimTime::from_secs(1_000_000)),
+            Position::new(1.0, 2.0)
+        );
+    }
+
+    #[test]
+    fn high_pause_means_little_motion() {
+        // Pause 900 s over a 200 s horizon: after the first leg the node
+        // parks. Total displacement across [100s, 200s] should usually be
+        // zero once the first waypoint is reached.
+        let c = WaypointConfig {
+            pause: SimDuration::from_secs(900),
+            duration: SimDuration::from_secs(200),
+            ..WaypointConfig::default()
+        };
+        let mut rng = stream(11, "mob", 0);
+        let tr = generate_trajectory(&c, &mut rng);
+        // At most two movement legs fit before a 900 s pause engulfs the run.
+        let moving = tr
+            .segments()
+            .iter()
+            .filter(|s| s.from != s.to)
+            .count();
+        assert!(moving <= 2, "expected ≤2 movement legs, got {moving}");
+    }
+}

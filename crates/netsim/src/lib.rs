@@ -1,0 +1,36 @@
+//! # slr-netsim — deterministic discrete-event simulation engine
+//!
+//! The simulation substrate for the SLR/SRP reproduction. The paper's
+//! evaluation ran in GloMoSim; this crate provides the equivalent kernel:
+//! a virtual clock, a cancellable event queue with stable FIFO tie-breaking
+//! (bit-reproducible runs per seed), and named deterministic RNG streams so
+//! mobility and traffic are identical across protocols within a trial.
+//!
+//! The engine is policy-free: higher layers (radio, protocols, harness)
+//! define their own event enums and drive [`Simulator::next_before`] in a
+//! plain loop.
+//!
+//! ```
+//! use slr_netsim::{SimDuration, SimTime, Simulator};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Hello(u32) }
+//!
+//! let mut sim = Simulator::new();
+//! sim.schedule_in(SimDuration::from_millis(10), Ev::Hello(1));
+//! while let Some(ev) = sim.next_before(SimTime::from_secs(1)) {
+//!     match ev.event { Ev::Hello(n) => assert_eq!(n, 1) }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use engine::Simulator;
+pub use queue::{EventQueue, EventToken, Scheduled};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,227 @@
+//! A cancellable, deterministic event queue.
+//!
+//! Events at equal times pop in insertion order (a monotone sequence number
+//! breaks ties), which makes whole-simulation runs bit-reproducible for a
+//! given seed. Cancellation is lazy: a cancelled token is skipped when it
+//! reaches the head of the heap.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Handle identifying a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+/// An event popped from the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The token it was scheduled under.
+    pub token: EventToken,
+    /// The event payload.
+    pub event: E,
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first and,
+        // within a time, the lowest sequence number first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of timed events with stable FIFO tie-breaking and O(1)
+/// cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use slr_netsim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let _a = q.schedule(SimTime::from_secs(2), "late");
+/// let b = q.schedule(SimTime::from_secs(1), "early");
+/// let c = q.schedule(SimTime::from_secs(1), "early2");
+/// q.cancel(c);
+/// assert_eq!(q.pop().unwrap().event, "early");
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.pop().is_none());
+/// # let _ = b;
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers of events that are scheduled and not yet popped or
+    /// cancelled. Entries in `heap` whose seq is absent here are skipped.
+    pending: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute `time`; returns a cancellation token.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        self.pending.insert(seq);
+        EventToken(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending (not yet popped or cancelled).
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        self.pending.remove(&token.0)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if !self.pending.remove(&entry.seq) {
+                continue; // cancelled
+            }
+            return Some(Scheduled {
+                time: entry.time,
+                token: EventToken(entry.seq),
+                event: entry.event,
+            });
+        }
+        None
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let head_seq = self.heap.peek()?.seq;
+            if !self.pending.contains(&head_seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(self.heap.peek().expect("checked above").time);
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 3);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().event, i);
+        }
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_token_is_false() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventToken(42)));
+    }
+
+    #[test]
+    fn cancel_after_pop_is_harmless() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert!(!q.cancel(a), "cancelling a popped event reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(5), 2);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+}

@@ -1,0 +1,797 @@
+//! AODV (Ad hoc On-demand Distance Vector) — baseline protocol.
+//!
+//! A faithful-to-draft simplification of draft-ietf-manet-aodv-10, the
+//! version the paper compares against: per-destination sequence numbers and
+//! hop counts, RREQ flooding with expanding ring, RREP along the reverse
+//! path, RERR on link failures, and local repair. AODV's only loop-freedom
+//! mechanism is the sequence number — a node that loses a route increments
+//! the stored destination sequence number, and an originator increments its
+//! *own* sequence number before every discovery, which is why Fig. 7 shows
+//! AODV's average node sequence number growing with mobility.
+
+use std::collections::HashMap;
+
+use slr_netsim::time::{SimDuration, SimTime};
+
+use crate::api::{
+    ControlPacket, DataDropReason, DataPacket, NodeId, PacketBuffer, ProtoCtx, ProtoEffect,
+    ProtoStats, RingSchedule, RoutingProtocol,
+};
+
+/// AODV route request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AodvRreq {
+    /// Originator.
+    pub orig: NodeId,
+    /// Originator's sequence number.
+    pub orig_seqno: u64,
+    /// Flood identifier.
+    pub rreq_id: u64,
+    /// Sought destination.
+    pub dst: NodeId,
+    /// Last known destination sequence number.
+    pub dst_seqno: u64,
+    /// U flag: no sequence number known.
+    pub unknown: bool,
+    /// Hops traversed so far.
+    pub hop_count: u32,
+    /// Remaining flood TTL.
+    pub ttl: u8,
+}
+
+/// AODV route reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AodvRrep {
+    /// The node the reply travels to.
+    pub orig: NodeId,
+    /// The destination the route leads to.
+    pub dst: NodeId,
+    /// Destination sequence number.
+    pub dst_seqno: u64,
+    /// Hops from the replier to the destination.
+    pub hop_count: u32,
+}
+
+/// AODV route error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AodvRerr {
+    /// Unreachable destinations with their invalidated sequence numbers.
+    pub unreachable: Vec<(NodeId, u64)>,
+}
+
+/// All AODV control packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AodvMessage {
+    /// Route request.
+    Rreq(AodvRreq),
+    /// Route reply.
+    Rrep(AodvRrep),
+    /// Route error.
+    Rerr(AodvRerr),
+}
+
+impl AodvMessage {
+    /// Approximate wire size in bytes.
+    pub fn wire_bytes(&self) -> u32 {
+        match self {
+            AodvMessage::Rreq(_) => 24,
+            AodvMessage::Rrep(_) => 20,
+            AodvMessage::Rerr(r) => 4 + 8 * r.unreachable.len() as u32,
+        }
+    }
+
+    /// Packet-type name for statistics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            AodvMessage::Rreq(_) => "aodv-rreq",
+            AodvMessage::Rrep(_) => "aodv-rrep",
+            AodvMessage::Rerr(_) => "aodv-rerr",
+        }
+    }
+}
+
+/// AODV tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct AodvConfig {
+    /// Active-route timeout (refresh on use).
+    pub route_lifetime: SimDuration,
+    /// Per-hop latency estimate for ring timeouts.
+    pub per_hop_latency: SimDuration,
+    /// Expanding-ring schedule.
+    pub ring: RingSchedule,
+    /// Route-pending buffer capacity.
+    pub buffer_capacity: usize,
+    /// Maximum buffering time.
+    pub buffer_timeout: SimDuration,
+    /// Minimum spacing between RERRs for the same destination.
+    pub rerr_rate_limit: SimDuration,
+}
+
+impl Default for AodvConfig {
+    fn default() -> Self {
+        AodvConfig {
+            route_lifetime: SimDuration::from_secs(10),
+            per_hop_latency: SimDuration::from_millis(40),
+            ring: RingSchedule::default(),
+            buffer_capacity: 64,
+            buffer_timeout: SimDuration::from_secs(30),
+            rerr_rate_limit: SimDuration::from_secs(1),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Route {
+    next_hop: NodeId,
+    hops: u32,
+    seqno: u64,
+    valid_seqno: bool,
+    expires: SimTime,
+    valid: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Discovery {
+    attempt: u32,
+}
+
+const DISCOVERY_TOKEN_BIT: u64 = 1 << 62;
+
+fn discovery_token(dst: NodeId, attempt: u32) -> u64 {
+    DISCOVERY_TOKEN_BIT | ((attempt as u64) << 32) | dst as u64
+}
+
+fn decode_token(token: u64) -> Option<(NodeId, u32)> {
+    if token & DISCOVERY_TOKEN_BIT == 0 {
+        return None;
+    }
+    Some(((token & 0xFFFF_FFFF) as NodeId, ((token >> 32) & 0x3FFF_FFFF) as u32))
+}
+
+/// The AODV instance on one node.
+pub struct Aodv {
+    node: NodeId,
+    cfg: AodvConfig,
+    own_seqno: u64,
+    seqno_increments: u64,
+    next_rreq_id: u64,
+    routes: HashMap<NodeId, Route>,
+    rreq_seen: HashMap<(NodeId, u64), SimTime>,
+    discoveries: HashMap<NodeId, Discovery>,
+    buffer: PacketBuffer,
+    last_rerr: HashMap<NodeId, SimTime>,
+    discoveries_started: u64,
+}
+
+impl Aodv {
+    /// Creates the AODV instance for `node`.
+    pub fn new(node: NodeId, cfg: AodvConfig) -> Self {
+        Aodv {
+            node,
+            cfg,
+            own_seqno: 0,
+            seqno_increments: 0,
+            next_rreq_id: 0,
+            routes: HashMap::new(),
+            rreq_seen: HashMap::new(),
+            discoveries: HashMap::new(),
+            buffer: PacketBuffer::new(cfg.buffer_capacity),
+            last_rerr: HashMap::new(),
+            discoveries_started: 0,
+        }
+    }
+
+    fn route_active(&self, t: NodeId, now: SimTime) -> bool {
+        self.routes
+            .get(&t)
+            .map(|r| r.valid && now < r.expires)
+            .unwrap_or(false)
+    }
+
+    /// Install or update a route if the new information is fresher/better.
+    fn update_route(
+        &mut self,
+        t: NodeId,
+        next_hop: NodeId,
+        hops: u32,
+        seqno: u64,
+        valid_seqno: bool,
+        now: SimTime,
+    ) -> bool {
+        let lifetime = self.cfg.route_lifetime;
+        match self.routes.get_mut(&t) {
+            Some(r) => {
+                let better = !r.valid
+                    || !r.valid_seqno
+                    || seqno > r.seqno
+                    || (seqno == r.seqno && hops < r.hops);
+                if better && valid_seqno || (!r.valid && !valid_seqno) {
+                    r.next_hop = next_hop;
+                    r.hops = hops;
+                    if valid_seqno {
+                        r.seqno = seqno;
+                        r.valid_seqno = true;
+                    }
+                    r.expires = now + lifetime;
+                    r.valid = true;
+                    true
+                } else {
+                    // Refresh lifetime of an equivalent route.
+                    if r.valid && r.next_hop == next_hop {
+                        r.expires = now + lifetime;
+                    }
+                    false
+                }
+            }
+            None => {
+                self.routes.insert(
+                    t,
+                    Route {
+                        next_hop,
+                        hops,
+                        seqno,
+                        valid_seqno,
+                        expires: now + lifetime,
+                        valid: true,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    fn try_forward(&mut self, mut packet: DataPacket, now: SimTime) -> Option<Vec<ProtoEffect>> {
+        if !self.route_active(packet.dst, now) {
+            return None;
+        }
+        if packet.ttl == 0 {
+            return Some(vec![ProtoEffect::DropData {
+                packet,
+                reason: DataDropReason::TtlExpired,
+            }]);
+        }
+        let r = self.routes.get_mut(&packet.dst).expect("active");
+        r.expires = now + self.cfg.route_lifetime;
+        let next_hop = r.next_hop;
+        packet.ttl -= 1;
+        Some(vec![ProtoEffect::SendData { packet, next_hop }])
+    }
+
+    fn start_discovery(&mut self, dst: NodeId, now: SimTime, fx: &mut Vec<ProtoEffect>) {
+        if self.discoveries.contains_key(&dst) {
+            return;
+        }
+        self.discoveries_started += 1;
+        self.send_rreq(dst, 0, now, fx);
+    }
+
+    fn send_rreq(&mut self, dst: NodeId, attempt: u32, now: SimTime, fx: &mut Vec<ProtoEffect>) {
+        let Some(ttl) = self.cfg.ring.ttl(attempt) else {
+            self.discoveries.remove(&dst);
+            for packet in self.buffer.take_for(dst) {
+                fx.push(ProtoEffect::DropData {
+                    packet,
+                    reason: DataDropReason::NoRoute,
+                });
+            }
+            return;
+        };
+        // RFC 3561 §6.1: increment own sequence number before originating
+        // a route discovery. This is the Fig. 7 growth driver.
+        self.own_seqno += 1;
+        self.seqno_increments += 1;
+        self.next_rreq_id += 1;
+        self.discoveries.insert(dst, Discovery { attempt });
+        let (dst_seqno, unknown) = match self.routes.get(&dst) {
+            Some(r) if r.valid_seqno => (r.seqno, false),
+            _ => (0, true),
+        };
+        self.rreq_seen.insert((self.node, self.next_rreq_id), now);
+        fx.push(ProtoEffect::SendControl {
+            packet: ControlPacket::Aodv(AodvMessage::Rreq(AodvRreq {
+                orig: self.node,
+                orig_seqno: self.own_seqno,
+                rreq_id: self.next_rreq_id,
+                dst,
+                dst_seqno,
+                unknown,
+                hop_count: 0,
+                ttl,
+            })),
+            next_hop: None,
+        });
+        fx.push(ProtoEffect::SetTimer {
+            token: discovery_token(dst, attempt),
+            delay: self.cfg.ring.timeout(ttl, self.cfg.per_hop_latency),
+        });
+    }
+
+    fn flush_buffer(&mut self, dst: NodeId, now: SimTime, fx: &mut Vec<ProtoEffect>) {
+        for packet in self.buffer.take_for(dst) {
+            match self.try_forward(packet, now) {
+                Some(out) => fx.extend(out),
+                None => break,
+            }
+        }
+        self.discoveries.remove(&dst);
+    }
+
+    fn send_rerr(&mut self, dests: Vec<(NodeId, u64)>, now: SimTime, fx: &mut Vec<ProtoEffect>) {
+        let fresh: Vec<(NodeId, u64)> = dests
+            .into_iter()
+            .filter(|(d, _)| {
+                self.last_rerr
+                    .get(d)
+                    .map(|t| now.saturating_since(*t) >= self.cfg.rerr_rate_limit)
+                    .unwrap_or(true)
+            })
+            .collect();
+        if fresh.is_empty() {
+            return;
+        }
+        for (d, _) in &fresh {
+            self.last_rerr.insert(*d, now);
+        }
+        fx.push(ProtoEffect::SendControl {
+            packet: ControlPacket::Aodv(AodvMessage::Rerr(AodvRerr { unreachable: fresh })),
+            next_hop: None,
+        });
+    }
+
+    fn handle_rreq(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        prev: NodeId,
+        rreq: AodvRreq,
+    ) -> Vec<ProtoEffect> {
+        let mut fx = Vec::new();
+        let now = ctx.now;
+        if rreq.orig == self.node {
+            return fx;
+        }
+        let key = (rreq.orig, rreq.rreq_id);
+        if self.rreq_seen.contains_key(&key) {
+            return fx;
+        }
+        self.rreq_seen.insert(key, now);
+
+        // Reverse route to the originator.
+        self.update_route(rreq.orig, prev, rreq.hop_count + 1, rreq.orig_seqno, true, now);
+
+        if rreq.dst == self.node {
+            // Destination reply: freshen own seqno to at least the request.
+            if !rreq.unknown && rreq.dst_seqno >= self.own_seqno {
+                self.own_seqno = rreq.dst_seqno + 1;
+                self.seqno_increments += 1;
+            }
+            fx.push(ProtoEffect::SendControl {
+                packet: ControlPacket::Aodv(AodvMessage::Rrep(AodvRrep {
+                    orig: rreq.orig,
+                    dst: self.node,
+                    dst_seqno: self.own_seqno,
+                    hop_count: 0,
+                })),
+                next_hop: Some(prev),
+            });
+            return fx;
+        }
+
+        // Intermediate reply with a fresh-enough route.
+        if self.route_active(rreq.dst, now) {
+            let r = self.routes.get(&rreq.dst).expect("active");
+            if r.valid_seqno && (rreq.unknown || r.seqno >= rreq.dst_seqno) {
+                let (seqno, hops) = (r.seqno, r.hops);
+                fx.push(ProtoEffect::SendControl {
+                    packet: ControlPacket::Aodv(AodvMessage::Rrep(AodvRrep {
+                        orig: rreq.orig,
+                        dst: rreq.dst,
+                        dst_seqno: seqno,
+                        hop_count: hops,
+                    })),
+                    next_hop: Some(prev),
+                });
+                return fx;
+            }
+        }
+
+        // Relay.
+        if rreq.ttl <= 1 {
+            return fx;
+        }
+        let dst_seqno = match self.routes.get(&rreq.dst) {
+            Some(r) if r.valid_seqno => r.seqno.max(rreq.dst_seqno),
+            _ => rreq.dst_seqno,
+        };
+        fx.push(ProtoEffect::SendControl {
+            packet: ControlPacket::Aodv(AodvMessage::Rreq(AodvRreq {
+                hop_count: rreq.hop_count + 1,
+                ttl: rreq.ttl - 1,
+                dst_seqno,
+                unknown: rreq.unknown && dst_seqno == 0,
+                ..rreq
+            })),
+            next_hop: None,
+        });
+        fx
+    }
+
+    fn handle_rrep(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        prev: NodeId,
+        rrep: AodvRrep,
+    ) -> Vec<ProtoEffect> {
+        let mut fx = Vec::new();
+        let now = ctx.now;
+        // Forward route to the destination.
+        self.update_route(rrep.dst, prev, rrep.hop_count + 1, rrep.dst_seqno, true, now);
+
+        if rrep.orig == self.node {
+            self.flush_buffer(rrep.dst, now, &mut fx);
+            return fx;
+        }
+        // Relay toward the originator along the reverse route.
+        if self.route_active(rrep.orig, now) {
+            let next = self.routes.get(&rrep.orig).expect("active").next_hop;
+            fx.push(ProtoEffect::SendControl {
+                packet: ControlPacket::Aodv(AodvMessage::Rrep(AodvRrep {
+                    hop_count: rrep.hop_count + 1,
+                    ..rrep
+                })),
+                next_hop: Some(next),
+            });
+        }
+        fx
+    }
+
+    fn handle_rerr(&mut self, now: SimTime, prev: NodeId, rerr: AodvRerr) -> Vec<ProtoEffect> {
+        let mut fx = Vec::new();
+        let mut lost = Vec::new();
+        for (t, seqno) in rerr.unreachable {
+            if let Some(r) = self.routes.get_mut(&t) {
+                if r.valid && r.next_hop == prev {
+                    r.valid = false;
+                    r.seqno = r.seqno.max(seqno);
+                    lost.push((t, r.seqno));
+                }
+            }
+        }
+        if !lost.is_empty() {
+            self.send_rerr(lost, now, &mut fx);
+        }
+        fx
+    }
+}
+
+impl RoutingProtocol for Aodv {
+    fn name(&self) -> &'static str {
+        "AODV"
+    }
+
+    fn on_start(&mut self, _ctx: &mut ProtoCtx<'_>) -> Vec<ProtoEffect> {
+        Vec::new()
+    }
+
+    fn on_data_from_app(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        packet: DataPacket,
+    ) -> Vec<ProtoEffect> {
+        let now = ctx.now;
+        if packet.dst == self.node {
+            return vec![ProtoEffect::DeliverLocal(packet)];
+        }
+        if let Some(fx) = self.try_forward(packet.clone(), now) {
+            return fx;
+        }
+        let mut fx = Vec::new();
+        let dst = packet.dst;
+        if let Some(overflow) = self.buffer.push(packet, now) {
+            fx.push(ProtoEffect::DropData {
+                packet: overflow,
+                reason: DataDropReason::BufferOverflow,
+            });
+        }
+        self.start_discovery(dst, now, &mut fx);
+        fx
+    }
+
+    fn on_data_received(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        from: NodeId,
+        packet: DataPacket,
+    ) -> Vec<ProtoEffect> {
+        let now = ctx.now;
+        if packet.dst == self.node {
+            return vec![ProtoEffect::DeliverLocal(packet)];
+        }
+        if let Some(fx) = self.try_forward(packet.clone(), now) {
+            return fx;
+        }
+        // No route: RERR to the previous hop, then attempt local repair.
+        let mut fx = Vec::new();
+        let seqno = self.routes.get(&packet.dst).map(|r| r.seqno + 1).unwrap_or(1);
+        fx.push(ProtoEffect::SendControl {
+            packet: ControlPacket::Aodv(AodvMessage::Rerr(AodvRerr {
+                unreachable: vec![(packet.dst, seqno)],
+            })),
+            next_hop: Some(from),
+        });
+        let dst = packet.dst;
+        if let Some(overflow) = self.buffer.push(packet, now) {
+            fx.push(ProtoEffect::DropData {
+                packet: overflow,
+                reason: DataDropReason::BufferOverflow,
+            });
+        }
+        self.start_discovery(dst, now, &mut fx);
+        fx
+    }
+
+    fn on_control_received(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        from: NodeId,
+        packet: ControlPacket,
+    ) -> Vec<ProtoEffect> {
+        let ControlPacket::Aodv(msg) = packet else {
+            return Vec::new();
+        };
+        match msg {
+            AodvMessage::Rreq(r) => self.handle_rreq(ctx, from, r),
+            AodvMessage::Rrep(r) => self.handle_rrep(ctx, from, r),
+            AodvMessage::Rerr(r) => self.handle_rerr(ctx.now, from, r),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProtoCtx<'_>, token: u64) -> Vec<ProtoEffect> {
+        let mut fx = Vec::new();
+        let now = ctx.now;
+        for packet in self.buffer.take_expired(now, self.cfg.buffer_timeout) {
+            fx.push(ProtoEffect::DropData {
+                packet,
+                reason: DataDropReason::BufferTimeout,
+            });
+        }
+        let Some((dst, attempt)) = decode_token(token) else {
+            return fx;
+        };
+        let Some(d) = self.discoveries.get(&dst).copied() else {
+            return fx;
+        };
+        if d.attempt != attempt {
+            return fx;
+        }
+        if self.route_active(dst, now) {
+            self.discoveries.remove(&dst);
+            return fx;
+        }
+        self.discoveries.remove(&dst);
+        self.discoveries_started += 1;
+        self.send_rreq(dst, attempt + 1, now, &mut fx);
+        fx
+    }
+
+    fn on_link_failure(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        next_hop: NodeId,
+        packet: Option<DataPacket>,
+    ) -> Vec<ProtoEffect> {
+        let mut fx = Vec::new();
+        let now = ctx.now;
+        let mut lost = Vec::new();
+        for (t, r) in self.routes.iter_mut() {
+            if r.valid && r.next_hop == next_hop {
+                r.valid = false;
+                r.seqno += 1; // invalidation bumps the stored seqno
+                lost.push((*t, r.seqno));
+            }
+        }
+        if !lost.is_empty() {
+            self.send_rerr(lost, now, &mut fx);
+        }
+        // Local repair: hold the packet and rediscover from here.
+        if let Some(p) = packet {
+            let dst = p.dst;
+            if let Some(overflow) = self.buffer.push(p, now) {
+                fx.push(ProtoEffect::DropData {
+                    packet: overflow,
+                    reason: DataDropReason::BufferOverflow,
+                });
+            }
+            self.start_discovery(dst, now, &mut fx);
+        }
+        fx
+    }
+
+    fn stats(&self) -> ProtoStats {
+        ProtoStats {
+            own_seqno_increments: self.seqno_increments,
+            max_fd_denominator: 0,
+            discoveries: self.discoveries_started,
+            resets_requested: 0,
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ctx_at(rng: &mut SmallRng, secs: u64) -> ProtoCtx<'_> {
+        ProtoCtx {
+            now: SimTime::from_secs(secs),
+            rng,
+        }
+    }
+
+    fn data(src: NodeId, dst: NodeId, uid: u64) -> DataPacket {
+        DataPacket {
+            src,
+            dst,
+            uid,
+            origin_time: SimTime::ZERO,
+            bytes: 512,
+            ttl: 64,
+            source_route: None,
+        }
+    }
+
+    fn rreq_of(fx: &[ProtoEffect]) -> Option<AodvRreq> {
+        fx.iter().find_map(|e| match e {
+            ProtoEffect::SendControl {
+                packet: ControlPacket::Aodv(AodvMessage::Rreq(r)),
+                ..
+            } => Some(r.clone()),
+            _ => None,
+        })
+    }
+
+    fn rrep_of(fx: &[ProtoEffect]) -> Option<(AodvRrep, Option<NodeId>)> {
+        fx.iter().find_map(|e| match e {
+            ProtoEffect::SendControl {
+                packet: ControlPacket::Aodv(AodvMessage::Rrep(r)),
+                next_hop,
+            } => Some((r.clone(), *next_hop)),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn three_node_discovery() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut a = Aodv::new(0, AodvConfig::default());
+        let mut b = Aodv::new(1, AodvConfig::default());
+        let mut c = Aodv::new(2, AodvConfig::default());
+
+        let fx = a.on_data_from_app(&mut ctx_at(&mut rng, 1), data(0, 2, 1));
+        let rreq = rreq_of(&fx).expect("rreq");
+        assert_eq!(rreq.orig_seqno, 1, "own seqno incremented before RREQ");
+
+        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 0, ControlPacket::Aodv(AodvMessage::Rreq(rreq)));
+        let relayed = rreq_of(&fx).expect("relay");
+        assert_eq!(relayed.hop_count, 1);
+        assert!(b.route_active(0, SimTime::from_secs(1)), "reverse route to orig");
+
+        let fx = c.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Aodv(AodvMessage::Rreq(relayed)));
+        let (rrep, nh) = rrep_of(&fx).expect("destination replies");
+        assert_eq!(nh, Some(1));
+        assert_eq!(rrep.hop_count, 0);
+
+        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 2, ControlPacket::Aodv(AodvMessage::Rrep(rrep)));
+        let (rrep2, nh2) = rrep_of(&fx).expect("relayed reply");
+        assert_eq!(nh2, Some(0));
+        assert_eq!(rrep2.hop_count, 1);
+
+        let fx = a.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Aodv(AodvMessage::Rrep(rrep2)));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, ProtoEffect::SendData { next_hop: 1, .. })));
+        assert!(a.route_active(2, SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn seqno_grows_with_each_discovery() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut a = Aodv::new(0, AodvConfig::default());
+        let _ = a.on_data_from_app(&mut ctx_at(&mut rng, 1), data(0, 5, 1));
+        // Ring retries each bump the sequence number again.
+        let _ = a.on_timer(&mut ctx_at(&mut rng, 2), discovery_token(5, 0));
+        let _ = a.on_timer(&mut ctx_at(&mut rng, 4), discovery_token(5, 1));
+        assert_eq!(a.stats().own_seqno_increments, 3);
+    }
+
+    #[test]
+    fn intermediate_node_replies_with_fresh_route() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut b = Aodv::new(1, AodvConfig::default());
+        b.update_route(9, 4, 2, 7, true, SimTime::from_secs(1));
+        let rreq = AodvRreq {
+            orig: 0,
+            orig_seqno: 1,
+            rreq_id: 1,
+            dst: 9,
+            dst_seqno: 5,
+            unknown: false,
+            hop_count: 0,
+            ttl: 5,
+        };
+        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 0, ControlPacket::Aodv(AodvMessage::Rreq(rreq.clone())));
+        let (rrep, _) = rrep_of(&fx).expect("fresh route reply");
+        assert_eq!(rrep.dst_seqno, 7);
+        assert_eq!(rrep.hop_count, 2);
+
+        // A stale route (seqno below request) only relays.
+        let mut c = Aodv::new(2, AodvConfig::default());
+        c.update_route(9, 4, 2, 3, true, SimTime::from_secs(1));
+        let fx = c.on_control_received(&mut ctx_at(&mut rng, 1), 0, ControlPacket::Aodv(AodvMessage::Rreq(rreq)));
+        assert!(rrep_of(&fx).is_none());
+        let relayed = rreq_of(&fx).expect("relayed");
+        assert_eq!(relayed.dst_seqno, 5, "request keeps the larger seqno");
+    }
+
+    #[test]
+    fn link_failure_invalidates_and_rerrs() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut a = Aodv::new(0, AodvConfig::default());
+        a.update_route(9, 1, 2, 7, true, SimTime::from_secs(1));
+        a.update_route(8, 1, 3, 2, true, SimTime::from_secs(1));
+        a.update_route(7, 2, 1, 4, true, SimTime::from_secs(1));
+        let fx = a.on_link_failure(&mut ctx_at(&mut rng, 2), 1, None);
+        let rerr = fx.iter().find_map(|e| match e {
+            ProtoEffect::SendControl {
+                packet: ControlPacket::Aodv(AodvMessage::Rerr(r)),
+                ..
+            } => Some(r.clone()),
+            _ => None,
+        });
+        let rerr = rerr.expect("rerr broadcast");
+        assert_eq!(rerr.unreachable.len(), 2);
+        assert!(!a.route_active(9, SimTime::from_secs(2)));
+        assert!(a.route_active(7, SimTime::from_secs(2)), "route via node 2 survives");
+    }
+
+    #[test]
+    fn rerr_propagates_upstream() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut a = Aodv::new(0, AodvConfig::default());
+        a.update_route(9, 1, 2, 7, true, SimTime::from_secs(1));
+        let rerr = AodvRerr {
+            unreachable: vec![(9, 8)],
+        };
+        let fx = a.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Aodv(AodvMessage::Rerr(rerr)));
+        assert!(!a.route_active(9, SimTime::from_secs(1)));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            ProtoEffect::SendControl {
+                packet: ControlPacket::Aodv(AodvMessage::Rerr(_)),
+                ..
+            }
+        )));
+        // A RERR from a node that is not our next hop changes nothing.
+        let mut b = Aodv::new(1, AodvConfig::default());
+        b.update_route(9, 2, 2, 7, true, SimTime::from_secs(1));
+        let rerr = AodvRerr {
+            unreachable: vec![(9, 8)],
+        };
+        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 5, ControlPacket::Aodv(AodvMessage::Rerr(rerr)));
+        assert!(fx.is_empty());
+        assert!(b.route_active(9, SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn routes_expire_without_use() {
+        let mut a = Aodv::new(0, AodvConfig::default());
+        a.update_route(9, 1, 2, 7, true, SimTime::from_secs(1));
+        assert!(a.route_active(9, SimTime::from_secs(5)));
+        assert!(!a.route_active(9, SimTime::from_secs(12)));
+    }
+}

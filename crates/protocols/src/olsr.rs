@@ -1,0 +1,677 @@
+//! OLSR (Optimized Link State Routing) — proactive baseline.
+//!
+//! Implements the draft-ietf-manet-olsr-06 core the paper compares against:
+//! periodic HELLOs for link sensing and two-hop neighborhood discovery,
+//! multipoint relay (MPR) selection by greedy set cover, TC messages
+//! flooded through MPRs advertising MPR-selector sets, and shortest-path
+//! route computation over the learned topology. As a proactive protocol it
+//! pays a constant control overhead (Fig. 5) to win on latency (Fig. 6);
+//! it is *not* loop-free at every instant — transient loops after topology
+//! changes are killed by the data TTL.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use rand::Rng;
+
+use slr_netsim::time::{SimDuration, SimTime};
+
+use crate::api::{
+    ControlPacket, DataDropReason, DataPacket, NodeId, ProtoCtx, ProtoEffect, ProtoStats,
+    RoutingProtocol,
+};
+
+/// An OLSR HELLO message (1-hop broadcast, never forwarded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OlsrHello {
+    /// Sender.
+    pub origin: NodeId,
+    /// Neighbors heard symmetrically.
+    pub sym_neighbors: Vec<NodeId>,
+    /// Neighbors heard only one-way so far.
+    pub heard_neighbors: Vec<NodeId>,
+    /// The sender's chosen multipoint relays.
+    pub mprs: Vec<NodeId>,
+}
+
+/// An OLSR TC (topology control) message, flooded via MPRs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OlsrTc {
+    /// Message originator.
+    pub origin: NodeId,
+    /// Originator's advertised-neighbor sequence number.
+    pub seq: u64,
+    /// The originator's MPR selectors (nodes that chose it as MPR).
+    pub selectors: Vec<NodeId>,
+    /// Remaining flood TTL.
+    pub ttl: u8,
+}
+
+/// All OLSR control packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OlsrMessage {
+    /// Periodic neighbor sensing.
+    Hello(OlsrHello),
+    /// Topology control flood.
+    Tc(OlsrTc),
+}
+
+impl OlsrMessage {
+    /// Approximate wire size in bytes.
+    pub fn wire_bytes(&self) -> u32 {
+        match self {
+            OlsrMessage::Hello(h) => {
+                16 + 4 * (h.sym_neighbors.len() + h.heard_neighbors.len() + h.mprs.len()) as u32
+            }
+            OlsrMessage::Tc(t) => 16 + 4 * t.selectors.len() as u32,
+        }
+    }
+
+    /// Packet-type name for statistics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            OlsrMessage::Hello(_) => "olsr-hello",
+            OlsrMessage::Tc(_) => "olsr-tc",
+        }
+    }
+}
+
+/// OLSR tunables (draft defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct OlsrConfig {
+    /// HELLO interval (2 s).
+    pub hello_interval: SimDuration,
+    /// TC interval (5 s).
+    pub tc_interval: SimDuration,
+    /// Jitter applied to both (± up to this much).
+    pub jitter: SimDuration,
+    /// Neighbor hold time (3 × hello).
+    pub neighbor_hold: SimDuration,
+    /// Topology hold time (3 × tc).
+    pub topology_hold: SimDuration,
+    /// TC flood TTL.
+    pub tc_ttl: u8,
+}
+
+impl Default for OlsrConfig {
+    fn default() -> Self {
+        OlsrConfig {
+            hello_interval: SimDuration::from_secs(2),
+            tc_interval: SimDuration::from_secs(5),
+            jitter: SimDuration::from_millis(500),
+            neighbor_hold: SimDuration::from_secs(6),
+            topology_hold: SimDuration::from_secs(15),
+            tc_ttl: 64,
+        }
+    }
+}
+
+const TOKEN_HELLO: u64 = 1;
+const TOKEN_TC: u64 = 2;
+
+#[derive(Debug, Clone, Copy)]
+struct LinkInfo {
+    sym: bool,
+    expires: SimTime,
+}
+
+/// The OLSR instance on one node.
+pub struct Olsr {
+    node: NodeId,
+    cfg: OlsrConfig,
+    links: BTreeMap<NodeId, LinkInfo>,
+    /// 1-hop neighbor → (its sym neighbor set, expiry).
+    two_hop: BTreeMap<NodeId, (BTreeSet<NodeId>, SimTime)>,
+    mprs: BTreeSet<NodeId>,
+    selectors: BTreeSet<NodeId>,
+    /// TC topology: advertised origin → (selector set, expiry, seq).
+    topology: BTreeMap<NodeId, (BTreeSet<NodeId>, SimTime, u64)>,
+    tc_seq: u64,
+    routes: HashMap<NodeId, NodeId>,
+    /// Per-packet re-route attempts after link failures.
+    reroutes: HashMap<u64, u8>,
+    started: bool,
+}
+
+/// Maximum times one packet may be re-routed after link failures before
+/// OLSR gives up on it.
+const REROUTE_LIMIT: u8 = 3;
+
+impl Olsr {
+    /// Creates the OLSR instance for `node`.
+    pub fn new(node: NodeId, cfg: OlsrConfig) -> Self {
+        Olsr {
+            node,
+            cfg,
+            links: BTreeMap::new(),
+            two_hop: BTreeMap::new(),
+            mprs: BTreeSet::new(),
+            selectors: BTreeSet::new(),
+            topology: BTreeMap::new(),
+            tc_seq: 0,
+            routes: HashMap::new(),
+            reroutes: HashMap::new(),
+            started: false,
+        }
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        self.links.retain(|_, l| l.expires > now);
+        self.two_hop.retain(|n, (_, e)| *e > now && self.links.contains_key(n));
+        self.topology.retain(|_, (_, e, _)| *e > now);
+    }
+
+    fn sym_neighbors(&self) -> Vec<NodeId> {
+        self.links
+            .iter()
+            .filter(|(_, l)| l.sym)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Greedy MPR selection: cover every strict 2-hop neighbor.
+    fn select_mprs(&mut self) {
+        let one_hop: BTreeSet<NodeId> = self.sym_neighbors().into_iter().collect();
+        let mut uncovered: BTreeSet<NodeId> = BTreeSet::new();
+        for (n, (set, _)) in &self.two_hop {
+            if !one_hop.contains(n) {
+                continue;
+            }
+            for t in set {
+                if *t != self.node && !one_hop.contains(t) {
+                    uncovered.insert(*t);
+                }
+            }
+        }
+        let mut mprs = BTreeSet::new();
+        while !uncovered.is_empty() {
+            // Pick the neighbor covering the most uncovered 2-hop nodes.
+            let best = one_hop
+                .iter()
+                .filter(|n| !mprs.contains(*n))
+                .max_by_key(|n| {
+                    self.two_hop
+                        .get(*n)
+                        .map(|(s, _)| s.intersection(&uncovered).count())
+                        .unwrap_or(0)
+                })
+                .copied();
+            let Some(best) = best else { break };
+            let covered: Vec<NodeId> = self
+                .two_hop
+                .get(&best)
+                .map(|(s, _)| s.intersection(&uncovered).copied().collect())
+                .unwrap_or_default();
+            if covered.is_empty() {
+                break;
+            }
+            for c in covered {
+                uncovered.remove(&c);
+            }
+            mprs.insert(best);
+        }
+        self.mprs = mprs;
+    }
+
+    /// Recompute the routing table with a BFS over 1-hop links plus
+    /// TC-advertised links.
+    fn recompute_routes(&mut self) {
+        let mut adj: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
+        let mut add = |a: NodeId, b: NodeId| {
+            adj.entry(a).or_default().insert(b);
+            adj.entry(b).or_default().insert(a);
+        };
+        for n in self.sym_neighbors() {
+            add(self.node, n);
+        }
+        // Two-hop neighborhood from HELLOs (draft §10: route records for
+        // two-hop neighbors use the advertising neighbor as next hop).
+        for (n, (set, _)) in &self.two_hop {
+            if self.links.get(n).map(|l| l.sym).unwrap_or(false) {
+                for s in set {
+                    add(*n, *s);
+                }
+            }
+        }
+        for (origin, (sels, _, _)) in &self.topology {
+            for s in sels {
+                add(*origin, *s);
+            }
+        }
+        let mut routes = HashMap::new();
+        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut q = VecDeque::new();
+        prev.insert(self.node, self.node);
+        q.push_back(self.node);
+        while let Some(u) = q.pop_front() {
+            if let Some(ns) = adj.get(&u) {
+                for &v in ns {
+                    if !prev.contains_key(&v) {
+                        prev.insert(v, u);
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+        for (&dest, _) in prev.iter() {
+            if dest == self.node {
+                continue;
+            }
+            // Walk back to find the first hop.
+            let mut cur = dest;
+            while prev[&cur] != self.node {
+                cur = prev[&cur];
+            }
+            routes.insert(dest, cur);
+        }
+        self.routes = routes;
+    }
+
+    fn hello(&mut self, now: SimTime) -> OlsrHello {
+        self.expire(now);
+        self.select_mprs();
+        OlsrHello {
+            origin: self.node,
+            sym_neighbors: self.sym_neighbors(),
+            heard_neighbors: self
+                .links
+                .iter()
+                .filter(|(_, l)| !l.sym)
+                .map(|(n, _)| *n)
+                .collect(),
+            mprs: self.mprs.iter().copied().collect(),
+        }
+    }
+
+    fn handle_hello(&mut self, now: SimTime, h: OlsrHello) {
+        let sym = h.sym_neighbors.contains(&self.node) || h.heard_neighbors.contains(&self.node);
+        self.links.insert(
+            h.origin,
+            LinkInfo {
+                sym,
+                expires: now + self.cfg.neighbor_hold,
+            },
+        );
+        self.two_hop.insert(
+            h.origin,
+            (
+                h.sym_neighbors.iter().copied().collect(),
+                now + self.cfg.neighbor_hold,
+            ),
+        );
+        if h.mprs.contains(&self.node) {
+            self.selectors.insert(h.origin);
+        } else {
+            self.selectors.remove(&h.origin);
+        }
+        self.expire(now);
+        self.recompute_routes();
+    }
+
+    fn handle_tc(&mut self, now: SimTime, prev: NodeId, tc: OlsrTc) -> Vec<ProtoEffect> {
+        let mut fx = Vec::new();
+        if tc.origin == self.node {
+            return fx;
+        }
+        let fresh = self
+            .topology
+            .get(&tc.origin)
+            .map(|(_, _, seq)| tc.seq > *seq)
+            .unwrap_or(true);
+        if !fresh {
+            return fx;
+        }
+        self.topology.insert(
+            tc.origin,
+            (
+                tc.selectors.iter().copied().collect(),
+                now + self.cfg.topology_hold,
+                tc.seq,
+            ),
+        );
+        self.expire(now);
+        self.recompute_routes();
+        // Forward iff the previous hop selected us as MPR.
+        if tc.ttl > 1 && self.selectors.contains(&prev) {
+            fx.push(ProtoEffect::SendControl {
+                packet: ControlPacket::Olsr(OlsrMessage::Tc(OlsrTc {
+                    ttl: tc.ttl - 1,
+                    ..tc
+                })),
+                next_hop: None,
+            });
+        }
+        fx
+    }
+
+    fn jittered(&self, base: SimDuration, rng: &mut impl Rng) -> SimDuration {
+        let j = self.cfg.jitter.as_nanos();
+        if j == 0 {
+            return base;
+        }
+        let delta = rng.gen_range(0..=2 * j) as i128 - j as i128;
+        let ns = (base.as_nanos() as i128 + delta).max(1) as u64;
+        SimDuration::from_nanos(ns)
+    }
+}
+
+impl RoutingProtocol for Olsr {
+    fn name(&self) -> &'static str {
+        "OLSR"
+    }
+
+    fn on_start(&mut self, ctx: &mut ProtoCtx<'_>) -> Vec<ProtoEffect> {
+        self.started = true;
+        // Desynchronise nodes with a random initial phase.
+        let h = self.jittered(SimDuration::from_millis(100), ctx.rng);
+        let t = self.jittered(SimDuration::from_millis(700), ctx.rng);
+        vec![
+            ProtoEffect::SetTimer {
+                token: TOKEN_HELLO,
+                delay: h,
+            },
+            ProtoEffect::SetTimer {
+                token: TOKEN_TC,
+                delay: t,
+            },
+        ]
+    }
+
+    fn on_data_from_app(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        mut packet: DataPacket,
+    ) -> Vec<ProtoEffect> {
+        let _ = ctx;
+        if packet.dst == self.node {
+            return vec![ProtoEffect::DeliverLocal(packet)];
+        }
+        match self.routes.get(&packet.dst) {
+            Some(&next_hop) if packet.ttl > 0 => {
+                packet.ttl -= 1;
+                vec![ProtoEffect::SendData { packet, next_hop }]
+            }
+            Some(_) => vec![ProtoEffect::DropData {
+                packet,
+                reason: DataDropReason::TtlExpired,
+            }],
+            None => vec![ProtoEffect::DropData {
+                packet,
+                reason: DataDropReason::NoRoute,
+            }],
+        }
+    }
+
+    fn on_data_received(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        _from: NodeId,
+        packet: DataPacket,
+    ) -> Vec<ProtoEffect> {
+        // Same forwarding logic as locally originated traffic.
+        self.on_data_from_app(ctx, packet)
+    }
+
+    fn on_control_received(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        from: NodeId,
+        packet: ControlPacket,
+    ) -> Vec<ProtoEffect> {
+        let ControlPacket::Olsr(msg) = packet else {
+            return Vec::new();
+        };
+        match msg {
+            OlsrMessage::Hello(h) => {
+                self.handle_hello(ctx.now, h);
+                Vec::new()
+            }
+            OlsrMessage::Tc(tc) => self.handle_tc(ctx.now, from, tc),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProtoCtx<'_>, token: u64) -> Vec<ProtoEffect> {
+        let now = ctx.now;
+        let mut fx = Vec::new();
+        match token {
+            TOKEN_HELLO => {
+                let hello = self.hello(now);
+                fx.push(ProtoEffect::SendControl {
+                    packet: ControlPacket::Olsr(OlsrMessage::Hello(hello)),
+                    next_hop: None,
+                });
+                let d = self.jittered(self.cfg.hello_interval, ctx.rng);
+                fx.push(ProtoEffect::SetTimer {
+                    token: TOKEN_HELLO,
+                    delay: d,
+                });
+            }
+            TOKEN_TC => {
+                self.expire(now);
+                if !self.selectors.is_empty() {
+                    self.tc_seq += 1;
+                    fx.push(ProtoEffect::SendControl {
+                        packet: ControlPacket::Olsr(OlsrMessage::Tc(OlsrTc {
+                            origin: self.node,
+                            seq: self.tc_seq,
+                            selectors: self.selectors.iter().copied().collect(),
+                            ttl: self.cfg.tc_ttl,
+                        })),
+                        next_hop: None,
+                    });
+                }
+                let d = self.jittered(self.cfg.tc_interval, ctx.rng);
+                fx.push(ProtoEffect::SetTimer {
+                    token: TOKEN_TC,
+                    delay: d,
+                });
+            }
+            _ => {}
+        }
+        fx
+    }
+
+    fn on_link_failure(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        next_hop: NodeId,
+        packet: Option<DataPacket>,
+    ) -> Vec<ProtoEffect> {
+        let mut fx = Vec::new();
+        // Drop the link immediately rather than waiting for hold expiry.
+        self.links.remove(&next_hop);
+        self.two_hop.remove(&next_hop);
+        self.expire(ctx.now);
+        self.recompute_routes();
+        if let Some(p) = packet {
+            // Bounded re-routing over the updated table: a packet that
+            // keeps hitting dead links is abandoned rather than allowed to
+            // wander on stale topology.
+            let tries = self.reroutes.entry(p.uid).or_insert(0);
+            if *tries < REROUTE_LIMIT {
+                *tries += 1;
+                fx.extend(self.on_data_from_app(ctx, p));
+            } else {
+                fx.push(ProtoEffect::DropData {
+                    packet: p,
+                    reason: DataDropReason::SalvageFailed,
+                });
+            }
+        }
+        fx
+    }
+
+    fn stats(&self) -> ProtoStats {
+        ProtoStats::default()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ctx_at(rng: &mut SmallRng, secs: u64) -> ProtoCtx<'_> {
+        ProtoCtx {
+            now: SimTime::from_secs(secs),
+            rng,
+        }
+    }
+
+    fn hello(origin: NodeId, sym: &[NodeId], heard: &[NodeId], mprs: &[NodeId]) -> ControlPacket {
+        ControlPacket::Olsr(OlsrMessage::Hello(OlsrHello {
+            origin,
+            sym_neighbors: sym.to_vec(),
+            heard_neighbors: heard.to_vec(),
+            mprs: mprs.to_vec(),
+        }))
+    }
+
+    #[test]
+    fn link_sensing_promotes_to_sym() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut o = Olsr::new(0, OlsrConfig::default());
+        // First hello from 1 does not mention us: asymmetric.
+        let _ = o.on_control_received(&mut ctx_at(&mut rng, 1), 1, hello(1, &[], &[], &[]));
+        assert!(o.sym_neighbors().is_empty());
+        // Second hello lists us as heard: now symmetric.
+        let _ = o.on_control_received(&mut ctx_at(&mut rng, 2), 1, hello(1, &[], &[0], &[]));
+        assert_eq!(o.sym_neighbors(), vec![1]);
+    }
+
+    #[test]
+    fn routes_via_two_hop_neighborhood() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut o = Olsr::new(0, OlsrConfig::default());
+        // 1 is a sym neighbor whose sym neighbors include 5.
+        let _ = o.on_control_received(&mut ctx_at(&mut rng, 1), 1, hello(1, &[0, 5], &[], &[]));
+        assert_eq!(o.routes.get(&5), Some(&1));
+        assert_eq!(o.routes.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn tc_extends_topology() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut o = Olsr::new(0, OlsrConfig::default());
+        let _ = o.on_control_received(&mut ctx_at(&mut rng, 1), 1, hello(1, &[0, 5], &[], &[]));
+        // TC from node 7 advertising selector 5: link 7–5 known.
+        let tc = ControlPacket::Olsr(OlsrMessage::Tc(OlsrTc {
+            origin: 7,
+            seq: 1,
+            selectors: vec![5],
+            ttl: 10,
+        }));
+        let _ = o.on_control_received(&mut ctx_at(&mut rng, 1), 1, tc);
+        assert_eq!(o.routes.get(&7), Some(&1), "0→1→5→7");
+    }
+
+    #[test]
+    fn tc_forwarded_only_by_selected_mprs() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut o = Olsr::new(0, OlsrConfig::default());
+        // Node 1 chose us as MPR.
+        let _ = o.on_control_received(&mut ctx_at(&mut rng, 1), 1, hello(1, &[0], &[], &[0]));
+        let tc = OlsrTc {
+            origin: 9,
+            seq: 1,
+            selectors: vec![4],
+            ttl: 10,
+        };
+        let fx = o.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            1,
+            ControlPacket::Olsr(OlsrMessage::Tc(tc.clone())),
+        );
+        assert!(fx.iter().any(|e| matches!(e, ProtoEffect::SendControl { .. })));
+        // From a node that did not select us: no forwarding (and the TC is
+        // stale anyway the second time).
+        let mut o2 = Olsr::new(0, OlsrConfig::default());
+        let _ = o2.on_control_received(&mut ctx_at(&mut rng, 1), 2, hello(2, &[0], &[], &[]));
+        let fx = o2.on_control_received(&mut ctx_at(&mut rng, 1), 2, ControlPacket::Olsr(OlsrMessage::Tc(tc)));
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn mpr_selection_covers_two_hop() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut o = Olsr::new(0, OlsrConfig::default());
+        // Neighbors 1 and 2; 1 covers {5, 6}, 2 covers {6}.
+        let _ = o.on_control_received(&mut ctx_at(&mut rng, 1), 1, hello(1, &[0, 5, 6], &[], &[]));
+        let _ = o.on_control_received(&mut ctx_at(&mut rng, 1), 2, hello(2, &[0, 6], &[], &[]));
+        o.select_mprs();
+        assert!(o.mprs.contains(&1), "1 covers everything");
+        assert!(!o.mprs.contains(&2), "2 adds no coverage");
+    }
+
+    #[test]
+    fn hello_timer_reschedules_and_emits() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut o = Olsr::new(0, OlsrConfig::default());
+        let fx = o.on_start(&mut ctx_at(&mut rng, 0));
+        assert_eq!(fx.len(), 2);
+        let fx = o.on_timer(&mut ctx_at(&mut rng, 1), TOKEN_HELLO);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            ProtoEffect::SendControl {
+                packet: ControlPacket::Olsr(OlsrMessage::Hello(_)),
+                ..
+            }
+        )));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, ProtoEffect::SetTimer { token: TOKEN_HELLO, .. })));
+    }
+
+    #[test]
+    fn no_route_drops_data() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut o = Olsr::new(0, OlsrConfig::default());
+        let p = DataPacket {
+            src: 0,
+            dst: 9,
+            uid: 1,
+            origin_time: SimTime::ZERO,
+            bytes: 512,
+            ttl: 64,
+            source_route: None,
+        };
+        let fx = o.on_data_from_app(&mut ctx_at(&mut rng, 1), p);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            ProtoEffect::DropData {
+                reason: DataDropReason::NoRoute,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn link_failure_reroutes() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut o = Olsr::new(0, OlsrConfig::default());
+        let _ = o.on_control_received(&mut ctx_at(&mut rng, 1), 1, hello(1, &[0, 5], &[], &[]));
+        let _ = o.on_control_received(&mut ctx_at(&mut rng, 1), 2, hello(2, &[0, 5], &[], &[]));
+        // Route to 5 exists via 1 or 2; kill whichever is in use.
+        let first = *o.routes.get(&5).unwrap();
+        let p = DataPacket {
+            src: 0,
+            dst: 5,
+            uid: 1,
+            origin_time: SimTime::ZERO,
+            bytes: 512,
+            ttl: 64,
+            source_route: None,
+        };
+        let fx = o.on_link_failure(&mut ctx_at(&mut rng, 2), first, Some(p));
+        let other = if first == 1 { 2 } else { 1 };
+        assert!(
+            fx.iter()
+                .any(|e| matches!(e, ProtoEffect::SendData { next_hop, .. } if *next_hop == other)),
+            "{fx:?}"
+        );
+    }
+}

@@ -1,0 +1,1478 @@
+//! The SRP protocol engine: Procedures 1–4, Algorithm 1, SDC and the
+//! Eq. 9–11 relay rules from §III of the paper.
+
+use std::collections::HashMap;
+
+use slr_core::{new_order, Frac32, SplitLabel32, SuccessorTable};
+use slr_netsim::time::{SimDuration, SimTime};
+
+use crate::api::{
+    ControlPacket, DataDropReason, DataPacket, NodeId, PacketBuffer, ProtoCtx, ProtoEffect,
+    ProtoStats, RingSchedule, RoutingProtocol,
+};
+use crate::srp::messages::{SrpMessage, SrpRerr, SrpRreq, SrpRrep};
+
+/// How SRP picks among its feasible successors when forwarding data.
+///
+/// The paper leaves multipath policy open ("We do not specify a mechanism
+/// to choose good multi-paths … A simple implementation of SRP could use a
+/// single successor chosen from the min-hop set", §III) and evaluates
+/// uni-path SRP (§V). Both options below preserve loop freedom — every
+/// successor in the table is feasible by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MultipathPolicy {
+    /// Always the minimum-distance successor (the paper's evaluated mode).
+    #[default]
+    SingleMinHop,
+    /// Rotate across all feasible successors per destination — spreads
+    /// load over the DAG at the cost of packet reordering.
+    RoundRobin,
+}
+
+/// SRP tunables (paper defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct SrpConfig {
+    /// Label retention after route invalidation (60 s, §III).
+    pub delete_period: SimDuration,
+    /// Denominator threshold that triggers a path-reset probe (10⁹, §III).
+    pub max_denom: u64,
+    /// The §V "lying" scale constant (k = 10000).
+    pub lie_k: u64,
+    /// Minimum hops a RREQ must travel before an intermediate node may
+    /// reply (§V's false-positive-RREP heuristic).
+    pub min_reply_hops: u32,
+    /// Active-route lifetime without use.
+    pub route_lifetime: SimDuration,
+    /// Per-hop latency estimate for ring timeouts (Procedure 1).
+    pub per_hop_latency: SimDuration,
+    /// Expanding-ring TTL schedule.
+    pub ring: RingSchedule,
+    /// Route-pending packet buffer capacity.
+    pub buffer_capacity: usize,
+    /// Maximum time a packet may wait for a route.
+    pub buffer_timeout: SimDuration,
+    /// Minimum spacing between RERRs for the same destination.
+    pub rerr_rate_limit: SimDuration,
+    /// Whether a source receiving an N-bit RREP increases its own sequence
+    /// number and sends a D-bit probe so intermediate nodes rebuild routes
+    /// to it (§III). Replies already follow the cached reverse path, so
+    /// with unidirectional traffic the probe buys nothing — and the paper's
+    /// Fig. 7 shows SRP's sequence number never moving, so this defaults to
+    /// `false` (see DESIGN.md).
+    pub probe_on_no_reverse: bool,
+    /// Data-plane successor choice (§III leaves this open; the paper's
+    /// evaluation is uni-path).
+    pub multipath: MultipathPolicy,
+}
+
+impl Default for SrpConfig {
+    fn default() -> Self {
+        SrpConfig {
+            delete_period: SimDuration::from_secs(60),
+            max_denom: 1_000_000_000,
+            lie_k: 10_000,
+            min_reply_hops: 2,
+            route_lifetime: SimDuration::from_secs(10),
+            per_hop_latency: SimDuration::from_millis(40),
+            ring: RingSchedule::default(),
+            buffer_capacity: 64,
+            buffer_timeout: SimDuration::from_secs(30),
+            rerr_rate_limit: SimDuration::from_secs(1),
+            probe_on_no_reverse: false,
+            multipath: MultipathPolicy::SingleMinHop,
+        }
+    }
+}
+
+/// Per-destination routing state (`O_A^T`, `d_A^T`, `S_A^T`).
+#[derive(Debug, Clone)]
+struct DestState {
+    label: SplitLabel32,
+    dist: u32,
+    succs: SuccessorTable<NodeId, u32>,
+    /// Route expiry (refreshed on use). The route is *active* while
+    /// `now < expires` and the successor set is non-empty (Definition 2).
+    expires: SimTime,
+    /// When the cached label may be forgotten (DELETE_PERIOD after the
+    /// route became invalid); `None` while the route is active.
+    forget_at: Option<SimTime>,
+    /// Round-robin cursor for [`MultipathPolicy::RoundRobin`].
+    rr_counter: u32,
+}
+
+impl DestState {
+    fn unassigned() -> Self {
+        DestState {
+            label: SplitLabel32::unassigned(),
+            dist: u32::MAX,
+            succs: SuccessorTable::new(),
+            expires: SimTime::ZERO,
+            forget_at: None,
+            rr_counter: 0,
+        }
+    }
+}
+
+/// Engaged-calculation cache entry (Procedure 2): `{A, ID_A, O_#, lasthop}`.
+#[derive(Debug, Clone)]
+struct RreqCache {
+    cached: SplitLabel32,
+    last_hop: NodeId,
+    replied: bool,
+}
+
+/// An in-progress route discovery at this node.
+#[derive(Debug, Clone, Copy)]
+struct Discovery {
+    attempt: u32,
+}
+
+const DISCOVERY_TOKEN_BIT: u64 = 1 << 63;
+
+fn discovery_token(dst: NodeId, attempt: u32) -> u64 {
+    DISCOVERY_TOKEN_BIT | ((attempt as u64) << 32) | dst as u64
+}
+
+fn decode_token(token: u64) -> Option<(NodeId, u32)> {
+    if token & DISCOVERY_TOKEN_BIT == 0 {
+        return None;
+    }
+    Some(((token & 0xFFFF_FFFF) as NodeId, ((token >> 32) & 0x7FFF_FFFF) as u32))
+}
+
+/// The Split-label Routing Protocol instance on one node.
+pub struct Srp {
+    node: NodeId,
+    cfg: SrpConfig,
+    /// Our own destination sequence number (64-bit, non-zero at init,
+    /// Definition 7). Only we may increment it.
+    own_seqno: u64,
+    seqno_increments: u64,
+    dests: HashMap<NodeId, DestState>,
+    rreq_seen: HashMap<(NodeId, u64), RreqCache>,
+    next_rreq_id: u64,
+    discoveries: HashMap<NodeId, Discovery>,
+    buffer: PacketBuffer,
+    last_rerr: HashMap<NodeId, SimTime>,
+    max_denominator: u64,
+    discoveries_started: u64,
+    resets_requested: u64,
+}
+
+impl Srp {
+    /// Creates the SRP instance for `node`.
+    pub fn new(node: NodeId, cfg: SrpConfig) -> Self {
+        Srp {
+            node,
+            cfg,
+            own_seqno: 1,
+            seqno_increments: 0,
+            dests: HashMap::new(),
+            rreq_seen: HashMap::new(),
+            next_rreq_id: 0,
+            discoveries: HashMap::new(),
+            buffer: PacketBuffer::new(cfg.buffer_capacity),
+            last_rerr: HashMap::new(),
+            max_denominator: 1,
+            discoveries_started: 0,
+            resets_requested: 0,
+        }
+    }
+
+    /// Our current label (ordering) for destination `t`.
+    fn label_for(&mut self, t: NodeId, now: SimTime) -> SplitLabel32 {
+        if t == self.node {
+            return SplitLabel32::destination(self.own_seqno);
+        }
+        match self.dests.get(&t) {
+            Some(ds) => {
+                if let Some(forget) = ds.forget_at {
+                    if now >= forget {
+                        self.dests.remove(&t);
+                        return SplitLabel32::unassigned();
+                    }
+                }
+                ds.label
+            }
+            None => SplitLabel32::unassigned(),
+        }
+    }
+
+    /// Whether we have an active route to `t` (Definition 2), applying
+    /// lazy expiry.
+    fn route_active(&mut self, t: NodeId, now: SimTime) -> bool {
+        let expired = match self.dests.get(&t) {
+            Some(ds) => !ds.succs.is_empty() && now >= ds.expires,
+            None => false,
+        };
+        if expired {
+            self.invalidate(t, now);
+        }
+        self.dests
+            .get(&t)
+            .map(|ds| !ds.succs.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Invalidates the route to `t`, starting the DELETE_PERIOD clock on
+    /// its label (Definition 3).
+    fn invalidate(&mut self, t: NodeId, now: SimTime) {
+        if let Some(ds) = self.dests.get_mut(&t) {
+            ds.succs.clear();
+            if ds.forget_at.is_none() {
+                ds.forget_at = Some(now + self.cfg.delete_period);
+            }
+        }
+    }
+
+    /// Forwards a data packet via a feasible successor chosen by the
+    /// configured [`MultipathPolicy`]. Returns `None` if no active route
+    /// exists.
+    fn try_forward(&mut self, mut packet: DataPacket, now: SimTime) -> Option<Vec<ProtoEffect>> {
+        if !self.route_active(packet.dst, now) {
+            return None;
+        }
+        if packet.ttl == 0 {
+            return Some(vec![ProtoEffect::DropData {
+                packet,
+                reason: DataDropReason::TtlExpired,
+            }]);
+        }
+        let policy = self.cfg.multipath;
+        let ds = self.dests.get_mut(&packet.dst).expect("active route");
+        let next_hop = match policy {
+            MultipathPolicy::SingleMinHop => {
+                ds.succs.best_successor().expect("active route").0
+            }
+            MultipathPolicy::RoundRobin => {
+                let hops: Vec<NodeId> = ds.succs.iter().map(|(n, _)| *n).collect();
+                let pick = hops[ds.rr_counter as usize % hops.len()];
+                ds.rr_counter = ds.rr_counter.wrapping_add(1);
+                pick
+            }
+        };
+        ds.expires = now + self.cfg.route_lifetime;
+        packet.ttl -= 1;
+        Some(vec![ProtoEffect::SendData { packet, next_hop }])
+    }
+
+    /// Procedure 1 (*Initiate Solicitation*) and its retries.
+    fn start_discovery(&mut self, dst: NodeId, now: SimTime, fx: &mut Vec<ProtoEffect>) {
+        if self.discoveries.contains_key(&dst) {
+            return; // already active for this destination
+        }
+        self.discoveries_started += 1;
+        self.send_rreq(dst, 0, false, now, fx);
+    }
+
+    fn send_rreq(
+        &mut self,
+        dst: NodeId,
+        attempt: u32,
+        reset: bool,
+        now: SimTime,
+        fx: &mut Vec<ProtoEffect>,
+    ) {
+        let Some(ttl) = self.cfg.ring.ttl(attempt) else {
+            // Attempts exhausted: fail the discovery.
+            self.discoveries.remove(&dst);
+            for packet in self.buffer.take_for(dst) {
+                fx.push(ProtoEffect::DropData {
+                    packet,
+                    reason: DataDropReason::NoRoute,
+                });
+            }
+            return;
+        };
+        self.next_rreq_id += 1;
+        let rreq_id = self.next_rreq_id;
+        self.discoveries.insert(dst, Discovery { attempt });
+
+        let label = self.label_for(dst, now);
+        let unknown = label.is_unassigned();
+        // The §V lying heuristic: understate the advertised ordering so
+        // only strictly better nodes reply.
+        let fd = if unknown {
+            Frac32::one()
+        } else {
+            label.fd().lie_down(self.cfg.lie_k).unwrap_or_else(Frac32::one)
+        };
+        let rreq = SrpRreq {
+            src: self.node,
+            rreq_id,
+            dst,
+            dst_seqno: label.seqno(),
+            fd,
+            unknown,
+            reset,
+            dest_only: false,
+            no_advert: false,
+            d: 0,
+            ttl,
+            src_seqno: self.own_seqno,
+            src_lfd: Frac32::zero(),
+            src_ld: 0,
+        };
+        // We are *active* for our own calculation: mark engaged so the
+        // flood cannot re-enter.
+        self.rreq_seen.insert(
+            (self.node, rreq_id),
+            RreqCache {
+                cached: SplitLabel32::unassigned(),
+                last_hop: self.node,
+                replied: false,
+            },
+        );
+        fx.push(ProtoEffect::SendControl {
+            packet: ControlPacket::Srp(SrpMessage::Rreq(rreq)),
+            next_hop: None,
+        });
+        fx.push(ProtoEffect::SetTimer {
+            token: discovery_token(dst, attempt),
+            delay: self.cfg.ring.timeout(ttl, self.cfg.per_hop_latency),
+        });
+    }
+
+    /// Procedure 3 (*Set Route*): process a feasible advertisement from
+    /// `from` for destination `t`. Returns the adopted new label, or `None`
+    /// if the advertisement had to be dropped.
+    fn set_route(
+        &mut self,
+        t: NodeId,
+        from: NodeId,
+        adv: SplitLabel32,
+        adv_dist: u32,
+        cached: SplitLabel32,
+        now: SimTime,
+    ) -> Option<SplitLabel32> {
+        if t == self.node {
+            return None;
+        }
+        let own = self.label_for(t, now);
+        if !own.precedes(&adv) {
+            return None; // infeasible at this node
+        }
+        let g = new_order(own, cached, adv);
+        if !g.label.is_finite() {
+            return None;
+        }
+        let ds = self
+            .dests
+            .entry(t)
+            .or_insert_with(DestState::unassigned);
+        ds.label = g.label;
+        // Line 13 of Algorithm 1.
+        ds.succs.prune_out_of_order(&g.label);
+        let dist = adv_dist.saturating_add(1);
+        ds.succs.insert(from, adv, dist);
+        ds.dist = ds
+            .succs
+            .best_successor()
+            .map(|(_, e)| e.distance)
+            .unwrap_or(dist);
+        ds.expires = now + self.cfg.route_lifetime;
+        ds.forget_at = None;
+        let den = g.label.fd().den() as u64;
+        if den > self.max_denominator {
+            self.max_denominator = den;
+        }
+        Some(g.label)
+    }
+
+    /// Flush buffered packets toward `dst` once a route exists.
+    fn flush_buffer(&mut self, dst: NodeId, now: SimTime, fx: &mut Vec<ProtoEffect>) {
+        for packet in self.buffer.take_for(dst) {
+            match self.try_forward(packet, now) {
+                Some(out) => fx.extend(out),
+                None => break,
+            }
+        }
+        self.discoveries.remove(&dst);
+    }
+
+    /// Broadcast a RERR for `dests` (rate-limited per destination).
+    fn send_rerr(&mut self, dests: Vec<NodeId>, now: SimTime, fx: &mut Vec<ProtoEffect>) {
+        let fresh: Vec<NodeId> = dests
+            .into_iter()
+            .filter(|d| {
+                self.last_rerr
+                    .get(d)
+                    .map(|t| now.saturating_since(*t) >= self.cfg.rerr_rate_limit)
+                    .unwrap_or(true)
+            })
+            .collect();
+        if fresh.is_empty() {
+            return;
+        }
+        for d in &fresh {
+            self.last_rerr.insert(*d, now);
+        }
+        fx.push(ProtoEffect::SendControl {
+            packet: ControlPacket::Srp(SrpMessage::Rerr(SrpRerr { unreachable: fresh })),
+            next_hop: None,
+        });
+    }
+
+    /// Procedure 2 (*Relay Solicitation*) plus destination/SDC replies.
+    fn handle_rreq(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        prev: NodeId,
+        rreq: SrpRreq,
+    ) -> Vec<ProtoEffect> {
+        let mut fx = Vec::new();
+        let now = ctx.now;
+        if rreq.src == self.node {
+            return fx; // our own flood echoed back
+        }
+        let key = (rreq.src, rreq.rreq_id);
+        if self.rreq_seen.contains_key(&key) {
+            return fx; // not passive for this calculation
+        }
+
+        // Learn the route to the source from the RREQ's advertisement
+        // piece (Procedure 3 with an unassigned cached ordering).
+        let mut reverse_built = true;
+        if !rreq.no_advert {
+            let adv = SplitLabel32::new(rreq.src_seqno, rreq.src_lfd);
+            // The advertisement's measured distance grows with the flood.
+            if self
+                .set_route(rreq.src, prev, adv, rreq.d, SplitLabel32::unassigned(), now)
+                .is_none()
+                && !self.route_active(rreq.src, now)
+            {
+                reverse_built = false;
+            }
+        } else {
+            reverse_built = self.route_active(rreq.src, now);
+        }
+
+        // Become engaged: cache {A, ID_A, O_#, lasthop}.
+        let solicited = if rreq.unknown {
+            SplitLabel32::unassigned()
+        } else {
+            SplitLabel32::new(rreq.dst_seqno, rreq.fd)
+        };
+        self.rreq_seen.insert(
+            key,
+            RreqCache {
+                cached: solicited,
+                last_hop: prev,
+                replied: false,
+            },
+        );
+
+        // Destination reply: T may respond to any solicitation for itself.
+        if rreq.dst == self.node {
+            if rreq.reset {
+                // A reset must carry a strictly larger sequence number.
+                self.own_seqno = self.own_seqno.max(rreq.dst_seqno) + 1;
+                self.seqno_increments += 1;
+            } else if !rreq.unknown && rreq.dst_seqno > self.own_seqno {
+                // Stale-clock guard: the network can never legitimately
+                // know a larger seqno, but be safe (64-bit timestamps make
+                // this unreachable in practice).
+                self.own_seqno = rreq.dst_seqno + 1;
+                self.seqno_increments += 1;
+            }
+            self.rreq_seen.get_mut(&key).expect("just inserted").replied = true;
+            fx.push(ProtoEffect::SendControl {
+                packet: ControlPacket::Srp(SrpMessage::Rrep(SrpRrep {
+                    rreq_src: rreq.src,
+                    rreq_id: rreq.rreq_id,
+                    dst: self.node,
+                    dst_seqno: self.own_seqno,
+                    lfd: Frac32::zero(),
+                    ld: 0,
+                    no_reverse: !reverse_built,
+                })),
+                next_hop: Some(prev),
+            });
+            return fx;
+        }
+
+        // Intermediate reply under the Start Distance Condition, gated by
+        // the §V several-hops heuristic and the D bit.
+        let own = self.label_for(rreq.dst, now);
+        let sdc = self.route_active(rreq.dst, now)
+            && (own.seqno() > rreq.dst_seqno || (solicited.precedes(&own) && !rreq.reset));
+        if sdc && !rreq.dest_only && rreq.d >= self.cfg.min_reply_hops {
+            let ds = self.dests.get(&rreq.dst).expect("active route");
+            let (label, dist) = (ds.label, ds.dist);
+            self.rreq_seen.get_mut(&key).expect("just inserted").replied = true;
+            fx.push(ProtoEffect::SendControl {
+                packet: ControlPacket::Srp(SrpMessage::Rrep(SrpRrep {
+                    rreq_src: rreq.src,
+                    rreq_id: rreq.rreq_id,
+                    dst: rreq.dst,
+                    dst_seqno: label.seqno(),
+                    lfd: label.fd(),
+                    ld: dist,
+                    no_reverse: !reverse_built,
+                })),
+                next_hop: Some(prev),
+            });
+            return fx;
+        }
+
+        // Relay (Eqs. 9–11).
+        if rreq.ttl <= 1 {
+            return fx; // flood exhausted
+        }
+        let own_unassigned = own.is_unassigned();
+        let new_ordering = if rreq.unknown && own_unassigned {
+            SplitLabel32::unassigned()
+        } else if own.seqno() > rreq.dst_seqno {
+            own
+        } else if own.seqno() == rreq.dst_seqno && !own_unassigned {
+            SplitLabel32::min_label(own, solicited)
+        } else {
+            solicited
+        };
+        let new_reset = if rreq.unknown && own_unassigned {
+            false
+        } else if own.seqno() > rreq.dst_seqno {
+            false
+        } else if !solicited.precedes(&own) && rreq.fd.mediant_overflows(&own.fd()) {
+            true
+        } else {
+            rreq.reset
+        };
+
+        // Advertisement piece for the relayed RREQ: our route to the source.
+        let (no_advert, src_seqno, src_lfd, src_ld) = if self.route_active(rreq.src, now) {
+            let srcs = self.dests.get(&rreq.src).expect("active route");
+            (false, srcs.label.seqno(), srcs.label.fd(), srcs.dist)
+        } else {
+            (true, rreq.src_seqno, rreq.src_lfd, rreq.src_ld)
+        };
+
+        let relayed = SrpRreq {
+            src: rreq.src,
+            rreq_id: rreq.rreq_id,
+            dst: rreq.dst,
+            dst_seqno: new_ordering.seqno(),
+            fd: new_ordering.fd(),
+            unknown: new_ordering.is_unassigned(),
+            reset: new_reset,
+            dest_only: rreq.dest_only,
+            no_advert,
+            d: rreq.d + 1,
+            ttl: rreq.ttl - 1,
+            src_seqno,
+            src_lfd,
+            src_ld,
+        };
+        // D-bit probes travel the unicast forward path; floods broadcast.
+        let next_hop = if rreq.dest_only {
+            if self.route_active(rreq.dst, now) {
+                self.dests
+                    .get(&rreq.dst)
+                    .and_then(|ds| ds.succs.best_successor())
+                    .map(|(n, _)| n)
+            } else {
+                None // cannot advance a probe without a route: drop
+            }
+        } else {
+            None
+        };
+        if rreq.dest_only && next_hop.is_none() {
+            return fx;
+        }
+        fx.push(ProtoEffect::SendControl {
+            packet: ControlPacket::Srp(SrpMessage::Rreq(relayed)),
+            next_hop,
+        });
+        fx
+    }
+
+    /// Procedures 3–4: process and possibly relay an advertisement.
+    fn handle_rrep(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        _prev_from: NodeId,
+        rrep: SrpRrep,
+    ) -> Vec<ProtoEffect> {
+        let mut fx = Vec::new();
+        let now = ctx.now;
+        let from = _prev_from;
+        let t = rrep.dst;
+        let terminus = rrep.rreq_src == self.node;
+        let adv = SplitLabel32::new(rrep.dst_seqno, rrep.lfd);
+
+        let cache = self.rreq_seen.get(&(rrep.rreq_src, rrep.rreq_id)).cloned();
+        // Procedure 3: the terminus (and nodes without a cached ordering)
+        // use the unassigned cached ordering.
+        let cached = if terminus {
+            SplitLabel32::unassigned()
+        } else {
+            match &cache {
+                Some(c) => c.cached,
+                None => return fx, // not engaged: cannot route the reply
+            }
+        };
+
+        match self.set_route(t, from, adv, rrep.ld, cached, now) {
+            Some(new_label) => {
+                if terminus {
+                    self.flush_buffer(t, now, &mut fx);
+                    // MAX_DENOM reset probe (Procedure 3).
+                    if new_label.fd().den() as u64 > self.cfg.max_denom {
+                        self.resets_requested += 1;
+                        self.send_reset_probe(t, now, &mut fx);
+                    }
+                    if rrep.no_reverse && self.cfg.probe_on_no_reverse {
+                        // §III: the source should increase its sequence
+                        // number and probe so the reverse path gets built.
+                        // Off by default — replies follow the cached
+                        // reverse path, and Fig. 7 of the paper shows the
+                        // SRP sequence number never moving.
+                        self.own_seqno += 1;
+                        self.seqno_increments += 1;
+                        self.send_reset_probe(t, now, &mut fx);
+                    }
+                } else if let Some(c) = cache {
+                    if !c.replied {
+                        self.rreq_seen
+                            .get_mut(&(rrep.rreq_src, rrep.rreq_id))
+                            .expect("present")
+                            .replied = true;
+                        let ds = self.dests.get(&t).expect("route just set");
+                        fx.push(ProtoEffect::SendControl {
+                            packet: ControlPacket::Srp(SrpMessage::Rrep(SrpRrep {
+                                rreq_src: rrep.rreq_src,
+                                rreq_id: rrep.rreq_id,
+                                dst: t,
+                                dst_seqno: ds.label.seqno(),
+                                lfd: ds.label.fd(),
+                                ld: ds.dist,
+                                no_reverse: rrep.no_reverse,
+                            })),
+                            next_hop: Some(c.last_hop),
+                        });
+                    }
+                }
+            }
+            None => {
+                // Infeasible: a relay with an active route may issue a new
+                // advertisement from its own label (Procedure 4); otherwise
+                // the advertisement dies here.
+                if !terminus && self.route_active(t, now) {
+                    if let Some(c) = cache {
+                        if !c.replied {
+                            self.rreq_seen
+                                .get_mut(&(rrep.rreq_src, rrep.rreq_id))
+                                .expect("present")
+                                .replied = true;
+                            let ds = self.dests.get(&t).expect("active route");
+                            fx.push(ProtoEffect::SendControl {
+                                packet: ControlPacket::Srp(SrpMessage::Rrep(SrpRrep {
+                                    rreq_src: rrep.rreq_src,
+                                    rreq_id: rrep.rreq_id,
+                                    dst: t,
+                                    dst_seqno: ds.label.seqno(),
+                                    lfd: ds.label.fd(),
+                                    ld: ds.dist,
+                                    no_reverse: rrep.no_reverse,
+                                })),
+                                next_hop: Some(c.last_hop),
+                            });
+                        }
+                    }
+                } else if terminus && self.route_active(t, now) {
+                    // An infeasible reply but some route exists: use it.
+                    self.flush_buffer(t, now, &mut fx);
+                }
+            }
+        }
+        fx
+    }
+
+    /// Sends the unicast D-bit path-reset probe toward `t`.
+    fn send_reset_probe(&mut self, t: NodeId, now: SimTime, fx: &mut Vec<ProtoEffect>) {
+        if !self.route_active(t, now) {
+            return;
+        }
+        let next = self
+            .dests
+            .get(&t)
+            .and_then(|ds| ds.succs.best_successor())
+            .map(|(n, _)| n)
+            .expect("active route");
+        self.next_rreq_id += 1;
+        let label = self.label_for(t, now);
+        let rreq = SrpRreq {
+            src: self.node,
+            rreq_id: self.next_rreq_id,
+            dst: t,
+            dst_seqno: label.seqno(),
+            fd: label.fd(),
+            unknown: label.is_unassigned(),
+            reset: true,
+            dest_only: true,
+            no_advert: false,
+            d: 0,
+            ttl: 64,
+            src_seqno: self.own_seqno,
+            src_lfd: Frac32::zero(),
+            src_ld: 0,
+        };
+        self.rreq_seen.insert(
+            (self.node, self.next_rreq_id),
+            RreqCache {
+                cached: SplitLabel32::unassigned(),
+                last_hop: self.node,
+                replied: false,
+            },
+        );
+        fx.push(ProtoEffect::SendControl {
+            packet: ControlPacket::Srp(SrpMessage::Rreq(rreq)),
+            next_hop: Some(next),
+        });
+    }
+
+    fn handle_rerr(&mut self, now: SimTime, prev: NodeId, rerr: SrpRerr) -> Vec<ProtoEffect> {
+        let mut fx = Vec::new();
+        let mut lost = Vec::new();
+        for t in rerr.unreachable {
+            let became_invalid = {
+                match self.dests.get_mut(&t) {
+                    Some(ds) if ds.succs.contains(&prev) => {
+                        ds.succs.remove(&prev);
+                        ds.succs.is_empty()
+                    }
+                    _ => false,
+                }
+            };
+            if became_invalid {
+                self.invalidate(t, now);
+                lost.push(t);
+            }
+        }
+        if !lost.is_empty() {
+            self.send_rerr(lost, now, &mut fx);
+        }
+        fx
+    }
+}
+
+impl RoutingProtocol for Srp {
+    fn name(&self) -> &'static str {
+        "SRP"
+    }
+
+    fn on_start(&mut self, _ctx: &mut ProtoCtx<'_>) -> Vec<ProtoEffect> {
+        Vec::new() // purely on-demand
+    }
+
+    fn on_data_from_app(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        packet: DataPacket,
+    ) -> Vec<ProtoEffect> {
+        let now = ctx.now;
+        if packet.dst == self.node {
+            return vec![ProtoEffect::DeliverLocal(packet)];
+        }
+        if let Some(fx) = self.try_forward(packet.clone(), now) {
+            return fx;
+        }
+        let mut fx = Vec::new();
+        let dst = packet.dst;
+        if let Some(overflow) = self.buffer.push(packet, now) {
+            fx.push(ProtoEffect::DropData {
+                packet: overflow,
+                reason: DataDropReason::BufferOverflow,
+            });
+        }
+        self.start_discovery(dst, now, &mut fx);
+        fx
+    }
+
+    fn on_data_received(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        from: NodeId,
+        packet: DataPacket,
+    ) -> Vec<ProtoEffect> {
+        let now = ctx.now;
+        if packet.dst == self.node {
+            return vec![ProtoEffect::DeliverLocal(packet)];
+        }
+        if let Some(fx) = self.try_forward(packet.clone(), now) {
+            return fx;
+        }
+        // No successor: route error to the data packet's last hop (§II),
+        // then hold the packet and repair locally.
+        let mut fx = Vec::new();
+        fx.push(ProtoEffect::SendControl {
+            packet: ControlPacket::Srp(SrpMessage::Rerr(SrpRerr {
+                unreachable: vec![packet.dst],
+            })),
+            next_hop: Some(from),
+        });
+        let dst = packet.dst;
+        if let Some(overflow) = self.buffer.push(packet, now) {
+            fx.push(ProtoEffect::DropData {
+                packet: overflow,
+                reason: DataDropReason::BufferOverflow,
+            });
+        }
+        self.start_discovery(dst, now, &mut fx);
+        fx
+    }
+
+    fn on_control_received(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        from: NodeId,
+        packet: ControlPacket,
+    ) -> Vec<ProtoEffect> {
+        let ControlPacket::Srp(msg) = packet else {
+            return Vec::new();
+        };
+        match msg {
+            SrpMessage::Rreq(r) => self.handle_rreq(ctx, from, r),
+            SrpMessage::Rrep(r) => self.handle_rrep(ctx, from, r),
+            SrpMessage::Rerr(r) => self.handle_rerr(ctx.now, from, r),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProtoCtx<'_>, token: u64) -> Vec<ProtoEffect> {
+        let mut fx = Vec::new();
+        let now = ctx.now;
+        // Sweep stale buffered packets on any timer activity.
+        for packet in self.buffer.take_expired(now, self.cfg.buffer_timeout) {
+            fx.push(ProtoEffect::DropData {
+                packet,
+                reason: DataDropReason::BufferTimeout,
+            });
+        }
+        let Some((dst, attempt)) = decode_token(token) else {
+            return fx;
+        };
+        let Some(d) = self.discoveries.get(&dst).copied() else {
+            return fx; // discovery already satisfied
+        };
+        if d.attempt != attempt {
+            return fx; // stale timer from an earlier attempt
+        }
+        if self.route_active(dst, now) {
+            self.discoveries.remove(&dst);
+            return fx;
+        }
+        self.discoveries.remove(&dst);
+        // Re-issue with the next ring TTL (keeps rr=false: SRP resets are
+        // label-driven, not retry-driven).
+        self.discoveries_started += 1;
+        self.send_rreq(dst, attempt + 1, false, now, &mut fx);
+        fx
+    }
+
+    fn on_link_failure(
+        &mut self,
+        ctx: &mut ProtoCtx<'_>,
+        next_hop: NodeId,
+        packet: Option<DataPacket>,
+    ) -> Vec<ProtoEffect> {
+        let mut fx = Vec::new();
+        let now = ctx.now;
+        // Break the next hop everywhere.
+        let mut lost = Vec::new();
+        let dests: Vec<NodeId> = self.dests.keys().copied().collect();
+        for t in dests {
+            let ds = self.dests.get_mut(&t).expect("iterating keys");
+            if ds.succs.contains(&next_hop) {
+                ds.succs.remove(&next_hop);
+                if ds.succs.is_empty() {
+                    self.invalidate(t, now);
+                    lost.push(t);
+                }
+            }
+        }
+        if !lost.is_empty() {
+            self.send_rerr(lost, now, &mut fx);
+        }
+        // Packet cache: resend the dropped packet over an alternate
+        // successor, or repair.
+        if let Some(p) = packet {
+            match self.try_forward(p.clone(), now) {
+                Some(out) => fx.extend(out),
+                None => {
+                    let dst = p.dst;
+                    if let Some(overflow) = self.buffer.push(p, now) {
+                        fx.push(ProtoEffect::DropData {
+                            packet: overflow,
+                            reason: DataDropReason::BufferOverflow,
+                        });
+                    }
+                    self.start_discovery(dst, now, &mut fx);
+                }
+            }
+        }
+        fx
+    }
+
+    fn stats(&self) -> ProtoStats {
+        ProtoStats {
+            own_seqno_increments: self.seqno_increments,
+            max_fd_denominator: self.max_denominator,
+            discoveries: self.discoveries_started,
+            resets_requested: self.resets_requested,
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl Srp {
+    /// This node's current ordering for `dst` (oracle introspection; does
+    /// not apply DELETE_PERIOD expiry).
+    pub fn oracle_label(&self, dst: NodeId) -> SplitLabel32 {
+        if dst == self.node {
+            return SplitLabel32::destination(self.own_seqno);
+        }
+        self.dests
+            .get(&dst)
+            .map(|d| d.label)
+            .unwrap_or_else(SplitLabel32::unassigned)
+    }
+
+    /// Current successors toward `dst` with their recorded advertisement
+    /// orderings (oracle introspection).
+    pub fn oracle_successors(&self, dst: NodeId) -> Vec<(NodeId, SplitLabel32)> {
+        self.dests
+            .get(&dst)
+            .map(|d| d.succs.iter().map(|(n, e)| (*n, e.label)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Destinations with any successor state (oracle introspection).
+    pub fn oracle_destinations(&self) -> Vec<NodeId> {
+        self.dests
+            .iter()
+            .filter(|(_, d)| !d.succs.is_empty())
+            .map(|(t, _)| *t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use slr_core::Fraction;
+
+    fn ctx_at(rng: &mut SmallRng, secs: u64) -> ProtoCtx<'_> {
+        ProtoCtx {
+            now: SimTime::from_secs(secs),
+            rng,
+        }
+    }
+
+    fn data(src: NodeId, dst: NodeId, uid: u64) -> DataPacket {
+        DataPacket {
+            src,
+            dst,
+            uid,
+            origin_time: SimTime::ZERO,
+            bytes: 512,
+            ttl: 64,
+            source_route: None,
+        }
+    }
+
+    fn rreq_of(fx: &[ProtoEffect]) -> Option<SrpRreq> {
+        fx.iter().find_map(|e| match e {
+            ProtoEffect::SendControl {
+                packet: ControlPacket::Srp(SrpMessage::Rreq(r)),
+                ..
+            } => Some(r.clone()),
+            _ => None,
+        })
+    }
+
+    fn rrep_of(fx: &[ProtoEffect]) -> Option<(SrpRrep, Option<NodeId>)> {
+        fx.iter().find_map(|e| match e {
+            ProtoEffect::SendControl {
+                packet: ControlPacket::Srp(SrpMessage::Rrep(r)),
+                next_hop,
+            } => Some((r.clone(), *next_hop)),
+            _ => None,
+        })
+    }
+
+    /// End-to-end discovery over the line 0–1–2 (0 seeks 2).
+    #[test]
+    fn three_node_discovery_builds_labels() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut a = Srp::new(0, SrpConfig::default());
+        let mut b = Srp::new(1, SrpConfig::default());
+        let mut c = Srp::new(2, SrpConfig::default());
+
+        // 0 originates data for 2: buffers + RREQ.
+        let fx = a.on_data_from_app(&mut ctx_at(&mut rng, 1), data(0, 2, 1));
+        let rreq = rreq_of(&fx).expect("RREQ issued");
+        assert!(rreq.unknown, "no stored ordering for 2");
+        assert_eq!(rreq.d, 0);
+
+        // 1 relays.
+        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 0, ControlPacket::Srp(SrpMessage::Rreq(rreq)));
+        let relayed = rreq_of(&fx).expect("relayed");
+        assert_eq!(relayed.d, 1);
+        assert!(relayed.unknown);
+
+        // 2 (the destination) replies.
+        let fx = c.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Srp(SrpMessage::Rreq(relayed)));
+        let (rrep, nh) = rrep_of(&fx).expect("destination replies");
+        assert_eq!(nh, Some(1));
+        assert!(rrep.lfd.is_zero(), "destination advertises 0/1");
+        assert_eq!(rrep.ld, 0);
+
+        // 1 adopts label 1/2 (next-element of 0/1) and relays to 0.
+        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 2, ControlPacket::Srp(SrpMessage::Rrep(rrep)));
+        let (rrep2, nh2) = rrep_of(&fx).expect("relayed reply");
+        assert_eq!(nh2, Some(0));
+        assert_eq!(rrep2.lfd, Fraction::new(1, 2).unwrap());
+        assert_eq!(rrep2.ld, 1);
+
+        // 0 adopts 2/3 and flushes the buffered packet toward 1.
+        let fx = a.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Srp(SrpMessage::Rrep(rrep2)));
+        assert!(
+            fx.iter()
+                .any(|e| matches!(e, ProtoEffect::SendData { next_hop: 1, .. })),
+            "{fx:?}"
+        );
+        assert_eq!(a.label_for(2, SimTime::from_secs(1)).fd(), Fraction::new(2, 3).unwrap());
+        // Sequence numbers never moved (the Fig. 7 invariant).
+        assert_eq!(a.stats().own_seqno_increments, 0);
+        assert_eq!(b.stats().own_seqno_increments, 0);
+        assert_eq!(c.stats().own_seqno_increments, 0);
+    }
+
+    #[test]
+    fn lying_heuristic_applied_to_rreq() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut a = Srp::new(0, SrpConfig::default());
+        // Give node 0 a label for destination 9 by feeding it a reply.
+        a.rreq_seen.insert(
+            (0, 999),
+            RreqCache {
+                cached: SplitLabel32::unassigned(),
+                last_hop: 0,
+                replied: false,
+            },
+        );
+        let rrep = SrpRrep {
+            rreq_src: 0,
+            rreq_id: 999,
+            dst: 9,
+            dst_seqno: 5,
+            lfd: Fraction::new(1, 2).unwrap(),
+            ld: 1,
+            no_reverse: false,
+        };
+        let _ = a.on_control_received(&mut ctx_at(&mut rng, 1), 3, ControlPacket::Srp(SrpMessage::Rrep(rrep)));
+        let label = a.label_for(9, SimTime::from_secs(1));
+        assert_eq!(label.fd(), Fraction::new(2, 3).unwrap());
+
+        // Invalidate the route but keep the label; a new discovery lies.
+        a.invalidate(9, SimTime::from_secs(2));
+        let fx = a.on_data_from_app(&mut ctx_at(&mut rng, 3), data(0, 9, 7));
+        let rreq = rreq_of(&fx).expect("discovery starts");
+        assert!(!rreq.unknown);
+        // True ordering 2/3 → lie (2-1)/(3-1) = 1/2.
+        assert_eq!(rreq.fd, Fraction::new(1, 2).unwrap());
+        assert_eq!(rreq.dst_seqno, 5);
+    }
+
+    #[test]
+    fn intermediate_reply_requires_min_hops_and_sdc() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut b = Srp::new(1, SrpConfig::default());
+        // Node 1 holds an active route to 9 with label (5, 1/2).
+        b.rreq_seen.insert(
+            (1, 999),
+            RreqCache {
+                cached: SplitLabel32::unassigned(),
+                last_hop: 1,
+                replied: false,
+            },
+        );
+        let seed_rrep = SrpRrep {
+            rreq_src: 1,
+            rreq_id: 999,
+            dst: 9,
+            dst_seqno: 5,
+            lfd: Fraction::new(1, 3).unwrap(),
+            ld: 1,
+            no_reverse: false,
+        };
+        let _ = b.on_control_received(&mut ctx_at(&mut rng, 1), 4, ControlPacket::Srp(SrpMessage::Rrep(seed_rrep)));
+        assert!(b.route_active(9, SimTime::from_secs(1)));
+
+        // A solicitation that has traveled 0 hops: heuristic blocks reply.
+        let rreq = SrpRreq {
+            src: 7,
+            rreq_id: 1,
+            dst: 9,
+            dst_seqno: 5,
+            fd: Fraction::new(3, 4).unwrap(),
+            unknown: false,
+            reset: false,
+            dest_only: false,
+            no_advert: true,
+            d: 0,
+            ttl: 5,
+            src_seqno: 1,
+            src_lfd: Frac32::one(),
+            src_ld: 0,
+        };
+        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq.clone())));
+        assert!(rrep_of(&fx).is_none(), "0-hop RREQ must not be answered");
+        assert!(rreq_of(&fx).is_some(), "relayed instead");
+
+        // Same solicitation after 2 hops (fresh rreq id): SDC satisfied
+        // (solicited (5, 3/4) ≺ ours (5, ~1/2-range)) → reply.
+        let rreq2 = SrpRreq {
+            rreq_id: 2,
+            d: 2,
+            ..rreq
+        };
+        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq2.clone())));
+        let (rrep, _) = rrep_of(&fx).expect("SDC reply after 2 hops");
+        assert_eq!(rrep.dst, 9);
+
+        // Out-of-order solicitation (fraction below ours) with same seqno:
+        // SDC fails → relay only.
+        let rreq3 = SrpRreq {
+            rreq_id: 3,
+            d: 2,
+            fd: Fraction::new(1, 10).unwrap(),
+            ..rreq2
+        };
+        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq3)));
+        assert!(rrep_of(&fx).is_none());
+        assert!(rreq_of(&fx).is_some());
+    }
+
+    #[test]
+    fn relay_strengthens_ordering_eq10() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut b = Srp::new(1, SrpConfig::default());
+        // Node 1 has a *fresher* stale label (seqno 7) for 9 but no route.
+        b.dests.insert(
+            9,
+            DestState {
+                label: SplitLabel32::new(7, Fraction::new(2, 3).unwrap()),
+                dist: 2,
+                succs: SuccessorTable::new(),
+                expires: SimTime::ZERO,
+                forget_at: None,
+                rr_counter: 0,
+            },
+        );
+        let rreq = SrpRreq {
+            src: 7,
+            rreq_id: 1,
+            dst: 9,
+            dst_seqno: 5,
+            fd: Fraction::new(1, 2).unwrap(),
+            unknown: false,
+            reset: true,
+            dest_only: false,
+            no_advert: true,
+            d: 1,
+            ttl: 5,
+            src_seqno: 1,
+            src_lfd: Frac32::one(),
+            src_ld: 0,
+        };
+        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq)));
+        let relayed = rreq_of(&fx).expect("relayed");
+        // Eq. 10 second arm: sn_B > sn_# → relay our ordering.
+        assert_eq!(relayed.dst_seqno, 7);
+        assert_eq!(relayed.fd, Fraction::new(2, 3).unwrap());
+        // Eq. 11 second arm: reset bit cleared.
+        assert!(!relayed.reset);
+    }
+
+    #[test]
+    fn relay_sets_reset_on_fraction_overflow() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut b = Srp::new(1, SrpConfig::default());
+        let big = Fraction::<u32>::new(u32::MAX - 2, u32::MAX - 1).unwrap();
+        b.dests.insert(
+            9,
+            DestState {
+                label: SplitLabel32::new(5, big),
+                dist: 2,
+                succs: SuccessorTable::new(),
+                expires: SimTime::ZERO,
+                forget_at: None,
+                rr_counter: 0,
+            },
+        );
+        // Solicitation at the same seqno whose fraction is *above* ours
+        // (so we are out of order) and overflows on mediant.
+        let rreq = SrpRreq {
+            src: 7,
+            rreq_id: 1,
+            dst: 9,
+            dst_seqno: 5,
+            fd: Fraction::<u32>::new(u32::MAX - 3, u32::MAX - 2).unwrap(),
+            unknown: false,
+            reset: false,
+            dest_only: false,
+            no_advert: true,
+            d: 1,
+            ttl: 5,
+            src_seqno: 1,
+            src_lfd: Frac32::one(),
+            src_ld: 0,
+        };
+        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq)));
+        let relayed = rreq_of(&fx).expect("relayed");
+        assert!(relayed.reset, "Eq. 11 third arm must set the T bit");
+    }
+
+    #[test]
+    fn destination_bumps_seqno_only_on_reset() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut t = Srp::new(9, SrpConfig::default());
+        let base = SrpRreq {
+            src: 7,
+            rreq_id: 1,
+            dst: 9,
+            dst_seqno: 1,
+            fd: Frac32::one(),
+            unknown: true,
+            reset: false,
+            dest_only: false,
+            no_advert: true,
+            d: 3,
+            ttl: 5,
+            src_seqno: 1,
+            src_lfd: Frac32::one(),
+            src_ld: 0,
+        };
+        let fx = t.on_control_received(&mut ctx_at(&mut rng, 1), 3, ControlPacket::Srp(SrpMessage::Rreq(base.clone())));
+        let (rrep, _) = rrep_of(&fx).expect("destination replies");
+        assert_eq!(rrep.dst_seqno, 1, "no reset → seqno unchanged");
+        assert_eq!(t.stats().own_seqno_increments, 0);
+
+        let fx = t.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            3,
+            ControlPacket::Srp(SrpMessage::Rreq(SrpRreq {
+                rreq_id: 2,
+                reset: true,
+                ..base
+            })),
+        );
+        let (rrep, _) = rrep_of(&fx).expect("reset reply");
+        assert_eq!(rrep.dst_seqno, 2, "reset → strictly larger seqno");
+        assert_eq!(t.stats().own_seqno_increments, 1);
+    }
+
+    #[test]
+    fn link_failure_salvages_via_alternate_successor() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut a = Srp::new(0, SrpConfig::default());
+        // Two successors toward 9.
+        let mut ds = DestState::unassigned();
+        ds.label = SplitLabel32::new(1, Fraction::new(1, 2).unwrap());
+        ds.succs.insert(1, SplitLabel32::new(1, Fraction::new(1, 3).unwrap()), 2);
+        ds.succs.insert(2, SplitLabel32::new(1, Fraction::new(1, 4).unwrap()), 3);
+        ds.dist = 2;
+        ds.expires = SimTime::from_secs(100);
+        a.dests.insert(9, ds);
+
+        let fx = a.on_link_failure(&mut ctx_at(&mut rng, 1), 1, Some(data(5, 9, 42)));
+        // The packet is resent via the alternate successor (node 2), and
+        // no RERR is needed (route still valid).
+        assert!(
+            fx.iter()
+                .any(|e| matches!(e, ProtoEffect::SendData { next_hop: 2, .. })),
+            "{fx:?}"
+        );
+        assert!(!fx.iter().any(|e| matches!(
+            e,
+            ProtoEffect::SendControl {
+                packet: ControlPacket::Srp(SrpMessage::Rerr(_)),
+                ..
+            }
+        )));
+
+        // Losing the second successor invalidates and RERRs.
+        let fx = a.on_link_failure(&mut ctx_at(&mut rng, 2), 2, None);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            ProtoEffect::SendControl {
+                packet: ControlPacket::Srp(SrpMessage::Rerr(_)),
+                ..
+            }
+        )));
+        assert!(!a.route_active(9, SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn discovery_retries_and_gives_up() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut a = Srp::new(0, SrpConfig::default());
+        let fx = a.on_data_from_app(&mut ctx_at(&mut rng, 1), data(0, 9, 1));
+        let r0 = rreq_of(&fx).expect("first ring");
+        assert_eq!(r0.ttl, 5);
+        // First timer: second ring.
+        let fx = a.on_timer(&mut ctx_at(&mut rng, 2), discovery_token(9, 0));
+        let r1 = rreq_of(&fx).expect("second ring");
+        assert_eq!(r1.ttl, 16);
+        // Second timer: third ring.
+        let fx = a.on_timer(&mut ctx_at(&mut rng, 4), discovery_token(9, 1));
+        let r2 = rreq_of(&fx).expect("third ring");
+        assert_eq!(r2.ttl, 64);
+        // Third timer: give up, drop the buffered packet.
+        let fx = a.on_timer(&mut ctx_at(&mut rng, 10), discovery_token(9, 2));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            ProtoEffect::DropData {
+                reason: DataDropReason::NoRoute,
+                ..
+            }
+        )));
+        assert!(a.discoveries.is_empty());
+    }
+
+    #[test]
+    fn route_expires_without_use_and_label_is_retained() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut a = Srp::new(0, SrpConfig::default());
+        a.rreq_seen.insert(
+            (0, 999),
+            RreqCache {
+                cached: SplitLabel32::unassigned(),
+                last_hop: 0,
+                replied: false,
+            },
+        );
+        let rrep = SrpRrep {
+            rreq_src: 0,
+            rreq_id: 999,
+            dst: 9,
+            dst_seqno: 5,
+            lfd: Fraction::new(1, 2).unwrap(),
+            ld: 1,
+            no_reverse: false,
+        };
+        let _ = a.on_control_received(&mut ctx_at(&mut rng, 1), 3, ControlPacket::Srp(SrpMessage::Rrep(rrep)));
+        assert!(a.route_active(9, SimTime::from_secs(5)));
+        // 10 s of disuse: the route lapses but the label survives…
+        assert!(!a.route_active(9, SimTime::from_secs(20)));
+        let l = a.label_for(9, SimTime::from_secs(20));
+        assert!(!l.is_unassigned());
+        // …until DELETE_PERIOD passes.
+        let l = a.label_for(9, SimTime::from_secs(90));
+        assert!(l.is_unassigned());
+    }
+
+    #[test]
+    fn duplicate_rreq_ignored() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut b = Srp::new(1, SrpConfig::default());
+        let rreq = SrpRreq {
+            src: 7,
+            rreq_id: 1,
+            dst: 9,
+            dst_seqno: 0,
+            fd: Frac32::one(),
+            unknown: true,
+            reset: false,
+            dest_only: false,
+            no_advert: true,
+            d: 1,
+            ttl: 5,
+            src_seqno: 1,
+            src_lfd: Frac32::one(),
+            src_ld: 0,
+        };
+        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq.clone())));
+        assert!(rreq_of(&fx).is_some());
+        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 8, ControlPacket::Srp(SrpMessage::Rreq(rreq)));
+        assert!(fx.is_empty(), "engaged node ignores duplicates");
+    }
+
+    #[test]
+    fn round_robin_multipath_rotates_successors() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let cfg = SrpConfig {
+            multipath: MultipathPolicy::RoundRobin,
+            ..SrpConfig::default()
+        };
+        let mut a = Srp::new(0, cfg);
+        let mut ds = DestState::unassigned();
+        ds.label = SplitLabel32::new(1, Fraction::new(1, 2).unwrap());
+        ds.succs.insert(1, SplitLabel32::new(1, Fraction::new(1, 3).unwrap()), 2);
+        ds.succs.insert(2, SplitLabel32::new(1, Fraction::new(1, 4).unwrap()), 2);
+        ds.expires = SimTime::from_secs(100);
+        a.dests.insert(9, ds);
+
+        let mut hops = Vec::new();
+        for uid in 0..4 {
+            let fx = a.on_data_from_app(&mut ctx_at(&mut rng, 1), data(0, 9, uid));
+            let hop = fx
+                .iter()
+                .find_map(|e| match e {
+                    ProtoEffect::SendData { next_hop, .. } => Some(*next_hop),
+                    _ => None,
+                })
+                .expect("forwarded");
+            hops.push(hop);
+        }
+        assert_eq!(hops, vec![1, 2, 1, 2], "round robin alternates feasible successors");
+
+        // Uni-path always picks the min-hop (min id on ties) successor.
+        let mut b = Srp::new(0, SrpConfig::default());
+        let mut ds = DestState::unassigned();
+        ds.label = SplitLabel32::new(1, Fraction::new(1, 2).unwrap());
+        ds.succs.insert(1, SplitLabel32::new(1, Fraction::new(1, 3).unwrap()), 2);
+        ds.succs.insert(2, SplitLabel32::new(1, Fraction::new(1, 4).unwrap()), 2);
+        ds.expires = SimTime::from_secs(100);
+        b.dests.insert(9, ds);
+        for uid in 0..3 {
+            let fx = b.on_data_from_app(&mut ctx_at(&mut rng, 1), data(0, 9, uid));
+            assert!(fx
+                .iter()
+                .any(|e| matches!(e, ProtoEffect::SendData { next_hop: 1, .. })));
+        }
+    }
+
+    #[test]
+    fn rreq_advertisement_builds_route_to_source() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut b = Srp::new(1, SrpConfig::default());
+        let rreq = SrpRreq {
+            src: 7,
+            rreq_id: 1,
+            dst: 9,
+            dst_seqno: 0,
+            fd: Frac32::one(),
+            unknown: true,
+            reset: false,
+            dest_only: false,
+            no_advert: false,
+            d: 0,
+            ttl: 5,
+            src_seqno: 3,
+            src_lfd: Frac32::zero(),
+            src_ld: 0,
+        };
+        let _ = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq)));
+        assert!(b.route_active(7, SimTime::from_secs(1)), "learned route to source");
+        let l = b.label_for(7, SimTime::from_secs(1));
+        assert_eq!(l.seqno(), 3);
+        assert_eq!(l.fd(), Fraction::new(1, 2).unwrap());
+    }
+}

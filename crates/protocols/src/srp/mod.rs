@@ -1,0 +1,21 @@
+//! The Split-label Routing Protocol (SRP) — the paper's contribution.
+//!
+//! SRP instantiates the SLR class with the composite ordering
+//! `O = (sequence number, proper fraction)` from `slr-core`. Route
+//! discovery follows AODV's RREQ/RREP/RERR pattern, but:
+//!
+//! * labels, not hop counts, provide loop freedom: Algorithm 1 picks a new
+//!   ordering that provably maintains the DAG (Theorem 6);
+//! * a node can be *inserted* between two labels by mediant splitting, so
+//!   broken routes repair locally without touching predecessors;
+//! * the destination-controlled sequence number changes **only** when a
+//!   32-bit fraction would overflow (the T-bit path reset) — in the
+//!   paper's simulations it never changed at all (Fig. 7);
+//! * SRP is inherently multi-path: any feasible advertisement adds a
+//!   successor, and link failures fail over without a new discovery.
+
+pub mod engine;
+pub mod messages;
+
+pub use engine::{MultipathPolicy, Srp, SrpConfig};
+pub use messages::{SrpMessage, SrpRerr, SrpRreq, SrpRrep};

@@ -1,0 +1,370 @@
+//! The shared wireless medium.
+//!
+//! The channel tracks every in-flight transmission as a set of per-receiver
+//! *signals*. A signal is receivable when the receiver is inside reception
+//! range; audible (occupying the medium) inside carrier-sense range. A
+//! frame is delivered at its end time iff the receiver never transmitted
+//! during it and it *captured* over every overlapping signal (power ratio
+//! ≥ `capture_ratio` under the d⁻⁴ law). Everything else is a collision.
+//!
+//! The channel is a passive state machine: the harness calls
+//! [`Channel::begin_tx`] when a MAC starts transmitting, schedules the
+//! returned end events on its simulator, and calls [`Channel::finish_rx`] /
+//! [`Channel::finish_tx`] when they fire.
+
+use std::collections::HashMap;
+
+use slr_mobility::Position;
+use slr_netsim::time::{SimDuration, SimTime};
+
+use crate::frame::Frame;
+use crate::phy::PhyConfig;
+
+/// Identifier for one transmission on the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxId(u64);
+
+/// One signal as perceived by one receiver.
+#[derive(Debug, Clone)]
+struct Signal {
+    tx: TxId,
+    power: f64,
+    receivable: bool,
+    corrupted: bool,
+}
+
+/// Result of starting a transmission.
+#[derive(Debug, Clone)]
+pub struct BeginTx {
+    /// The transmission's id, to be echoed in end events.
+    pub tx_id: TxId,
+    /// Time the frame occupies the air.
+    pub airtime: SimDuration,
+    /// Receivers that perceive the signal; `true` marks nodes whose medium
+    /// just transitioned idle → busy (their MACs need a busy notification).
+    pub receivers: Vec<(usize, bool)>,
+}
+
+/// Result of a signal ending at one receiver.
+#[derive(Debug, Clone)]
+pub struct FinishRx<P> {
+    /// The frame, present iff it was successfully received.
+    pub frame: Option<Frame<P>>,
+    /// Whether the receiver's medium just transitioned busy → idle.
+    pub became_idle: bool,
+    /// Whether the signal was receivable but corrupted (collision).
+    pub collided: bool,
+}
+
+/// Aggregate channel statistics for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Transmissions started.
+    pub transmissions: u64,
+    /// Frames delivered intact (per receiver).
+    pub delivered: u64,
+    /// Receivable frames lost to collisions or half-duplex conflicts.
+    pub collisions: u64,
+}
+
+/// The shared medium for a set of nodes.
+pub struct Channel<P> {
+    phy: PhyConfig,
+    next_tx: u64,
+    /// In-flight transmissions: id → (frame, start, end).
+    in_flight: HashMap<u64, InFlight<P>>,
+    /// Per-receiver active signal lists.
+    signals: Vec<Vec<Signal>>,
+    /// Per-node end time of its own current transmission (`SimTime::ZERO`
+    /// when idle). Used for half-duplex corruption.
+    tx_until: Vec<SimTime>,
+    /// Statistics.
+    pub stats: ChannelStats,
+}
+
+struct InFlight<P> {
+    frame: Frame<P>,
+    refs: usize,
+}
+
+impl<P: Clone> Channel<P> {
+    /// Creates a channel for `n` nodes.
+    pub fn new(n: usize, phy: PhyConfig) -> Self {
+        Channel {
+            phy,
+            next_tx: 0,
+            in_flight: HashMap::new(),
+            signals: vec![Vec::new(); n],
+            tx_until: vec![SimTime::ZERO; n],
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The PHY configuration in use.
+    pub fn phy(&self) -> &PhyConfig {
+        &self.phy
+    }
+
+    /// Whether `node`'s medium is physically busy (any audible signal).
+    pub fn is_busy(&self, node: usize) -> bool {
+        !self.signals[node].is_empty()
+    }
+
+    /// Starts a transmission by `frame.src` at `now`, with all node
+    /// positions sampled at `now`. The caller must schedule:
+    ///
+    /// * `finish_rx(node, tx_id)` at `now + airtime` for every returned
+    ///   receiver, and
+    /// * `finish_tx(tx_id)` at `now + airtime` (after the rx events).
+    pub fn begin_tx(&mut self, frame: Frame<P>, now: SimTime, positions: &[Position]) -> BeginTx {
+        let src = frame.src;
+        let airtime = self.phy.airtime(frame.bytes);
+        let id = TxId(self.next_tx);
+        self.next_tx += 1;
+        self.stats.transmissions += 1;
+
+        let end = now + airtime;
+        self.tx_until[src] = end;
+
+        // The transmitter's own in-flight receptions are corrupted
+        // (half-duplex).
+        for s in &mut self.signals[src] {
+            s.corrupted = true;
+        }
+
+        let src_pos = positions[src];
+        let mut receivers = Vec::new();
+        for (v, pos) in positions.iter().enumerate() {
+            if v == src {
+                continue;
+            }
+            let d = src_pos.distance(pos);
+            if !self.phy.audible(d) {
+                continue;
+            }
+            let power = self.phy.rx_power(d);
+            let mut new_sig = Signal {
+                tx: id,
+                power,
+                receivable: self.phy.receivable(d),
+                corrupted: self.tx_until[v] > now,
+            };
+            // Pairwise capture against overlapping signals.
+            for old in &mut self.signals[v] {
+                if !self.phy.captures(old.power, new_sig.power) {
+                    old.corrupted = true;
+                }
+                if !self.phy.captures(new_sig.power, old.power) {
+                    new_sig.corrupted = true;
+                }
+            }
+            let was_idle = self.signals[v].is_empty();
+            self.signals[v].push(new_sig);
+            receivers.push((v, was_idle));
+        }
+
+        self.in_flight.insert(
+            id.0,
+            InFlight {
+                frame,
+                refs: receivers.len() + 1,
+            },
+        );
+        BeginTx {
+            tx_id: id,
+            airtime,
+            receivers,
+        }
+    }
+
+    /// Completes the signal of transmission `tx_id` at `node`.
+    pub fn finish_rx(&mut self, node: usize, tx_id: TxId, now: SimTime) -> FinishRx<P> {
+        let idx = self.signals[node]
+            .iter()
+            .position(|s| s.tx == tx_id)
+            .expect("finish_rx for unknown signal");
+        let sig = self.signals[node].remove(idx);
+        let became_idle = self.signals[node].is_empty();
+
+        // A node still transmitting at the signal's end cannot have
+        // received it (its own tx overlapped the tail).
+        let half_duplex = self.tx_until[node] > now;
+        let ok = sig.receivable && !sig.corrupted && !half_duplex;
+        let collided = sig.receivable && !ok;
+
+        let frame = if ok {
+            self.stats.delivered += 1;
+            Some(self.frame_of(tx_id))
+        } else {
+            if collided {
+                self.stats.collisions += 1;
+            }
+            None
+        };
+        self.release(tx_id);
+        FinishRx {
+            frame,
+            became_idle,
+            collided,
+        }
+    }
+
+    /// Completes the transmitter side of `tx_id`.
+    pub fn finish_tx(&mut self, tx_id: TxId) {
+        self.release(tx_id);
+    }
+
+    fn frame_of(&self, tx_id: TxId) -> Frame<P> {
+        self.in_flight
+            .get(&tx_id.0)
+            .expect("frame for in-flight tx")
+            .frame
+            .clone()
+    }
+
+    fn release(&mut self, tx_id: TxId) {
+        let remove = {
+            let entry = self
+                .in_flight
+                .get_mut(&tx_id.0)
+                .expect("release of unknown tx");
+            entry.refs -= 1;
+            entry.refs == 0
+        };
+        if remove {
+            self.in_flight.remove(&tx_id.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FrameKind};
+
+    fn frame(src: usize, dst: Option<usize>) -> Frame<u32> {
+        Frame {
+            kind: FrameKind::Data,
+            src,
+            dst,
+            bytes: 100,
+            nav: SimDuration::ZERO,
+            payload: Some(9),
+            seq: 0,
+        }
+    }
+
+    fn positions(coords: &[(f64, f64)]) -> Vec<Position> {
+        coords.iter().map(|&(x, y)| Position::new(x, y)).collect()
+    }
+
+    #[test]
+    fn clean_delivery_within_range() {
+        let pos = positions(&[(0.0, 0.0), (100.0, 0.0), (2000.0, 0.0)]);
+        let mut ch: Channel<u32> = Channel::new(3, PhyConfig::default());
+        let t0 = SimTime::ZERO;
+        let b = ch.begin_tx(frame(0, Some(1)), t0, &pos);
+        // Node 1 in range, node 2 far outside carrier sense.
+        assert_eq!(b.receivers, vec![(1, true)]);
+        assert!(ch.is_busy(1));
+        let end = t0 + b.airtime;
+        let r = ch.finish_rx(1, b.tx_id, end);
+        assert!(r.frame.is_some());
+        assert!(r.became_idle);
+        assert!(!r.collided);
+        ch.finish_tx(b.tx_id);
+        assert_eq!(ch.stats.delivered, 1);
+        assert_eq!(ch.stats.collisions, 0);
+    }
+
+    #[test]
+    fn audible_but_not_receivable() {
+        // 400 m: inside carrier sense (550) but outside reception (250).
+        let pos = positions(&[(0.0, 0.0), (400.0, 0.0)]);
+        let mut ch: Channel<u32> = Channel::new(2, PhyConfig::default());
+        let b = ch.begin_tx(frame(0, Some(1)), SimTime::ZERO, &pos);
+        assert_eq!(b.receivers.len(), 1);
+        assert!(ch.is_busy(1));
+        let r = ch.finish_rx(1, b.tx_id, SimTime::ZERO + b.airtime);
+        assert!(r.frame.is_none());
+        assert!(!r.collided, "sub-threshold signal is not a collision");
+        ch.finish_tx(b.tx_id);
+    }
+
+    #[test]
+    fn overlapping_equal_power_collides() {
+        // Nodes 0 and 2 both 100 m from node 1, transmit simultaneously.
+        let pos = positions(&[(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)]);
+        let mut ch: Channel<u32> = Channel::new(3, PhyConfig::default());
+        let a = ch.begin_tx(frame(0, Some(1)), SimTime::ZERO, &pos);
+        let b = ch.begin_tx(frame(2, Some(1)), SimTime::ZERO, &pos);
+        let end = SimTime::ZERO + a.airtime;
+        let ra = ch.finish_rx(1, a.tx_id, end);
+        let rb = ch.finish_rx(1, b.tx_id, end);
+        assert!(ra.frame.is_none() && rb.frame.is_none());
+        assert!(ra.collided && rb.collided);
+        assert_eq!(ch.stats.collisions, 2);
+        ch.finish_tx(a.tx_id);
+        ch.finish_tx(b.tx_id);
+    }
+
+    #[test]
+    fn capture_lets_strong_frame_through() {
+        // Node 1 hears node 0 at 50 m and node 2 at 200 m: power ratio
+        // (200/50)^4 = 256 ≥ 10 → node 0's frame captures.
+        let pos = positions(&[(0.0, 0.0), (50.0, 0.0), (250.0, 0.0)]);
+        let mut ch: Channel<u32> = Channel::new(3, PhyConfig::default());
+        let a = ch.begin_tx(frame(0, Some(1)), SimTime::ZERO, &pos);
+        let b = ch.begin_tx(frame(2, Some(1)), SimTime::ZERO, &pos);
+        let end = SimTime::ZERO + a.airtime;
+        let ra = ch.finish_rx(1, a.tx_id, end);
+        let rb = ch.finish_rx(1, b.tx_id, end);
+        assert!(ra.frame.is_some(), "strong frame should capture");
+        assert!(rb.frame.is_none(), "weak frame is lost");
+        ch.finish_tx(a.tx_id);
+        ch.finish_tx(b.tx_id);
+    }
+
+    #[test]
+    fn half_duplex_blocks_reception() {
+        let pos = positions(&[(0.0, 0.0), (100.0, 0.0)]);
+        let mut ch: Channel<u32> = Channel::new(2, PhyConfig::default());
+        // Node 1 starts transmitting first.
+        let own = ch.begin_tx(frame(1, None), SimTime::ZERO, &pos);
+        // Node 0 transmits to node 1 while node 1 is busy sending.
+        let a = ch.begin_tx(frame(0, Some(1)), SimTime::ZERO, &pos);
+        let end = SimTime::ZERO + a.airtime;
+        let r = ch.finish_rx(1, a.tx_id, end);
+        assert!(r.frame.is_none(), "transmitting node cannot receive");
+        // Drain remaining bookkeeping.
+        let r0 = ch.finish_rx(0, own.tx_id, SimTime::ZERO + own.airtime);
+        assert!(r0.frame.is_none(), "0 was transmitting too");
+        ch.finish_tx(own.tx_id);
+        ch.finish_tx(a.tx_id);
+    }
+
+    #[test]
+    fn busy_transitions_are_reported() {
+        let pos = positions(&[(0.0, 0.0), (100.0, 0.0), (150.0, 0.0)]);
+        let mut ch: Channel<u32> = Channel::new(3, PhyConfig::default());
+        let a = ch.begin_tx(frame(0, None), SimTime::ZERO, &pos);
+        // Both 1 and 2 become busy.
+        assert_eq!(a.receivers, vec![(1, true), (2, true)]);
+        // A second overlapping tx does not re-report busy.
+        let b = ch.begin_tx(frame(1, None), SimTime::ZERO, &pos);
+        let two: Vec<usize> = b.receivers.iter().map(|&(v, _)| v).collect();
+        assert_eq!(two, vec![0, 2]);
+        assert!(b.receivers.iter().all(|&(v, fresh)| v == 0 || !fresh));
+        // End of first signal at node 2: still busy with second.
+        let end = SimTime::ZERO + a.airtime;
+        let r = ch.finish_rx(2, a.tx_id, end);
+        assert!(!r.became_idle);
+        let r2 = ch.finish_rx(2, b.tx_id, SimTime::ZERO + b.airtime);
+        assert!(r2.became_idle);
+        // Cleanup others.
+        ch.finish_rx(1, a.tx_id, end);
+        ch.finish_rx(0, b.tx_id, SimTime::ZERO + b.airtime);
+        ch.finish_tx(a.tx_id);
+        ch.finish_tx(b.tx_id);
+    }
+}

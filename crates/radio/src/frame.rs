@@ -1,0 +1,88 @@
+//! MAC frames.
+
+use slr_netsim::time::SimDuration;
+
+/// MAC-layer byte overhead of a data frame (header + FCS).
+pub const DATA_OVERHEAD_BYTES: u32 = 34;
+/// On-air size of an RTS frame.
+pub const RTS_BYTES: u32 = 20;
+/// On-air size of a CTS frame.
+pub const CTS_BYTES: u32 = 14;
+/// On-air size of an ACK frame.
+pub const ACK_BYTES: u32 = 14;
+
+/// The four DCF frame types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Request-to-send.
+    Rts,
+    /// Clear-to-send.
+    Cts,
+    /// A data frame (unicast or broadcast) carrying an upper-layer payload.
+    Data,
+    /// Link-layer acknowledgment.
+    Ack,
+}
+
+/// A frame on the air. `P` is the upper-layer payload type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame<P> {
+    /// Frame type.
+    pub kind: FrameKind,
+    /// Transmitting node.
+    pub src: usize,
+    /// Destination node; `None` for broadcast (data frames only).
+    pub dst: Option<usize>,
+    /// Total on-air bytes (payload + MAC overhead for data frames).
+    pub bytes: u32,
+    /// NAV: how long the medium stays reserved *after* this frame ends.
+    pub nav: SimDuration,
+    /// Upper-layer payload (data frames only).
+    pub payload: Option<P>,
+    /// Per-transmitter sequence number, used for duplicate detection at
+    /// receivers (retransmitted unicast data).
+    pub seq: u64,
+}
+
+impl<P> Frame<P> {
+    /// Whether this frame is addressed to `node` (broadcasts match all).
+    pub fn addressed_to(&self, node: usize) -> bool {
+        match self.dst {
+            Some(d) => d == node,
+            None => true,
+        }
+    }
+
+    /// Whether this is a broadcast frame.
+    pub fn is_broadcast(&self) -> bool {
+        self.dst.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(dst: Option<usize>) -> Frame<u8> {
+        Frame {
+            kind: FrameKind::Data,
+            src: 1,
+            dst,
+            bytes: 100,
+            nav: SimDuration::ZERO,
+            payload: Some(7),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn addressing() {
+        let f = frame(Some(3));
+        assert!(f.addressed_to(3));
+        assert!(!f.addressed_to(4));
+        assert!(!f.is_broadcast());
+        let b = frame(None);
+        assert!(b.addressed_to(0) && b.addressed_to(99));
+        assert!(b.is_broadcast());
+    }
+}

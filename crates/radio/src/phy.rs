@@ -1,0 +1,119 @@
+//! Physical-layer model: timing and propagation.
+//!
+//! The paper's substrate is GloMoSim's 802.11 stack on a 2 Mbps channel.
+//! We model propagation with a deterministic reception range (two-ray
+//! ground at fixed transmit power reduces to a distance threshold), a
+//! larger carrier-sense range, and power capture under the two-ray `d⁻⁴`
+//! law: a frame survives interference if it is `capture_ratio` times
+//! stronger than every overlapping signal.
+
+use slr_netsim::time::SimDuration;
+
+/// Physical-layer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PhyConfig {
+    /// Channel bit rate in bits/s (paper: 2 Mbps).
+    pub bitrate_bps: u64,
+    /// PLCP preamble + header time (802.11 long preamble: 192 µs).
+    pub plcp_overhead: SimDuration,
+    /// Reception range in meters (ns-2/GloMoSim default: 250 m).
+    pub rx_range_m: f64,
+    /// Carrier-sense range in meters (default: 550 m).
+    pub cs_range_m: f64,
+    /// Minimum power ratio for capture (10× under the d⁻⁴ two-ray law).
+    pub capture_ratio: f64,
+    /// Path-loss exponent (two-ray ground: 4).
+    pub pathloss_exponent: f64,
+}
+
+impl Default for PhyConfig {
+    fn default() -> Self {
+        PhyConfig {
+            bitrate_bps: 2_000_000,
+            plcp_overhead: SimDuration::from_micros(192),
+            rx_range_m: 250.0,
+            cs_range_m: 550.0,
+            capture_ratio: 10.0,
+            pathloss_exponent: 4.0,
+        }
+    }
+}
+
+impl PhyConfig {
+    /// Airtime of a frame of `bytes` total MAC-layer bytes.
+    pub fn airtime(&self, bytes: u32) -> SimDuration {
+        let payload_ns = (bytes as u64 * 8).saturating_mul(1_000_000_000) / self.bitrate_bps;
+        self.plcp_overhead + SimDuration::from_nanos(payload_ns)
+    }
+
+    /// Relative received power at distance `d` meters (arbitrary units;
+    /// only ratios matter). Distances below one meter clamp to one.
+    pub fn rx_power(&self, d: f64) -> f64 {
+        let d = d.max(1.0);
+        1.0 / d.powf(self.pathloss_exponent)
+    }
+
+    /// Whether a signal from distance `d` is decodable (within rx range).
+    pub fn receivable(&self, d: f64) -> bool {
+        d <= self.rx_range_m
+    }
+
+    /// Whether a signal from distance `d` is audible (within carrier-sense
+    /// range) and therefore occupies the medium / interferes.
+    pub fn audible(&self, d: f64) -> bool {
+        d <= self.cs_range_m
+    }
+
+    /// Whether a signal of power `p` captures over interference power `q`.
+    pub fn captures(&self, p: f64, q: f64) -> bool {
+        p >= self.capture_ratio * q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn airtime_scales_with_size() {
+        let phy = PhyConfig::default();
+        // 512 B payload + 34 B MAC overhead = 546 B → 2184 µs at 2 Mbps,
+        // plus 192 µs PLCP.
+        let t = phy.airtime(546);
+        assert_eq!(t.as_nanos(), 192_000 + 546 * 8 * 500);
+        let ack = phy.airtime(14);
+        assert_eq!(ack.as_nanos(), 192_000 + 14 * 8 * 500);
+        assert!(ack < t);
+    }
+
+    #[test]
+    fn power_law() {
+        let phy = PhyConfig::default();
+        let p100 = phy.rx_power(100.0);
+        let p200 = phy.rx_power(200.0);
+        // d⁻⁴: doubling distance cuts power 16×.
+        assert!((p100 / p200 - 16.0).abs() < 1e-9);
+        // Sub-meter clamps.
+        assert_eq!(phy.rx_power(0.0), 1.0);
+    }
+
+    #[test]
+    fn ranges() {
+        let phy = PhyConfig::default();
+        assert!(phy.receivable(250.0));
+        assert!(!phy.receivable(250.1));
+        assert!(phy.audible(550.0));
+        assert!(!phy.audible(550.1));
+    }
+
+    #[test]
+    fn capture_threshold() {
+        let phy = PhyConfig::default();
+        // 10× power ⇔ distance ratio 10^(1/4) ≈ 1.778 under d⁻⁴.
+        let near = phy.rx_power(100.0);
+        let far = phy.rx_power(178.0);
+        assert!(phy.captures(near, far));
+        let close_far = phy.rx_power(140.0);
+        assert!(!phy.captures(near, close_far));
+    }
+}

@@ -1,0 +1,49 @@
+//! Detailed single-trial diagnostics: per-protocol drop breakdowns,
+//! control-packet mix, collision and link-failure counts. Useful when
+//! tuning or debugging a protocol's behaviour under mobility.
+//!
+//! ```sh
+//! cargo run --release -p slr-runner --example diag [pause_secs]
+//! ```
+
+use slr_runner::scenario::{ProtocolKind, Scenario};
+use slr_runner::sim::Sim;
+
+fn main() {
+    let pause: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    for kind in ProtocolKind::all() {
+        let scenario = Scenario::quick(kind, pause, 42, 0);
+        let (summary, metrics) = Sim::new(scenario).run_detailed();
+        println!("=== {} (pause {pause}s) ===", kind.name());
+        println!(
+            "delivery {:.3} load {:.3} latency {:.3} mac_drops/node {:.1} avg_seqno {:.2}",
+            summary.delivery_ratio,
+            summary.network_load,
+            summary.latency,
+            summary.mac_drops_per_node,
+            summary.avg_seqno
+        );
+        println!(
+            "originated {} delivered {} dup {} data_tx {}",
+            metrics.data_originated, metrics.data_delivered, metrics.duplicate_deliveries,
+            metrics.data_tx
+        );
+        println!("routing drops: {:?}", metrics.drops);
+        println!("control mix: {:?}", metrics.control_by_kind);
+        println!(
+            "mac: retry_drops {} ifq_drops {} unicast_attempts {} collisions {}",
+            metrics.mac_drop_retry, metrics.mac_drop_ifq, metrics.mac_tx_data, metrics.collisions
+        );
+        println!(
+            "link failures: in-range {} out-of-range {}; discoveries {} resets {}",
+            metrics.link_failures_in_range,
+            metrics.link_failures_out_of_range,
+            metrics.discoveries,
+            metrics.resets
+        );
+        println!();
+    }
+}

@@ -1,0 +1,142 @@
+//! `slrsim` — run custom SLR-reproduction scenarios from the command line.
+//!
+//! ```sh
+//! cargo run --release -p slr-runner --bin slrsim -- \
+//!     --protocol srp --pause 100 --trials 3 --nodes 50 --duration 160
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--protocol srp|srp-mp|aodv|dsr|ldr|olsr|all` (default `all`)
+//! * `--pause SECONDS` — paper-sweep pause time (default 0)
+//! * `--trials N` (default 1), `--seed N` (default 42)
+//! * `--nodes N`, `--flows N`, `--duration SECONDS` — scenario overrides
+//! * `--paper` — start from the paper-scale configuration instead of quick
+//! * `--oracle` — run SRP trials under the loop-freedom oracle
+
+use slr_netsim::time::{SimDuration, SimTime};
+use slr_runner::scenario::{ProtocolKind, Scenario};
+use slr_runner::sim::Sim;
+use slr_runner::stats::MeanCi;
+
+fn parse_protocols(s: &str) -> Vec<ProtocolKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "srp" => vec![ProtocolKind::Srp],
+        "srp-mp" | "srpmp" => vec![ProtocolKind::SrpMultipath],
+        "aodv" => vec![ProtocolKind::Aodv],
+        "dsr" => vec![ProtocolKind::Dsr],
+        "ldr" => vec![ProtocolKind::Ldr],
+        "olsr" => vec![ProtocolKind::Olsr],
+        "all" => ProtocolKind::all().to_vec(),
+        other => {
+            eprintln!("unknown protocol {other}; using all");
+            ProtocolKind::all().to_vec()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut protocols = ProtocolKind::all().to_vec();
+    let mut pause = 0u64;
+    let mut trials = 1u64;
+    let mut seed = 42u64;
+    let mut nodes: Option<usize> = None;
+    let mut flows: Option<usize> = None;
+    let mut duration: Option<u64> = None;
+    let mut paper = false;
+    let mut oracle = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).cloned();
+        match flag {
+            "--protocol" => {
+                protocols = parse_protocols(&value.unwrap_or_default());
+                i += 1;
+            }
+            "--pause" => {
+                pause = value.and_then(|v| v.parse().ok()).unwrap_or(pause);
+                i += 1;
+            }
+            "--trials" => {
+                trials = value.and_then(|v| v.parse().ok()).unwrap_or(trials);
+                i += 1;
+            }
+            "--seed" => {
+                seed = value.and_then(|v| v.parse().ok()).unwrap_or(seed);
+                i += 1;
+            }
+            "--nodes" => {
+                nodes = value.and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--flows" => {
+                flows = value.and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--duration" => {
+                duration = value.and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--paper" => paper = true,
+            "--oracle" => oracle = true,
+            "--help" | "-h" => {
+                eprintln!("see module docs: slrsim --protocol srp --pause 100 --trials 3 …");
+                return;
+            }
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+        i += 1;
+    }
+
+    println!(
+        "{:<8} {:>9} {:>9} {:>11} {:>12} {:>9}  (pause {pause}s, {trials} trial(s))",
+        "proto", "delivery", "load", "latency(s)", "drops/node", "seqno"
+    );
+    for kind in protocols {
+        let mut dr = Vec::new();
+        let mut load = Vec::new();
+        let mut lat = Vec::new();
+        let mut drops = Vec::new();
+        let mut seqno = Vec::new();
+        for trial in 0..trials {
+            let mut scenario = if paper {
+                Scenario::paper(kind, pause, seed, trial)
+            } else {
+                Scenario::quick(kind, pause, seed, trial)
+            };
+            if let Some(n) = nodes {
+                scenario.nodes = n;
+            }
+            if let Some(f) = flows {
+                scenario.flows = f;
+            }
+            if let Some(d) = duration {
+                scenario.end = SimTime::from_secs(d);
+            }
+            let summary = if oracle && matches!(kind, ProtocolKind::Srp) {
+                Sim::new(scenario)
+                    .run_with_loop_oracle(SimDuration::from_secs(1))
+                    .0
+            } else {
+                Sim::new(scenario).run()
+            };
+            dr.push(summary.delivery_ratio);
+            load.push(summary.network_load);
+            lat.push(summary.latency);
+            drops.push(summary.mac_drops_per_node);
+            seqno.push(summary.avg_seqno);
+        }
+        println!(
+            "{:<8} {:>9.3} {:>9.3} {:>11.4} {:>12.1} {:>9.2}",
+            kind.name(),
+            MeanCi::from_samples(&dr).mean,
+            MeanCi::from_samples(&load).mean,
+            MeanCi::from_samples(&lat).mean,
+            MeanCi::from_samples(&drops).mean,
+            MeanCi::from_samples(&seqno).mean,
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Experiment drivers: pause-time sweeps with multi-threaded trials, plus
+//! the aggregations behind the paper's Table I and Figures 3–7.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::thread;
+
+use slr_netsim::time::SimDuration;
+
+use crate::metrics::TrialSummary;
+use crate::scenario::{ProtocolKind, Scenario};
+use crate::sim::Sim;
+use crate::stats::MeanCi;
+
+/// The paper's eight pause times (§V).
+pub const PAUSE_TIMES: [u64; 8] = [0, 50, 100, 200, 300, 500, 700, 900];
+
+/// Which metric a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Fig. 4 / Table I column 1.
+    DeliveryRatio,
+    /// Fig. 5 / Table I column 2.
+    NetworkLoad,
+    /// Fig. 6 / Table I column 3.
+    Latency,
+    /// Fig. 3.
+    MacDrops,
+    /// Fig. 7.
+    AvgSeqno,
+}
+
+impl Metric {
+    /// Extracts the metric from a trial summary.
+    pub fn of(&self, s: &TrialSummary) -> f64 {
+        match self {
+            Metric::DeliveryRatio => s.delivery_ratio,
+            Metric::NetworkLoad => s.network_load,
+            Metric::Latency => s.latency,
+            Metric::MacDrops => s.mac_drops_per_node,
+            Metric::AvgSeqno => s.avg_seqno,
+        }
+    }
+
+    /// Axis label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::DeliveryRatio => "Delivery Ratio",
+            Metric::NetworkLoad => "Network Load",
+            Metric::Latency => "Data Latency (seconds)",
+            Metric::MacDrops => "MAC Drops (packets)",
+            Metric::AvgSeqno => "Avg. node sequence number",
+        }
+    }
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Base seed; trial `t` derives from `(seed, t)`.
+    pub seed: u64,
+    /// Trials per (protocol, pause) point (paper: 10).
+    pub trials: u64,
+    /// Pause times to sweep.
+    pub pauses: &'static [u64],
+    /// Use the paper-scale scenario (`true`) or the scaled-down quick one.
+    pub paper_scale: bool,
+    /// Worker threads (trials are independent).
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seed: 42,
+            trials: 3,
+            pauses: &PAUSE_TIMES,
+            paper_scale: false,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// All trial summaries of a sweep, keyed by `(protocol, pause)`.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Raw per-trial summaries.
+    pub runs: BTreeMap<(&'static str, u64), Vec<TrialSummary>>,
+    /// Protocols included, in plot order.
+    pub protocols: Vec<ProtocolKind>,
+    /// Pause times swept.
+    pub pauses: Vec<u64>,
+}
+
+impl SweepResult {
+    /// Mean ± CI of `metric` for `(protocol, pause)`.
+    pub fn point(&self, protocol: ProtocolKind, pause: u64, metric: Metric) -> MeanCi {
+        let samples: Vec<f64> = self
+            .runs
+            .get(&(protocol.name(), pause))
+            .map(|v| v.iter().map(|s| metric.of(s)).collect())
+            .unwrap_or_default();
+        MeanCi::from_samples(&samples)
+    }
+
+    /// Table-I style aggregate: the metric averaged over *all pause times*
+    /// (each trial at each pause is one sample, as in the paper's
+    /// "performance average over all pause times").
+    pub fn overall(&self, protocol: ProtocolKind, metric: Metric) -> MeanCi {
+        let mut samples = Vec::new();
+        for pause in &self.pauses {
+            if let Some(v) = self.runs.get(&(protocol.name(), *pause)) {
+                samples.extend(v.iter().map(|s| metric.of(s)));
+            }
+        }
+        MeanCi::from_samples(&samples)
+    }
+
+    /// The largest SRP feasible-distance denominator across all runs
+    /// (the paper reports "the maximum denominator stayed under 840
+    /// million").
+    pub fn max_fd_denominator(&self, protocol: ProtocolKind) -> u64 {
+        self.pauses
+            .iter()
+            .filter_map(|p| self.runs.get(&(protocol.name(), *p)))
+            .flatten()
+            .map(|s| s.max_fd_denominator)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Builds the scenario for one point.
+fn scenario_for(cfg: &SweepConfig, kind: ProtocolKind, pause: u64, trial: u64) -> Scenario {
+    if cfg.paper_scale {
+        Scenario::paper(kind, pause, cfg.seed, trial)
+    } else {
+        Scenario::quick(kind, pause, cfg.seed, trial)
+    }
+}
+
+/// Runs a full sweep: `protocols × pauses × trials`, parallelized over a
+/// worker pool. Deterministic per `(seed, trial)` regardless of thread
+/// interleaving (each trial is an isolated simulation).
+pub fn run_sweep(protocols: &[ProtocolKind], cfg: &SweepConfig) -> SweepResult {
+    let mut jobs: Vec<(ProtocolKind, u64, u64)> = Vec::new();
+    for &kind in protocols {
+        for &pause in cfg.pauses {
+            for trial in 0..cfg.trials {
+                jobs.push((kind, pause, trial));
+            }
+        }
+    }
+
+    let (result_tx, result_rx) = mpsc::channel();
+    let job_queue = std::sync::Arc::new(std::sync::Mutex::new(jobs));
+    let workers = cfg.threads.max(1);
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let q = std::sync::Arc::clone(&job_queue);
+        let tx = result_tx.clone();
+        let cfg = *cfg;
+        handles.push(thread::spawn(move || loop {
+            let job = { q.lock().expect("job queue").pop() };
+            let Some((kind, pause, trial)) = job else {
+                break;
+            };
+            let scenario = scenario_for(&cfg, kind, pause, trial);
+            let summary = Sim::new(scenario).run();
+            tx.send((kind.name(), pause, summary)).expect("collector alive");
+        }));
+    }
+    drop(result_tx);
+
+    let mut runs: BTreeMap<(&'static str, u64), Vec<TrialSummary>> = BTreeMap::new();
+    for (name, pause, summary) in result_rx {
+        runs.entry((name, pause)).or_default().push(summary);
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    // Sort each cell for deterministic ordering regardless of completion
+    // order (summaries are value-comparable).
+    for v in runs.values_mut() {
+        v.sort_by(|a, b| a.partial_cmp_key().total_cmp(&b.partial_cmp_key()));
+    }
+
+    SweepResult {
+        runs,
+        protocols: protocols.to_vec(),
+        pauses: cfg.pauses.to_vec(),
+    }
+}
+
+impl TrialSummary {
+    /// A stable scalar key for deterministic sorting of trial lists.
+    fn partial_cmp_key(&self) -> f64 {
+        self.delivery_ratio * 1e6 + self.latency * 1e3 + self.network_load
+    }
+}
+
+/// Runs a single trial (the building block for examples and tests).
+pub fn run_trial(scenario: Scenario) -> TrialSummary {
+    Sim::new(scenario).run()
+}
+
+/// A convenience wrapper for quick single-point comparisons.
+pub fn quick_compare(
+    protocols: &[ProtocolKind],
+    pause: u64,
+    trials: u64,
+    seed: u64,
+) -> Vec<(&'static str, MeanCi)> {
+    let cfg = SweepConfig {
+        seed,
+        trials,
+        pauses: Box::leak(Box::new([pause])),
+        paper_scale: false,
+        ..SweepConfig::default()
+    };
+    let result = run_sweep(protocols, &cfg);
+    protocols
+        .iter()
+        .map(|p| (p.name(), result.point(*p, pause, Metric::DeliveryRatio)))
+        .collect()
+}
+
+/// Duration helper used by binaries to describe scenarios.
+pub fn pause_duration(pause: u64) -> SimDuration {
+    SimDuration::from_secs(pause)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_collects_all_points() {
+        let cfg = SweepConfig {
+            seed: 11,
+            trials: 2,
+            pauses: &[150],
+            paper_scale: false,
+            threads: 2,
+        };
+        // A tiny sweep with two protocols; quick scenarios are 50 nodes ×
+        // 160 s, so keep this to one pause.
+        let result = run_sweep(&[ProtocolKind::Srp, ProtocolKind::Aodv], &cfg);
+        assert_eq!(result.runs.len(), 2);
+        for v in result.runs.values() {
+            assert_eq!(v.len(), 2);
+        }
+        let p = result.point(ProtocolKind::Srp, 150, Metric::DeliveryRatio);
+        assert_eq!(p.n, 2);
+        assert!(p.mean > 0.0, "SRP should deliver something: {p:?}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # slr-runner — the experiment harness
+//!
+//! Assembles a full trial of the paper's evaluation (§V): a random-waypoint
+//! mobility script and a CBR traffic script (identical across protocols per
+//! trial), a shared wireless channel, one DCF MAC and one routing protocol
+//! per node — then drives the single deterministic event loop and collects
+//! the paper's metrics (delivery ratio, network load, latency, MAC drops,
+//! node sequence numbers).
+//!
+//! ```no_run
+//! use slr_runner::experiment::{run_sweep, SweepConfig, PAUSE_TIMES};
+//! use slr_runner::report::render_table1;
+//! use slr_runner::scenario::ProtocolKind;
+//!
+//! let cfg = SweepConfig { trials: 3, pauses: &PAUSE_TIMES, ..SweepConfig::default() };
+//! let result = run_sweep(&ProtocolKind::all(), &cfg);
+//! println!("{}", render_table1(&result));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+pub mod scenario;
+pub mod sim;
+pub mod stats;
+pub mod trace;
+
+pub use experiment::{run_sweep, run_trial, Metric, SweepConfig, SweepResult, PAUSE_TIMES};
+pub use metrics::{Metrics, TrialSummary};
+pub use scenario::{ProtocolKind, Scenario};
+pub use sim::{Payload, Sim};
+pub use stats::MeanCi;
+pub use trace::{PacketFate, TraceEvent, TraceLog};

@@ -1,0 +1,200 @@
+//! Per-trial metric collection: exactly the quantities the paper reports.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use slr_netsim::time::SimTime;
+use slr_protocols::DataDropReason;
+
+/// Counters accumulated during one trial.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// CBR packets handed to the routing layer at their sources.
+    pub data_originated: u64,
+    /// CBR packets delivered at their destinations (unique uids).
+    pub data_delivered: u64,
+    /// Duplicate deliveries suppressed (multipath/salvage artifacts).
+    pub duplicate_deliveries: u64,
+    /// Sum of end-to-end latencies of delivered packets (seconds).
+    pub latency_sum: f64,
+    /// Routing control packets handed to the MAC (per-hop transmissions;
+    /// the "network load" numerator).
+    pub control_sent: u64,
+    /// Control packets by type name.
+    pub control_by_kind: HashMap<&'static str, u64>,
+    /// Data-plane forwarding transmissions (per hop).
+    pub data_tx: u64,
+    /// Routing-layer data drops by reason.
+    pub drops: HashMap<&'static str, u64>,
+    /// MAC-level drops summed over nodes (retry limit + IFQ overflow).
+    pub mac_drops: u64,
+    /// MAC drops from exhausted unicast retries.
+    pub mac_drop_retry: u64,
+    /// MAC drops from interface-queue overflow.
+    pub mac_drop_ifq: u64,
+    /// Unicast data-frame transmissions at the MAC (incl. retries).
+    pub mac_tx_data: u64,
+    /// Link failures where the next hop was physically in range
+    /// (contention-induced false failures).
+    pub link_failures_in_range: u64,
+    /// Link failures where the next hop had moved out of range.
+    pub link_failures_out_of_range: u64,
+    /// Channel collisions observed.
+    pub collisions: u64,
+    /// Sum over nodes of own-sequence-number increments (Fig. 7).
+    pub seqno_increments_total: u64,
+    /// Largest SRP feasible-distance denominator seen on any node.
+    pub max_fd_denominator: u64,
+    /// Route discoveries summed over nodes.
+    pub discoveries: u64,
+    /// Path resets requested (SRP/LDR).
+    pub resets: u64,
+    delivered_uids: HashSet<u64>,
+}
+
+impl Metrics {
+    /// Creates an empty metrics collector.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records a delivery; returns `true` if it was the first for this uid.
+    pub fn record_delivery(&mut self, uid: u64, origin: SimTime, now: SimTime) -> bool {
+        if self.delivered_uids.insert(uid) {
+            self.data_delivered += 1;
+            self.latency_sum += now.saturating_since(origin).as_secs_f64();
+            true
+        } else {
+            self.duplicate_deliveries += 1;
+            false
+        }
+    }
+
+    /// Records a routing-layer data drop.
+    pub fn record_drop(&mut self, reason: DataDropReason) {
+        let key = match reason {
+            DataDropReason::NoRoute => "no-route",
+            DataDropReason::TtlExpired => "ttl-expired",
+            DataDropReason::BufferOverflow => "buffer-overflow",
+            DataDropReason::BufferTimeout => "buffer-timeout",
+            DataDropReason::SalvageFailed => "salvage-failed",
+        };
+        *self.drops.entry(key).or_insert(0) += 1;
+    }
+
+    /// Records a control packet transmission.
+    pub fn record_control(&mut self, kind: &'static str) {
+        self.control_sent += 1;
+        *self.control_by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Delivery ratio: delivered / originated (§V metric 1).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.data_originated == 0 {
+            return 0.0;
+        }
+        self.data_delivered as f64 / self.data_originated as f64
+    }
+
+    /// Network load: control packets sent / data packets delivered
+    /// (§V metric 2).
+    pub fn network_load(&self) -> f64 {
+        if self.data_delivered == 0 {
+            return self.control_sent as f64;
+        }
+        self.control_sent as f64 / self.data_delivered as f64
+    }
+
+    /// Mean end-to-end latency in seconds (§V metric 3).
+    pub fn mean_latency(&self) -> f64 {
+        if self.data_delivered == 0 {
+            return 0.0;
+        }
+        self.latency_sum / self.data_delivered as f64
+    }
+}
+
+/// The per-trial summary consumed by the statistics layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialSummary {
+    /// Delivery ratio.
+    pub delivery_ratio: f64,
+    /// Network load.
+    pub network_load: f64,
+    /// Mean latency (s).
+    pub latency: f64,
+    /// Average MAC drops per node (Fig. 3).
+    pub mac_drops_per_node: f64,
+    /// Average own-sequence-number increments per node (Fig. 7).
+    pub avg_seqno: f64,
+    /// Largest feasible-distance denominator (SRP diagnostics).
+    pub max_fd_denominator: u64,
+    /// Packets originated (sanity checking).
+    pub originated: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+}
+
+impl Metrics {
+    /// Produces the trial summary for `n` nodes.
+    pub fn summarize(&self, nodes: usize) -> TrialSummary {
+        TrialSummary {
+            delivery_ratio: self.delivery_ratio(),
+            network_load: self.network_load(),
+            latency: self.mean_latency(),
+            mac_drops_per_node: self.mac_drops as f64 / nodes.max(1) as f64,
+            avg_seqno: self.seqno_increments_total as f64 / nodes.max(1) as f64,
+            max_fd_denominator: self.max_fd_denominator,
+            originated: self.data_originated,
+            delivered: self.data_delivered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_accounting_dedups() {
+        let mut m = Metrics::new();
+        m.data_originated = 2;
+        assert!(m.record_delivery(1, SimTime::ZERO, SimTime::from_secs(1)));
+        assert!(!m.record_delivery(1, SimTime::ZERO, SimTime::from_secs(2)));
+        assert!(m.record_delivery(2, SimTime::ZERO, SimTime::from_secs(3)));
+        assert_eq!(m.data_delivered, 2);
+        assert_eq!(m.duplicate_deliveries, 1);
+        assert!((m.delivery_ratio() - 1.0).abs() < 1e-12);
+        assert!((m.mean_latency() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_load() {
+        let mut m = Metrics::new();
+        m.data_originated = 10;
+        m.record_delivery(1, SimTime::ZERO, SimTime::from_secs(1));
+        for _ in 0..5 {
+            m.record_control("srp-rreq");
+        }
+        assert!((m.network_load() - 5.0).abs() < 1e-12);
+        assert_eq!(m.control_by_kind["srp-rreq"], 5);
+    }
+
+    #[test]
+    fn summary_normalizes_per_node() {
+        let mut m = Metrics::new();
+        m.data_originated = 1;
+        m.mac_drops = 500;
+        m.seqno_increments_total = 120;
+        let s = m.summarize(100);
+        assert!((s.mac_drops_per_node - 5.0).abs() < 1e-12);
+        assert!((s.avg_seqno - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let m = Metrics::new();
+        assert_eq!(m.delivery_ratio(), 0.0);
+        assert_eq!(m.mean_latency(), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Plain-text rendering of the paper's table and figures.
+
+use crate::experiment::{Metric, SweepResult};
+use crate::scenario::ProtocolKind;
+
+/// Renders Table I: per-protocol delivery ratio, network load and latency
+/// averaged over all pause times, ± 95 % CI.
+pub fn render_table1(result: &SweepResult) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE I — PERFORMANCE AVERAGE OVER ALL PAUSE TIMES\n");
+    out.push_str(&format!(
+        "{:<10} {:>18} {:>18} {:>18}\n",
+        "protocol", "deliv. ratio", "net load", "latency (sec)"
+    ));
+    for &p in &result.protocols {
+        let dr = result.overall(p, Metric::DeliveryRatio);
+        let nl = result.overall(p, Metric::NetworkLoad);
+        let lat = result.overall(p, Metric::Latency);
+        out.push_str(&format!(
+            "{:<10} {:>18} {:>18} {:>18}\n",
+            p.name(),
+            dr.to_string(),
+            nl.to_string(),
+            lat.to_string()
+        ));
+    }
+    out
+}
+
+/// Renders one figure as a series table: one row per pause time, one
+/// column per protocol, `mean ± ci`.
+pub fn render_figure(result: &SweepResult, metric: Metric, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("y-axis: {}\n", metric.label()));
+    out.push_str(&format!("{:<8}", "pause"));
+    for &p in &result.protocols {
+        out.push_str(&format!(" {:>18}", p.name()));
+    }
+    out.push('\n');
+    for &pause in &result.pauses {
+        out.push_str(&format!("{:<8}", pause));
+        for &p in &result.protocols {
+            let m = result.point(p, pause, metric);
+            out.push_str(&format!(" {:>18}", m.to_string()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an ASCII sketch of a figure: per protocol, a row of scaled
+/// values across pause times (handy for eyeballing trends in a terminal).
+pub fn render_trend(result: &SweepResult, metric: Metric) -> String {
+    let mut out = String::new();
+    let mut max = f64::MIN;
+    for &p in &result.protocols {
+        for &pause in &result.pauses {
+            max = max.max(result.point(p, pause, metric).mean);
+        }
+    }
+    if max <= 0.0 {
+        max = 1.0;
+    }
+    for &p in &result.protocols {
+        out.push_str(&format!("{:<6}|", p.name()));
+        for &pause in &result.pauses {
+            let v = result.point(p, pause, metric).mean;
+            let h = ((v / max) * 9.0).round() as u32;
+            out.push_str(&format!("{h}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "       (columns = pause times {:?}, digits = value scaled 0-9 of max {max:.3})\n",
+        result.pauses
+    ));
+    out
+}
+
+/// Renders the SRP-specific diagnostics the paper calls out in §V: the
+/// sequence number staying at zero and the maximum denominator.
+pub fn render_srp_diagnostics(result: &SweepResult) -> String {
+    let mut out = String::new();
+    let seq = result.overall(ProtocolKind::Srp, Metric::AvgSeqno);
+    out.push_str(&format!(
+        "SRP average node sequence-number increments: {} (paper: exactly 0)\n",
+        seq
+    ));
+    out.push_str(&format!(
+        "SRP maximum feasible-distance denominator: {} (paper: < 840 million)\n",
+        result.max_fd_denominator(ProtocolKind::Srp)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TrialSummary;
+    use std::collections::BTreeMap;
+
+    fn fake_result() -> SweepResult {
+        let mut runs: BTreeMap<(&'static str, u64), Vec<TrialSummary>> = BTreeMap::new();
+        for (name, dr) in [("SRP", 0.83), ("AODV", 0.74)] {
+            for pause in [0u64, 900] {
+                runs.insert(
+                    (name, pause),
+                    vec![TrialSummary {
+                        delivery_ratio: dr,
+                        network_load: 1.0,
+                        latency: 0.9,
+                        mac_drops_per_node: 10.0,
+                        avg_seqno: 0.0,
+                        max_fd_denominator: 7,
+                        originated: 100,
+                        delivered: 80,
+                    }],
+                );
+            }
+        }
+        SweepResult {
+            runs,
+            protocols: vec![ProtocolKind::Srp, ProtocolKind::Aodv],
+            pauses: vec![0, 900],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_protocols() {
+        let t = render_table1(&fake_result());
+        assert!(t.contains("SRP"));
+        assert!(t.contains("AODV"));
+        assert!(t.contains("0.830"));
+    }
+
+    #[test]
+    fn figure_has_rows_per_pause() {
+        let f = render_figure(&fake_result(), Metric::DeliveryRatio, "Fig. 4");
+        assert!(f.contains("Fig. 4"));
+        assert!(f.lines().count() >= 5);
+        assert!(f.contains("Delivery Ratio"));
+    }
+
+    #[test]
+    fn trend_renders() {
+        let t = render_trend(&fake_result(), Metric::DeliveryRatio);
+        assert!(t.contains("SRP"));
+    }
+
+    #[test]
+    fn srp_diagnostics() {
+        let d = render_srp_diagnostics(&fake_result());
+        assert!(d.contains("sequence-number"));
+        assert!(d.contains("840 million"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Scenario configuration: everything one trial needs.
+
+use slr_mobility::{Terrain, WaypointConfig};
+use slr_netsim::time::{SimDuration, SimTime};
+use slr_protocols::aodv::{Aodv, AodvConfig};
+use slr_protocols::dsr::{Dsr, DsrConfig};
+use slr_protocols::ldr::{Ldr, LdrConfig};
+use slr_protocols::olsr::{Olsr, OlsrConfig};
+use slr_protocols::srp::{Srp, SrpConfig};
+use slr_protocols::RoutingProtocol;
+use slr_radio::MacConfig;
+use slr_traffic::TrafficConfig;
+
+/// The protocol under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Split-label Routing Protocol (the paper's contribution).
+    Srp,
+    /// SRP with round-robin multipath forwarding (ablation; the paper
+    /// evaluates uni-path SRP and leaves multipath choice open).
+    SrpMultipath,
+    /// Ad hoc On-demand Distance Vector.
+    Aodv,
+    /// Dynamic Source Routing.
+    Dsr,
+    /// Labeled Distance Routing.
+    Ldr,
+    /// Optimized Link State Routing.
+    Olsr,
+}
+
+impl ProtocolKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Srp => "SRP",
+            ProtocolKind::SrpMultipath => "SRP-MP",
+            ProtocolKind::Aodv => "AODV",
+            ProtocolKind::Dsr => "DSR",
+            ProtocolKind::Ldr => "LDR",
+            ProtocolKind::Olsr => "OLSR",
+        }
+    }
+
+    /// The five protocols in the paper's plotting order.
+    pub fn all() -> [ProtocolKind; 5] {
+        [
+            ProtocolKind::Srp,
+            ProtocolKind::Ldr,
+            ProtocolKind::Aodv,
+            ProtocolKind::Dsr,
+            ProtocolKind::Olsr,
+        ]
+    }
+
+    /// Instantiates the protocol for `node`.
+    pub fn build(&self, node: usize) -> Box<dyn RoutingProtocol> {
+        match self {
+            ProtocolKind::Srp => Box::new(Srp::new(node, SrpConfig::default())),
+            ProtocolKind::SrpMultipath => Box::new(Srp::new(
+                node,
+                SrpConfig {
+                    multipath: slr_protocols::srp::MultipathPolicy::RoundRobin,
+                    ..SrpConfig::default()
+                },
+            )),
+            ProtocolKind::Aodv => Box::new(Aodv::new(node, AodvConfig::default())),
+            ProtocolKind::Dsr => Box::new(Dsr::new(node, DsrConfig::default())),
+            ProtocolKind::Ldr => Box::new(Ldr::new(node, LdrConfig::default())),
+            ProtocolKind::Olsr => Box::new(Olsr::new(node, OlsrConfig::default())),
+        }
+    }
+}
+
+/// Full configuration of one simulation trial.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Base seed of the experiment (combined with `trial`).
+    pub seed: u64,
+    /// Trial index; mobility and traffic depend on `(seed, trial)` only,
+    /// never on the protocol (§V's fixed scripts).
+    pub trial: u64,
+    /// Number of nodes (paper: 100).
+    pub nodes: usize,
+    /// Pause time of the random-waypoint model.
+    pub pause: SimDuration,
+    /// Maximum node speed (paper: 20 m/s).
+    pub max_speed: f64,
+    /// Terrain (paper: 2200 m × 600 m).
+    pub terrain: Terrain,
+    /// Simulation end time.
+    pub end: SimTime,
+    /// When CBR traffic starts.
+    pub traffic_start: SimTime,
+    /// Simultaneous CBR flows (paper: 30).
+    pub flows: usize,
+    /// Packets per second per flow (paper: 4).
+    pub packets_per_second: f64,
+    /// CBR payload bytes (paper: 512).
+    pub packet_bytes: u32,
+    /// MAC configuration.
+    pub mac: MacConfig,
+}
+
+impl Scenario {
+    /// The paper's configuration at a given pause time (900 s, 100 nodes,
+    /// 30 flows).
+    pub fn paper(protocol: ProtocolKind, pause_secs: u64, seed: u64, trial: u64) -> Self {
+        Scenario {
+            protocol,
+            seed,
+            trial,
+            nodes: 100,
+            pause: SimDuration::from_secs(pause_secs),
+            max_speed: 20.0,
+            terrain: Terrain::paper(),
+            end: SimTime::from_secs(910),
+            traffic_start: SimTime::from_secs(10),
+            flows: 30,
+            packets_per_second: 4.0,
+            packet_bytes: 512,
+            mac: MacConfig::default(),
+        }
+    }
+
+    /// A scaled-down configuration that preserves node density and offered
+    /// load per unit area: 50 nodes on a half-area terrain, 15 flows,
+    /// 150 s of traffic. Pause times are scaled by the same 6× factor as
+    /// the run length (900 s → 150 s), so the paper's sweep
+    /// {0, 50, …, 900} maps onto {0, 8, …, 150} and "pause = run length"
+    /// still means a static network. Used by the quick modes of the
+    /// benchmark binaries.
+    pub fn quick(protocol: ProtocolKind, pause_secs: u64, seed: u64, trial: u64) -> Self {
+        Scenario {
+            protocol,
+            seed,
+            trial,
+            nodes: 50,
+            pause: SimDuration::from_secs(pause_secs / 6),
+            max_speed: 20.0,
+            terrain: Terrain::new(1100.0, 600.0),
+            end: SimTime::from_secs(160),
+            traffic_start: SimTime::from_secs(10),
+            flows: 15,
+            packets_per_second: 4.0,
+            packet_bytes: 512,
+            mac: MacConfig::default(),
+        }
+    }
+
+    /// The waypoint configuration for this scenario.
+    pub fn waypoint_config(&self) -> WaypointConfig {
+        WaypointConfig {
+            terrain: self.terrain,
+            min_speed: 0.1,
+            max_speed: self.max_speed,
+            pause: self.pause,
+            duration: self.end.saturating_since(SimTime::ZERO),
+        }
+    }
+
+    /// The traffic configuration for this scenario.
+    pub fn traffic_config(&self) -> TrafficConfig {
+        TrafficConfig {
+            concurrent_flows: self.flows,
+            packets_per_second: self.packets_per_second,
+            packet_bytes: self.packet_bytes,
+            mean_flow_secs: 60.0,
+            start: self.traffic_start,
+            end: self.end,
+        }
+    }
+
+    /// The master seed for this `(seed, trial)` pair.
+    pub fn master_seed(&self) -> u64 {
+        slr_netsim::rng::derive_seed(self.seed, &[self.trial])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_matches_section_v() {
+        let s = Scenario::paper(ProtocolKind::Srp, 300, 42, 0);
+        assert_eq!(s.nodes, 100);
+        assert_eq!(s.flows, 30);
+        assert_eq!(s.packet_bytes, 512);
+        assert!((s.terrain.width - 2200.0).abs() < 1e-9);
+        assert!((s.terrain.height - 600.0).abs() < 1e-9);
+        assert_eq!(s.pause, SimDuration::from_secs(300));
+    }
+
+    #[test]
+    fn master_seed_ignores_protocol() {
+        let a = Scenario::paper(ProtocolKind::Srp, 0, 42, 3).master_seed();
+        let b = Scenario::paper(ProtocolKind::Aodv, 0, 42, 3).master_seed();
+        assert_eq!(a, b, "mobility/traffic seeds must not depend on protocol");
+        let c = Scenario::paper(ProtocolKind::Srp, 0, 42, 4).master_seed();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn protocol_factory_builds_all() {
+        for kind in ProtocolKind::all() {
+            let p = kind.build(0);
+            assert_eq!(p.name(), kind.name());
+        }
+    }
+}

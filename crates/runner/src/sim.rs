@@ -1,0 +1,685 @@
+//! The simulation harness: wires the mobility script, traffic script,
+//! shared channel, per-node MACs and per-node routing protocols into one
+//! deterministic discrete-event loop.
+//!
+//! Everything below the harness is a passive state machine; this module
+//! owns the only event loop and interprets every effect, so cross-layer
+//! interactions (carrier-sense callbacks, link-failure notifications,
+//! timer bookkeeping) live in exactly one place.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use slr_mobility::{MobilityScript, Position};
+use slr_netsim::rng::{derive_seed, stream};
+use slr_netsim::time::{SimDuration, SimTime};
+use slr_netsim::{EventToken, Simulator};
+use slr_protocols::{
+    ControlPacket, DataPacket, ProtoCtx, ProtoEffect, RoutingProtocol, DATA_TTL,
+};
+use slr_radio::{Channel, Frame, FrameKind, Mac, MacEffect, MacTimer, TxId};
+use slr_traffic::TrafficScript;
+
+use crate::metrics::{Metrics, TrialSummary};
+use crate::scenario::Scenario;
+use crate::trace::{TraceEvent, TraceLog};
+
+/// Upper-layer payloads carried in MAC data frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A routing control packet.
+    Control(ControlPacket),
+    /// A data-plane packet.
+    Data(DataPacket),
+}
+
+/// Harness events.
+#[derive(Debug)]
+enum Event {
+    /// A scripted application packet enters the network at its source.
+    App(usize),
+    /// A MAC timer fired.
+    MacTimer(usize, MacTimer),
+    /// A routing-protocol timer fired.
+    ProtoTimer(usize, u64),
+    /// A transmission finished at the transmitter.
+    TxEnd(usize, TxId),
+    /// A signal ended at one receiver.
+    RxEnd(usize, TxId),
+}
+
+/// Pending work produced by state machines.
+enum Work {
+    Mac(usize, MacEffect<Payload>),
+    Proto(usize, ProtoEffect),
+}
+
+/// How often cached node positions are refreshed (at 20 m/s this bounds
+/// the position error to 2 m versus a 250 m radio range).
+const POSITION_CACHE_MS: u64 = 100;
+
+/// One running trial.
+pub struct Sim {
+    scenario: Scenario,
+    sim: Simulator<Event>,
+    channel: Channel<Payload>,
+    macs: Vec<Mac<Payload>>,
+    protos: Vec<Box<dyn RoutingProtocol>>,
+    proto_rngs: Vec<SmallRng>,
+    mobility: MobilityScript,
+    traffic: TrafficScript,
+    positions: Vec<Position>,
+    positions_at: SimTime,
+    mac_timers: Vec<HashMap<MacTimer, EventToken>>,
+    trace: Option<TraceLog>,
+    /// Metrics for the trial.
+    pub metrics: Metrics,
+}
+
+impl Sim {
+    /// Builds a trial from its scenario: generates the mobility and traffic
+    /// scripts (protocol-independent streams) and instantiates every node.
+    pub fn new(scenario: Scenario) -> Self {
+        let master = scenario.master_seed();
+        let n = scenario.nodes;
+
+        let mobility = MobilityScript::generate(
+            n,
+            &scenario.waypoint_config(),
+            &mut stream(master, "mobility", 0),
+        );
+        let traffic = TrafficScript::generate(
+            n,
+            &scenario.traffic_config(),
+            &mut stream(master, "traffic", 0),
+        );
+
+        let channel = Channel::new(n, scenario.mac.phy);
+        let macs = (0..n)
+            .map(|i| Mac::new(i, scenario.mac, derive_seed(master, &[0x6d61, i as u64])))
+            .collect();
+        let protos: Vec<Box<dyn RoutingProtocol>> =
+            (0..n).map(|i| scenario.protocol.build(i)).collect();
+        let proto_rngs = (0..n)
+            .map(|i| SmallRng::seed_from_u64(derive_seed(master, &[0x7072, i as u64])))
+            .collect();
+
+        let positions = mobility.positions_at(SimTime::ZERO);
+        Sim {
+            scenario,
+            sim: Simulator::new(),
+            channel,
+            macs,
+            protos,
+            proto_rngs,
+            mobility,
+            traffic,
+            positions,
+            positions_at: SimTime::ZERO,
+            mac_timers: vec![HashMap::new(); n],
+            trace: None,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Convenience constructor with a static topology and explicit traffic
+    /// (used by tests and examples).
+    pub fn with_static_topology(
+        scenario: Scenario,
+        positions: Vec<Position>,
+        traffic: TrafficScript,
+    ) -> Self {
+        let master = scenario.master_seed();
+        let n = positions.len();
+        let channel = Channel::new(n, scenario.mac.phy);
+        let macs = (0..n)
+            .map(|i| Mac::new(i, scenario.mac, derive_seed(master, &[0x6d61, i as u64])))
+            .collect();
+        let protos: Vec<Box<dyn RoutingProtocol>> =
+            (0..n).map(|i| scenario.protocol.build(i)).collect();
+        let proto_rngs = (0..n)
+            .map(|i| SmallRng::seed_from_u64(derive_seed(master, &[0x7072, i as u64])))
+            .collect();
+        Sim {
+            scenario,
+            sim: Simulator::new(),
+            channel,
+            macs,
+            protos,
+            proto_rngs,
+            mobility: MobilityScript::stationary(&positions),
+            traffic,
+            positions,
+            positions_at: SimTime::ZERO,
+            mac_timers: vec![HashMap::new(); n],
+            trace: None,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Enables per-packet tracing for up to `capacity` packets (see
+    /// [`crate::trace::TraceLog`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceLog::new(capacity));
+    }
+
+    /// Runs the trial and returns the summary plus the packet trace
+    /// (empty if tracing was not enabled).
+    pub fn run_traced(mut self) -> (TrialSummary, TraceLog) {
+        if self.trace.is_none() {
+            self.enable_trace(usize::MAX);
+        }
+        self.run_loop();
+        let nodes = self.scenario.nodes;
+        let trace = self.trace.take().expect("enabled above");
+        let metrics = self.finalize_metrics();
+        (metrics.summarize(nodes), trace)
+    }
+
+    /// Runs the trial and returns both the summary and the full metrics
+    /// (drop breakdowns, per-kind control counts, …).
+    pub fn run_detailed(self) -> (TrialSummary, Metrics) {
+        let mut sim = self;
+        sim.run_loop();
+        let nodes = sim.scenario.nodes;
+        let metrics = sim.finalize_metrics();
+        (metrics.summarize(nodes), metrics)
+    }
+
+    /// Runs the trial to completion and returns its summary.
+    pub fn run(self) -> TrialSummary {
+        self.run_detailed().0
+    }
+
+    fn run_loop(&mut self) {
+        // Schedule all scripted packets up front.
+        for (i, p) in self.traffic.packets().iter().enumerate() {
+            self.sim.schedule_at(p.time, Event::App(i));
+        }
+        // Start every protocol.
+        for node in 0..self.protos.len() {
+            let fx = {
+                let mut ctx = ProtoCtx {
+                    now: SimTime::ZERO,
+                    rng: &mut self.proto_rngs[node],
+                };
+                self.protos[node].on_start(&mut ctx)
+            };
+            let work: VecDeque<Work> = fx.into_iter().map(|e| Work::Proto(node, e)).collect();
+            self.drain(work);
+        }
+
+        let end = self.scenario.end;
+        while let Some(ev) = self.sim.next_before(end) {
+            self.dispatch(ev.event);
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::App(i) => {
+                let spec = self.traffic.packets()[i];
+                let packet = DataPacket {
+                    src: spec.src,
+                    dst: spec.dst,
+                    uid: i as u64,
+                    origin_time: self.sim.now(),
+                    bytes: spec.bytes,
+                    ttl: DATA_TTL,
+                    source_route: None,
+                };
+                self.metrics.data_originated += 1;
+                let now = self.sim.now();
+                if let Some(tr) = &mut self.trace {
+                    tr.record(
+                        packet.uid,
+                        TraceEvent::Originated {
+                            node: spec.src,
+                            time: now,
+                        },
+                    );
+                }
+                let fx = {
+                    let mut ctx = ProtoCtx {
+                        now,
+                        rng: &mut self.proto_rngs[spec.src],
+                    };
+                    self.protos[spec.src].on_data_from_app(&mut ctx, packet)
+                };
+                self.drain(fx.into_iter().map(|e| Work::Proto(spec.src, e)).collect());
+            }
+            Event::ProtoTimer(node, token) => {
+                let now = self.sim.now();
+                let fx = {
+                    let mut ctx = ProtoCtx {
+                        now,
+                        rng: &mut self.proto_rngs[node],
+                    };
+                    self.protos[node].on_timer(&mut ctx, token)
+                };
+                self.drain(fx.into_iter().map(|e| Work::Proto(node, e)).collect());
+            }
+            Event::MacTimer(node, kind) => {
+                self.mac_timers[node].remove(&kind);
+                let now = self.sim.now();
+                let fx = self.macs[node].on_timer(kind, now);
+                self.drain(fx.into_iter().map(|e| Work::Mac(node, e)).collect());
+            }
+            Event::TxEnd(node, tx_id) => {
+                self.channel.finish_tx(tx_id);
+                let now = self.sim.now();
+                let fx = self.macs[node].on_tx_end(now);
+                self.drain(fx.into_iter().map(|e| Work::Mac(node, e)).collect());
+            }
+            Event::RxEnd(node, tx_id) => {
+                let now = self.sim.now();
+                let r = self.channel.finish_rx(node, tx_id, now);
+                if r.collided {
+                    self.metrics.collisions += 1;
+                }
+                let mut work = VecDeque::new();
+                if let Some(frame) = r.frame {
+                    for e in self.macs[node].on_rx_frame(frame, now) {
+                        work.push_back(Work::Mac(node, e));
+                    }
+                }
+                if r.became_idle {
+                    for e in self.macs[node].on_channel_idle(now) {
+                        work.push_back(Work::Mac(node, e));
+                    }
+                }
+                self.drain(work);
+            }
+        }
+    }
+
+    /// Processes queued effects until quiescent.
+    fn drain(&mut self, mut work: VecDeque<Work>) {
+        while let Some(w) = work.pop_front() {
+            match w {
+                Work::Mac(node, eff) => self.apply_mac(node, eff, &mut work),
+                Work::Proto(node, eff) => self.apply_proto(node, eff, &mut work),
+            }
+        }
+    }
+
+    fn positions_now(&mut self) -> &[Position] {
+        let now = self.sim.now();
+        if now.saturating_since(self.positions_at)
+            >= SimDuration::from_millis(POSITION_CACHE_MS)
+            || now < self.positions_at
+        {
+            self.positions = self.mobility.positions_at(now);
+            self.positions_at = now;
+        }
+        &self.positions
+    }
+
+    fn apply_mac(&mut self, node: usize, eff: MacEffect<Payload>, work: &mut VecDeque<Work>) {
+        let now = self.sim.now();
+        match eff {
+            MacEffect::StartTx(frame) => {
+                self.account_tx(&frame);
+                self.positions_now();
+                let begin = self.channel.begin_tx(frame, now, &self.positions);
+                let end_at = now + begin.airtime;
+                for &(v, fresh) in &begin.receivers {
+                    self.sim.schedule_at(end_at, Event::RxEnd(v, begin.tx_id));
+                    if fresh {
+                        for e in self.macs[v].on_channel_busy(now) {
+                            work.push_back(Work::Mac(v, e));
+                        }
+                    }
+                }
+                self.sim.schedule_at(end_at, Event::TxEnd(node, begin.tx_id));
+            }
+            MacEffect::SetTimer(kind, delay) => {
+                if let Some(tok) = self.mac_timers[node].remove(&kind) {
+                    self.sim.cancel(tok);
+                }
+                let tok = self.sim.schedule_in(delay, Event::MacTimer(node, kind));
+                self.mac_timers[node].insert(kind, tok);
+            }
+            MacEffect::CancelTimer(kind) => {
+                if let Some(tok) = self.mac_timers[node].remove(&kind) {
+                    self.sim.cancel(tok);
+                }
+            }
+            MacEffect::Deliver { from, payload } => match payload {
+                Payload::Control(cp) => {
+                    let fx = {
+                        let mut ctx = ProtoCtx {
+                            now,
+                            rng: &mut self.proto_rngs[node],
+                        };
+                        self.protos[node].on_control_received(&mut ctx, from, cp)
+                    };
+                    for e in fx {
+                        work.push_back(Work::Proto(node, e));
+                    }
+                }
+                Payload::Data(dp) => {
+                    let fx = {
+                        let mut ctx = ProtoCtx {
+                            now,
+                            rng: &mut self.proto_rngs[node],
+                        };
+                        self.protos[node].on_data_received(&mut ctx, from, dp)
+                    };
+                    for e in fx {
+                        work.push_back(Work::Proto(node, e));
+                    }
+                }
+            },
+            MacEffect::TxDone { .. } => {}
+            MacEffect::TxFailed { dst, payload } => {
+                self.positions_now();
+                let d = self.positions[node].distance(&self.positions[dst]);
+                if d <= self.scenario.mac.phy.rx_range_m {
+                    self.metrics.link_failures_in_range += 1;
+                } else {
+                    self.metrics.link_failures_out_of_range += 1;
+                }
+                let pkt = match payload {
+                    Payload::Data(dp) => Some(dp),
+                    Payload::Control(_) => None,
+                };
+                let fx = {
+                    let mut ctx = ProtoCtx {
+                        now,
+                        rng: &mut self.proto_rngs[node],
+                    };
+                    self.protos[node].on_link_failure(&mut ctx, dst, pkt)
+                };
+                for e in fx {
+                    work.push_back(Work::Proto(node, e));
+                }
+            }
+            MacEffect::Dropped { payload, .. } => {
+                // IFQ overflow; data packets are lost here.
+                if let Payload::Data(_) = payload {
+                    *self.metrics.drops.entry("ifq-overflow").or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    fn apply_proto(&mut self, node: usize, eff: ProtoEffect, work: &mut VecDeque<Work>) {
+        let now = self.sim.now();
+        match eff {
+            ProtoEffect::SendControl { packet, next_hop } => {
+                self.metrics.record_control(packet.kind_name());
+                let bytes = packet.wire_bytes();
+                let fx = self.macs[node].enqueue(
+                    Payload::Control(packet),
+                    next_hop,
+                    bytes,
+                    true,
+                    now,
+                );
+                for e in fx {
+                    work.push_back(Work::Mac(node, e));
+                }
+            }
+            ProtoEffect::SendData { packet, next_hop } => {
+                self.metrics.data_tx += 1;
+                if let Some(tr) = &mut self.trace {
+                    tr.record(
+                        packet.uid,
+                        TraceEvent::Forwarded {
+                            from: node,
+                            to: next_hop,
+                            time: now,
+                        },
+                    );
+                }
+                let bytes = packet.bytes
+                    + packet
+                        .source_route
+                        .as_ref()
+                        .map(|sr| sr.wire_bytes())
+                        .unwrap_or(0);
+                let fx = self.macs[node].enqueue(
+                    Payload::Data(packet),
+                    Some(next_hop),
+                    bytes,
+                    false,
+                    now,
+                );
+                for e in fx {
+                    work.push_back(Work::Mac(node, e));
+                }
+            }
+            ProtoEffect::DeliverLocal(dp) => {
+                if let Some(tr) = &mut self.trace {
+                    tr.record(dp.uid, TraceEvent::Delivered { node, time: now });
+                }
+                self.metrics.record_delivery(dp.uid, dp.origin_time, now);
+            }
+            ProtoEffect::DropData { packet, reason } => {
+                if let Some(tr) = &mut self.trace {
+                    tr.record(
+                        packet.uid,
+                        TraceEvent::Dropped {
+                            node,
+                            reason,
+                            time: now,
+                        },
+                    );
+                }
+                self.metrics.record_drop(reason);
+            }
+            ProtoEffect::SetTimer { token, delay } => {
+                self.sim.schedule_in(delay, Event::ProtoTimer(node, token));
+            }
+        }
+    }
+
+    fn account_tx(&mut self, frame: &Frame<Payload>) {
+        if frame.kind == FrameKind::Data {
+            // Control counting happens at enqueue time (per routing-layer
+            // packet, not per MAC retry); nothing to do here.
+        }
+    }
+
+    fn finalize_metrics(mut self) -> Metrics {
+        for mac in &self.macs {
+            self.metrics.mac_drops += mac.counters.total_drops();
+            self.metrics.mac_drop_retry += mac.counters.drop_retry;
+            self.metrics.mac_drop_ifq += mac.counters.drop_ifq;
+            self.metrics.mac_tx_data += mac.counters.tx_data;
+        }
+        self.metrics.collisions = self.channel.stats.collisions;
+        for p in &self.protos {
+            let st = p.stats();
+            self.metrics.seqno_increments_total += st.own_seqno_increments;
+            self.metrics.max_fd_denominator =
+                self.metrics.max_fd_denominator.max(st.max_fd_denominator);
+            self.metrics.discoveries += st.discoveries;
+            self.metrics.resets += st.resets_requested;
+        }
+        self.metrics
+    }
+
+    /// Access to per-node protocol state (testing/diagnostics).
+    pub fn protocol(&self, node: usize) -> &dyn RoutingProtocol {
+        self.protos[node].as_ref()
+    }
+
+    /// Machine-checks Theorem 3 on the *live* SRP state: for every
+    /// destination, the global successor graph must be acyclic and every
+    /// successor edge must point at a strictly lower recorded ordering.
+    ///
+    /// Returns the number of edges whose successor's *current* label has
+    /// drifted out of order (possible only across DELETE_PERIOD forgetting;
+    /// must not coincide with a cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol under test is not SRP.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_srp_loop_freedom(&self) -> Result<u64, String> {
+        use slr_core::dag::find_cycle;
+        use slr_protocols::srp::Srp;
+
+        let srps: Vec<&Srp> = self
+            .protos
+            .iter()
+            .map(|p| {
+                p.as_any()
+                    .downcast_ref::<Srp>()
+                    .expect("loop-freedom oracle requires SRP")
+            })
+            .collect();
+        let n = srps.len();
+        let mut dests: Vec<usize> = srps.iter().flat_map(|s| s.oracle_destinations()).collect();
+        dests.sort_unstable();
+        dests.dedup();
+
+        let mut soft_violations = 0u64;
+        for t in dests {
+            let mut edges = Vec::new();
+            for (i, srp) in srps.iter().enumerate() {
+                let own = srp.oracle_label(t);
+                for (j, recorded) in srp.oracle_successors(t) {
+                    // Hard invariant: the node's label strictly precedes
+                    // the ordering recorded for each successor (Eqs. 5–6).
+                    if !own.precedes(&recorded) {
+                        return Err(format!(
+                            "dest {t}: node {i} label {own} !≺ recorded {recorded} at {j}"
+                        ));
+                    }
+                    edges.push((i, j));
+                    // Soft check: the successor's current label should
+                    // still be in order unless it was forgotten.
+                    let current = srps[j].oracle_label(t);
+                    if !current.is_unassigned() && !own.precedes(&current) && j != t {
+                        soft_violations += 1;
+                    }
+                }
+            }
+            // Hard invariant: no routing loops, ever (Theorem 3).
+            if let Some(cycle) = find_cycle(n, &edges) {
+                return Err(format!("dest {t}: successor cycle {cycle:?}"));
+            }
+        }
+        Ok(soft_violations)
+    }
+
+    /// Like [`Sim::run`], but additionally runs the SRP loop-freedom
+    /// oracle every `check_interval` of virtual time, panicking on any
+    /// hard violation. Returns the summary and the total count of soft
+    /// order violations observed.
+    pub fn run_with_loop_oracle(mut self, check_interval: SimDuration) -> (TrialSummary, u64) {
+        for (i, p) in self.traffic.packets().iter().enumerate() {
+            self.sim.schedule_at(p.time, Event::App(i));
+        }
+        for node in 0..self.protos.len() {
+            let fx = {
+                let mut ctx = ProtoCtx {
+                    now: SimTime::ZERO,
+                    rng: &mut self.proto_rngs[node],
+                };
+                self.protos[node].on_start(&mut ctx)
+            };
+            let work: VecDeque<Work> = fx.into_iter().map(|e| Work::Proto(node, e)).collect();
+            self.drain(work);
+        }
+        let end = self.scenario.end;
+        let mut next_check = SimTime::ZERO + check_interval;
+        let mut soft = 0u64;
+        while let Some(ev) = self.sim.next_before(end) {
+            self.dispatch(ev.event);
+            if self.sim.now() >= next_check {
+                soft += self
+                    .check_srp_loop_freedom()
+                    .unwrap_or_else(|e| panic!("loop-freedom violated: {e}"));
+                next_check = self.sim.now() + check_interval;
+            }
+        }
+        soft += self
+            .check_srp_loop_freedom()
+            .unwrap_or_else(|e| panic!("loop-freedom violated: {e}"));
+        let nodes = self.scenario.nodes;
+        let metrics = self.finalize_metrics();
+        (metrics.summarize(nodes), soft)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ProtocolKind, Scenario};
+    use slr_netsim::time::SimTime;
+    use slr_traffic::PacketSpec;
+
+    /// A 5-node line with 200 m spacing; node 0 sends CBR to node 4.
+    fn line_trial(kind: ProtocolKind) -> TrialSummary {
+        let mut scenario = Scenario::quick(kind, 900, 7, 0);
+        scenario.end = SimTime::from_secs(60);
+        let positions: Vec<Position> = (0..5)
+            .map(|i| Position::new(200.0 * i as f64, 0.0))
+            .collect();
+        let packets: Vec<PacketSpec> = (0..100)
+            .map(|i| PacketSpec {
+                time: SimTime::from_millis(15_000 + i * 250),
+                src: 0,
+                dst: 4,
+                bytes: 512,
+                flow: 0,
+            })
+            .collect();
+        scenario.nodes = 5;
+        let sim = Sim::with_static_topology(scenario, positions, TrafficScript::from_packets(packets));
+        sim.run()
+    }
+
+    #[test]
+    fn srp_delivers_on_static_line() {
+        let s = line_trial(ProtocolKind::Srp);
+        assert_eq!(s.originated, 100);
+        assert!(
+            s.delivery_ratio > 0.95,
+            "SRP static line delivery {} too low",
+            s.delivery_ratio
+        );
+        assert!(s.avg_seqno == 0.0, "SRP must not touch sequence numbers");
+        assert!(s.latency > 0.0 && s.latency < 0.5, "latency {}", s.latency);
+    }
+
+    #[test]
+    fn aodv_delivers_on_static_line() {
+        let s = line_trial(ProtocolKind::Aodv);
+        assert!(s.delivery_ratio > 0.95, "AODV {}", s.delivery_ratio);
+    }
+
+    #[test]
+    fn dsr_delivers_on_static_line() {
+        let s = line_trial(ProtocolKind::Dsr);
+        assert!(s.delivery_ratio > 0.95, "DSR {}", s.delivery_ratio);
+    }
+
+    #[test]
+    fn ldr_delivers_on_static_line() {
+        let s = line_trial(ProtocolKind::Ldr);
+        assert!(s.delivery_ratio > 0.95, "LDR {}", s.delivery_ratio);
+    }
+
+    #[test]
+    fn olsr_delivers_on_static_line() {
+        let s = line_trial(ProtocolKind::Olsr);
+        assert!(s.delivery_ratio > 0.9, "OLSR {}", s.delivery_ratio);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = line_trial(ProtocolKind::Srp);
+        let b = line_trial(ProtocolKind::Srp);
+        assert_eq!(a, b, "same scenario+seed must reproduce bit-identically");
+    }
+}

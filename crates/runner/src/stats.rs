@@ -1,0 +1,136 @@
+//! Summary statistics: means and Student-t 95 % confidence intervals,
+//! matching the paper's reporting ("vertical bars show the 95 % confidence
+//! interval"; Table I gives mean ± CI over all pause times).
+
+/// A mean with its 95 % confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean.
+    pub mean: f64,
+    /// 95 % confidence half-width (0 for fewer than two samples).
+    pub ci95: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl MeanCi {
+    /// Computes mean and CI from samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return MeanCi {
+                mean: 0.0,
+                ci95: 0.0,
+                n: 0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return MeanCi {
+                mean,
+                ci95: 0.0,
+                n,
+            };
+        }
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let se = (var / n as f64).sqrt();
+        MeanCi {
+            mean,
+            ci95: t_critical_95(n - 1) * se,
+            n,
+        }
+    }
+
+    /// Whether two measurements are statistically identical in the paper's
+    /// sense: overlapping 95 % confidence intervals.
+    pub fn overlaps(&self, other: &MeanCi) -> bool {
+        let (a_lo, a_hi) = (self.mean - self.ci95, self.mean + self.ci95);
+        let (b_lo, b_hi) = (other.mean - other.ci95, other.mean + other.ci95);
+        a_lo <= b_hi && b_lo <= a_hi
+    }
+}
+
+impl std::fmt::Display for MeanCi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.ci95)
+    }
+}
+
+/// Two-sided 95 % Student-t critical value for `df` degrees of freedom.
+pub fn t_critical_95(df: usize) -> f64 {
+    // Table through df = 30, then the normal approximation.
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        return f64::INFINITY;
+    }
+    if df <= 30 {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_values() {
+        assert!((t_critical_95(9) - 2.262).abs() < 1e-9, "10 trials → df 9");
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(1000) - 1.96).abs() < 1e-9);
+        assert!(t_critical_95(0).is_infinite());
+    }
+
+    #[test]
+    fn mean_and_ci() {
+        let s = MeanCi::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        // sd = sqrt(2.5), se = sqrt(0.5), t(4) = 2.776.
+        let expect = 2.776 * (2.5f64 / 5.0).sqrt();
+        assert!((s.ci95 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        assert_eq!(MeanCi::from_samples(&[]).n, 0);
+        let one = MeanCi::from_samples(&[7.0]);
+        assert_eq!(one.mean, 7.0);
+        assert_eq!(one.ci95, 0.0);
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        let a = MeanCi {
+            mean: 1.0,
+            ci95: 0.2,
+            n: 10,
+        };
+        let b = MeanCi {
+            mean: 1.3,
+            ci95: 0.2,
+            n: 10,
+        };
+        let c = MeanCi {
+            mean: 2.0,
+            ci95: 0.2,
+            n: 10,
+        };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn display() {
+        let a = MeanCi {
+            mean: 0.83,
+            ci95: 0.01,
+            n: 10,
+        };
+        assert_eq!(a.to_string(), "0.830 ± 0.010");
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-packet event tracing.
+//!
+//! When enabled on a [`crate::sim::Sim`], every data packet's life is
+//! recorded — origination, each forwarding hop, delivery or drop — which
+//! makes routing pathologies (loops, detours, salvage chains) directly
+//! inspectable in tests and during protocol debugging.
+
+use std::collections::HashMap;
+
+use slr_netsim::time::SimTime;
+use slr_protocols::{DataDropReason, NodeId};
+
+/// One event in a packet's life.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The application handed the packet to the routing layer.
+    Originated {
+        /// Source node.
+        node: NodeId,
+        /// When.
+        time: SimTime,
+    },
+    /// The routing layer forwarded the packet to a neighbor.
+    Forwarded {
+        /// Forwarding node.
+        from: NodeId,
+        /// Chosen next hop.
+        to: NodeId,
+        /// When.
+        time: SimTime,
+    },
+    /// The packet reached its destination.
+    Delivered {
+        /// Destination node.
+        node: NodeId,
+        /// When.
+        time: SimTime,
+    },
+    /// The routing layer abandoned the packet.
+    Dropped {
+        /// Node where the drop happened.
+        node: NodeId,
+        /// Why.
+        reason: DataDropReason,
+        /// When.
+        time: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// The time the event happened.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TraceEvent::Originated { time, .. }
+            | TraceEvent::Forwarded { time, .. }
+            | TraceEvent::Delivered { time, .. }
+            | TraceEvent::Dropped { time, .. } => *time,
+        }
+    }
+}
+
+/// A packet's final fate, as recorded by the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Delivered to its destination.
+    Delivered,
+    /// Dropped by the routing layer.
+    Dropped(DataDropReason),
+    /// Still somewhere in the network when the simulation ended.
+    InFlight,
+}
+
+/// The trace store for one trial. Bounded: tracing stops accepting *new*
+/// packets beyond `capacity` uids (events for already-traced packets keep
+/// accumulating), so long runs cannot exhaust memory.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    by_uid: HashMap<u64, Vec<TraceEvent>>,
+    capacity: usize,
+}
+
+impl TraceLog {
+    /// Creates a trace store tracking at most `capacity` packets.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            by_uid: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Records an event for packet `uid`.
+    pub fn record(&mut self, uid: u64, event: TraceEvent) {
+        if let Some(events) = self.by_uid.get_mut(&uid) {
+            events.push(event);
+            return;
+        }
+        if self.by_uid.len() < self.capacity {
+            self.by_uid.insert(uid, vec![event]);
+        }
+    }
+
+    /// Number of packets traced.
+    pub fn len(&self) -> usize {
+        self.by_uid.len()
+    }
+
+    /// Whether nothing was traced.
+    pub fn is_empty(&self) -> bool {
+        self.by_uid.is_empty()
+    }
+
+    /// The raw events of one packet, in order.
+    pub fn events(&self, uid: u64) -> &[TraceEvent] {
+        self.by_uid.get(&uid).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The node path the packet took: origin, then each next hop in
+    /// forwarding order (re-forwards after salvage appear as they
+    /// happened).
+    pub fn path(&self, uid: u64) -> Vec<NodeId> {
+        let mut path = Vec::new();
+        for e in self.events(uid) {
+            match e {
+                TraceEvent::Originated { node, .. } => path.push(*node),
+                TraceEvent::Forwarded { to, .. } => path.push(*to),
+                _ => {}
+            }
+        }
+        path
+    }
+
+    /// Number of forwarding transmissions the packet consumed.
+    pub fn hop_count(&self, uid: u64) -> usize {
+        self.events(uid)
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Forwarded { .. }))
+            .count()
+    }
+
+    /// The packet's final fate.
+    pub fn fate(&self, uid: u64) -> PacketFate {
+        for e in self.events(uid).iter().rev() {
+            match e {
+                TraceEvent::Delivered { .. } => return PacketFate::Delivered,
+                TraceEvent::Dropped { reason, .. } => return PacketFate::Dropped(*reason),
+                _ => {}
+            }
+        }
+        PacketFate::InFlight
+    }
+
+    /// Iterates over `(uid, events)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[TraceEvent])> {
+        self.by_uid.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+
+    /// Renders one packet's trace as a compact single line, e.g.
+    /// `uid 7: 0 →1 →4 ✓ (3 hops, 0.021s)`.
+    pub fn render(&self, uid: u64) -> String {
+        let events = self.events(uid);
+        if events.is_empty() {
+            return format!("uid {uid}: (not traced)");
+        }
+        let mut out = format!("uid {uid}:");
+        let mut start = None;
+        let mut end = None;
+        for e in events {
+            match e {
+                TraceEvent::Originated { node, time } => {
+                    out.push_str(&format!(" {node}"));
+                    start = Some(*time);
+                }
+                TraceEvent::Forwarded { to, .. } => out.push_str(&format!(" →{to}")),
+                TraceEvent::Delivered { time, .. } => {
+                    out.push_str(" ✓");
+                    end = Some(*time);
+                }
+                TraceEvent::Dropped { reason, time, .. } => {
+                    out.push_str(&format!(" ✗({reason:?})"));
+                    end = Some(*time);
+                }
+            }
+        }
+        if let (Some(s), Some(e)) = (start, end) {
+            out.push_str(&format!(
+                " ({} hops, {:.4}s)",
+                self.hop_count(uid),
+                e.saturating_since(s).as_secs_f64()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn records_path_and_fate() {
+        let mut log = TraceLog::new(10);
+        log.record(1, TraceEvent::Originated { node: 0, time: t(0) });
+        log.record(1, TraceEvent::Forwarded { from: 0, to: 3, time: t(1) });
+        log.record(1, TraceEvent::Forwarded { from: 3, to: 7, time: t(2) });
+        log.record(1, TraceEvent::Delivered { node: 7, time: t(3) });
+        assert_eq!(log.path(1), vec![0, 3, 7]);
+        assert_eq!(log.hop_count(1), 2);
+        assert_eq!(log.fate(1), PacketFate::Delivered);
+        let line = log.render(1);
+        assert!(line.contains("uid 1"), "{line}");
+        assert!(line.contains('✓'));
+    }
+
+    #[test]
+    fn dropped_and_inflight_fates() {
+        let mut log = TraceLog::new(10);
+        log.record(2, TraceEvent::Originated { node: 4, time: t(0) });
+        log.record(
+            2,
+            TraceEvent::Dropped {
+                node: 4,
+                reason: DataDropReason::NoRoute,
+                time: t(5),
+            },
+        );
+        assert_eq!(log.fate(2), PacketFate::Dropped(DataDropReason::NoRoute));
+        log.record(3, TraceEvent::Originated { node: 1, time: t(1) });
+        assert_eq!(log.fate(3), PacketFate::InFlight);
+        assert_eq!(log.fate(99), PacketFate::InFlight);
+    }
+
+    #[test]
+    fn capacity_bounds_new_packets_only() {
+        let mut log = TraceLog::new(1);
+        log.record(1, TraceEvent::Originated { node: 0, time: t(0) });
+        log.record(2, TraceEvent::Originated { node: 0, time: t(0) });
+        assert_eq!(log.len(), 1);
+        // Existing packets keep accumulating.
+        log.record(1, TraceEvent::Forwarded { from: 0, to: 1, time: t(1) });
+        assert_eq!(log.events(1).len(), 2);
+        assert!(log.events(2).is_empty());
+    }
+
+    #[test]
+    fn event_time_accessor() {
+        let e = TraceEvent::Forwarded { from: 0, to: 1, time: t(9) };
+        assert_eq!(e.time(), t(9));
+    }
+}

@@ -1,0 +1,271 @@
+//! CBR flow generation.
+
+use rand::Rng;
+
+use slr_netsim::rng::sample_exponential;
+use slr_netsim::time::{SimDuration, SimTime};
+
+/// Configuration for the CBR workload.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Number of simultaneously active flows (paper: 30).
+    pub concurrent_flows: usize,
+    /// Packets per second per flow (paper: 4).
+    pub packets_per_second: f64,
+    /// Payload size in bytes (paper: 512).
+    pub packet_bytes: u32,
+    /// Mean flow lifetime, exponentially distributed (paper: 60 s).
+    pub mean_flow_secs: f64,
+    /// When traffic starts (routing protocols get a brief settling window).
+    pub start: SimTime,
+    /// When traffic generation stops.
+    pub end: SimTime,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            concurrent_flows: 30,
+            packets_per_second: 4.0,
+            packet_bytes: 512,
+            mean_flow_secs: 60.0,
+            start: SimTime::from_secs(10),
+            end: SimTime::from_secs(910),
+        }
+    }
+}
+
+/// One CBR flow: endpoints and active interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Originating node.
+    pub src: usize,
+    /// Sink node.
+    pub dst: usize,
+    /// First packet time.
+    pub start: SimTime,
+    /// No packets at or after this time.
+    pub end: SimTime,
+}
+
+/// One scripted packet: origination time, endpoints, size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketSpec {
+    /// Origination time at the source's application layer.
+    pub time: SimTime,
+    /// Originating node.
+    pub src: usize,
+    /// Sink node.
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: u32,
+    /// Flow index the packet belongs to (for per-flow statistics).
+    pub flow: usize,
+}
+
+/// A complete offline traffic script for one trial.
+#[derive(Debug, Clone)]
+pub struct TrafficScript {
+    flows: Vec<Flow>,
+    packets: Vec<PacketSpec>,
+}
+
+impl TrafficScript {
+    /// Generates the script for `n` nodes.
+    ///
+    /// Flow slots are independent: each slot runs back-to-back flows with
+    /// exponential lifetimes and fresh uniform endpoints (`src != dst`),
+    /// maintaining `concurrent_flows` simultaneous flows as in the paper.
+    /// Slot start times are staggered by up to one packet interval so the
+    /// 30 flows do not fire in phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the configuration is degenerate.
+    pub fn generate<R: Rng + ?Sized>(n: usize, cfg: &TrafficConfig, rng: &mut R) -> Self {
+        assert!(n >= 2, "need at least two nodes for traffic");
+        assert!(cfg.packets_per_second > 0.0 && cfg.mean_flow_secs > 0.0);
+        assert!(cfg.end > cfg.start, "traffic window is empty");
+        let interval = SimDuration::from_secs_f64(1.0 / cfg.packets_per_second);
+
+        let mut flows = Vec::new();
+        let mut packets = Vec::new();
+
+        for slot in 0..cfg.concurrent_flows {
+            // Stagger slot phase within one packet interval.
+            let phase = SimDuration::from_secs_f64(
+                rng.gen_range(0.0..1.0) / cfg.packets_per_second,
+            );
+            let mut t = cfg.start + phase;
+            while t < cfg.end {
+                let lifetime =
+                    SimDuration::from_secs_f64(sample_exponential(rng, cfg.mean_flow_secs));
+                let flow_end = (t + lifetime).min(cfg.end);
+                let (src, dst) = random_pair(n, rng);
+                let flow_idx = flows.len();
+                flows.push(Flow {
+                    src,
+                    dst,
+                    start: t,
+                    end: flow_end,
+                });
+                let mut pt = t;
+                while pt < flow_end {
+                    packets.push(PacketSpec {
+                        time: pt,
+                        src,
+                        dst,
+                        bytes: cfg.packet_bytes,
+                        flow: flow_idx,
+                    });
+                    pt += interval;
+                }
+                t = flow_end;
+            }
+            let _ = slot;
+        }
+        packets.sort_by_key(|p| (p.time, p.src, p.dst));
+        TrafficScript { flows, packets }
+    }
+
+    /// All flows, in slot order then time order.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// All packets, sorted by origination time.
+    pub fn packets(&self) -> &[PacketSpec] {
+        &self.packets
+    }
+
+    /// Builds a fixed script from explicit packets (tests/examples).
+    pub fn from_packets(packets: Vec<PacketSpec>) -> Self {
+        let mut packets = packets;
+        packets.sort_by_key(|p| (p.time, p.src, p.dst));
+        TrafficScript {
+            flows: Vec::new(),
+            packets,
+        }
+    }
+}
+
+fn random_pair<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (usize, usize) {
+    let src = rng.gen_range(0..n);
+    let mut dst = rng.gen_range(0..n - 1);
+    if dst >= src {
+        dst += 1;
+    }
+    (src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slr_netsim::rng::stream;
+
+    fn cfg(start: u64, end: u64) -> TrafficConfig {
+        TrafficConfig {
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+            ..TrafficConfig::default()
+        }
+    }
+
+    #[test]
+    fn maintains_concurrent_flows() {
+        let c = cfg(10, 310);
+        let s = TrafficScript::generate(100, &c, &mut stream(1, "traffic", 0));
+        // At an arbitrary mid-simulation instant, ~30 flows are active.
+        let t = SimTime::from_secs(150);
+        let active = s
+            .flows()
+            .iter()
+            .filter(|f| f.start <= t && t < f.end)
+            .count();
+        assert!(
+            (25..=30).contains(&active),
+            "expected ≈30 active flows, got {active}"
+        );
+    }
+
+    #[test]
+    fn aggregate_rate_matches_paper() {
+        // 30 flows × 4 pps = 120 pps network-wide.
+        let c = cfg(10, 110);
+        let s = TrafficScript::generate(100, &c, &mut stream(2, "traffic", 0));
+        let total = s.packets().len() as f64;
+        let rate = total / 100.0;
+        assert!(
+            (110.0..=130.0).contains(&rate),
+            "aggregate rate {rate} pps should be ≈120"
+        );
+    }
+
+    #[test]
+    fn endpoints_are_valid_and_distinct() {
+        let c = cfg(10, 60);
+        let s = TrafficScript::generate(20, &c, &mut stream(3, "traffic", 0));
+        for f in s.flows() {
+            assert!(f.src < 20 && f.dst < 20);
+            assert_ne!(f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn packets_sorted_and_in_window() {
+        let c = cfg(10, 60);
+        let s = TrafficScript::generate(20, &c, &mut stream(4, "traffic", 0));
+        let mut prev = SimTime::ZERO;
+        for p in s.packets() {
+            assert!(p.time >= prev);
+            assert!(p.time >= c.start && p.time < c.end);
+            assert_eq!(p.bytes, 512);
+            prev = p.time;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_stream() {
+        let c = cfg(10, 60);
+        let a = TrafficScript::generate(50, &c, &mut stream(9, "traffic", 3));
+        let b = TrafficScript::generate(50, &c, &mut stream(9, "traffic", 3));
+        assert_eq!(a.packets(), b.packets());
+        assert_eq!(a.flows(), b.flows());
+    }
+
+    #[test]
+    fn flow_lifetimes_look_exponential() {
+        let c = cfg(0, 3000);
+        let s = TrafficScript::generate(100, &c, &mut stream(5, "traffic", 0));
+        // Mean lifetime of non-truncated flows ≈ 60 s.
+        let lifetimes: Vec<f64> = s
+            .flows()
+            .iter()
+            .filter(|f| f.end < c.end)
+            .map(|f| (f.end - f.start).as_secs_f64())
+            .collect();
+        assert!(lifetimes.len() > 100);
+        let mean = lifetimes.iter().sum::<f64>() / lifetimes.len() as f64;
+        assert!(
+            (40.0..=80.0).contains(&mean),
+            "mean lifetime {mean} should be ≈60"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn rejects_single_node() {
+        let c = cfg(0, 10);
+        let _ = TrafficScript::generate(1, &c, &mut stream(6, "traffic", 0));
+    }
+
+    #[test]
+    fn random_pair_never_self() {
+        let mut rng = stream(7, "traffic", 0);
+        for _ in 0..1000 {
+            let (s, d) = random_pair(5, &mut rng);
+            assert_ne!(s, d);
+            assert!(s < 5 && d < 5);
+        }
+    }
+}

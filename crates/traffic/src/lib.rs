@@ -1,0 +1,23 @@
+//! # slr-traffic — CBR workload scripts
+//!
+//! The paper's workload (§V): 30 simultaneous constant-bit-rate flows of
+//! 512-byte packets at 4 packets/s; each flow lasts an exponentially
+//! distributed lifetime with mean 60 s; when a flow ends a new one with
+//! fresh random endpoints replaces it, keeping 30 flows alive. Scripts are
+//! generated offline per trial so all protocols see identical demand.
+//!
+//! ```
+//! use slr_traffic::{TrafficConfig, TrafficScript};
+//! use slr_netsim::rng;
+//!
+//! let cfg = TrafficConfig::default();
+//! let script = TrafficScript::generate(100, &cfg, &mut rng::stream(42, "traffic", 0));
+//! assert!(script.packets().len() > 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cbr;
+
+pub use cbr::{Flow, PacketSpec, TrafficConfig, TrafficScript};

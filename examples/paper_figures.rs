@@ -1,0 +1,70 @@
+//! Reproduces the paper's worked examples exactly.
+//!
+//! * **Fig. 1** — initial labeling of a line `E-D-C-B-A-T`: the request
+//!   travels to `T` (label 0/1); the reply relabels the path to
+//!   `5/6 → 4/5 → 3/4 → 2/3 → 1/2 → 0/1`.
+//! * **Fig. 2** — later, nodes `F`, `G`, `H` (labels 2/3, 2/3, 3/4 but no
+//!   routes) attach through `B` and `A` *without relabeling any
+//!   predecessor*: `B` splits to 3/5, `F` splits to 5/8, `G` and `H` keep
+//!   their labels. Final order `3/4 → 2/3 → 5/8 → 3/5 → 1/2 → 0/1`
+//!   (`0.75, .66, .625, .6, .5, 0` in truncated decimal, as the paper
+//!   prints it).
+//!
+//! ```sh
+//! cargo run --release -p slr-runner --example paper_figures
+//! ```
+
+use slr_core::engine::SlrGraph;
+use slr_core::Fraction;
+
+type F = Fraction<u32>;
+
+fn f(n: u32, d: u32) -> F {
+    Fraction::new(n, d).expect("valid fraction")
+}
+
+fn main() {
+    // ---- Fig. 1 ----
+    // Nodes: T=0, A=1, B=2, C=3, D=4, E=5.
+    let mut g: SlrGraph<F> = SlrGraph::new(6, 0);
+    g.run_request(&[5, 4, 3, 2, 1, 0]).expect("discovery succeeds");
+    println!("Fig. 1 — initial graph labeling");
+    for (name, node) in [("T", 0), ("A", 1), ("B", 2), ("C", 3), ("D", 4), ("E", 5)] {
+        println!("  {name}: {}", g.label(node));
+    }
+    assert_eq!(*g.label(1), f(1, 2));
+    assert_eq!(*g.label(2), f(2, 3));
+    assert_eq!(*g.label(3), f(3, 4));
+    assert_eq!(*g.label(4), f(4, 5));
+    assert_eq!(*g.label(5), f(5, 6));
+    g.check_topological_order().expect("Theorem 3 holds");
+
+    // ---- Fig. 2 ----
+    // Fresh graph with only A and B routed (A=1/2, B=2/3), then F=3, G=4,
+    // H=5 appear holding stale labels from routes they once had.
+    let mut g: SlrGraph<F> = SlrGraph::new(6, 0);
+    g.run_request(&[2, 1, 0]).expect("seed A,B");
+    g.set_label_for_test(3, f(2, 3)); // F
+    g.set_label_for_test(4, f(2, 3)); // G
+    g.set_label_for_test(5, f(3, 4)); // H
+
+    // H issues a request; B cannot reply (its label is not below the
+    // request minimum), so the request reaches A.
+    g.run_request(&[5, 4, 3, 2, 1]).expect("insertion succeeds");
+    println!("Fig. 2 — re-labeling (inserting F, G, H without touching A)");
+    for (name, node) in [("A", 1), ("B", 2), ("F", 3), ("G", 4), ("H", 5)] {
+        println!(
+            "  {name}: {}  (≈ {:.3})",
+            g.label(node),
+            g.label(node).value()
+        );
+    }
+    assert_eq!(*g.label(1), f(1, 2), "A keeps 1/2: no predecessor relabel");
+    assert_eq!(*g.label(2), f(3, 5), "B splits to 3/5");
+    assert_eq!(*g.label(3), f(5, 8), "F splits to 5/8");
+    assert_eq!(*g.label(4), f(2, 3), "G keeps 2/3");
+    assert_eq!(*g.label(5), f(3, 4), "H keeps 3/4");
+    g.check_topological_order().expect("Theorem 3 holds");
+
+    println!("Both worked examples match the paper exactly.");
+}

@@ -1,0 +1,57 @@
+//! The sweep/statistics/report pipeline end to end.
+
+use slr_runner::experiment::{run_sweep, Metric, SweepConfig};
+use slr_runner::report::{render_figure, render_table1, render_trend};
+use slr_runner::scenario::ProtocolKind;
+use slr_runner::stats::MeanCi;
+
+#[test]
+fn sweep_statistics_and_reports() {
+    let cfg = SweepConfig {
+        seed: 5,
+        trials: 2,
+        pauses: &[150],
+        paper_scale: false,
+        threads: 2,
+    };
+    let protocols = [ProtocolKind::Srp, ProtocolKind::Ldr];
+    let result = run_sweep(&protocols, &cfg);
+
+    // Every cell has exactly `trials` samples.
+    for p in &protocols {
+        let m = result.point(*p, 150, Metric::DeliveryRatio);
+        assert_eq!(m.n, 2);
+        assert!(m.mean > 0.0 && m.mean <= 1.0);
+    }
+
+    // Table and figures render with all rows.
+    let table = render_table1(&result);
+    assert!(table.contains("SRP") && table.contains("LDR"));
+    for (metric, title) in [
+        (Metric::MacDrops, "Fig. 3"),
+        (Metric::DeliveryRatio, "Fig. 4"),
+        (Metric::NetworkLoad, "Fig. 5"),
+        (Metric::Latency, "Fig. 6"),
+        (Metric::AvgSeqno, "Fig. 7"),
+    ] {
+        let fig = render_figure(&result, metric, title);
+        assert!(fig.contains(title));
+        assert!(fig.contains("150"));
+    }
+    let trend = render_trend(&result, Metric::DeliveryRatio);
+    assert!(trend.contains("SRP"));
+
+    // Table-I style aggregation equals the single-pause point here.
+    let overall = result.overall(ProtocolKind::Srp, Metric::DeliveryRatio);
+    let point = result.point(ProtocolKind::Srp, 150, Metric::DeliveryRatio);
+    assert!((overall.mean - point.mean).abs() < 1e-12);
+}
+
+#[test]
+fn confidence_intervals_behave() {
+    let tight = MeanCi::from_samples(&[1.0, 1.0, 1.0, 1.0]);
+    assert_eq!(tight.ci95, 0.0);
+    let loose = MeanCi::from_samples(&[0.0, 2.0]);
+    assert!(loose.ci95 > 1.0);
+    assert!(tight.overlaps(&MeanCi::from_samples(&[1.0, 1.0])));
+}
