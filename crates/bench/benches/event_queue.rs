@@ -56,5 +56,10 @@ fn bench_simulator_loop(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_schedule_pop, bench_cancellation, bench_simulator_loop);
+criterion_group!(
+    benches,
+    bench_schedule_pop,
+    bench_cancellation,
+    bench_simulator_loop
+);
 criterion_main!(benches);

@@ -15,13 +15,13 @@ fn drive_one_broadcast(mac: &mut Mac<u32>, now: SimTime) -> SimTime {
         });
         match timer {
             Some((k, d)) => {
-                now = now + d;
+                now += d;
                 fx = mac.on_timer(k, now);
             }
             None => break,
         }
         if fx.iter().any(|e| matches!(e, MacEffect::StartTx(_))) {
-            now = now + SimDuration::from_micros(500);
+            now += SimDuration::from_micros(500);
             let _ = mac.on_tx_end(now);
             break;
         }
@@ -47,7 +47,7 @@ fn bench_rx_path(c: &mut Criterion) {
         let mut now = SimTime::ZERO;
         b.iter(|| {
             seq += 1;
-            now = now + SimDuration::from_millis(1);
+            now += SimDuration::from_millis(1);
             let frame = Frame {
                 kind: FrameKind::Data,
                 src: 3,
@@ -59,9 +59,9 @@ fn bench_rx_path(c: &mut Criterion) {
             };
             let fx = mac.on_rx_frame(frame, now);
             // Complete the SIFS/ACK response so state resets.
-            now = now + SimDuration::from_micros(10);
+            now += SimDuration::from_micros(10);
             let _ = mac.on_timer(MacTimer::RespSifs, now);
-            now = now + SimDuration::from_micros(300);
+            now += SimDuration::from_micros(300);
             let _ = mac.on_tx_end(now);
             black_box(fx.len())
         })
@@ -73,7 +73,7 @@ fn bench_nav_updates(c: &mut Criterion) {
         let mut mac: Mac<u32> = Mac::new(0, MacConfig::default(), 7);
         let mut now = SimTime::ZERO;
         b.iter(|| {
-            now = now + SimDuration::from_micros(50);
+            now += SimDuration::from_micros(50);
             let frame = Frame {
                 kind: FrameKind::Rts,
                 src: 5,
@@ -88,5 +88,10 @@ fn bench_nav_updates(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_contention_cycle, bench_rx_path, bench_nav_updates);
+criterion_group!(
+    benches,
+    bench_contention_cycle,
+    bench_rx_path,
+    bench_nav_updates
+);
 criterion_main!(benches);

@@ -9,13 +9,18 @@ fn label(sn: u64, n: u32, d: u32) -> SplitLabel<u32> {
 
 fn bench_neworder_cases(c: &mut Criterion) {
     let cases = [
-        ("next_element", label(1, 1, 2), label(1, 2, 3), label(2, 1, 3)),
+        (
+            "next_element",
+            label(1, 1, 2),
+            label(1, 2, 3),
+            label(2, 1, 3),
+        ),
         ("split", label(1, 1, 2), label(2, 2, 3), label(2, 1, 3)),
         ("keep_own", label(3, 1, 2), label(3, 2, 3), label(3, 1, 3)),
         ("infeasible", label(5, 1, 2), label(0, 1, 1), label(4, 1, 3)),
     ];
     for (name, own, cached, adv) in cases {
-        c.bench_function(&format!("neworder/{name}"), |b| {
+        c.bench_function(format!("neworder/{name}"), |b| {
             b.iter(|| new_order(black_box(own), black_box(cached), black_box(adv)))
         });
     }

@@ -9,7 +9,7 @@ use slr_protocols::aodv::{Aodv, AodvConfig, AodvMessage, AodvRreq};
 use slr_protocols::dsr::{Dsr, DsrConfig, DsrMessage, DsrRreq};
 use slr_protocols::ldr::{Ldr, LdrConfig, LdrMessage, LdrRreq};
 use slr_protocols::olsr::{Olsr, OlsrConfig, OlsrHello, OlsrMessage};
-use slr_protocols::srp::{SrpConfig, SrpMessage, SrpRreq, Srp};
+use slr_protocols::srp::{Srp, SrpConfig, SrpMessage, SrpRreq};
 use slr_protocols::{ControlPacket, ProtoCtx, RoutingProtocol};
 
 fn bench_rreq_handling(c: &mut Criterion) {
@@ -36,8 +36,14 @@ fn bench_rreq_handling(c: &mut Criterion) {
                 src_lfd: Fraction::new(1, 2).unwrap(),
                 src_ld: 1,
             };
-            let mut ctx = ProtoCtx { now: SimTime::from_secs(1), rng: &mut rng };
-            black_box(node.on_control_received(&mut ctx, 3, ControlPacket::Srp(SrpMessage::Rreq(rreq))).len())
+            let mut ctx = ProtoCtx {
+                now: SimTime::from_secs(1),
+                rng: &mut rng,
+            };
+            black_box(
+                node.on_control_received(&mut ctx, 3, ControlPacket::Srp(SrpMessage::Rreq(rreq)))
+                    .len(),
+            )
         })
     });
 
@@ -56,8 +62,14 @@ fn bench_rreq_handling(c: &mut Criterion) {
                 hop_count: 1,
                 ttl: 5,
             };
-            let mut ctx = ProtoCtx { now: SimTime::from_secs(1), rng: &mut rng };
-            black_box(node.on_control_received(&mut ctx, 3, ControlPacket::Aodv(AodvMessage::Rreq(rreq))).len())
+            let mut ctx = ProtoCtx {
+                now: SimTime::from_secs(1),
+                rng: &mut rng,
+            };
+            black_box(
+                node.on_control_received(&mut ctx, 3, ControlPacket::Aodv(AodvMessage::Rreq(rreq)))
+                    .len(),
+            )
         })
     });
 
@@ -77,8 +89,14 @@ fn bench_rreq_handling(c: &mut Criterion) {
                 hop_count: 1,
                 ttl: 5,
             };
-            let mut ctx = ProtoCtx { now: SimTime::from_secs(1), rng: &mut rng };
-            black_box(node.on_control_received(&mut ctx, 3, ControlPacket::Ldr(LdrMessage::Rreq(rreq))).len())
+            let mut ctx = ProtoCtx {
+                now: SimTime::from_secs(1),
+                rng: &mut rng,
+            };
+            black_box(
+                node.on_control_received(&mut ctx, 3, ControlPacket::Ldr(LdrMessage::Rreq(rreq)))
+                    .len(),
+            )
         })
     });
 
@@ -94,8 +112,14 @@ fn bench_rreq_handling(c: &mut Criterion) {
                 route: vec![7, 3],
                 ttl: 5,
             };
-            let mut ctx = ProtoCtx { now: SimTime::from_secs(1), rng: &mut rng };
-            black_box(node.on_control_received(&mut ctx, 3, ControlPacket::Dsr(DsrMessage::Rreq(rreq))).len())
+            let mut ctx = ProtoCtx {
+                now: SimTime::from_secs(1),
+                rng: &mut rng,
+            };
+            black_box(
+                node.on_control_received(&mut ctx, 3, ControlPacket::Dsr(DsrMessage::Rreq(rreq)))
+                    .len(),
+            )
         })
     });
 
@@ -110,8 +134,18 @@ fn bench_rreq_handling(c: &mut Criterion) {
                 heard_neighbors: vec![9],
                 mprs: vec![1],
             };
-            let mut ctx = ProtoCtx { now: SimTime::from_millis(t), rng: &mut rng };
-            black_box(node.on_control_received(&mut ctx, 2, ControlPacket::Olsr(OlsrMessage::Hello(hello))).len())
+            let mut ctx = ProtoCtx {
+                now: SimTime::from_millis(t),
+                rng: &mut rng,
+            };
+            black_box(
+                node.on_control_received(
+                    &mut ctx,
+                    2,
+                    ControlPacket::Olsr(OlsrMessage::Hello(hello)),
+                )
+                .len(),
+            )
         })
     });
 }

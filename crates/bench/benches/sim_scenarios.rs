@@ -34,11 +34,7 @@ fn bench_scenarios(c: &mut Criterion) {
     group.sample_size(10);
     for kind in ProtocolKind::all() {
         group.bench_function(format!("10_node_line_15s/{}", kind.name()), |b| {
-            b.iter_batched(
-                || tiny_sim(kind),
-                |sim| sim.run(),
-                BatchSize::PerIteration,
-            )
+            b.iter_batched(|| tiny_sim(kind), |sim| sim.run(), BatchSize::PerIteration)
         });
     }
     group.finish();

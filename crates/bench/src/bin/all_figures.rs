@@ -15,13 +15,22 @@ fn main() {
     eprintln!("running sweep: {}", cli.describe());
     let t0 = std::time::Instant::now();
     let result = run_sweep(&ProtocolKind::all(), &cli.sweep);
-    println!("# SLR reproduction — all experiments ({})\n", cli.describe());
+    println!(
+        "# SLR reproduction — all experiments ({})\n",
+        cli.describe()
+    );
     println!("{}", render_table1(&result));
     for (metric, title) in [
         (Metric::MacDrops, "Fig. 3 — Average MAC layer drops"),
         (Metric::DeliveryRatio, "Fig. 4 — Delivery ratio"),
-        (Metric::NetworkLoad, "Fig. 5 — Network load (semi-log in the paper)"),
-        (Metric::Latency, "Fig. 6 — Data latency (semi-log in the paper)"),
+        (
+            Metric::NetworkLoad,
+            "Fig. 5 — Network load (semi-log in the paper)",
+        ),
+        (
+            Metric::Latency,
+            "Fig. 6 — Data latency (semi-log in the paper)",
+        ),
         (Metric::AvgSeqno, "Fig. 7 — Average node sequence number"),
     ] {
         println!("{}", render_figure(&result, metric, title));

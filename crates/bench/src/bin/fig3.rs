@@ -13,6 +13,13 @@ fn main() {
     let cli = Cli::parse();
     eprintln!("running sweep: {}", cli.describe());
     let result = run_sweep(&ProtocolKind::all(), &cli.sweep);
-    println!("{}", render_figure(&result, Metric::MacDrops, "Fig. 3 — Average MAC layer drops, 100-nodes 30-flows"));
+    println!(
+        "{}",
+        render_figure(
+            &result,
+            Metric::MacDrops,
+            "Fig. 3 — Average MAC layer drops, 100-nodes 30-flows"
+        )
+    );
     println!("Paper shape: DSR worst (rising toward 350+ at pause 0), inversely proportional to its delivery ratio.");
 }

@@ -13,6 +13,13 @@ fn main() {
     let cli = Cli::parse();
     eprintln!("running sweep: {}", cli.describe());
     let result = run_sweep(&ProtocolKind::all(), &cli.sweep);
-    println!("{}", render_figure(&result, Metric::DeliveryRatio, "Fig. 4 — Delivery ratio, 100-nodes 30-flows"));
+    println!(
+        "{}",
+        render_figure(
+            &result,
+            Metric::DeliveryRatio,
+            "Fig. 4 — Delivery ratio, 100-nodes 30-flows"
+        )
+    );
     println!("Paper shape: SRP highest at almost all pause times (~0.83 avg); DSR collapses with mobility.");
 }

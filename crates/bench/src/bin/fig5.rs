@@ -13,6 +13,13 @@ fn main() {
     let cli = Cli::parse();
     eprintln!("running sweep: {}", cli.describe());
     let result = run_sweep(&ProtocolKind::all(), &cli.sweep);
-    println!("{}", render_figure(&result, Metric::NetworkLoad, "Fig. 5 — Network load, 100-nodes 30-flows"));
+    println!(
+        "{}",
+        render_figure(
+            &result,
+            Metric::NetworkLoad,
+            "Fig. 5 — Network load, 100-nodes 30-flows"
+        )
+    );
     println!("Paper shape: SRP ~0.2x the load of LDR/AODV/OLSR (0.9 vs 4.4-5.0).");
 }

@@ -13,6 +13,13 @@ fn main() {
     let cli = Cli::parse();
     eprintln!("running sweep: {}", cli.describe());
     let result = run_sweep(&ProtocolKind::all(), &cli.sweep);
-    println!("{}", render_figure(&result, Metric::Latency, "Fig. 6 — Data latency (seconds), 100-nodes 30-flows"));
+    println!(
+        "{}",
+        render_figure(
+            &result,
+            Metric::Latency,
+            "Fig. 6 — Data latency (seconds), 100-nodes 30-flows"
+        )
+    );
     println!("Paper shape: OLSR and SRP lowest and statistically close; AODV and DSR much higher.");
 }

@@ -12,7 +12,17 @@ use slr_runner::scenario::ProtocolKind;
 fn main() {
     let cli = Cli::parse();
     eprintln!("running sweep: {}", cli.describe());
-    let result = run_sweep(&[ProtocolKind::Srp, ProtocolKind::Ldr, ProtocolKind::Aodv], &cli.sweep);
-    println!("{}", render_figure(&result, Metric::AvgSeqno, "Fig. 7 — Average node sequence number (SRP is exactly 0)"));
+    let result = run_sweep(
+        &[ProtocolKind::Srp, ProtocolKind::Ldr, ProtocolKind::Aodv],
+        &cli.sweep,
+    );
+    println!(
+        "{}",
+        render_figure(
+            &result,
+            Metric::AvgSeqno,
+            "Fig. 7 — Average node sequence number (SRP is exactly 0)"
+        )
+    );
     println!("Paper shape: AODV highest (up to ~140), LDR low, SRP identically zero in all 80 simulations.");
 }

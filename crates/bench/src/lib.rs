@@ -6,7 +6,8 @@
 //!   plus `all_figures` which regenerates everything from a single sweep).
 //!   Default is a laptop-scale quick mode (50 nodes, 160 s, 3 trials);
 //!   pass `--paper` for the full §V configuration (100 nodes, 910 s,
-//!   10 trials — hours of CPU).
+//!   10 trials — hours of CPU). Any registered scenario family can be
+//!   substituted with `--scenario NAME`.
 //! * **Criterion micro-benches** for the label algebra, `NEWORDER`, the
 //!   event queue, the MAC state machine, protocol packet handling, and
 //!   miniature end-to-end scenarios, including the mediant-vs-Farey
@@ -15,7 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use slr_runner::experiment::{SweepConfig, PAUSE_TIMES};
+use slr_runner::experiment::{parse_values, SweepConfig};
+use slr_runner::registry::{Family, SweepParam};
 
 /// Command-line options shared by the figure/table binaries.
 #[derive(Debug, Clone)]
@@ -30,7 +32,9 @@ impl Cli {
     /// Parses `std::env::args`.
     ///
     /// Flags: `--paper`, `--trials N`, `--seed N`, `--threads N`,
-    /// `--pauses a,b,c` (defaults to the paper's eight pause times).
+    /// `--pauses a,b,c` (defaults to the paper's eight pause times),
+    /// `--scenario NAME` (any registry family; its default param/values
+    /// replace the pause sweep), `--param NAME`, `--values a,b,c`.
     pub fn parse() -> Cli {
         let mut paper = false;
         let mut trials: Option<u64> = None;
@@ -38,7 +42,9 @@ impl Cli {
         let mut threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
-        let mut pauses: &'static [u64] = &PAUSE_TIMES;
+        let mut family = Family::PaperSweep;
+        let mut param: Option<SweepParam> = None;
+        let mut values: Option<Vec<u64>> = None;
 
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -57,19 +63,43 @@ impl Cli {
                     i += 1;
                     threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(threads);
                 }
-                "--pauses" => {
+                "--scenario" | "--family" => {
                     i += 1;
-                    if let Some(list) = args.get(i) {
-                        let parsed: Vec<u64> =
-                            list.split(',').filter_map(|s| s.parse().ok()).collect();
-                        if !parsed.is_empty() {
-                            pauses = Box::leak(parsed.into_boxed_slice());
+                    match args.get(i).and_then(|s| Family::parse(s)) {
+                        Some(f) => family = f,
+                        None => {
+                            eprintln!("unknown scenario family {:?}", args.get(i));
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--param" => {
+                    i += 1;
+                    match args.get(i).and_then(|s| SweepParam::parse(s)) {
+                        Some(p) => param = Some(p),
+                        None => {
+                            eprintln!(
+                                "unknown sweep parameter {:?} (pause|nodes|flows|rate|speed)",
+                                args.get(i)
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--pauses" | "--values" => {
+                    i += 1;
+                    match parse_values(args.get(i).map(String::as_str).unwrap_or_default()) {
+                        Ok(list) => values = Some(list),
+                        Err(e) => {
+                            eprintln!("--values: {e}");
+                            std::process::exit(2);
                         }
                     }
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --paper (full §V scale) --trials N --seed N --threads N --pauses a,b,c"
+                        "flags: --paper (full §V scale) --trials N --seed N --threads N \
+                         --pauses a,b,c --scenario NAME --param NAME --values a,b,c"
                     );
                     std::process::exit(0);
                 }
@@ -79,13 +109,23 @@ impl Cli {
         }
 
         let trials = trials.unwrap_or(if paper { 10 } else { 3 });
+        let (param, values) = match SweepConfig::resolve(family, param, values, paper) {
+            Ok(resolved) => resolved,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
         Cli {
             sweep: SweepConfig {
                 seed,
                 trials,
-                pauses,
+                family,
+                param,
+                values,
                 paper_scale: paper,
                 threads,
+                ..SweepConfig::default()
             },
             paper,
         }
@@ -94,10 +134,16 @@ impl Cli {
     /// One-line description of the configuration, for run logs.
     pub fn describe(&self) -> String {
         format!(
-            "{} scale, {} trials/point, pauses {:?}, seed {}, {} threads",
-            if self.paper { "paper (100 nodes, 910 s)" } else { "quick (50 nodes, 160 s)" },
+            "{} scale, family {}, {} trials/point, {} {:?}, seed {}, {} threads",
+            if self.paper {
+                "paper (100 nodes, 910 s)"
+            } else {
+                "quick (50 nodes, 160 s)"
+            },
+            self.sweep.family.name(),
             self.sweep.trials,
-            self.sweep.pauses,
+            self.sweep.param.name(),
+            self.sweep.values,
             self.sweep.seed,
             self.sweep.threads
         )
@@ -107,6 +153,7 @@ impl Cli {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slr_runner::experiment::PAUSE_TIMES;
 
     #[test]
     fn default_cli_shape() {
@@ -116,13 +163,14 @@ mod tests {
             sweep: SweepConfig {
                 seed: 42,
                 trials: 3,
-                pauses: &PAUSE_TIMES,
-                paper_scale: false,
+                values: PAUSE_TIMES.to_vec(),
                 threads: 2,
+                ..SweepConfig::default()
             },
             paper: false,
         };
         assert!(cli.describe().contains("quick"));
-        assert_eq!(cli.sweep.pauses.len(), 8);
+        assert!(cli.describe().contains("paper-sweep"));
+        assert_eq!(cli.sweep.values.len(), 8);
     }
 }

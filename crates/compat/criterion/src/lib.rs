@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! minimal wall-clock timing harness exposing the API subset the
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: one warm-up call sizes the batch so a measurement
+//! takes roughly [`TARGET_MEASURE_TIME`]; the reported figure is the mean
+//! wall-clock time per iteration. No statistics, plots, or baselines —
+//! good enough to spot order-of-magnitude regressions by eye.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Roughly how long one measured batch should run.
+pub const TARGET_MEASURE_TIME: Duration = Duration::from_millis(200);
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` sizes setup batches (accepted, ignored: every
+/// iteration re-runs setup here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup runs once per iteration.
+    PerIteration,
+    /// Small batches (treated as per-iteration).
+    SmallInput,
+    /// Large batches (treated as per-iteration).
+    LargeInput,
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    max_iters: u64,
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling iteration count to the target time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up & calibration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_MEASURE_TIME.as_nanos() / once.as_nanos())
+            .clamp(1, self.max_iters as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.last = Some(start.elapsed() / iters as u32);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_MEASURE_TIME.as_nanos() / once.as_nanos())
+            .clamp(1, self.max_iters as u128) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.last = Some(total / iters as u32);
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.to_string(), None, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 0,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the iteration count (small values for slow benchmarks).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let cap = if self.sample_size > 0 {
+            Some(self.sample_size as u64)
+        } else {
+            None
+        };
+        run_one(&full, cap, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, max_iters: Option<u64>, f: &mut F) {
+    let mut b = Bencher {
+        max_iters: max_iters.unwrap_or(100_000),
+        last: None,
+    };
+    let t0 = Instant::now();
+    f(&mut b);
+    match b.last {
+        Some(per_iter) => println!("{name}: {per_iter:?}/iter"),
+        None => println!("{name}: completed in {:?}", t0.elapsed()),
+    }
+}
+
+/// Groups benchmark functions into one callable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -278,14 +278,13 @@ impl<L: DenseLabel> SlrGraph<L> {
             .enumerate()
             .flat_map(|(i, st)| st.succs.keys().map(move |&j| (i, j)))
             .collect();
-        dag::find_cycle(self.nodes.len(), &edges)
-            .map_or(Ok(()), |cyc| {
-                Err(SlrError::OrderViolation(dag::OrderViolation {
-                    from: cyc[0],
-                    to: cyc[cyc.len() - 1],
-                    detail: format!("cycle {cyc:?}"),
-                }))
-            })
+        dag::find_cycle(self.nodes.len(), &edges).map_or(Ok(()), |cyc| {
+            Err(SlrError::OrderViolation(dag::OrderViolation {
+                from: cyc[0],
+                to: cyc[cyc.len() - 1],
+                detail: format!("cycle {cyc:?}"),
+            }))
+        })
     }
 
     #[cfg(debug_assertions)]

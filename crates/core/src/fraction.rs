@@ -520,15 +520,10 @@ mod tests {
         let mut a = Frac32::zero();
         let mut b = Frac32::one();
         let mut fib_splits = 0u32;
-        loop {
-            match a.checked_mediant(&b) {
-                Some(m) => {
-                    a = b;
-                    b = m;
-                    fib_splits += 1;
-                }
-                None => break,
-            }
+        while let Some(m) = a.checked_mediant(&b) {
+            a = b;
+            b = m;
+            fib_splits += 1;
         }
         assert_eq!(fib_splits, worst_case_split_capacity::<u32>());
     }

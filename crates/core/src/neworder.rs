@@ -323,7 +323,8 @@ mod tests {
                                 }
                                 let chk = check_order(&g.label, &own, &cached, &adv, None);
                                 assert!(
-                                    chk.non_increasing && chk.predecessor_order
+                                    chk.non_increasing
+                                        && chk.predecessor_order
                                         && chk.successor_feasible,
                                     "own={own} cached={cached} adv={adv} g={:?} chk={chk:?}",
                                     g

@@ -244,10 +244,7 @@ mod tests {
             labels.push(g);
             adv = g;
         }
-        assert_eq!(
-            labels,
-            vec![f(1, 2), f(2, 3), f(3, 4), f(4, 5), f(5, 6)]
-        );
+        assert_eq!(labels, vec![f(1, 2), f(2, 3), f(3, 4), f(4, 5), f(5, 6)]);
     }
 
     #[test]

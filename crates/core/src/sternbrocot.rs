@@ -72,8 +72,7 @@ fn simplest_between_raw(a: u128, b: u128, c: u128, d: u128) -> (u128, u128) {
         let rhs = a * ld - ln * b; // >= 0 since ln/ld <= a/b
         let coeff = rn * b; // rn*b - a*rd, computed carefully below
         let coeff = coeff.saturating_sub(a * rd);
-        if coeff > 0 {
-            let k = rhs / coeff;
+        if let Some(k) = rhs.checked_div(coeff) {
             if k > 0 {
                 ln += k * rn;
                 ld += k * rd;
@@ -92,8 +91,7 @@ fn simplest_between_raw(a: u128, b: u128, c: u128, d: u128) -> (u128, u128) {
         //   k*(c*ld - ln*d) <= rn*d - c*rd
         let rhs = rn * d - c * rd; // >= 0 since rn/rd >= c/d
         let coeff = (c * ld).saturating_sub(ln * d);
-        if coeff > 0 {
-            let k = rhs / coeff;
+        if let Some(k) = rhs.checked_div(coeff) {
             if k > 0 {
                 rn += k * ln;
                 rd += k * ld;
@@ -495,10 +493,25 @@ mod tests {
             SbPath::Greatest,
         ];
         for w in paths.windows(2) {
-            assert_eq!(w[0].cmp_value(&w[1]), Ordering::Less, "{} !< {}", w[0], w[1]);
+            assert_eq!(
+                w[0].cmp_value(&w[1]),
+                Ordering::Less,
+                "{} !< {}",
+                w[0],
+                w[1]
+            );
             let (an, ad) = w[0].to_fraction();
             let (bn, bd) = w[1].to_fraction();
-            assert!(an * bd < bn * ad, "{}={}/{} vs {}={}/{}", w[0], an, ad, w[1], bn, bd);
+            assert!(
+                an * bd < bn * ad,
+                "{}={}/{} vs {}={}/{}",
+                w[0],
+                an,
+                ad,
+                w[1],
+                bn,
+                bd
+            );
         }
     }
 
@@ -536,7 +549,14 @@ mod tests {
 
     #[test]
     fn continued_fraction_roundtrip() {
-        for (n, d) in [(3u128, 10u128), (5, 8), (1, 2), (2, 3), (355, 113_0), (17, 19)] {
+        for (n, d) in [
+            (3u128, 10u128),
+            (5, 8),
+            (1, 2),
+            (2, 3),
+            (355, 1130),
+            (17, 19),
+        ] {
             let cf = continued_fraction(n, d);
             let (rn, rd) = from_continued_fraction(&cf);
             // Roundtrip reproduces the reduced value.

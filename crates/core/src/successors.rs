@@ -174,7 +174,7 @@ mod tests {
         t.insert(1, l(1, 1, 3), 2); // fraction 1/3
         t.insert(2, l(1, 1, 2), 4); // fraction 1/2 — higher in DAG
         t.insert(3, l(2, 2, 3), 1); // seqno 2 — lower in DAG (fresher)
-        // max picks the label *highest* in the DAG: seqno 1, fraction 1/2.
+                                    // max picks the label *highest* in the DAG: seqno 1, fraction 1/2.
         assert_eq!(t.max_label().unwrap(), l(1, 1, 2));
     }
 

@@ -10,9 +10,8 @@ use slr_core::{maintains_order, new_order, Fraction, SplitLabel};
 /// A strategy producing arbitrary valid `u32` fractions (including 0/1 and
 /// 1/1 but biased toward proper interiors).
 fn frac() -> impl Strategy<Value = Fraction<u32>> {
-    (1u32..=1_000_000).prop_flat_map(|den| {
-        (0u32..=den).prop_map(move |num| Fraction::new(num, den).unwrap())
-    })
+    (1u32..=1_000_000)
+        .prop_flat_map(|den| (0u32..=den).prop_map(move |num| Fraction::new(num, den).unwrap()))
 }
 
 /// Small sequence numbers so equal-seqno cases are well represented.

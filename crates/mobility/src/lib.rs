@@ -26,4 +26,7 @@ pub mod geometry;
 pub mod waypoint;
 
 pub use geometry::{Position, Terrain};
-pub use waypoint::{generate_trajectory, MobilityScript, Segment, Trajectory, WaypointConfig};
+pub use waypoint::{
+    generate_trajectory, generate_trajectory_from, MobilityScript, Segment, Trajectory,
+    WaypointConfig,
+};

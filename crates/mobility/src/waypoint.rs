@@ -102,7 +102,10 @@ impl Trajectory {
     ///
     /// Panics if `segments` is empty or not contiguous in time.
     pub fn from_segments(segments: Vec<Segment>) -> Self {
-        assert!(!segments.is_empty(), "trajectory needs at least one segment");
+        assert!(
+            !segments.is_empty(),
+            "trajectory needs at least one segment"
+        );
         for w in segments.windows(2) {
             assert_eq!(
                 w[0].end_time, w[1].start_time,
@@ -135,6 +138,17 @@ impl Trajectory {
 
 /// Generates a random-waypoint trajectory starting at a uniform position.
 pub fn generate_trajectory<R: Rng + ?Sized>(cfg: &WaypointConfig, rng: &mut R) -> Trajectory {
+    let start = random_position(&cfg.terrain, rng);
+    generate_trajectory_from(start, cfg, rng)
+}
+
+/// Generates a random-waypoint trajectory from an explicit start position
+/// (used when a structured topology seeds the initial placement).
+pub fn generate_trajectory_from<R: Rng + ?Sized>(
+    start: Position,
+    cfg: &WaypointConfig,
+    rng: &mut R,
+) -> Trajectory {
     assert!(
         cfg.min_speed > 0.0 && cfg.max_speed >= cfg.min_speed,
         "speeds must satisfy 0 < min <= max"
@@ -142,7 +156,7 @@ pub fn generate_trajectory<R: Rng + ?Sized>(cfg: &WaypointConfig, rng: &mut R) -
     let mut segments = Vec::new();
     let mut now = SimTime::ZERO;
     let horizon = SimTime::ZERO + cfg.duration;
-    let mut here = random_position(&cfg.terrain, rng);
+    let mut here = start;
 
     while now < horizon {
         // Movement leg.
@@ -189,10 +203,38 @@ impl MobilityScript {
         }
     }
 
+    /// Generates trajectories that start from the given positions instead
+    /// of uniform random ones (structured topologies with mobility).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any start position lies outside the configured terrain.
+    pub fn generate_from<R: Rng + ?Sized>(
+        starts: &[Position],
+        cfg: &WaypointConfig,
+        rng: &mut R,
+    ) -> Self {
+        for p in starts {
+            assert!(
+                cfg.terrain.contains(p),
+                "start position {p} outside terrain"
+            );
+        }
+        MobilityScript {
+            trajectories: starts
+                .iter()
+                .map(|p| generate_trajectory_from(*p, cfg, rng))
+                .collect(),
+        }
+    }
+
     /// A static script with the given positions (for tests and examples).
     pub fn stationary(positions: &[Position]) -> Self {
         MobilityScript {
-            trajectories: positions.iter().map(|p| Trajectory::stationary(*p)).collect(),
+            trajectories: positions
+                .iter()
+                .map(|p| Trajectory::stationary(*p))
+                .collect(),
         }
     }
 
@@ -213,7 +255,10 @@ impl MobilityScript {
 
     /// All positions at time `t`.
     pub fn positions_at(&self, t: SimTime) -> Vec<Position> {
-        self.trajectories.iter().map(|tr| tr.position_at(t)).collect()
+        self.trajectories
+            .iter()
+            .map(|tr| tr.position_at(t))
+            .collect()
     }
 
     /// The trajectory of one node.
@@ -354,11 +399,7 @@ mod tests {
         let mut rng = stream(11, "mob", 0);
         let tr = generate_trajectory(&c, &mut rng);
         // At most two movement legs fit before a 900 s pause engulfs the run.
-        let moving = tr
-            .segments()
-            .iter()
-            .filter(|s| s.from != s.to)
-            .count();
+        let moving = tr.segments().iter().filter(|s| s.from != s.to).count();
         assert!(moving <= 2, "expected ≤2 movement legs, got {moving}");
     }
 }

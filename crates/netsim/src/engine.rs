@@ -82,6 +82,10 @@ impl<E> Simulator<E> {
     }
 
     /// Pops the next event, advancing the clock to its firing time.
+    ///
+    /// Deliberately named like `Iterator::next`; the simulator is not an
+    /// iterator because popping mutates the virtual clock.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Scheduled<E>> {
         let ev = self.queue.pop()?;
         debug_assert!(ev.time >= self.now, "event queue went backwards");

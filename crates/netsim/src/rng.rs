@@ -129,7 +129,10 @@ mod tests {
         let mean = 60.0;
         let total: f64 = (0..n).map(|_| sample_exponential(&mut r, mean)).sum();
         let avg = total / n as f64;
-        assert!((avg - mean).abs() < 2.0, "sample mean {avg} too far from {mean}");
+        assert!(
+            (avg - mean).abs() < 2.0,
+            "sample mean {avg} too far from {mean}"
+        );
     }
 
     #[test]

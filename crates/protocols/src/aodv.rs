@@ -145,7 +145,10 @@ fn decode_token(token: u64) -> Option<(NodeId, u32)> {
     if token & DISCOVERY_TOKEN_BIT == 0 {
         return None;
     }
-    Some(((token & 0xFFFF_FFFF) as NodeId, ((token >> 32) & 0x3FFF_FFFF) as u32))
+    Some((
+        (token & 0xFFFF_FFFF) as NodeId,
+        ((token >> 32) & 0x3FFF_FFFF) as u32,
+    ))
 }
 
 /// The AODV instance on one node.
@@ -356,7 +359,14 @@ impl Aodv {
         self.rreq_seen.insert(key, now);
 
         // Reverse route to the originator.
-        self.update_route(rreq.orig, prev, rreq.hop_count + 1, rreq.orig_seqno, true, now);
+        self.update_route(
+            rreq.orig,
+            prev,
+            rreq.hop_count + 1,
+            rreq.orig_seqno,
+            true,
+            now,
+        );
 
         if rreq.dst == self.node {
             // Destination reply: freshen own seqno to at least the request.
@@ -424,7 +434,14 @@ impl Aodv {
         let mut fx = Vec::new();
         let now = ctx.now;
         // Forward route to the destination.
-        self.update_route(rrep.dst, prev, rrep.hop_count + 1, rrep.dst_seqno, true, now);
+        self.update_route(
+            rrep.dst,
+            prev,
+            rrep.hop_count + 1,
+            rrep.dst_seqno,
+            true,
+            now,
+        );
 
         if rrep.orig == self.node {
             self.flush_buffer(rrep.dst, now, &mut fx);
@@ -472,11 +489,7 @@ impl RoutingProtocol for Aodv {
         Vec::new()
     }
 
-    fn on_data_from_app(
-        &mut self,
-        ctx: &mut ProtoCtx<'_>,
-        packet: DataPacket,
-    ) -> Vec<ProtoEffect> {
+    fn on_data_from_app(&mut self, ctx: &mut ProtoCtx<'_>, packet: DataPacket) -> Vec<ProtoEffect> {
         let now = ctx.now;
         if packet.dst == self.node {
             return vec![ProtoEffect::DeliverLocal(packet)];
@@ -511,7 +524,11 @@ impl RoutingProtocol for Aodv {
         }
         // No route: RERR to the previous hop, then attempt local repair.
         let mut fx = Vec::new();
-        let seqno = self.routes.get(&packet.dst).map(|r| r.seqno + 1).unwrap_or(1);
+        let seqno = self
+            .routes
+            .get(&packet.dst)
+            .map(|r| r.seqno + 1)
+            .unwrap_or(1);
         fx.push(ProtoEffect::SendControl {
             packet: ControlPacket::Aodv(AodvMessage::Rerr(AodvRerr {
                 unreachable: vec![(packet.dst, seqno)],
@@ -676,22 +693,41 @@ mod tests {
         let rreq = rreq_of(&fx).expect("rreq");
         assert_eq!(rreq.orig_seqno, 1, "own seqno incremented before RREQ");
 
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 0, ControlPacket::Aodv(AodvMessage::Rreq(rreq)));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            0,
+            ControlPacket::Aodv(AodvMessage::Rreq(rreq)),
+        );
         let relayed = rreq_of(&fx).expect("relay");
         assert_eq!(relayed.hop_count, 1);
-        assert!(b.route_active(0, SimTime::from_secs(1)), "reverse route to orig");
+        assert!(
+            b.route_active(0, SimTime::from_secs(1)),
+            "reverse route to orig"
+        );
 
-        let fx = c.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Aodv(AodvMessage::Rreq(relayed)));
+        let fx = c.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            1,
+            ControlPacket::Aodv(AodvMessage::Rreq(relayed)),
+        );
         let (rrep, nh) = rrep_of(&fx).expect("destination replies");
         assert_eq!(nh, Some(1));
         assert_eq!(rrep.hop_count, 0);
 
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 2, ControlPacket::Aodv(AodvMessage::Rrep(rrep)));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            2,
+            ControlPacket::Aodv(AodvMessage::Rrep(rrep)),
+        );
         let (rrep2, nh2) = rrep_of(&fx).expect("relayed reply");
         assert_eq!(nh2, Some(0));
         assert_eq!(rrep2.hop_count, 1);
 
-        let fx = a.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Aodv(AodvMessage::Rrep(rrep2)));
+        let fx = a.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            1,
+            ControlPacket::Aodv(AodvMessage::Rrep(rrep2)),
+        );
         assert!(fx
             .iter()
             .any(|e| matches!(e, ProtoEffect::SendData { next_hop: 1, .. })));
@@ -724,7 +760,11 @@ mod tests {
             hop_count: 0,
             ttl: 5,
         };
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 0, ControlPacket::Aodv(AodvMessage::Rreq(rreq.clone())));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            0,
+            ControlPacket::Aodv(AodvMessage::Rreq(rreq.clone())),
+        );
         let (rrep, _) = rrep_of(&fx).expect("fresh route reply");
         assert_eq!(rrep.dst_seqno, 7);
         assert_eq!(rrep.hop_count, 2);
@@ -732,7 +772,11 @@ mod tests {
         // A stale route (seqno below request) only relays.
         let mut c = Aodv::new(2, AodvConfig::default());
         c.update_route(9, 4, 2, 3, true, SimTime::from_secs(1));
-        let fx = c.on_control_received(&mut ctx_at(&mut rng, 1), 0, ControlPacket::Aodv(AodvMessage::Rreq(rreq)));
+        let fx = c.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            0,
+            ControlPacket::Aodv(AodvMessage::Rreq(rreq)),
+        );
         assert!(rrep_of(&fx).is_none());
         let relayed = rreq_of(&fx).expect("relayed");
         assert_eq!(relayed.dst_seqno, 5, "request keeps the larger seqno");
@@ -756,7 +800,10 @@ mod tests {
         let rerr = rerr.expect("rerr broadcast");
         assert_eq!(rerr.unreachable.len(), 2);
         assert!(!a.route_active(9, SimTime::from_secs(2)));
-        assert!(a.route_active(7, SimTime::from_secs(2)), "route via node 2 survives");
+        assert!(
+            a.route_active(7, SimTime::from_secs(2)),
+            "route via node 2 survives"
+        );
     }
 
     #[test]
@@ -767,7 +814,11 @@ mod tests {
         let rerr = AodvRerr {
             unreachable: vec![(9, 8)],
         };
-        let fx = a.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Aodv(AodvMessage::Rerr(rerr)));
+        let fx = a.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            1,
+            ControlPacket::Aodv(AodvMessage::Rerr(rerr)),
+        );
         assert!(!a.route_active(9, SimTime::from_secs(1)));
         assert!(fx.iter().any(|e| matches!(
             e,
@@ -782,7 +833,11 @@ mod tests {
         let rerr = AodvRerr {
             unreachable: vec![(9, 8)],
         };
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 5, ControlPacket::Aodv(AodvMessage::Rerr(rerr)));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            5,
+            ControlPacket::Aodv(AodvMessage::Rerr(rerr)),
+        );
         assert!(fx.is_empty());
         assert!(b.route_active(9, SimTime::from_secs(1)));
     }

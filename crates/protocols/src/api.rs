@@ -199,8 +199,7 @@ pub trait RoutingProtocol {
     fn on_start(&mut self, ctx: &mut ProtoCtx<'_>) -> Vec<ProtoEffect>;
 
     /// The local application wants `packet` delivered to `packet.dst`.
-    fn on_data_from_app(&mut self, ctx: &mut ProtoCtx<'_>, packet: DataPacket)
-        -> Vec<ProtoEffect>;
+    fn on_data_from_app(&mut self, ctx: &mut ProtoCtx<'_>, packet: DataPacket) -> Vec<ProtoEffect>;
 
     /// A data packet arrived from neighbor `from`.
     fn on_data_received(

@@ -143,7 +143,10 @@ fn decode_token(token: u64) -> Option<(NodeId, u32)> {
     if token & DISCOVERY_TOKEN_BIT == 0 {
         return None;
     }
-    Some(((token & 0xFFFF_FFFF) as NodeId, ((token >> 32) & 0x0FFF_FFFF) as u32))
+    Some((
+        (token & 0xFFFF_FFFF) as NodeId,
+        ((token >> 32) & 0x0FFF_FFFF) as u32,
+    ))
 }
 
 /// The DSR instance on one node.
@@ -194,12 +197,7 @@ impl Dsr {
         }
         if self.cache.len() >= self.cfg.cache_capacity {
             // Evict the entry expiring soonest.
-            if let Some((idx, _)) = self
-                .cache
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, c)| c.expires)
-            {
+            if let Some((idx, _)) = self.cache.iter().enumerate().min_by_key(|(_, c)| c.expires) {
                 self.cache.remove(idx);
             }
         }
@@ -470,11 +468,7 @@ impl RoutingProtocol for Dsr {
         Vec::new()
     }
 
-    fn on_data_from_app(
-        &mut self,
-        ctx: &mut ProtoCtx<'_>,
-        packet: DataPacket,
-    ) -> Vec<ProtoEffect> {
+    fn on_data_from_app(&mut self, ctx: &mut ProtoCtx<'_>, packet: DataPacket) -> Vec<ProtoEffect> {
         let now = ctx.now;
         if packet.dst == self.node {
             return vec![ProtoEffect::DeliverLocal(packet)];
@@ -695,7 +689,11 @@ mod tests {
             .expect("rreq");
         assert_eq!(rreq.route, vec![0]);
 
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 0, ControlPacket::Dsr(DsrMessage::Rreq(rreq)));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            0,
+            ControlPacket::Dsr(DsrMessage::Rreq(rreq)),
+        );
         let relayed = fx
             .iter()
             .find_map(|e| match e {
@@ -708,7 +706,11 @@ mod tests {
             .expect("relay");
         assert_eq!(relayed.route, vec![0, 1]);
 
-        let fx = c.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Dsr(DsrMessage::Rreq(relayed)));
+        let fx = c.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            1,
+            ControlPacket::Dsr(DsrMessage::Rreq(relayed)),
+        );
         let (rrep, nh) = fx
             .iter()
             .find_map(|e| match e {
@@ -722,7 +724,11 @@ mod tests {
         assert_eq!(rrep.route, vec![0, 1, 2]);
         assert_eq!(nh, Some(1));
 
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 2, ControlPacket::Dsr(DsrMessage::Rrep(rrep.clone())));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            2,
+            ControlPacket::Dsr(DsrMessage::Rrep(rrep.clone())),
+        );
         assert!(fx.iter().any(|e| matches!(
             e,
             ProtoEffect::SendControl {
@@ -731,7 +737,11 @@ mod tests {
             }
         )));
 
-        let fx = a.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Dsr(DsrMessage::Rrep(rrep)));
+        let fx = a.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            1,
+            ControlPacket::Dsr(DsrMessage::Rrep(rrep)),
+        );
         // The buffered packet leaves with a full source route.
         let sent = fx
             .iter()
@@ -768,7 +778,11 @@ mod tests {
             route: vec![0],
             ttl: 5,
         };
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 0, ControlPacket::Dsr(DsrMessage::Rreq(rreq)));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            0,
+            ControlPacket::Dsr(DsrMessage::Rreq(rreq)),
+        );
         let rrep = fx
             .iter()
             .find_map(|e| match e {
@@ -834,9 +848,16 @@ mod tests {
             to: 9,
             orig: 1,
         };
-        let _ = b.on_control_received(&mut ctx_at(&mut rng, 1), 5, ControlPacket::Dsr(DsrMessage::Rerr(rerr)));
+        let _ = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            5,
+            ControlPacket::Dsr(DsrMessage::Rerr(rerr)),
+        );
         assert!(b.find_route(9, SimTime::from_secs(1)).is_none());
-        assert!(b.find_route(5, SimTime::from_secs(1)).is_some(), "prefix survives");
+        assert!(
+            b.find_route(5, SimTime::from_secs(1)).is_some(),
+            "prefix survives"
+        );
     }
 
     #[test]

@@ -161,7 +161,10 @@ fn decode_token(token: u64) -> Option<(NodeId, u32)> {
     if token & DISCOVERY_TOKEN_BIT == 0 {
         return None;
     }
-    Some(((token & 0xFFFF_FFFF) as NodeId, ((token >> 32) & 0x1FFF_FFFF) as u32))
+    Some((
+        (token & 0xFFFF_FFFF) as NodeId,
+        ((token >> 32) & 0x1FFF_FFFF) as u32,
+    ))
 }
 
 /// Engaged-calculation cache: reverse path for replies.
@@ -536,11 +539,7 @@ impl RoutingProtocol for Ldr {
         Vec::new()
     }
 
-    fn on_data_from_app(
-        &mut self,
-        ctx: &mut ProtoCtx<'_>,
-        packet: DataPacket,
-    ) -> Vec<ProtoEffect> {
+    fn on_data_from_app(&mut self, ctx: &mut ProtoCtx<'_>, packet: DataPacket) -> Vec<ProtoEffect> {
         let now = ctx.now;
         if packet.dst == self.node {
             return vec![ProtoEffect::DeliverLocal(packet)];
@@ -737,18 +736,34 @@ mod tests {
         assert!(rreq.unknown);
         assert!(!rreq.reset, "first attempt does not demand a reset");
 
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 0, ControlPacket::Ldr(LdrMessage::Rreq(rreq)));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            0,
+            ControlPacket::Ldr(LdrMessage::Rreq(rreq)),
+        );
         let relayed = rreq_of(&fx).expect("relay");
 
-        let fx = c.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Ldr(LdrMessage::Rreq(relayed)));
+        let fx = c.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            1,
+            ControlPacket::Ldr(LdrMessage::Rreq(relayed)),
+        );
         let rrep = rrep_of(&fx).expect("destination replies");
         assert_eq!(rrep.dist, 0);
 
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 2, ControlPacket::Ldr(LdrMessage::Rrep(rrep)));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            2,
+            ControlPacket::Ldr(LdrMessage::Rrep(rrep)),
+        );
         let rrep2 = rrep_of(&fx).expect("relayed reply");
         assert_eq!(rrep2.dist, 1);
 
-        let _ = a.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Ldr(LdrMessage::Rrep(rrep2)));
+        let _ = a.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            1,
+            ControlPacket::Ldr(LdrMessage::Rrep(rrep2)),
+        );
         assert!(a.route_active(2, SimTime::from_secs(1)));
         let d = a.dests.get(&2).unwrap();
         assert_eq!(d.dist, 2);
@@ -762,7 +777,10 @@ mod tests {
         let mut ldr = Ldr::new(0, LdrConfig::default());
         ldr.adopt(9, 1, 5, 2, SimTime::from_secs(1)); // fd = 3
         assert!(ldr.feasible(9, 5, 2));
-        assert!(!ldr.feasible(9, 5, 3), "equal-or-longer distance is out of order");
+        assert!(
+            !ldr.feasible(9, 5, 3),
+            "equal-or-longer distance is out of order"
+        );
         assert!(ldr.feasible(9, 6, 100), "fresher seqno is always feasible");
     }
 
@@ -789,7 +807,11 @@ mod tests {
 
         let mut t = Ldr::new(9, LdrConfig::default());
         let before = t.own_seqno;
-        let fx = t.on_control_received(&mut ctx_at(&mut rng, 2), 5, ControlPacket::Ldr(LdrMessage::Rreq(rreq)));
+        let fx = t.on_control_received(
+            &mut ctx_at(&mut rng, 2),
+            5,
+            ControlPacket::Ldr(LdrMessage::Rreq(rreq)),
+        );
         let rrep = rrep_of(&fx).expect("destination replies");
         assert!(rrep.dst_seqno > before);
         assert_eq!(t.stats().own_seqno_increments, 1);
@@ -811,8 +833,15 @@ mod tests {
             hop_count: 0,
             ttl: 5,
         };
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 0, ControlPacket::Ldr(LdrMessage::Rreq(rreq.clone())));
-        assert!(rrep_of(&fx).is_none(), "reset requests go to the destination");
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            0,
+            ControlPacket::Ldr(LdrMessage::Rreq(rreq.clone())),
+        );
+        assert!(
+            rrep_of(&fx).is_none(),
+            "reset requests go to the destination"
+        );
         assert!(rreq_of(&fx).is_some());
 
         // Without the reset bit the same node replies.

@@ -156,7 +156,8 @@ impl Olsr {
 
     fn expire(&mut self, now: SimTime) {
         self.links.retain(|_, l| l.expires > now);
-        self.two_hop.retain(|n, (_, e)| *e > now && self.links.contains_key(n));
+        self.two_hop
+            .retain(|n, (_, e)| *e > now && self.links.contains_key(n));
         self.topology.retain(|_, (_, e, _)| *e > now);
     }
 
@@ -245,8 +246,8 @@ impl Olsr {
         while let Some(u) = q.pop_front() {
             if let Some(ns) = adj.get(&u) {
                 for &v in ns {
-                    if !prev.contains_key(&v) {
-                        prev.insert(v, u);
+                    if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(v) {
+                        e.insert(u);
                         q.push_back(v);
                     }
                 }
@@ -586,12 +587,18 @@ mod tests {
             1,
             ControlPacket::Olsr(OlsrMessage::Tc(tc.clone())),
         );
-        assert!(fx.iter().any(|e| matches!(e, ProtoEffect::SendControl { .. })));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, ProtoEffect::SendControl { .. })));
         // From a node that did not select us: no forwarding (and the TC is
         // stale anyway the second time).
         let mut o2 = Olsr::new(0, OlsrConfig::default());
         let _ = o2.on_control_received(&mut ctx_at(&mut rng, 1), 2, hello(2, &[0], &[], &[]));
-        let fx = o2.on_control_received(&mut ctx_at(&mut rng, 1), 2, ControlPacket::Olsr(OlsrMessage::Tc(tc)));
+        let fx = o2.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            2,
+            ControlPacket::Olsr(OlsrMessage::Tc(tc)),
+        );
         assert!(fx.is_empty());
     }
 
@@ -621,9 +628,13 @@ mod tests {
                 ..
             }
         )));
-        assert!(fx
-            .iter()
-            .any(|e| matches!(e, ProtoEffect::SetTimer { token: TOKEN_HELLO, .. })));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            ProtoEffect::SetTimer {
+                token: TOKEN_HELLO,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::api::{
     ControlPacket, DataDropReason, DataPacket, NodeId, PacketBuffer, ProtoCtx, ProtoEffect,
     ProtoStats, RingSchedule, RoutingProtocol,
 };
-use crate::srp::messages::{SrpMessage, SrpRerr, SrpRreq, SrpRrep};
+use crate::srp::messages::{SrpMessage, SrpRerr, SrpRrep, SrpRreq};
 
 /// How SRP picks among its feasible successors when forwarding data.
 ///
@@ -137,7 +137,10 @@ fn decode_token(token: u64) -> Option<(NodeId, u32)> {
     if token & DISCOVERY_TOKEN_BIT == 0 {
         return None;
     }
-    Some(((token & 0xFFFF_FFFF) as NodeId, ((token >> 32) & 0x7FFF_FFFF) as u32))
+    Some((
+        (token & 0xFFFF_FFFF) as NodeId,
+        ((token >> 32) & 0x7FFF_FFFF) as u32,
+    ))
 }
 
 /// The Split-label Routing Protocol instance on one node.
@@ -241,9 +244,7 @@ impl Srp {
         let policy = self.cfg.multipath;
         let ds = self.dests.get_mut(&packet.dst).expect("active route");
         let next_hop = match policy {
-            MultipathPolicy::SingleMinHop => {
-                ds.succs.best_successor().expect("active route").0
-            }
+            MultipathPolicy::SingleMinHop => ds.succs.best_successor().expect("active route").0,
             MultipathPolicy::RoundRobin => {
                 let hops: Vec<NodeId> = ds.succs.iter().map(|(n, _)| *n).collect();
                 let pick = hops[ds.rr_counter as usize % hops.len()];
@@ -295,7 +296,10 @@ impl Srp {
         let fd = if unknown {
             Frac32::one()
         } else {
-            label.fd().lie_down(self.cfg.lie_k).unwrap_or_else(Frac32::one)
+            label
+                .fd()
+                .lie_down(self.cfg.lie_k)
+                .unwrap_or_else(Frac32::one)
         };
         let rreq = SrpRreq {
             src: self.node,
@@ -356,10 +360,7 @@ impl Srp {
         if !g.label.is_finite() {
             return None;
         }
-        let ds = self
-            .dests
-            .entry(t)
-            .or_insert_with(DestState::unassigned);
+        let ds = self.dests.entry(t).or_insert_with(DestState::unassigned);
         ds.label = g.label;
         // Line 13 of Algorithm 1.
         ds.succs.prune_out_of_order(&g.label);
@@ -529,9 +530,7 @@ impl Srp {
         } else {
             solicited
         };
-        let new_reset = if rreq.unknown && own_unassigned {
-            false
-        } else if own.seqno() > rreq.dst_seqno {
+        let new_reset = if (rreq.unknown && own_unassigned) || own.seqno() > rreq.dst_seqno {
             false
         } else if !solicited.precedes(&own) && rreq.fd.mediant_overflows(&own.fd()) {
             true
@@ -765,11 +764,7 @@ impl RoutingProtocol for Srp {
         Vec::new() // purely on-demand
     }
 
-    fn on_data_from_app(
-        &mut self,
-        ctx: &mut ProtoCtx<'_>,
-        packet: DataPacket,
-    ) -> Vec<ProtoEffect> {
+    fn on_data_from_app(&mut self, ctx: &mut ProtoCtx<'_>, packet: DataPacket) -> Vec<ProtoEffect> {
         let now = ctx.now;
         if packet.dst == self.node {
             return vec![ProtoEffect::DeliverLocal(packet)];
@@ -1020,33 +1015,52 @@ mod tests {
         assert_eq!(rreq.d, 0);
 
         // 1 relays.
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 0, ControlPacket::Srp(SrpMessage::Rreq(rreq)));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            0,
+            ControlPacket::Srp(SrpMessage::Rreq(rreq)),
+        );
         let relayed = rreq_of(&fx).expect("relayed");
         assert_eq!(relayed.d, 1);
         assert!(relayed.unknown);
 
         // 2 (the destination) replies.
-        let fx = c.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Srp(SrpMessage::Rreq(relayed)));
+        let fx = c.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            1,
+            ControlPacket::Srp(SrpMessage::Rreq(relayed)),
+        );
         let (rrep, nh) = rrep_of(&fx).expect("destination replies");
         assert_eq!(nh, Some(1));
         assert!(rrep.lfd.is_zero(), "destination advertises 0/1");
         assert_eq!(rrep.ld, 0);
 
         // 1 adopts label 1/2 (next-element of 0/1) and relays to 0.
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 2, ControlPacket::Srp(SrpMessage::Rrep(rrep)));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            2,
+            ControlPacket::Srp(SrpMessage::Rrep(rrep)),
+        );
         let (rrep2, nh2) = rrep_of(&fx).expect("relayed reply");
         assert_eq!(nh2, Some(0));
         assert_eq!(rrep2.lfd, Fraction::new(1, 2).unwrap());
         assert_eq!(rrep2.ld, 1);
 
         // 0 adopts 2/3 and flushes the buffered packet toward 1.
-        let fx = a.on_control_received(&mut ctx_at(&mut rng, 1), 1, ControlPacket::Srp(SrpMessage::Rrep(rrep2)));
+        let fx = a.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            1,
+            ControlPacket::Srp(SrpMessage::Rrep(rrep2)),
+        );
         assert!(
             fx.iter()
                 .any(|e| matches!(e, ProtoEffect::SendData { next_hop: 1, .. })),
             "{fx:?}"
         );
-        assert_eq!(a.label_for(2, SimTime::from_secs(1)).fd(), Fraction::new(2, 3).unwrap());
+        assert_eq!(
+            a.label_for(2, SimTime::from_secs(1)).fd(),
+            Fraction::new(2, 3).unwrap()
+        );
         // Sequence numbers never moved (the Fig. 7 invariant).
         assert_eq!(a.stats().own_seqno_increments, 0);
         assert_eq!(b.stats().own_seqno_increments, 0);
@@ -1075,7 +1089,11 @@ mod tests {
             ld: 1,
             no_reverse: false,
         };
-        let _ = a.on_control_received(&mut ctx_at(&mut rng, 1), 3, ControlPacket::Srp(SrpMessage::Rrep(rrep)));
+        let _ = a.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            3,
+            ControlPacket::Srp(SrpMessage::Rrep(rrep)),
+        );
         let label = a.label_for(9, SimTime::from_secs(1));
         assert_eq!(label.fd(), Fraction::new(2, 3).unwrap());
 
@@ -1111,7 +1129,11 @@ mod tests {
             ld: 1,
             no_reverse: false,
         };
-        let _ = b.on_control_received(&mut ctx_at(&mut rng, 1), 4, ControlPacket::Srp(SrpMessage::Rrep(seed_rrep)));
+        let _ = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            4,
+            ControlPacket::Srp(SrpMessage::Rrep(seed_rrep)),
+        );
         assert!(b.route_active(9, SimTime::from_secs(1)));
 
         // A solicitation that has traveled 0 hops: heuristic blocks reply.
@@ -1131,7 +1153,11 @@ mod tests {
             src_lfd: Frac32::one(),
             src_ld: 0,
         };
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq.clone())));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            7,
+            ControlPacket::Srp(SrpMessage::Rreq(rreq.clone())),
+        );
         assert!(rrep_of(&fx).is_none(), "0-hop RREQ must not be answered");
         assert!(rreq_of(&fx).is_some(), "relayed instead");
 
@@ -1142,7 +1168,11 @@ mod tests {
             d: 2,
             ..rreq
         };
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq2.clone())));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            7,
+            ControlPacket::Srp(SrpMessage::Rreq(rreq2.clone())),
+        );
         let (rrep, _) = rrep_of(&fx).expect("SDC reply after 2 hops");
         assert_eq!(rrep.dst, 9);
 
@@ -1154,7 +1184,11 @@ mod tests {
             fd: Fraction::new(1, 10).unwrap(),
             ..rreq2
         };
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq3)));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            7,
+            ControlPacket::Srp(SrpMessage::Rreq(rreq3)),
+        );
         assert!(rrep_of(&fx).is_none());
         assert!(rreq_of(&fx).is_some());
     }
@@ -1191,7 +1225,11 @@ mod tests {
             src_lfd: Frac32::one(),
             src_ld: 0,
         };
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq)));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            7,
+            ControlPacket::Srp(SrpMessage::Rreq(rreq)),
+        );
         let relayed = rreq_of(&fx).expect("relayed");
         // Eq. 10 second arm: sn_B > sn_# → relay our ordering.
         assert_eq!(relayed.dst_seqno, 7);
@@ -1234,7 +1272,11 @@ mod tests {
             src_lfd: Frac32::one(),
             src_ld: 0,
         };
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq)));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            7,
+            ControlPacket::Srp(SrpMessage::Rreq(rreq)),
+        );
         let relayed = rreq_of(&fx).expect("relayed");
         assert!(relayed.reset, "Eq. 11 third arm must set the T bit");
     }
@@ -1259,7 +1301,11 @@ mod tests {
             src_lfd: Frac32::one(),
             src_ld: 0,
         };
-        let fx = t.on_control_received(&mut ctx_at(&mut rng, 1), 3, ControlPacket::Srp(SrpMessage::Rreq(base.clone())));
+        let fx = t.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            3,
+            ControlPacket::Srp(SrpMessage::Rreq(base.clone())),
+        );
         let (rrep, _) = rrep_of(&fx).expect("destination replies");
         assert_eq!(rrep.dst_seqno, 1, "no reset → seqno unchanged");
         assert_eq!(t.stats().own_seqno_increments, 0);
@@ -1285,8 +1331,10 @@ mod tests {
         // Two successors toward 9.
         let mut ds = DestState::unassigned();
         ds.label = SplitLabel32::new(1, Fraction::new(1, 2).unwrap());
-        ds.succs.insert(1, SplitLabel32::new(1, Fraction::new(1, 3).unwrap()), 2);
-        ds.succs.insert(2, SplitLabel32::new(1, Fraction::new(1, 4).unwrap()), 3);
+        ds.succs
+            .insert(1, SplitLabel32::new(1, Fraction::new(1, 3).unwrap()), 2);
+        ds.succs
+            .insert(2, SplitLabel32::new(1, Fraction::new(1, 4).unwrap()), 3);
         ds.dist = 2;
         ds.expires = SimTime::from_secs(100);
         a.dests.insert(9, ds);
@@ -1367,7 +1415,11 @@ mod tests {
             ld: 1,
             no_reverse: false,
         };
-        let _ = a.on_control_received(&mut ctx_at(&mut rng, 1), 3, ControlPacket::Srp(SrpMessage::Rrep(rrep)));
+        let _ = a.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            3,
+            ControlPacket::Srp(SrpMessage::Rrep(rrep)),
+        );
         assert!(a.route_active(9, SimTime::from_secs(5)));
         // 10 s of disuse: the route lapses but the label survives…
         assert!(!a.route_active(9, SimTime::from_secs(20)));
@@ -1398,9 +1450,17 @@ mod tests {
             src_lfd: Frac32::one(),
             src_ld: 0,
         };
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq.clone())));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            7,
+            ControlPacket::Srp(SrpMessage::Rreq(rreq.clone())),
+        );
         assert!(rreq_of(&fx).is_some());
-        let fx = b.on_control_received(&mut ctx_at(&mut rng, 1), 8, ControlPacket::Srp(SrpMessage::Rreq(rreq)));
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            8,
+            ControlPacket::Srp(SrpMessage::Rreq(rreq)),
+        );
         assert!(fx.is_empty(), "engaged node ignores duplicates");
     }
 
@@ -1414,8 +1474,10 @@ mod tests {
         let mut a = Srp::new(0, cfg);
         let mut ds = DestState::unassigned();
         ds.label = SplitLabel32::new(1, Fraction::new(1, 2).unwrap());
-        ds.succs.insert(1, SplitLabel32::new(1, Fraction::new(1, 3).unwrap()), 2);
-        ds.succs.insert(2, SplitLabel32::new(1, Fraction::new(1, 4).unwrap()), 2);
+        ds.succs
+            .insert(1, SplitLabel32::new(1, Fraction::new(1, 3).unwrap()), 2);
+        ds.succs
+            .insert(2, SplitLabel32::new(1, Fraction::new(1, 4).unwrap()), 2);
         ds.expires = SimTime::from_secs(100);
         a.dests.insert(9, ds);
 
@@ -1431,14 +1493,20 @@ mod tests {
                 .expect("forwarded");
             hops.push(hop);
         }
-        assert_eq!(hops, vec![1, 2, 1, 2], "round robin alternates feasible successors");
+        assert_eq!(
+            hops,
+            vec![1, 2, 1, 2],
+            "round robin alternates feasible successors"
+        );
 
         // Uni-path always picks the min-hop (min id on ties) successor.
         let mut b = Srp::new(0, SrpConfig::default());
         let mut ds = DestState::unassigned();
         ds.label = SplitLabel32::new(1, Fraction::new(1, 2).unwrap());
-        ds.succs.insert(1, SplitLabel32::new(1, Fraction::new(1, 3).unwrap()), 2);
-        ds.succs.insert(2, SplitLabel32::new(1, Fraction::new(1, 4).unwrap()), 2);
+        ds.succs
+            .insert(1, SplitLabel32::new(1, Fraction::new(1, 3).unwrap()), 2);
+        ds.succs
+            .insert(2, SplitLabel32::new(1, Fraction::new(1, 4).unwrap()), 2);
         ds.expires = SimTime::from_secs(100);
         b.dests.insert(9, ds);
         for uid in 0..3 {
@@ -1469,8 +1537,15 @@ mod tests {
             src_lfd: Frac32::zero(),
             src_ld: 0,
         };
-        let _ = b.on_control_received(&mut ctx_at(&mut rng, 1), 7, ControlPacket::Srp(SrpMessage::Rreq(rreq)));
-        assert!(b.route_active(7, SimTime::from_secs(1)), "learned route to source");
+        let _ = b.on_control_received(
+            &mut ctx_at(&mut rng, 1),
+            7,
+            ControlPacket::Srp(SrpMessage::Rreq(rreq)),
+        );
+        assert!(
+            b.route_active(7, SimTime::from_secs(1)),
+            "learned route to source"
+        );
         let l = b.label_for(7, SimTime::from_secs(1));
         assert_eq!(l.seqno(), 3);
         assert_eq!(l.fd(), Fraction::new(1, 2).unwrap());

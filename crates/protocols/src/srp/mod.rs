@@ -18,4 +18,4 @@ pub mod engine;
 pub mod messages;
 
 pub use engine::{MultipathPolicy, Srp, SrpConfig};
-pub use messages::{SrpMessage, SrpRerr, SrpRreq, SrpRrep};
+pub use messages::{SrpMessage, SrpRerr, SrpRrep, SrpRreq};

@@ -437,8 +437,9 @@ impl<P: Clone> Mac<P> {
         match self.access {
             Access::TxRts => {
                 self.access = Access::WaitCts;
-                let timeout =
-                    self.cfg.sifs + self.cfg.phy.airtime(CTS_BYTES) + self.cfg.slot.saturating_mul(2);
+                let timeout = self.cfg.sifs
+                    + self.cfg.phy.airtime(CTS_BYTES)
+                    + self.cfg.slot.saturating_mul(2);
                 fx.push(MacEffect::SetTimer(MacTimer::Cts, timeout));
             }
             Access::TxData => {
@@ -498,11 +499,7 @@ impl<P: Clone> Mac<P> {
             }
             MacTimer::Ack => {
                 if self.access == Access::WaitAck {
-                    let long = self
-                        .current
-                        .as_ref()
-                        .map(|c| c.use_rts)
-                        .unwrap_or(false);
+                    let long = self.current.as_ref().map(|c| c.use_rts).unwrap_or(false);
                     self.retry(!long, now, &mut fx);
                 }
             }
@@ -561,7 +558,11 @@ impl<P: Clone> Mac<P> {
         if self.current.is_some() {
             return;
         }
-        let out = match self.hi_queue.pop_front().or_else(|| self.lo_queue.pop_front()) {
+        let out = match self
+            .hi_queue
+            .pop_front()
+            .or_else(|| self.lo_queue.pop_front())
+        {
             Some(o) => o,
             None => {
                 self.access = Access::Idle;
@@ -759,9 +760,8 @@ mod tests {
     }
 
     fn has_start_tx(fx: &[MacEffect<u32>], kind: FrameKind) -> bool {
-        fx.iter().any(
-            |e| matches!(e, MacEffect::StartTx(f) if f.kind == kind),
-        )
+        fx.iter()
+            .any(|e| matches!(e, MacEffect::StartTx(f) if f.kind == kind))
     }
 
     fn timer_set(fx: &[MacEffect<u32>], k: MacTimer) -> Option<SimDuration> {
@@ -772,16 +772,20 @@ mod tests {
     }
 
     /// Drives a lone MAC through DIFS + backoff until it emits a data tx.
-    fn drive_to_tx(m: &mut M, mut now: SimTime, mut fx: Vec<MacEffect<u32>>) -> (SimTime, Vec<MacEffect<u32>>) {
+    fn drive_to_tx(
+        m: &mut M,
+        mut now: SimTime,
+        mut fx: Vec<MacEffect<u32>>,
+    ) -> (SimTime, Vec<MacEffect<u32>>) {
         for _ in 0..8 {
             if has_start_tx(&fx, FrameKind::Data) || has_start_tx(&fx, FrameKind::Rts) {
                 return (now, fx);
             }
             if let Some(d) = timer_set(&fx, MacTimer::Difs) {
-                now = now + d;
+                now += d;
                 fx = m.on_timer(MacTimer::Difs, now);
             } else if let Some(d) = timer_set(&fx, MacTimer::Backoff) {
-                now = now + d;
+                now += d;
                 fx = m.on_timer(MacTimer::Backoff, now);
             } else {
                 break;
@@ -799,7 +803,9 @@ mod tests {
         assert!(has_start_tx(&fx, FrameKind::Data));
         // Broadcast: no ACK timer; TxDone on tx end.
         let fx = m.on_tx_end(now + SimDuration::from_micros(500));
-        assert!(fx.iter().any(|e| matches!(e, MacEffect::TxDone { dst: None })));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, MacEffect::TxDone { dst: None })));
         assert_eq!(m.counters.tx_broadcast, 1);
     }
 
@@ -848,7 +854,9 @@ mod tests {
             seq: 0,
         };
         let fx = m.on_rx_frame(ack, now + SimDuration::from_micros(3300));
-        assert!(fx.iter().any(|e| matches!(e, MacEffect::TxDone { dst: Some(2) })));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, MacEffect::TxDone { dst: Some(2) })));
     }
 
     #[test]
@@ -859,14 +867,15 @@ mod tests {
         let mut failures = 0;
         for _ in 0..40 {
             assert!(has_start_tx(&fx, FrameKind::Data));
-            now = now + SimDuration::from_micros(800);
+            now += SimDuration::from_micros(800);
             fx = m.on_tx_end(now);
-            let Some(d) = timer_set(&fx, MacTimer::Ack) else { panic!("no ack timer") };
-            now = now + d;
+            let Some(d) = timer_set(&fx, MacTimer::Ack) else {
+                panic!("no ack timer")
+            };
+            now += d;
             fx = m.on_timer(MacTimer::Ack, now);
-            if let Some(MacEffect::TxFailed { dst, payload }) = fx
-                .iter()
-                .find(|e| matches!(e, MacEffect::TxFailed { .. }))
+            if let Some(MacEffect::TxFailed { dst, payload }) =
+                fx.iter().find(|e| matches!(e, MacEffect::TxFailed { .. }))
             {
                 assert_eq!(*dst, 3);
                 assert_eq!(*payload, 42);
@@ -894,12 +903,12 @@ mod tests {
         let (mut now, mut fx) = drive_to_tx(&mut m, t(0), fx0);
         let mut failed_payloads = Vec::new();
         for _ in 0..40 {
-            now = now + SimDuration::from_micros(800);
+            now += SimDuration::from_micros(800);
             if has_start_tx(&fx, FrameKind::Data) {
                 fx = m.on_tx_end(now);
             }
             if let Some(d) = timer_set(&fx, MacTimer::Ack) {
-                now = now + d;
+                now += d;
                 fx = m.on_timer(MacTimer::Ack, now);
             }
             for e in &fx {
@@ -930,7 +939,15 @@ mod tests {
             let fx = m.enqueue(i, Some(1), 512, false, t(0));
             dropped += fx
                 .iter()
-                .filter(|e| matches!(e, MacEffect::Dropped { reason: DropReason::IfqOverflow, .. }))
+                .filter(|e| {
+                    matches!(
+                        e,
+                        MacEffect::Dropped {
+                            reason: DropReason::IfqOverflow,
+                            ..
+                        }
+                    )
+                })
                 .count();
         }
         assert_eq!(dropped, 10, "50-frame queue: 60 offered, 10 dropped");
@@ -953,14 +970,22 @@ mod tests {
         // Busy arrives mid-backoff: freeze after 2 slots.
         let freeze_at = t(0) + d + MacConfig::default().slot.saturating_mul(2);
         let fx = m.on_channel_busy(freeze_at);
-        assert!(fx.iter().any(|e| matches!(e, MacEffect::CancelTimer(MacTimer::Backoff))));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, MacEffect::CancelTimer(MacTimer::Backoff))));
         // Idle again: DIFS restarts, then the *remaining* slots count down.
         let fx = m.on_channel_idle(freeze_at + SimDuration::from_micros(300));
         let d2 = timer_set(&fx, MacTimer::Difs).unwrap();
-        let fx = m.on_timer(MacTimer::Difs, freeze_at + SimDuration::from_micros(300) + d2);
+        let fx = m.on_timer(
+            MacTimer::Difs,
+            freeze_at + SimDuration::from_micros(300) + d2,
+        );
         if let Some(bd2) = timer_set(&fx, MacTimer::Backoff) {
             let slots2 = bd2.as_nanos() / MacConfig::default().slot.as_nanos();
-            assert!(slots2 <= slots.saturating_sub(2), "slots must shrink: {slots} → {slots2}");
+            assert!(
+                slots2 <= slots.saturating_sub(2),
+                "slots must shrink: {slots} → {slots2}"
+            );
         } else {
             // All slots consumed → direct transmission is also valid.
             assert!(has_start_tx(&fx, FrameKind::Data));
@@ -1003,7 +1028,13 @@ mod tests {
             seq: 11,
         };
         let fx = m.on_rx_frame(data.clone(), t(10));
-        assert!(fx.iter().any(|e| matches!(e, MacEffect::Deliver { from: 4, payload: 99 })));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            MacEffect::Deliver {
+                from: 4,
+                payload: 99
+            }
+        )));
         assert!(timer_set(&fx, MacTimer::RespSifs).is_some());
         let fx = m.on_timer(MacTimer::RespSifs, t(20));
         assert!(has_start_tx(&fx, FrameKind::Ack));
@@ -1050,14 +1081,14 @@ mod tests {
                 break;
             }
             if has_start_tx(&fx, FrameKind::Rts) || has_start_tx(&fx, FrameKind::Data) {
-                now = now + SimDuration::from_micros(800);
+                now += SimDuration::from_micros(800);
                 fx = m.on_tx_end(now);
             }
             if let Some(d) = timer_set(&fx, MacTimer::Cts) {
-                now = now + d;
+                now += d;
                 fx = m.on_timer(MacTimer::Cts, now);
             } else if let Some(d) = timer_set(&fx, MacTimer::Ack) {
-                now = now + d;
+                now += d;
                 fx = m.on_timer(MacTimer::Ack, now);
             } else {
                 let r = drive_to_tx(&mut m, now, fx);

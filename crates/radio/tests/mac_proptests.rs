@@ -185,7 +185,7 @@ proptest! {
         h.apply(fx);
         let mut busy = false;
         for us in flaps {
-            h.now = h.now + SimDuration::from_micros(us);
+            h.now += SimDuration::from_micros(us);
             // Can't be "physically busy" while we ourselves transmit —
             // finish any in-flight frame first, as the channel would.
             if h.transmitting.is_some() {

@@ -28,7 +28,9 @@ fn main() {
         );
         println!(
             "originated {} delivered {} dup {} data_tx {}",
-            metrics.data_originated, metrics.data_delivered, metrics.duplicate_deliveries,
+            metrics.data_originated,
+            metrics.data_delivered,
+            metrics.duplicate_deliveries,
             metrics.data_tx
         );
         println!("routing drops: {:?}", metrics.drops);

@@ -1,63 +1,140 @@
-//! `slrsim` — run custom SLR-reproduction scenarios from the command line.
+//! `slrsim` — run any registered scenario family from the command line.
 //!
 //! ```sh
+//! cargo run --release -p slr-runner --bin slrsim -- --scenario grid
 //! cargo run --release -p slr-runner --bin slrsim -- \
-//!     --protocol srp --pause 100 --trials 3 --nodes 50 --duration 160
+//!     --scenario scaling --param nodes --values 30,60,90 --json
+//! cargo run --release -p slr-runner --bin slrsim -- \
+//!     --protocol srp --pause 100 --trials 3 --oracle
 //! ```
 //!
 //! Flags (all optional):
 //!
+//! * `--scenario NAME` — scenario family (default `paper-sweep`); see
+//!   `--list-scenarios`
+//! * `--param NAME` — swept parameter (`pause|nodes|flows|rate|speed`;
+//!   default: the family's)
+//! * `--values a,b,c` — sweep points (default: the family's)
+//! * `--pause SECONDS` — shorthand for `--param pause --values SECONDS`
 //! * `--protocol srp|srp-mp|aodv|dsr|ldr|olsr|all` (default `all`)
-//! * `--pause SECONDS` — paper-sweep pause time (default 0)
-//! * `--trials N` (default 1), `--seed N` (default 42)
-//! * `--nodes N`, `--flows N`, `--duration SECONDS` — scenario overrides
-//! * `--paper` — start from the paper-scale configuration instead of quick
-//! * `--oracle` — run SRP trials under the loop-freedom oracle
+//! * `--trials N` (default 1), `--seed N` (default 42), `--threads N`
+//! * `--nodes N`, `--flows N`, `--duration SECONDS` — post-build overrides
+//! * `--paper` — paper-scale scenarios instead of quick
+//! * `--json` — emit one JSON document with aggregates and per-trial
+//!   summaries instead of the text table
+//! * `--oracle` — additionally run SRP trials under the loop-freedom
+//!   oracle (panics on any Theorem 3 violation)
+//! * `--list-scenarios` — print the registry and exit
 
-use slr_netsim::time::{SimDuration, SimTime};
-use slr_runner::scenario::{ProtocolKind, Scenario};
+use slr_netsim::time::SimDuration;
+use slr_runner::experiment::{parse_values, run_sweep, Metric, SweepConfig, SweepResult};
+use slr_runner::registry::{Family, SweepParam};
+use slr_runner::report::render_json;
+use slr_runner::scenario::ProtocolKind;
 use slr_runner::sim::Sim;
-use slr_runner::stats::MeanCi;
 
 fn parse_protocols(s: &str) -> Vec<ProtocolKind> {
-    match s.to_ascii_lowercase().as_str() {
-        "srp" => vec![ProtocolKind::Srp],
-        "srp-mp" | "srpmp" => vec![ProtocolKind::SrpMultipath],
-        "aodv" => vec![ProtocolKind::Aodv],
-        "dsr" => vec![ProtocolKind::Dsr],
-        "ldr" => vec![ProtocolKind::Ldr],
-        "olsr" => vec![ProtocolKind::Olsr],
-        "all" => ProtocolKind::all().to_vec(),
-        other => {
-            eprintln!("unknown protocol {other}; using all");
+    if s.eq_ignore_ascii_case("all") {
+        return ProtocolKind::all().to_vec();
+    }
+    match ProtocolKind::parse(s) {
+        Some(k) => vec![k],
+        None => {
+            eprintln!("unknown protocol {s}; using all");
             ProtocolKind::all().to_vec()
         }
     }
 }
 
+fn list_scenarios() {
+    println!("registered scenario families:\n");
+    for f in Family::ALL {
+        println!(
+            "  {:<12} {}\n  {:<12} default sweep: --param {} --values {}\n",
+            f.name(),
+            f.summary(),
+            "",
+            f.default_param().name(),
+            f.default_values(false)
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+    println!("sweepable parameters: pause, nodes, flows, rate, speed");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut protocols = ProtocolKind::all().to_vec();
-    let mut pause = 0u64;
+    let mut family = Family::PaperSweep;
+    let mut param: Option<SweepParam> = None;
+    let mut values: Option<Vec<u64>> = None;
     let mut trials = 1u64;
     let mut seed = 42u64;
+    let mut threads: Option<usize> = None;
     let mut nodes: Option<usize> = None;
     let mut flows: Option<usize> = None;
     let mut duration: Option<u64> = None;
     let mut paper = false;
     let mut oracle = false;
+    let mut json = false;
 
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
         let value = args.get(i + 1).cloned();
         match flag {
-            "--protocol" => {
-                protocols = parse_protocols(&value.unwrap_or_default());
+            "--scenario" | "--family" => {
+                let name = value.unwrap_or_default();
+                match Family::parse(&name) {
+                    Some(f) => family = f,
+                    None => {
+                        eprintln!("unknown scenario {name:?}; try --list-scenarios");
+                        std::process::exit(2);
+                    }
+                }
+                i += 1;
+            }
+            "--param" => {
+                let name = value.unwrap_or_default();
+                match SweepParam::parse(&name) {
+                    Some(p) => param = Some(p),
+                    None => {
+                        eprintln!(
+                            "unknown sweep parameter {name:?} (pause|nodes|flows|rate|speed)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+                i += 1;
+            }
+            "--values" => {
+                match parse_values(&value.unwrap_or_default()) {
+                    Ok(list) => values = Some(list),
+                    Err(e) => {
+                        eprintln!("--values: {e}");
+                        std::process::exit(2);
+                    }
+                }
                 i += 1;
             }
             "--pause" => {
-                pause = value.and_then(|v| v.parse().ok()).unwrap_or(pause);
+                match value.as_deref().and_then(|v| v.trim().parse().ok()) {
+                    Some(p) => {
+                        param = Some(SweepParam::Pause);
+                        values = Some(vec![p]);
+                    }
+                    None => {
+                        eprintln!("--pause needs an integer number of seconds");
+                        std::process::exit(2);
+                    }
+                }
+                i += 1;
+            }
+            "--protocol" => {
+                protocols = parse_protocols(&value.unwrap_or_default());
                 i += 1;
             }
             "--trials" => {
@@ -66,6 +143,10 @@ fn main() {
             }
             "--seed" => {
                 seed = value.and_then(|v| v.parse().ok()).unwrap_or(seed);
+                i += 1;
+            }
+            "--threads" => {
+                threads = value.and_then(|v| v.parse().ok());
                 i += 1;
             }
             "--nodes" => {
@@ -82,8 +163,18 @@ fn main() {
             }
             "--paper" => paper = true,
             "--oracle" => oracle = true,
+            "--json" => json = true,
+            "--list-scenarios" | "--list" => {
+                list_scenarios();
+                return;
+            }
             "--help" | "-h" => {
-                eprintln!("see module docs: slrsim --protocol srp --pause 100 --trials 3 …");
+                eprintln!(
+                    "slrsim --scenario NAME [--param pause|nodes|flows|rate|speed] \
+                     [--values a,b,c] [--protocol NAME|all] [--trials N] [--seed N] \
+                     [--nodes N] [--flows N] [--duration S] [--paper] [--json] \
+                     [--oracle] [--list-scenarios]"
+                );
                 return;
             }
             other => eprintln!("ignoring unknown flag {other}"),
@@ -91,52 +182,130 @@ fn main() {
         i += 1;
     }
 
-    println!(
-        "{:<8} {:>9} {:>9} {:>11} {:>12} {:>9}  (pause {pause}s, {trials} trial(s))",
-        "proto", "delivery", "load", "latency(s)", "drops/node", "seqno"
-    );
-    for kind in protocols {
-        let mut dr = Vec::new();
-        let mut load = Vec::new();
-        let mut lat = Vec::new();
-        let mut drops = Vec::new();
-        let mut seqno = Vec::new();
-        for trial in 0..trials {
-            let mut scenario = if paper {
-                Scenario::paper(kind, pause, seed, trial)
-            } else {
-                Scenario::quick(kind, pause, seed, trial)
-            };
-            if let Some(n) = nodes {
-                scenario.nodes = n;
-            }
-            if let Some(f) = flows {
-                scenario.flows = f;
-            }
-            if let Some(d) = duration {
-                scenario.end = SimTime::from_secs(d);
-            }
-            let summary = if oracle && matches!(kind, ProtocolKind::Srp) {
-                Sim::new(scenario)
-                    .run_with_loop_oracle(SimDuration::from_secs(1))
-                    .0
-            } else {
-                Sim::new(scenario).run()
-            };
-            dr.push(summary.delivery_ratio);
-            load.push(summary.network_load);
-            lat.push(summary.latency);
-            drops.push(summary.mac_drops_per_node);
-            seqno.push(summary.avg_seqno);
+    let (param, values) = match SweepConfig::resolve(family, param, values, paper) {
+        Ok(resolved) => resolved,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
         }
-        println!(
-            "{:<8} {:>9.3} {:>9.3} {:>11.4} {:>12.1} {:>9.2}",
-            kind.name(),
-            MeanCi::from_samples(&dr).mean,
-            MeanCi::from_samples(&load).mean,
-            MeanCi::from_samples(&lat).mean,
-            MeanCi::from_samples(&drops).mean,
-            MeanCi::from_samples(&seqno).mean,
-        );
+    };
+    let mut cfg = SweepConfig {
+        seed,
+        trials,
+        family,
+        param,
+        values,
+        paper_scale: paper,
+        override_nodes: nodes,
+        override_flows: flows,
+        override_duration: duration,
+        ..SweepConfig::default()
+    };
+    if let Some(t) = threads {
+        cfg.threads = t;
     }
+    if let Err(e) = cfg.validate() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+
+    let result = if oracle && protocols.contains(&ProtocolKind::Srp) {
+        // SRP trials run once, sequentially, under the oracle; their
+        // summaries feed the stats directly (no duplicate simulation).
+        // Other protocols still go through the parallel sweep.
+        let srp_runs = run_oracle_pass(&cfg);
+        let others: Vec<ProtocolKind> = protocols
+            .iter()
+            .copied()
+            .filter(|p| *p != ProtocolKind::Srp)
+            .collect();
+        let mut result = if others.is_empty() {
+            SweepResult {
+                runs: Default::default(),
+                protocols: Vec::new(),
+                family: cfg.family,
+                param: cfg.param,
+                values: cfg.values.clone(),
+            }
+        } else {
+            run_sweep(&others, &cfg)
+        };
+        result.runs.extend(srp_runs);
+        result.protocols = protocols.clone();
+        result
+    } else {
+        if oracle {
+            eprintln!("--oracle: no SRP in the protocol set, skipping");
+        }
+        run_sweep(&protocols, &cfg)
+    };
+
+    if json {
+        print!("{}", render_json(&result));
+        return;
+    }
+
+    let first = cfg.scenario_for(protocols[0], cfg.values[0], 0);
+    eprintln!(
+        "scenario {} ({}), sweeping {} over {:?}, {} trial(s), seed {}",
+        family.name(),
+        first.describe(),
+        param.name(),
+        cfg.values,
+        trials,
+        seed
+    );
+    println!(
+        "{:<8} {:>8} {:>9} {:>9} {:>11} {:>12} {:>9}",
+        "proto",
+        param.name(),
+        "delivery",
+        "load",
+        "latency(s)",
+        "drops/node",
+        "seqno"
+    );
+    for kind in &protocols {
+        for &value in &cfg.values {
+            println!(
+                "{:<8} {:>8} {:>9.3} {:>9.3} {:>11.4} {:>12.1} {:>9.2}",
+                kind.name(),
+                value,
+                result.point(*kind, value, Metric::DeliveryRatio).mean,
+                result.point(*kind, value, Metric::NetworkLoad).mean,
+                result.point(*kind, value, Metric::Latency).mean,
+                result.point(*kind, value, Metric::MacDrops).mean,
+                result.point(*kind, value, Metric::AvgSeqno).mean,
+            );
+        }
+    }
+}
+
+/// Runs every SRP point once under the loop-freedom oracle (sequential —
+/// the oracle inspects global protocol state every simulated second) and
+/// returns the summaries so they double as the SRP sweep results.
+fn run_oracle_pass(
+    cfg: &SweepConfig,
+) -> std::collections::BTreeMap<(&'static str, u64), Vec<slr_runner::TrialSummary>> {
+    let mut runs: std::collections::BTreeMap<(&'static str, u64), Vec<slr_runner::TrialSummary>> =
+        Default::default();
+    for &value in &cfg.values {
+        for trial in 0..cfg.trials {
+            let scenario = cfg.scenario_for(ProtocolKind::Srp, value, trial);
+            let (summary, soft) =
+                Sim::new(scenario).run_with_loop_oracle(SimDuration::from_secs(1));
+            eprintln!(
+                "oracle: {}={} trial {} OK ({} soft order drift(s))",
+                cfg.param.name(),
+                value,
+                trial,
+                soft
+            );
+            runs.entry((ProtocolKind::Srp.name(), value))
+                .or_default()
+                .push(summary);
+        }
+    }
+    eprintln!("oracle: loop-freedom held at every checkpoint");
+    runs
 }

@@ -1,13 +1,20 @@
-//! Experiment drivers: pause-time sweeps with multi-threaded trials, plus
-//! the aggregations behind the paper's Table I and Figures 3–7.
+//! Experiment drivers: sweeps of any scalar scenario parameter over any
+//! registered scenario family, with multi-threaded trials, plus the
+//! aggregations behind the paper's Table I and Figures 3–7.
+//!
+//! The paper's evaluation is the special case `family = paper-sweep,
+//! param = pause`; the same machinery runs node-count scaling sweeps,
+//! flow-count contention sweeps, and any other [`SweepParam`] the
+//! registry understands.
 
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::thread;
 
-use slr_netsim::time::SimDuration;
+use slr_netsim::time::{SimDuration, SimTime};
 
 use crate::metrics::TrialSummary;
+use crate::registry::{Family, SweepParam};
 use crate::scenario::{ProtocolKind, Scenario};
 use crate::sim::Sim;
 use crate::stats::MeanCi;
@@ -52,21 +59,54 @@ impl Metric {
             Metric::AvgSeqno => "Avg. node sequence number",
         }
     }
+
+    /// JSON key used in machine-readable reports.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Metric::DeliveryRatio => "delivery_ratio",
+            Metric::NetworkLoad => "network_load",
+            Metric::Latency => "latency",
+            Metric::MacDrops => "mac_drops_per_node",
+            Metric::AvgSeqno => "avg_seqno",
+        }
+    }
+
+    /// All metrics, in the paper's figure order.
+    pub fn all() -> [Metric; 5] {
+        [
+            Metric::MacDrops,
+            Metric::DeliveryRatio,
+            Metric::NetworkLoad,
+            Metric::Latency,
+            Metric::AvgSeqno,
+        ]
+    }
 }
 
 /// Sweep parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// Base seed; trial `t` derives from `(seed, t)`.
     pub seed: u64,
-    /// Trials per (protocol, pause) point (paper: 10).
+    /// Trials per (protocol, value) point (paper: 10).
     pub trials: u64,
-    /// Pause times to sweep.
-    pub pauses: &'static [u64],
+    /// The scenario family to run.
+    pub family: Family,
+    /// The scalar parameter being swept.
+    pub param: SweepParam,
+    /// The values `param` takes, one sweep point each.
+    pub values: Vec<u64>,
     /// Use the paper-scale scenario (`true`) or the scaled-down quick one.
     pub paper_scale: bool,
     /// Worker threads (trials are independent).
     pub threads: usize,
+    /// Optional node-count override applied after the family builds each
+    /// point (CLI `--nodes`).
+    pub override_nodes: Option<usize>,
+    /// Optional flow-count override (CLI `--flows`).
+    pub override_flows: Option<usize>,
+    /// Optional end-time override in seconds (CLI `--duration`).
+    pub override_duration: Option<u64>,
 }
 
 impl Default for SweepConfig {
@@ -74,44 +114,157 @@ impl Default for SweepConfig {
         SweepConfig {
             seed: 42,
             trials: 3,
-            pauses: &PAUSE_TIMES,
+            family: Family::PaperSweep,
+            param: SweepParam::Pause,
+            values: PAUSE_TIMES.to_vec(),
             paper_scale: false,
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            override_nodes: None,
+            override_flows: None,
+            override_duration: None,
         }
     }
 }
 
-/// All trial summaries of a sweep, keyed by `(protocol, pause)`.
+impl SweepConfig {
+    /// A family's default sweep at the given scale.
+    pub fn for_family(family: Family, paper_scale: bool) -> Self {
+        SweepConfig {
+            family,
+            param: family.default_param(),
+            values: family.default_values(paper_scale),
+            paper_scale,
+            ..SweepConfig::default()
+        }
+    }
+
+    /// Resolves a CLI's `(family, --param, --values)` triple into a
+    /// validated `(param, values)` pair: fills family defaults where flags
+    /// were omitted, and rejects inapplicable params (e.g. pause on a
+    /// static family), mismatched defaults, and degenerate values.
+    pub fn resolve(
+        family: Family,
+        param: Option<SweepParam>,
+        values: Option<Vec<u64>>,
+        paper_scale: bool,
+    ) -> Result<(SweepParam, Vec<u64>), String> {
+        let param = param.unwrap_or_else(|| family.default_param());
+        if !family.supports(param) {
+            return Err(format!(
+                "scenario {} has no {} to sweep (static mobility)",
+                family.name(),
+                param.name()
+            ));
+        }
+        let values = match values {
+            Some(v) => v,
+            // Family defaults only fit the family's own parameter
+            // (grid's node counts are not pause times).
+            None if param == family.default_param() => family.default_values(paper_scale),
+            None => {
+                return Err(format!(
+                    "--param {} on scenario {} needs explicit --values (the family's defaults are {} values)",
+                    param.name(),
+                    family.name(),
+                    family.default_param().name()
+                ));
+            }
+        };
+        if values.is_empty() {
+            return Err("sweep needs at least one value".to_string());
+        }
+        for &v in &values {
+            param.validate_value(v)?;
+        }
+        Ok((param, values))
+    }
+
+    /// Checks this configuration the way [`SweepConfig::resolve`] would,
+    /// plus override consistency: a fixed `--nodes`/`--flows` override
+    /// would silently clobber a sweep of the same parameter, reporting
+    /// identical points at different x values.
+    pub fn validate(&self) -> Result<(), String> {
+        SweepConfig::resolve(
+            self.family,
+            Some(self.param),
+            Some(self.values.clone()),
+            self.paper_scale,
+        )?;
+        if self.override_nodes.is_some() && self.param == SweepParam::Nodes {
+            return Err("--nodes conflicts with sweeping nodes (drop one)".to_string());
+        }
+        if self.override_flows.is_some() && self.param == SweepParam::Flows {
+            return Err("--flows conflicts with sweeping flows (drop one)".to_string());
+        }
+        // Overrides are constant across points, so one probe scenario
+        // catches degenerate combinations before they panic a worker.
+        let probe = self.scenario_for(ProtocolKind::Srp, self.values[0], 0);
+        if probe.nodes < 2 {
+            return Err(format!("scenario needs >= 2 nodes, got {}", probe.nodes));
+        }
+        if probe.end <= probe.traffic_start {
+            return Err(format!(
+                "duration {} s leaves no traffic window (traffic starts at {} s)",
+                probe.end.as_secs_f64(),
+                probe.traffic_start.as_secs_f64()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builds the scenario for one sweep point.
+    pub fn scenario_for(&self, kind: ProtocolKind, value: u64, trial: u64) -> Scenario {
+        let mut s =
+            self.family
+                .scenario_at(kind, self.seed, trial, self.paper_scale, self.param, value);
+        if let Some(n) = self.override_nodes {
+            s.nodes = n;
+        }
+        if let Some(f) = self.override_flows {
+            s.set_flows(f);
+        }
+        if let Some(d) = self.override_duration {
+            s.end = SimTime::from_secs(d);
+        }
+        s
+    }
+}
+
+/// All trial summaries of a sweep, keyed by `(protocol, value)`.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
     /// Raw per-trial summaries.
     pub runs: BTreeMap<(&'static str, u64), Vec<TrialSummary>>,
     /// Protocols included, in plot order.
     pub protocols: Vec<ProtocolKind>,
-    /// Pause times swept.
-    pub pauses: Vec<u64>,
+    /// The family that was run.
+    pub family: Family,
+    /// The parameter that was swept.
+    pub param: SweepParam,
+    /// The values it took.
+    pub values: Vec<u64>,
 }
 
 impl SweepResult {
-    /// Mean ± CI of `metric` for `(protocol, pause)`.
-    pub fn point(&self, protocol: ProtocolKind, pause: u64, metric: Metric) -> MeanCi {
+    /// Mean ± CI of `metric` for `(protocol, value)`.
+    pub fn point(&self, protocol: ProtocolKind, value: u64, metric: Metric) -> MeanCi {
         let samples: Vec<f64> = self
             .runs
-            .get(&(protocol.name(), pause))
+            .get(&(protocol.name(), value))
             .map(|v| v.iter().map(|s| metric.of(s)).collect())
             .unwrap_or_default();
         MeanCi::from_samples(&samples)
     }
 
-    /// Table-I style aggregate: the metric averaged over *all pause times*
-    /// (each trial at each pause is one sample, as in the paper's
+    /// Table-I style aggregate: the metric averaged over *all sweep
+    /// values* (each trial at each value is one sample, as in the paper's
     /// "performance average over all pause times").
     pub fn overall(&self, protocol: ProtocolKind, metric: Metric) -> MeanCi {
         let mut samples = Vec::new();
-        for pause in &self.pauses {
-            if let Some(v) = self.runs.get(&(protocol.name(), *pause)) {
+        for value in &self.values {
+            if let Some(v) = self.runs.get(&(protocol.name(), *value)) {
                 samples.extend(v.iter().map(|s| metric.of(s)));
             }
         }
@@ -122,7 +275,7 @@ impl SweepResult {
     /// (the paper reports "the maximum denominator stayed under 840
     /// million").
     pub fn max_fd_denominator(&self, protocol: ProtocolKind) -> u64 {
-        self.pauses
+        self.values
             .iter()
             .filter_map(|p| self.runs.get(&(protocol.name(), *p)))
             .flatten()
@@ -132,24 +285,42 @@ impl SweepResult {
     }
 }
 
-/// Builds the scenario for one point.
-fn scenario_for(cfg: &SweepConfig, kind: ProtocolKind, pause: u64, trial: u64) -> Scenario {
-    if cfg.paper_scale {
-        Scenario::paper(kind, pause, cfg.seed, trial)
-    } else {
-        Scenario::quick(kind, pause, cfg.seed, trial)
+/// Strictly parses a comma-separated `--values` list: any unparsable
+/// token is an error, not a silently dropped sweep point.
+pub fn parse_values(list: &str) -> Result<Vec<u64>, String> {
+    let values: Vec<u64> = list
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad value {:?} in {list:?} (expected integers)", s.trim()))
+        })
+        .collect::<Result<_, _>>()?;
+    if values.is_empty() {
+        return Err("expected a comma-separated list of integers".to_string());
     }
+    Ok(values)
 }
 
-/// Runs a full sweep: `protocols × pauses × trials`, parallelized over a
+/// Runs a full sweep: `protocols × values × trials`, parallelized over a
 /// worker pool. Deterministic per `(seed, trial)` regardless of thread
-/// interleaving (each trial is an isolated simulation).
+/// interleaving (each trial is an isolated simulation, and results are
+/// re-ordered by trial index on collection).
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`SweepConfig::validate`] — CLIs
+/// should validate (or build via [`SweepConfig::resolve`]) first for a
+/// clean error instead.
 pub fn run_sweep(protocols: &[ProtocolKind], cfg: &SweepConfig) -> SweepResult {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid sweep configuration: {e}");
+    }
     let mut jobs: Vec<(ProtocolKind, u64, u64)> = Vec::new();
     for &kind in protocols {
-        for &pause in cfg.pauses {
+        for &value in &cfg.values {
             for trial in 0..cfg.trials {
-                jobs.push((kind, pause, trial));
+                jobs.push((kind, value, trial));
             }
         }
     }
@@ -161,43 +332,44 @@ pub fn run_sweep(protocols: &[ProtocolKind], cfg: &SweepConfig) -> SweepResult {
     for _ in 0..workers {
         let q = std::sync::Arc::clone(&job_queue);
         let tx = result_tx.clone();
-        let cfg = *cfg;
+        let cfg = cfg.clone();
         handles.push(thread::spawn(move || loop {
             let job = { q.lock().expect("job queue").pop() };
-            let Some((kind, pause, trial)) = job else {
+            let Some((kind, value, trial)) = job else {
                 break;
             };
-            let scenario = scenario_for(&cfg, kind, pause, trial);
+            let scenario = cfg.scenario_for(kind, value, trial);
             let summary = Sim::new(scenario).run();
-            tx.send((kind.name(), pause, summary)).expect("collector alive");
+            tx.send((kind.name(), value, trial, summary))
+                .expect("collector alive");
         }));
     }
     drop(result_tx);
 
-    let mut runs: BTreeMap<(&'static str, u64), Vec<TrialSummary>> = BTreeMap::new();
-    for (name, pause, summary) in result_rx {
-        runs.entry((name, pause)).or_default().push(summary);
+    let mut indexed: BTreeMap<(&'static str, u64), Vec<(u64, TrialSummary)>> = BTreeMap::new();
+    for (name, value, trial, summary) in result_rx {
+        indexed
+            .entry((name, value))
+            .or_default()
+            .push((trial, summary));
     }
     for h in handles {
         h.join().expect("worker panicked");
     }
-    // Sort each cell for deterministic ordering regardless of completion
-    // order (summaries are value-comparable).
-    for v in runs.values_mut() {
-        v.sort_by(|a, b| a.partial_cmp_key().total_cmp(&b.partial_cmp_key()));
+    // Re-order each cell by trial index: thread completion order must not
+    // leak into aggregation (float sums are not associative).
+    let mut runs: BTreeMap<(&'static str, u64), Vec<TrialSummary>> = BTreeMap::new();
+    for (key, mut cell) in indexed {
+        cell.sort_by_key(|(trial, _)| *trial);
+        runs.insert(key, cell.into_iter().map(|(_, s)| s).collect());
     }
 
     SweepResult {
         runs,
         protocols: protocols.to_vec(),
-        pauses: cfg.pauses.to_vec(),
-    }
-}
-
-impl TrialSummary {
-    /// A stable scalar key for deterministic sorting of trial lists.
-    fn partial_cmp_key(&self) -> f64 {
-        self.delivery_ratio * 1e6 + self.latency * 1e3 + self.network_load
+        family: cfg.family,
+        param: cfg.param,
+        values: cfg.values.clone(),
     }
 }
 
@@ -216,8 +388,7 @@ pub fn quick_compare(
     let cfg = SweepConfig {
         seed,
         trials,
-        pauses: Box::leak(Box::new([pause])),
-        paper_scale: false,
+        values: vec![pause],
         ..SweepConfig::default()
     };
     let result = run_sweep(protocols, &cfg);
@@ -241,9 +412,9 @@ mod tests {
         let cfg = SweepConfig {
             seed: 11,
             trials: 2,
-            pauses: &[150],
-            paper_scale: false,
+            values: vec![150],
             threads: 2,
+            ..SweepConfig::default()
         };
         // A tiny sweep with two protocols; quick scenarios are 50 nodes ×
         // 160 s, so keep this to one pause.
@@ -255,5 +426,119 @@ mod tests {
         let p = result.point(ProtocolKind::Srp, 150, Metric::DeliveryRatio);
         assert_eq!(p.n, 2);
         assert!(p.mean > 0.0, "SRP should deliver something: {p:?}");
+    }
+
+    #[test]
+    fn sweep_can_vary_node_count() {
+        let cfg = SweepConfig {
+            seed: 3,
+            trials: 1,
+            family: Family::Grid,
+            param: SweepParam::Nodes,
+            values: vec![9, 16],
+            threads: 2,
+            override_duration: Some(40),
+            ..SweepConfig::default()
+        };
+        let result = run_sweep(&[ProtocolKind::Srp], &cfg);
+        assert_eq!(result.runs.len(), 2);
+        for (&(_, value), trials) in &result.runs {
+            assert!(value == 9 || value == 16);
+            assert_eq!(trials.len(), 1);
+            assert!(
+                trials[0].originated > 0,
+                "nodes={value} generated no traffic"
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_guards_param_value_combinations() {
+        // A non-default param without explicit values must not inherit the
+        // family's defaults (pause times are not node counts).
+        assert!(
+            SweepConfig::resolve(Family::PaperSweep, Some(SweepParam::Nodes), None, false).is_err()
+        );
+        // Mobility params are inapplicable on static families.
+        assert!(SweepConfig::resolve(
+            Family::Grid,
+            Some(SweepParam::Pause),
+            Some(vec![100]),
+            false
+        )
+        .is_err());
+        assert!(SweepConfig::resolve(
+            Family::Disc,
+            Some(SweepParam::MaxSpeed),
+            Some(vec![10]),
+            false
+        )
+        .is_err());
+        // Degenerate values are rejected up front, not deep in a worker.
+        assert!(SweepConfig::resolve(
+            Family::PaperSweep,
+            Some(SweepParam::Nodes),
+            Some(vec![1]),
+            false
+        )
+        .is_err());
+        assert!(SweepConfig::resolve(
+            Family::PaperSweep,
+            Some(SweepParam::PacketRate),
+            Some(vec![0]),
+            false
+        )
+        .is_err());
+        // Omitted flags fall back to the family's defaults.
+        let (p, v) = SweepConfig::resolve(Family::Grid, None, None, false).unwrap();
+        assert_eq!(p, SweepParam::Nodes);
+        assert_eq!(v, vec![9, 25, 49]);
+    }
+
+    #[test]
+    fn validate_rejects_override_sweep_conflicts() {
+        let cfg = SweepConfig {
+            family: Family::Grid,
+            param: SweepParam::Nodes,
+            values: vec![9, 25],
+            override_nodes: Some(50),
+            ..SweepConfig::default()
+        };
+        assert!(
+            cfg.validate().is_err(),
+            "--nodes must not clobber a node sweep"
+        );
+        let ok = SweepConfig {
+            family: Family::Grid,
+            param: SweepParam::Nodes,
+            values: vec![9, 25],
+            override_flows: Some(3),
+            ..SweepConfig::default()
+        };
+        assert!(ok.validate().is_ok(), "orthogonal overrides are fine");
+    }
+
+    #[test]
+    fn parse_values_is_strict() {
+        assert_eq!(parse_values("1, 2,3").unwrap(), vec![1, 2, 3]);
+        assert!(
+            parse_values("10,1O0,300").is_err(),
+            "typo must not be dropped"
+        );
+        assert!(parse_values("").is_err());
+    }
+
+    #[test]
+    fn overrides_apply_after_family_build() {
+        let cfg = SweepConfig {
+            override_nodes: Some(12),
+            override_flows: Some(2),
+            override_duration: Some(33),
+            ..SweepConfig::default()
+        };
+        let s = cfg.scenario_for(ProtocolKind::Srp, 0, 0);
+        assert_eq!(s.nodes, 12);
+        assert_eq!(s.flows(), 2);
+        assert_eq!(s.end, SimTime::from_secs(33));
     }
 }

@@ -9,10 +9,17 @@
 //!
 //! ```no_run
 //! use slr_runner::experiment::{run_sweep, SweepConfig, PAUSE_TIMES};
+//! use slr_runner::registry::Family;
 //! use slr_runner::report::render_table1;
 //! use slr_runner::scenario::ProtocolKind;
 //!
-//! let cfg = SweepConfig { trials: 3, pauses: &PAUSE_TIMES, ..SweepConfig::default() };
+//! // The paper's pause-time sweep…
+//! let cfg = SweepConfig { trials: 3, values: PAUSE_TIMES.to_vec(), ..SweepConfig::default() };
+//! let result = run_sweep(&ProtocolKind::all(), &cfg);
+//! println!("{}", render_table1(&result));
+//!
+//! // …or any registered family's default sweep (e.g. static grids).
+//! let cfg = SweepConfig::for_family(Family::Grid, false);
 //! let result = run_sweep(&ProtocolKind::all(), &cfg);
 //! println!("{}", render_table1(&result));
 //! ```
@@ -22,6 +29,7 @@
 
 pub mod experiment;
 pub mod metrics;
+pub mod registry;
 pub mod report;
 pub mod scenario;
 pub mod sim;
@@ -30,7 +38,8 @@ pub mod trace;
 
 pub use experiment::{run_sweep, run_trial, Metric, SweepConfig, SweepResult, PAUSE_TIMES};
 pub use metrics::{Metrics, TrialSummary};
-pub use scenario::{ProtocolKind, Scenario};
+pub use registry::{Family, SweepParam};
+pub use scenario::{MobilitySpec, ProtocolKind, Scenario, TopologySpec, TrafficSpec};
 pub use sim::{Payload, Sim};
 pub use stats::MeanCi;
 pub use trace::{PacketFate, TraceEvent, TraceLog};

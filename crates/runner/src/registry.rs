@@ -1,0 +1,410 @@
+//! The named scenario registry: every workload family the harness can run,
+//! each sweepable over any scalar scenario parameter.
+//!
+//! A [`Family`] is a named recipe that turns `(protocol, seed, trial,
+//! scale)` into a [`Scenario`]; a [`SweepParam`] names the scalar knob an
+//! experiment varies across points. Together they generalize the paper's
+//! single pause-time sweep: `slrsim --scenario grid --param nodes
+//! --values 9,25,49` runs a node-count sweep over static grids with the
+//! same statistics/report pipeline the §V reproduction uses.
+//!
+//! Families beyond the paper:
+//!
+//! * [`Family::Grid`] / [`Family::Line`] — static structured topologies:
+//!   connectivity and loop-freedom without churn (the setting where
+//!   sequence-number protocols are *supposed* to be safe; see van
+//!   Glabbeek et al., arXiv:1512.08891, for why topology shape matters);
+//! * [`Family::Disc`] — every node within (or near) radio range of every
+//!   other: pure contention stress with bursty Poisson arrivals;
+//! * [`Family::Scaling`] — node-count scaling at constant density,
+//!   mirroring how link-reversal/backpressure evaluations scale networks
+//!   (Rai et al., arXiv:1503.06857).
+
+use slr_mobility::Terrain;
+use slr_netsim::time::{SimDuration, SimTime};
+use slr_traffic::ArrivalProcess;
+
+use crate::scenario::{MobilitySpec, ProtocolKind, Scenario, TopologySpec, TrafficSpec};
+
+/// The scalar scenario parameter a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepParam {
+    /// Random-waypoint pause time in seconds (the paper's x-axis).
+    Pause,
+    /// Number of nodes.
+    Nodes,
+    /// Number of simultaneous flows.
+    Flows,
+    /// Per-flow packet rate in packets/second.
+    PacketRate,
+    /// Maximum node speed in m/s.
+    MaxSpeed,
+}
+
+impl SweepParam {
+    /// Every sweepable parameter.
+    pub const ALL: [SweepParam; 5] = [
+        SweepParam::Pause,
+        SweepParam::Nodes,
+        SweepParam::Flows,
+        SweepParam::PacketRate,
+        SweepParam::MaxSpeed,
+    ];
+
+    /// CLI / JSON name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepParam::Pause => "pause",
+            SweepParam::Nodes => "nodes",
+            SweepParam::Flows => "flows",
+            SweepParam::PacketRate => "rate",
+            SweepParam::MaxSpeed => "speed",
+        }
+    }
+
+    /// Axis label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepParam::Pause => "Pause Time (seconds)",
+            SweepParam::Nodes => "Number of Nodes",
+            SweepParam::Flows => "Concurrent Flows",
+            SweepParam::PacketRate => "Packets/s per Flow",
+            SweepParam::MaxSpeed => "Max Speed (m/s)",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<SweepParam> {
+        SweepParam::ALL
+            .into_iter()
+            .find(|p| p.name() == s.to_ascii_lowercase())
+    }
+
+    /// Applies `value` to `scenario`.
+    pub fn apply(&self, scenario: &mut Scenario, value: u64) {
+        match self {
+            SweepParam::Pause => scenario.set_pause(SimDuration::from_secs(value)),
+            SweepParam::Nodes => scenario.nodes = value as usize,
+            SweepParam::Flows => scenario.set_flows(value as usize),
+            SweepParam::PacketRate => scenario.traffic.packets_per_second = value as f64,
+            SweepParam::MaxSpeed => {
+                if let MobilitySpec::RandomWaypoint { max_speed, .. } = &mut scenario.mobility {
+                    *max_speed = (value as f64).max(0.2);
+                }
+            }
+        }
+    }
+
+    /// Rejects values that would build a degenerate scenario (and panic a
+    /// sweep worker with an opaque message deep in script generation).
+    pub fn validate_value(&self, value: u64) -> Result<(), String> {
+        match self {
+            SweepParam::Pause => Ok(()),
+            SweepParam::Nodes if value < 2 => Err(format!("nodes must be >= 2, got {value}")),
+            SweepParam::Flows if value < 1 => Err("flows must be >= 1".to_string()),
+            SweepParam::PacketRate if value < 1 => Err("rate must be >= 1 packet/s".to_string()),
+            SweepParam::MaxSpeed if value < 1 => Err("speed must be >= 1 m/s".to_string()),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A named scenario family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// The paper's §V evaluation: uniform random placement, random
+    /// waypoint mobility, CBR flows, swept over pause time.
+    PaperSweep,
+    /// Static near-square grid (180 m spacing): multihop connectivity and
+    /// loop-freedom with zero churn; swept over node count.
+    Grid,
+    /// Static line (200 m spacing): the paper's Fig. 1 topology scaled
+    /// up; maximal hop counts per node; swept over node count.
+    Line,
+    /// High-density disc (250 m radius, everyone near everyone) with
+    /// bursty Poisson traffic: contention stress; swept over flow count.
+    Disc,
+    /// Node-count scaling at constant density (≈1 node / 13 200 m², the
+    /// paper's density), random waypoint, CBR; swept 50 → 300 nodes.
+    Scaling,
+}
+
+impl Family {
+    /// Every registered family, in presentation order.
+    pub const ALL: [Family; 5] = [
+        Family::PaperSweep,
+        Family::Grid,
+        Family::Line,
+        Family::Disc,
+        Family::Scaling,
+    ];
+
+    /// CLI / JSON name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::PaperSweep => "paper-sweep",
+            Family::Grid => "grid",
+            Family::Line => "line",
+            Family::Disc => "disc",
+            Family::Scaling => "scaling",
+        }
+    }
+
+    /// One-line description for `--list-scenarios`.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            Family::PaperSweep => {
+                "the paper's §V setup: random waypoint + CBR, swept over pause time"
+            }
+            Family::Grid => "static near-square grid, no churn, swept over node count",
+            Family::Line => "static line (maximal hop count), swept over node count",
+            Family::Disc => "high-density disc + Poisson bursts, swept over flow count",
+            Family::Scaling => "constant-density node-count scaling, 50→300 nodes",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Family> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            // Back-compat aliases.
+            "paper" | "paper-sweep" | "pause" => Some(Family::PaperSweep),
+            _ => Family::ALL.into_iter().find(|f| f.name() == lower),
+        }
+    }
+
+    /// Whether sweeping `param` actually changes this family's scenarios.
+    /// Mobility knobs (pause, speed) are meaningless on static families —
+    /// sweeping them would produce identical points.
+    pub fn supports(&self, param: SweepParam) -> bool {
+        match param {
+            SweepParam::Pause | SweepParam::MaxSpeed => {
+                matches!(self, Family::PaperSweep | Family::Scaling)
+            }
+            SweepParam::Nodes | SweepParam::Flows | SweepParam::PacketRate => true,
+        }
+    }
+
+    /// The parameter this family sweeps by default.
+    pub fn default_param(&self) -> SweepParam {
+        match self {
+            Family::PaperSweep => SweepParam::Pause,
+            Family::Grid | Family::Line | Family::Scaling => SweepParam::Nodes,
+            Family::Disc => SweepParam::Flows,
+        }
+    }
+
+    /// The default sweep values (paper scale or quick scale).
+    pub fn default_values(&self, paper_scale: bool) -> Vec<u64> {
+        match (self, paper_scale) {
+            (Family::PaperSweep, _) => crate::experiment::PAUSE_TIMES.to_vec(),
+            (Family::Grid, false) => vec![9, 25, 49],
+            (Family::Grid, true) => vec![25, 49, 100],
+            (Family::Line, _) => vec![5, 8, 12],
+            (Family::Disc, false) => vec![5, 10, 20],
+            (Family::Disc, true) => vec![10, 20, 30, 40],
+            (Family::Scaling, false) => vec![30, 60, 90],
+            (Family::Scaling, true) => vec![50, 100, 150, 200, 250, 300],
+        }
+    }
+
+    /// The family's base scenario before any sweep parameter is applied.
+    pub fn base(
+        &self,
+        protocol: ProtocolKind,
+        seed: u64,
+        trial: u64,
+        paper_scale: bool,
+    ) -> Scenario {
+        match self {
+            Family::PaperSweep => {
+                if paper_scale {
+                    Scenario::paper(protocol, 0, seed, trial)
+                } else {
+                    Scenario::quick(protocol, 0, seed, trial)
+                }
+            }
+            Family::Grid => {
+                let mut s = Scenario::quick(protocol, 0, seed, trial);
+                s.nodes = if paper_scale { 100 } else { 25 };
+                s.topology = TopologySpec::Grid { spacing: 180.0 };
+                s.mobility = MobilitySpec::Static;
+                s.traffic = TrafficSpec::paper_cbr(if paper_scale { 30 } else { 5 });
+                s.end = SimTime::from_secs(if paper_scale { 310 } else { 70 });
+                s
+            }
+            Family::Line => {
+                let mut s = Scenario::quick(protocol, 0, seed, trial);
+                s.nodes = 8;
+                s.topology = TopologySpec::Line { spacing: 200.0 };
+                s.mobility = MobilitySpec::Static;
+                s.traffic = TrafficSpec::paper_cbr(3);
+                s.end = SimTime::from_secs(if paper_scale { 160 } else { 70 });
+                s
+            }
+            Family::Disc => {
+                let mut s = Scenario::quick(protocol, 0, seed, trial);
+                s.nodes = if paper_scale { 75 } else { 40 };
+                s.topology = TopologySpec::Disc { radius: 250.0 };
+                s.mobility = MobilitySpec::Static;
+                s.traffic = TrafficSpec {
+                    arrival: ArrivalProcess::Poisson,
+                    ..TrafficSpec::paper_cbr(if paper_scale { 30 } else { 15 })
+                };
+                s.end = SimTime::from_secs(if paper_scale { 160 } else { 80 });
+                s
+            }
+            Family::Scaling => {
+                let mut s = if paper_scale {
+                    Scenario::paper(protocol, 120, seed, trial)
+                } else {
+                    Scenario::quick(protocol, 120, seed, trial)
+                };
+                if !paper_scale {
+                    s.end = SimTime::from_secs(120);
+                }
+                Family::scale_terrain(&mut s);
+                s
+            }
+        }
+    }
+
+    /// A scenario with `param = value` applied; family-specific coupled
+    /// adjustments (terrain growth, grid extent) happen here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scenario_at(
+        &self,
+        protocol: ProtocolKind,
+        seed: u64,
+        trial: u64,
+        paper_scale: bool,
+        param: SweepParam,
+        value: u64,
+    ) -> Scenario {
+        let mut s = self.base(protocol, seed, trial, paper_scale);
+        if param == SweepParam::Pause && !paper_scale {
+            // Pause sweep values stay in paper units ({0, 50, …, 900});
+            // quick scenarios compress them by the same 6× factor as the
+            // run length, on every waypoint family — a raw 900 s pause on
+            // a 120–160 s quick run would freeze the network at every
+            // point above the duration.
+            s.set_pause(SimDuration::from_secs(value / 6));
+        } else {
+            param.apply(&mut s, value);
+        }
+        if *self == Family::Scaling && param == SweepParam::Nodes {
+            // Constant density: terrain area grows linearly with nodes.
+            Family::scale_terrain(&mut s);
+        }
+        s
+    }
+
+    /// Resizes the terrain to the paper's density for `s.nodes` nodes
+    /// (height stays 600 m; width grows linearly).
+    fn scale_terrain(s: &mut Scenario) {
+        let area_per_node = 2200.0 * 600.0 / 100.0;
+        let width = (area_per_node * s.nodes as f64 / 600.0).max(600.0);
+        s.terrain = Terrain::new(width, 600.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for f in Family::ALL {
+            assert_eq!(Family::parse(f.name()), Some(f), "{}", f.name());
+        }
+        assert_eq!(Family::parse("PAPER"), Some(Family::PaperSweep));
+        assert_eq!(Family::parse("nope"), None);
+        for p in SweepParam::ALL {
+            assert_eq!(SweepParam::parse(p.name()), Some(p));
+        }
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        for f in Family::ALL {
+            for scale in [false, true] {
+                let values = f.default_values(scale);
+                assert!(!values.is_empty(), "{} has no default values", f.name());
+                let s = f.scenario_at(ProtocolKind::Srp, 1, 0, scale, f.default_param(), values[0]);
+                assert!(s.nodes >= 2, "{}: degenerate node count", f.name());
+                assert!(s.flows() >= 1);
+                assert!(s.end > s.traffic_start);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_sweep_keeps_quick_pause_scaling() {
+        let s =
+            Family::PaperSweep.scenario_at(ProtocolKind::Srp, 42, 0, false, SweepParam::Pause, 900);
+        // Quick mode maps the paper's 900 s to 150 s.
+        assert_eq!(s.pause(), SimDuration::from_secs(150));
+        let p =
+            Family::PaperSweep.scenario_at(ProtocolKind::Srp, 42, 0, true, SweepParam::Pause, 900);
+        assert_eq!(p.pause(), SimDuration::from_secs(900));
+    }
+
+    #[test]
+    fn every_waypoint_family_compresses_quick_pause() {
+        // Pause sweep values are paper units on every family that supports
+        // them; a raw 900 s pause would outlast the whole quick run.
+        for f in [Family::PaperSweep, Family::Scaling] {
+            let s = f.scenario_at(ProtocolKind::Srp, 1, 0, false, SweepParam::Pause, 900);
+            assert_eq!(
+                s.pause(),
+                SimDuration::from_secs(150),
+                "{}: quick pause not compressed",
+                f.name()
+            );
+            let p = f.scenario_at(ProtocolKind::Srp, 1, 0, true, SweepParam::Pause, 900);
+            assert_eq!(p.pause(), SimDuration::from_secs(900));
+        }
+    }
+
+    #[test]
+    fn static_families_reject_mobility_params() {
+        for f in [Family::Grid, Family::Line, Family::Disc] {
+            assert!(!f.supports(SweepParam::Pause), "{}", f.name());
+            assert!(!f.supports(SweepParam::MaxSpeed), "{}", f.name());
+            assert!(f.supports(SweepParam::Nodes));
+        }
+        assert!(Family::Scaling.supports(SweepParam::Pause));
+    }
+
+    #[test]
+    fn grid_nodes_sweep_changes_layout_only() {
+        let a = Family::Grid.scenario_at(ProtocolKind::Srp, 1, 0, false, SweepParam::Nodes, 9);
+        let b = Family::Grid.scenario_at(ProtocolKind::Srp, 1, 0, false, SweepParam::Nodes, 49);
+        assert_eq!(a.nodes, 9);
+        assert_eq!(b.nodes, 49);
+        assert_eq!(a.flows(), b.flows());
+        assert_eq!(a.mobility, MobilitySpec::Static);
+    }
+
+    #[test]
+    fn scaling_preserves_density() {
+        let density = |s: &Scenario| s.nodes as f64 / s.terrain.area();
+        let a = Family::Scaling.scenario_at(ProtocolKind::Srp, 1, 0, true, SweepParam::Nodes, 50);
+        let b = Family::Scaling.scenario_at(ProtocolKind::Srp, 1, 0, true, SweepParam::Nodes, 300);
+        assert!(
+            (density(&a) - density(&b)).abs() / density(&a) < 0.05,
+            "density drifted: {} vs {}",
+            density(&a),
+            density(&b)
+        );
+        assert!(b.terrain.width > a.terrain.width * 5.0);
+    }
+
+    #[test]
+    fn disc_uses_poisson() {
+        let s = Family::Disc.scenario_at(ProtocolKind::Srp, 1, 0, false, SweepParam::Flows, 10);
+        assert_eq!(s.traffic.name(), "poisson");
+        assert_eq!(s.flows(), 10);
+        assert_eq!(s.topology.name(), "disc");
+    }
+}

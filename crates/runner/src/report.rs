@@ -1,13 +1,19 @@
-//! Plain-text rendering of the paper's table and figures.
+//! Rendering of sweep results: the paper's table and figures as plain
+//! text, plus machine-readable JSON for downstream tooling.
 
 use crate::experiment::{Metric, SweepResult};
+use crate::metrics::TrialSummary;
 use crate::scenario::ProtocolKind;
+use crate::stats::MeanCi;
 
 /// Renders Table I: per-protocol delivery ratio, network load and latency
-/// averaged over all pause times, ± 95 % CI.
+/// averaged over all sweep values, ± 95 % CI.
 pub fn render_table1(result: &SweepResult) -> String {
     let mut out = String::new();
-    out.push_str("TABLE I — PERFORMANCE AVERAGE OVER ALL PAUSE TIMES\n");
+    out.push_str(&format!(
+        "TABLE I — PERFORMANCE AVERAGE OVER ALL {} VALUES\n",
+        result.param.name().to_uppercase()
+    ));
     out.push_str(&format!(
         "{:<10} {:>18} {:>18} {:>18}\n",
         "protocol", "deliv. ratio", "net load", "latency (sec)"
@@ -27,21 +33,25 @@ pub fn render_table1(result: &SweepResult) -> String {
     out
 }
 
-/// Renders one figure as a series table: one row per pause time, one
+/// Renders one figure as a series table: one row per sweep value, one
 /// column per protocol, `mean ± ci`.
 pub fn render_figure(result: &SweepResult, metric: Metric, title: &str) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
-    out.push_str(&format!("y-axis: {}\n", metric.label()));
-    out.push_str(&format!("{:<8}", "pause"));
+    out.push_str(&format!(
+        "x-axis: {} · y-axis: {}\n",
+        result.param.label(),
+        metric.label()
+    ));
+    out.push_str(&format!("{:<8}", result.param.name()));
     for &p in &result.protocols {
         out.push_str(&format!(" {:>18}", p.name()));
     }
     out.push('\n');
-    for &pause in &result.pauses {
-        out.push_str(&format!("{:<8}", pause));
+    for &value in &result.values {
+        out.push_str(&format!("{:<8}", value));
         for &p in &result.protocols {
-            let m = result.point(p, pause, metric);
+            let m = result.point(p, value, metric);
             out.push_str(&format!(" {:>18}", m.to_string()));
         }
         out.push('\n');
@@ -50,13 +60,13 @@ pub fn render_figure(result: &SweepResult, metric: Metric, title: &str) -> Strin
 }
 
 /// Renders an ASCII sketch of a figure: per protocol, a row of scaled
-/// values across pause times (handy for eyeballing trends in a terminal).
+/// values across the sweep (handy for eyeballing trends in a terminal).
 pub fn render_trend(result: &SweepResult, metric: Metric) -> String {
     let mut out = String::new();
     let mut max = f64::MIN;
     for &p in &result.protocols {
-        for &pause in &result.pauses {
-            max = max.max(result.point(p, pause, metric).mean);
+        for &value in &result.values {
+            max = max.max(result.point(p, value, metric).mean);
         }
     }
     if max <= 0.0 {
@@ -64,16 +74,17 @@ pub fn render_trend(result: &SweepResult, metric: Metric) -> String {
     }
     for &p in &result.protocols {
         out.push_str(&format!("{:<6}|", p.name()));
-        for &pause in &result.pauses {
-            let v = result.point(p, pause, metric).mean;
+        for &value in &result.values {
+            let v = result.point(p, value, metric).mean;
             let h = ((v / max) * 9.0).round() as u32;
             out.push_str(&format!("{h}"));
         }
         out.push('\n');
     }
     out.push_str(&format!(
-        "       (columns = pause times {:?}, digits = value scaled 0-9 of max {max:.3})\n",
-        result.pauses
+        "       (columns = {} values {:?}, digits = value scaled 0-9 of max {max:.3})\n",
+        result.param.name(),
+        result.values
     ));
     out
 }
@@ -94,10 +105,113 @@ pub fn render_srp_diagnostics(result: &SweepResult) -> String {
     out
 }
 
+/// A JSON-safe float: non-finite values become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes a mean ± CI as a JSON object.
+fn json_mean_ci(m: &MeanCi) -> String {
+    format!(
+        "{{\"mean\":{},\"ci95\":{},\"n\":{}}}",
+        json_f64(m.mean),
+        json_f64(m.ci95),
+        m.n
+    )
+}
+
+/// Serializes one trial summary as a JSON object.
+pub fn trial_summary_json(s: &TrialSummary) -> String {
+    format!(
+        concat!(
+            "{{\"delivery_ratio\":{},\"network_load\":{},\"latency\":{},",
+            "\"mac_drops_per_node\":{},\"avg_seqno\":{},",
+            "\"max_fd_denominator\":{},\"originated\":{},\"delivered\":{}}}"
+        ),
+        json_f64(s.delivery_ratio),
+        json_f64(s.network_load),
+        json_f64(s.latency),
+        json_f64(s.mac_drops_per_node),
+        json_f64(s.avg_seqno),
+        s.max_fd_denominator,
+        s.originated,
+        s.delivered,
+    )
+}
+
+/// Serializes a whole sweep as one JSON document: configuration echo plus
+/// per-`(protocol, value)` aggregates and raw per-trial summaries.
+pub fn render_json(result: &SweepResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"family\": \"{}\",\n", result.family.name()));
+    out.push_str(&format!("  \"param\": \"{}\",\n", result.param.name()));
+    out.push_str(&format!(
+        "  \"values\": [{}],\n",
+        result
+            .values
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    out.push_str(&format!(
+        "  \"protocols\": [{}],\n",
+        result
+            .protocols
+            .iter()
+            .map(|p| format!("\"{}\"", p.name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    out.push_str("  \"points\": [\n");
+    let mut first = true;
+    for &p in &result.protocols {
+        for &value in &result.values {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"protocol\":\"{}\",\"value\":{}",
+                p.name(),
+                value
+            ));
+            for metric in Metric::all() {
+                out.push_str(&format!(
+                    ",\"{}\":{}",
+                    metric.key(),
+                    json_mean_ci(&result.point(p, value, metric))
+                ));
+            }
+            let trials = result
+                .runs
+                .get(&(p.name(), value))
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]);
+            out.push_str(&format!(
+                ",\"trials\":[{}]}}",
+                trials
+                    .iter()
+                    .map(trial_summary_json)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::TrialSummary;
+    use crate::registry::{Family, SweepParam};
     use std::collections::BTreeMap;
 
     fn fake_result() -> SweepResult {
@@ -122,7 +236,9 @@ mod tests {
         SweepResult {
             runs,
             protocols: vec![ProtocolKind::Srp, ProtocolKind::Aodv],
-            pauses: vec![0, 900],
+            family: Family::PaperSweep,
+            param: SweepParam::Pause,
+            values: vec![0, 900],
         }
     }
 
@@ -135,11 +251,12 @@ mod tests {
     }
 
     #[test]
-    fn figure_has_rows_per_pause() {
+    fn figure_has_rows_per_value() {
         let f = render_figure(&fake_result(), Metric::DeliveryRatio, "Fig. 4");
         assert!(f.contains("Fig. 4"));
         assert!(f.lines().count() >= 5);
         assert!(f.contains("Delivery Ratio"));
+        assert!(f.contains("Pause Time"));
     }
 
     #[test]
@@ -153,5 +270,31 @@ mod tests {
         let d = render_srp_diagnostics(&fake_result());
         assert!(d.contains("sequence-number"));
         assert!(d.contains("840 million"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let j = render_json(&fake_result());
+        // Structural sanity without a JSON parser: balanced braces and
+        // brackets, expected keys present.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces:\n{j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"family\": \"paper-sweep\""));
+        assert!(j.contains("\"param\": \"pause\""));
+        assert!(j.contains("\"delivery_ratio\""));
+        assert!(j.contains("\"trials\""));
+        assert!(j.contains("\"protocol\":\"SRP\""));
+        assert!(!j.contains("NaN"));
+    }
+
+    #[test]
+    fn json_nonfinite_becomes_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(0.5), "0.5");
     }
 }

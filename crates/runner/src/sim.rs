@@ -16,14 +16,12 @@ use slr_mobility::{MobilityScript, Position};
 use slr_netsim::rng::{derive_seed, stream};
 use slr_netsim::time::{SimDuration, SimTime};
 use slr_netsim::{EventToken, Simulator};
-use slr_protocols::{
-    ControlPacket, DataPacket, ProtoCtx, ProtoEffect, RoutingProtocol, DATA_TTL,
-};
+use slr_protocols::{ControlPacket, DataPacket, ProtoCtx, ProtoEffect, RoutingProtocol, DATA_TTL};
 use slr_radio::{Channel, Frame, FrameKind, Mac, MacEffect, MacTimer, TxId};
 use slr_traffic::TrafficScript;
 
 use crate::metrics::{Metrics, TrialSummary};
-use crate::scenario::Scenario;
+use crate::scenario::{MobilitySpec, Scenario, TopologySpec};
 use crate::trace::{TraceEvent, TraceLog};
 
 /// Upper-layer payloads carried in MAC data frames.
@@ -79,17 +77,39 @@ pub struct Sim {
 }
 
 impl Sim {
-    /// Builds a trial from its scenario: generates the mobility and traffic
-    /// scripts (protocol-independent streams) and instantiates every node.
+    /// Builds a trial from its scenario: lays out the topology, generates
+    /// the mobility and traffic scripts (protocol-independent streams) and
+    /// instantiates every node.
     pub fn new(scenario: Scenario) -> Self {
         let master = scenario.master_seed();
         let n = scenario.nodes;
 
-        let mobility = MobilityScript::generate(
-            n,
-            &scenario.waypoint_config(),
-            &mut stream(master, "mobility", 0),
-        );
+        let mobility = match (scenario.mobility, scenario.topology) {
+            // The paper's original path: waypoint trajectories draw their
+            // own uniform starting positions (stream-compatible with the
+            // pre-registry harness).
+            (MobilitySpec::RandomWaypoint { .. }, TopologySpec::UniformRandom) => {
+                MobilityScript::generate(
+                    n,
+                    &scenario.waypoint_config().expect("waypoint mobility"),
+                    &mut stream(master, "mobility", 0),
+                )
+            }
+            // Structured layout + mobility: start from the layout, then
+            // wander over a terrain that encloses it.
+            (MobilitySpec::RandomWaypoint { .. }, topology) => {
+                let starts =
+                    topology.positions(n, &scenario.terrain, &mut stream(master, "topology", 0));
+                let mut cfg = scenario.waypoint_config().expect("waypoint mobility");
+                cfg.terrain = topology.enclosing_terrain(n, scenario.terrain);
+                MobilityScript::generate_from(&starts, &cfg, &mut stream(master, "mobility", 0))
+            }
+            (MobilitySpec::Static, topology) => {
+                let positions =
+                    topology.positions(n, &scenario.terrain, &mut stream(master, "topology", 0));
+                MobilityScript::stationary(&positions)
+            }
+        };
         let traffic = TrafficScript::generate(
             n,
             &scenario.traffic_config(),
@@ -307,8 +327,7 @@ impl Sim {
 
     fn positions_now(&mut self) -> &[Position] {
         let now = self.sim.now();
-        if now.saturating_since(self.positions_at)
-            >= SimDuration::from_millis(POSITION_CACHE_MS)
+        if now.saturating_since(self.positions_at) >= SimDuration::from_millis(POSITION_CACHE_MS)
             || now < self.positions_at
         {
             self.positions = self.mobility.positions_at(now);
@@ -333,7 +352,8 @@ impl Sim {
                         }
                     }
                 }
-                self.sim.schedule_at(end_at, Event::TxEnd(node, begin.tx_id));
+                self.sim
+                    .schedule_at(end_at, Event::TxEnd(node, begin.tx_id));
             }
             MacEffect::SetTimer(kind, delay) => {
                 if let Some(tok) = self.mac_timers[node].remove(&kind) {
@@ -412,13 +432,8 @@ impl Sim {
             ProtoEffect::SendControl { packet, next_hop } => {
                 self.metrics.record_control(packet.kind_name());
                 let bytes = packet.wire_bytes();
-                let fx = self.macs[node].enqueue(
-                    Payload::Control(packet),
-                    next_hop,
-                    bytes,
-                    true,
-                    now,
-                );
+                let fx =
+                    self.macs[node].enqueue(Payload::Control(packet), next_hop, bytes, true, now);
                 for e in fx {
                     work.push_back(Work::Mac(node, e));
                 }
@@ -635,7 +650,8 @@ mod tests {
             })
             .collect();
         scenario.nodes = 5;
-        let sim = Sim::with_static_topology(scenario, positions, TrafficScript::from_packets(packets));
+        let sim =
+            Sim::with_static_topology(scenario, positions, TrafficScript::from_packets(packets));
         sim.run()
     }
 

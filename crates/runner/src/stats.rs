@@ -26,11 +26,7 @@ impl MeanCi {
         }
         let mean = samples.iter().sum::<f64>() / n as f64;
         if n < 2 {
-            return MeanCi {
-                mean,
-                ci95: 0.0,
-                n,
-            };
+            return MeanCi { mean, ci95: 0.0, n };
         }
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         let se = (var / n as f64).sqrt();
@@ -60,9 +56,9 @@ impl std::fmt::Display for MeanCi {
 pub fn t_critical_95(df: usize) -> f64 {
     // Table through df = 30, then the normal approximation.
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         return f64::INFINITY;

@@ -203,10 +203,36 @@ mod tests {
     #[test]
     fn records_path_and_fate() {
         let mut log = TraceLog::new(10);
-        log.record(1, TraceEvent::Originated { node: 0, time: t(0) });
-        log.record(1, TraceEvent::Forwarded { from: 0, to: 3, time: t(1) });
-        log.record(1, TraceEvent::Forwarded { from: 3, to: 7, time: t(2) });
-        log.record(1, TraceEvent::Delivered { node: 7, time: t(3) });
+        log.record(
+            1,
+            TraceEvent::Originated {
+                node: 0,
+                time: t(0),
+            },
+        );
+        log.record(
+            1,
+            TraceEvent::Forwarded {
+                from: 0,
+                to: 3,
+                time: t(1),
+            },
+        );
+        log.record(
+            1,
+            TraceEvent::Forwarded {
+                from: 3,
+                to: 7,
+                time: t(2),
+            },
+        );
+        log.record(
+            1,
+            TraceEvent::Delivered {
+                node: 7,
+                time: t(3),
+            },
+        );
         assert_eq!(log.path(1), vec![0, 3, 7]);
         assert_eq!(log.hop_count(1), 2);
         assert_eq!(log.fate(1), PacketFate::Delivered);
@@ -218,7 +244,13 @@ mod tests {
     #[test]
     fn dropped_and_inflight_fates() {
         let mut log = TraceLog::new(10);
-        log.record(2, TraceEvent::Originated { node: 4, time: t(0) });
+        log.record(
+            2,
+            TraceEvent::Originated {
+                node: 4,
+                time: t(0),
+            },
+        );
         log.record(
             2,
             TraceEvent::Dropped {
@@ -228,7 +260,13 @@ mod tests {
             },
         );
         assert_eq!(log.fate(2), PacketFate::Dropped(DataDropReason::NoRoute));
-        log.record(3, TraceEvent::Originated { node: 1, time: t(1) });
+        log.record(
+            3,
+            TraceEvent::Originated {
+                node: 1,
+                time: t(1),
+            },
+        );
         assert_eq!(log.fate(3), PacketFate::InFlight);
         assert_eq!(log.fate(99), PacketFate::InFlight);
     }
@@ -236,18 +274,41 @@ mod tests {
     #[test]
     fn capacity_bounds_new_packets_only() {
         let mut log = TraceLog::new(1);
-        log.record(1, TraceEvent::Originated { node: 0, time: t(0) });
-        log.record(2, TraceEvent::Originated { node: 0, time: t(0) });
+        log.record(
+            1,
+            TraceEvent::Originated {
+                node: 0,
+                time: t(0),
+            },
+        );
+        log.record(
+            2,
+            TraceEvent::Originated {
+                node: 0,
+                time: t(0),
+            },
+        );
         assert_eq!(log.len(), 1);
         // Existing packets keep accumulating.
-        log.record(1, TraceEvent::Forwarded { from: 0, to: 1, time: t(1) });
+        log.record(
+            1,
+            TraceEvent::Forwarded {
+                from: 0,
+                to: 1,
+                time: t(1),
+            },
+        );
         assert_eq!(log.events(1).len(), 2);
         assert!(log.events(2).is_empty());
     }
 
     #[test]
     fn event_time_accessor() {
-        let e = TraceEvent::Forwarded { from: 0, to: 1, time: t(9) };
+        let e = TraceEvent::Forwarded {
+            from: 0,
+            to: 1,
+            time: t(9),
+        };
         assert_eq!(e.time(), t(9));
     }
 }

@@ -1,0 +1,17 @@
+//! # slr — umbrella crate for the SLR/SRP reproduction
+//!
+//! Re-exports every workspace crate under one roof so downstream users can
+//! depend on a single package, and owns the repository-level integration
+//! tests (`tests/`) and examples (`examples/`) so they compile as
+//! cross-crate targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use slr_core as core;
+pub use slr_mobility as mobility;
+pub use slr_netsim as netsim;
+pub use slr_protocols as protocols;
+pub use slr_radio as radio;
+pub use slr_runner as runner;
+pub use slr_traffic as traffic;

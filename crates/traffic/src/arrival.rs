@@ -1,0 +1,95 @@
+//! Packet arrival processes within a flow.
+//!
+//! The paper's workload is pure CBR (fixed inter-packet gaps). Related
+//! evaluations (e.g. backpressure-style loop-free routing) stress
+//! protocols with burstier demand, so the script generator also supports
+//! Poisson arrivals: exponentially distributed inter-packet gaps with the
+//! same mean rate, which produces the same offered load with occasional
+//! bursts that exercise interface queues and MAC contention.
+
+use rand::Rng;
+
+use slr_netsim::rng::sample_exponential;
+use slr_netsim::time::SimDuration;
+
+/// How packets are spaced inside one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrivalProcess {
+    /// Constant bit rate: packets exactly `1 / packets_per_second` apart
+    /// (the paper's §V workload).
+    #[default]
+    Cbr,
+    /// Poisson arrivals: exponential inter-packet gaps with mean
+    /// `1 / packets_per_second` (same offered load, bursty).
+    Poisson,
+}
+
+impl ArrivalProcess {
+    /// Short name used in scenario descriptions and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Cbr => "cbr",
+            ArrivalProcess::Poisson => "poisson",
+        }
+    }
+
+    /// The gap to the next packet at `packets_per_second`.
+    ///
+    /// CBR never consumes randomness, so scripts generated with it remain
+    /// bit-identical to the pre-Poisson generator.
+    pub fn next_gap<R: Rng + ?Sized>(&self, packets_per_second: f64, rng: &mut R) -> SimDuration {
+        match self {
+            ArrivalProcess::Cbr => SimDuration::from_secs_f64(1.0 / packets_per_second),
+            ArrivalProcess::Poisson => {
+                SimDuration::from_secs_f64(sample_exponential(rng, 1.0 / packets_per_second))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slr_netsim::rng::stream;
+
+    #[test]
+    fn cbr_gap_is_constant() {
+        let mut rng = stream(1, "arrival", 0);
+        let g1 = ArrivalProcess::Cbr.next_gap(4.0, &mut rng);
+        let g2 = ArrivalProcess::Cbr.next_gap(4.0, &mut rng);
+        assert_eq!(g1, g2);
+        assert!((g1.as_secs_f64() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut rng = stream(2, "arrival", 0);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| {
+                ArrivalProcess::Poisson
+                    .next_gap(4.0, &mut rng)
+                    .as_secs_f64()
+            })
+            .sum();
+        let mean = total / n as f64;
+        assert!(
+            (0.23..0.27).contains(&mean),
+            "mean gap {mean} should be ≈0.25 s at 4 pps"
+        );
+    }
+
+    #[test]
+    fn poisson_gaps_vary() {
+        let mut rng = stream(3, "arrival", 0);
+        let a = ArrivalProcess::Poisson.next_gap(4.0, &mut rng);
+        let b = ArrivalProcess::Poisson.next_gap(4.0, &mut rng);
+        assert_ne!(a, b, "exponential gaps should essentially never repeat");
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ArrivalProcess::Cbr.name(), "cbr");
+        assert_eq!(ArrivalProcess::Poisson.name(), "poisson");
+    }
+}

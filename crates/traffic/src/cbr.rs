@@ -1,11 +1,13 @@
-//! CBR flow generation.
+//! Flow-structured traffic generation (CBR or Poisson arrivals).
 
 use rand::Rng;
 
 use slr_netsim::rng::sample_exponential;
 use slr_netsim::time::{SimDuration, SimTime};
 
-/// Configuration for the CBR workload.
+use crate::arrival::ArrivalProcess;
+
+/// Configuration for the scripted workload.
 #[derive(Debug, Clone, Copy)]
 pub struct TrafficConfig {
     /// Number of simultaneously active flows (paper: 30).
@@ -16,6 +18,8 @@ pub struct TrafficConfig {
     pub packet_bytes: u32,
     /// Mean flow lifetime, exponentially distributed (paper: 60 s).
     pub mean_flow_secs: f64,
+    /// How packets are spaced inside a flow (paper: CBR).
+    pub arrival: ArrivalProcess,
     /// When traffic starts (routing protocols get a brief settling window).
     pub start: SimTime,
     /// When traffic generation stops.
@@ -29,6 +33,7 @@ impl Default for TrafficConfig {
             packets_per_second: 4.0,
             packet_bytes: 512,
             mean_flow_secs: 60.0,
+            arrival: ArrivalProcess::Cbr,
             start: SimTime::from_secs(10),
             end: SimTime::from_secs(910),
         }
@@ -86,16 +91,14 @@ impl TrafficScript {
         assert!(n >= 2, "need at least two nodes for traffic");
         assert!(cfg.packets_per_second > 0.0 && cfg.mean_flow_secs > 0.0);
         assert!(cfg.end > cfg.start, "traffic window is empty");
-        let interval = SimDuration::from_secs_f64(1.0 / cfg.packets_per_second);
 
         let mut flows = Vec::new();
         let mut packets = Vec::new();
 
         for slot in 0..cfg.concurrent_flows {
             // Stagger slot phase within one packet interval.
-            let phase = SimDuration::from_secs_f64(
-                rng.gen_range(0.0..1.0) / cfg.packets_per_second,
-            );
+            let phase =
+                SimDuration::from_secs_f64(rng.gen_range(0.0..1.0) / cfg.packets_per_second);
             let mut t = cfg.start + phase;
             while t < cfg.end {
                 let lifetime =
@@ -118,7 +121,7 @@ impl TrafficScript {
                         bytes: cfg.packet_bytes,
                         flow: flow_idx,
                     });
-                    pt += interval;
+                    pt += cfg.arrival.next_gap(cfg.packets_per_second, rng);
                 }
                 t = flow_end;
             }
@@ -249,6 +252,51 @@ mod tests {
         assert!(
             (40.0..=80.0).contains(&mean),
             "mean lifetime {mean} should be ≈60"
+        );
+    }
+
+    #[test]
+    fn poisson_offers_the_same_load() {
+        // Poisson arrivals keep the mean rate: ≈120 pps network-wide.
+        let c = TrafficConfig {
+            arrival: ArrivalProcess::Poisson,
+            ..cfg(10, 110)
+        };
+        let s = TrafficScript::generate(100, &c, &mut stream(2, "traffic", 0));
+        let rate = s.packets().len() as f64 / 100.0;
+        assert!(
+            (105.0..=135.0).contains(&rate),
+            "Poisson aggregate rate {rate} pps should be ≈120"
+        );
+    }
+
+    #[test]
+    fn poisson_gaps_are_irregular_cbr_gaps_regular() {
+        let gaps = |arrival: ArrivalProcess| -> Vec<f64> {
+            let c = TrafficConfig {
+                arrival,
+                ..cfg(10, 60)
+            };
+            let s = TrafficScript::generate(20, &c, &mut stream(8, "traffic", 0));
+            // Intra-flow gaps of the longest flow.
+            let flow = (0..s.flows().len())
+                .max_by_key(|i| s.packets().iter().filter(|p| p.flow == *i).count())
+                .expect("at least one flow");
+            let times: Vec<f64> = s
+                .packets()
+                .iter()
+                .filter(|p| p.flow == flow)
+                .map(|p| p.time.as_secs_f64())
+                .collect();
+            assert!(times.len() >= 4, "longest flow too short: {}", times.len());
+            times.windows(2).map(|w| w[1] - w[0]).collect()
+        };
+        let cbr = gaps(ArrivalProcess::Cbr);
+        assert!(cbr.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-6));
+        let poisson = gaps(ArrivalProcess::Poisson);
+        assert!(
+            poisson.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-3),
+            "Poisson gaps should vary: {poisson:?}"
         );
     }
 

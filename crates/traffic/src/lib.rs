@@ -1,4 +1,4 @@
-//! # slr-traffic — CBR workload scripts
+//! # slr-traffic — scripted workloads (CBR and Poisson)
 //!
 //! The paper's workload (§V): 30 simultaneous constant-bit-rate flows of
 //! 512-byte packets at 4 packets/s; each flow lasts an exponentially
@@ -6,18 +6,28 @@
 //! fresh random endpoints replaces it, keeping 30 flows alive. Scripts are
 //! generated offline per trial so all protocols see identical demand.
 //!
+//! Beyond the paper, flows can also emit packets as a Poisson process
+//! ([`ArrivalProcess::Poisson`]): same mean rate, exponential gaps —
+//! burstier demand for contention-stress scenarios.
+//!
 //! ```
-//! use slr_traffic::{TrafficConfig, TrafficScript};
+//! use slr_traffic::{ArrivalProcess, TrafficConfig, TrafficScript};
 //! use slr_netsim::rng;
 //!
 //! let cfg = TrafficConfig::default();
 //! let script = TrafficScript::generate(100, &cfg, &mut rng::stream(42, "traffic", 0));
+//! assert!(script.packets().len() > 1000);
+//!
+//! let bursty = TrafficConfig { arrival: ArrivalProcess::Poisson, ..cfg };
+//! let script = TrafficScript::generate(100, &bursty, &mut rng::stream(42, "traffic", 0));
 //! assert!(script.packets().len() > 1000);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod cbr;
 
+pub use arrival::ArrivalProcess;
 pub use cbr::{Flow, PacketSpec, TrafficConfig, TrafficScript};

@@ -27,7 +27,8 @@ fn main() {
     // ---- Fig. 1 ----
     // Nodes: T=0, A=1, B=2, C=3, D=4, E=5.
     let mut g: SlrGraph<F> = SlrGraph::new(6, 0);
-    g.run_request(&[5, 4, 3, 2, 1, 0]).expect("discovery succeeds");
+    g.run_request(&[5, 4, 3, 2, 1, 0])
+        .expect("discovery succeeds");
     println!("Fig. 1 — initial graph labeling");
     for (name, node) in [("T", 0), ("A", 1), ("B", 2), ("C", 3), ("D", 4), ("E", 5)] {
         println!("  {name}: {}", g.label(node));

@@ -45,7 +45,10 @@ fn main() {
     println!("  delivery ratio     : {:.3}", summary.delivery_ratio);
     println!("  mean latency       : {:.4} s", summary.latency);
     println!("  network load       : {:.3}", summary.network_load);
-    println!("  seqno increments   : {} (loop-freedom needs none)", summary.avg_seqno);
+    println!(
+        "  seqno increments   : {} (loop-freedom needs none)",
+        summary.avg_seqno
+    );
     println!("  label-order drift  : {soft_violations} (expected 0)");
     assert!(summary.delivery_ratio > 0.95, "quickstart should deliver");
 }

@@ -43,7 +43,7 @@ fn mobile_network_delivers_for_on_demand_protocols() {
         let mut scenario = Scenario::quick(kind, 100, 9, 0);
         scenario.nodes = 30;
         scenario.end = SimTime::from_secs(60);
-        scenario.flows = 6;
+        scenario.set_flows(6);
         let s = Sim::new(scenario).run();
         assert!(
             s.delivery_ratio > 0.7,
@@ -81,7 +81,11 @@ fn bidirectional_flows_work() {
     }
     let sim = Sim::with_static_topology(scenario, positions, TrafficScript::from_packets(packets));
     let s = sim.run();
-    assert!(s.delivery_ratio > 0.95, "bidirectional delivery {}", s.delivery_ratio);
+    assert!(
+        s.delivery_ratio > 0.95,
+        "bidirectional delivery {}",
+        s.delivery_ratio
+    );
 }
 
 #[test]

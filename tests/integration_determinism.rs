@@ -12,7 +12,7 @@ fn identical_seeds_reproduce_exactly() {
             let mut s = Scenario::quick(kind, 50, 2024, 1);
             s.nodes = 25;
             s.end = SimTime::from_secs(45);
-            s.flows = 5;
+            s.set_flows(5);
             s
         };
         let a = Sim::new(mk()).run();
@@ -27,7 +27,7 @@ fn different_trials_differ() {
         let mut s = Scenario::quick(ProtocolKind::Srp, 50, 2024, trial);
         s.nodes = 25;
         s.end = SimTime::from_secs(45);
-        s.flows = 5;
+        s.set_flows(5);
         s
     };
     let a = Sim::new(mk(0)).run();
@@ -42,7 +42,7 @@ fn traffic_demand_is_protocol_independent() {
         let mut s = Scenario::quick(kind, 50, 7, 2);
         s.nodes = 25;
         s.end = SimTime::from_secs(45);
-        s.flows = 5;
+        s.set_flows(5);
         s
     };
     let srp = Sim::new(mk(ProtocolKind::Srp)).run();

@@ -14,11 +14,19 @@ fn srp_loop_free_during_mobile_simulation() {
     let mut scenario = Scenario::quick(ProtocolKind::Srp, 0, 1234, 0);
     scenario.nodes = 30;
     scenario.end = SimTime::from_secs(80);
-    scenario.flows = 8;
+    scenario.set_flows(8);
     let (summary, _soft) = Sim::new(scenario).run_with_loop_oracle(SimDuration::from_secs(1));
     // Some traffic must actually have flowed for the check to mean much.
-    assert!(summary.originated > 500, "originated {}", summary.originated);
-    assert!(summary.delivery_ratio > 0.5, "delivery {}", summary.delivery_ratio);
+    assert!(
+        summary.originated > 500,
+        "originated {}",
+        summary.originated
+    );
+    assert!(
+        summary.delivery_ratio > 0.5,
+        "delivery {}",
+        summary.delivery_ratio
+    );
 }
 
 #[test]
@@ -27,7 +35,7 @@ fn srp_loop_free_across_seeds() {
         let mut scenario = Scenario::quick(ProtocolKind::Srp, 50, seed, 0);
         scenario.nodes = 20;
         scenario.end = SimTime::from_secs(40);
-        scenario.flows = 5;
+        scenario.set_flows(5);
         let (_, _) = Sim::new(scenario).run_with_loop_oracle(SimDuration::from_secs(2));
     }
 }
@@ -39,7 +47,7 @@ fn srp_never_increments_sequence_numbers_under_churn() {
     let mut scenario = Scenario::quick(ProtocolKind::Srp, 0, 77, 0);
     scenario.nodes = 30;
     scenario.end = SimTime::from_secs(60);
-    scenario.flows = 8;
+    scenario.set_flows(8);
     let summary = Sim::new(scenario).run();
     assert_eq!(summary.avg_seqno, 0.0, "SRP seqno must stay fixed");
     // And the denominators stay far below the 32-bit reset threshold.

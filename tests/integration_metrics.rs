@@ -1,7 +1,7 @@
 //! The sweep/statistics/report pipeline end to end.
 
 use slr_runner::experiment::{run_sweep, Metric, SweepConfig};
-use slr_runner::report::{render_figure, render_table1, render_trend};
+use slr_runner::report::{render_figure, render_json, render_table1, render_trend};
 use slr_runner::scenario::ProtocolKind;
 use slr_runner::stats::MeanCi;
 
@@ -10,9 +10,9 @@ fn sweep_statistics_and_reports() {
     let cfg = SweepConfig {
         seed: 5,
         trials: 2,
-        pauses: &[150],
-        paper_scale: false,
+        values: vec![150],
         threads: 2,
+        ..SweepConfig::default()
     };
     let protocols = [ProtocolKind::Srp, ProtocolKind::Ldr];
     let result = run_sweep(&protocols, &cfg);
@@ -40,6 +40,13 @@ fn sweep_statistics_and_reports() {
     }
     let trend = render_trend(&result, Metric::DeliveryRatio);
     assert!(trend.contains("SRP"));
+
+    // JSON export carries the same aggregates.
+    let json = render_json(&result);
+    assert!(json.contains("\"family\": \"paper-sweep\""));
+    assert!(json.contains("\"protocol\":\"SRP\""));
+    assert!(json.contains("\"value\":150"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
 
     // Table-I style aggregation equals the single-pause point here.
     let overall = result.overall(ProtocolKind::Srp, Metric::DeliveryRatio);
