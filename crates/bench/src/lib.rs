@@ -16,8 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use slr_runner::experiment::{parse_values, SweepConfig};
-use slr_runner::registry::{Family, SweepParam};
+use slr_runner::cli::{parse_cli, render_scenario_list, usage, CliAction};
+use slr_runner::experiment::SweepConfig;
 
 /// Command-line options shared by the figure/table binaries.
 #[derive(Debug, Clone)]
@@ -29,106 +29,78 @@ pub struct Cli {
 }
 
 impl Cli {
-    /// Parses `std::env::args`.
+    /// Parses `std::env::args` with the flag parser shared with `slrsim`
+    /// ([`slr_runner::cli::parse_cli`]).
     ///
-    /// Flags: `--paper`, `--trials N`, `--seed N`, `--threads N`,
+    /// Flags: `--paper`, `--trials N` (default 10 at paper scale, else 3),
+    /// `--seed N`, `--threads N` (default: available parallelism),
     /// `--pauses a,b,c` (defaults to the paper's eight pause times),
     /// `--scenario NAME` (any registry family; its default param/values
-    /// replace the pause sweep), `--param NAME`, `--values a,b,c`.
+    /// replace the pause sweep), `--param NAME`, `--values a,b,c`,
+    /// `--dynamics churn[:R]|partition[:K]|crash[:N]`.
     pub fn parse() -> Cli {
-        let mut paper = false;
-        let mut trials: Option<u64> = None;
-        let mut seed = 42u64;
-        let mut threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
-        let mut family = Family::PaperSweep;
-        let mut param: Option<SweepParam> = None;
-        let mut values: Option<Vec<u64>> = None;
-
         let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut i = 0;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--paper" => paper = true,
-                "--trials" => {
-                    i += 1;
-                    trials = args.get(i).and_then(|s| s.parse().ok());
-                }
-                "--seed" => {
-                    i += 1;
-                    seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(seed);
-                }
-                "--threads" => {
-                    i += 1;
-                    threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(threads);
-                }
-                "--scenario" | "--family" => {
-                    i += 1;
-                    match args.get(i).and_then(|s| Family::parse(s)) {
-                        Some(f) => family = f,
-                        None => {
-                            eprintln!("unknown scenario family {:?}", args.get(i));
-                            std::process::exit(2);
-                        }
-                    }
-                }
-                "--param" => {
-                    i += 1;
-                    match args.get(i).and_then(|s| SweepParam::parse(s)) {
-                        Some(p) => param = Some(p),
-                        None => {
-                            eprintln!(
-                                "unknown sweep parameter {:?} (pause|nodes|flows|rate|speed)",
-                                args.get(i)
-                            );
-                            std::process::exit(2);
-                        }
-                    }
-                }
-                "--pauses" | "--values" => {
-                    i += 1;
-                    match parse_values(args.get(i).map(String::as_str).unwrap_or_default()) {
-                        Ok(list) => values = Some(list),
-                        Err(e) => {
-                            eprintln!("--values: {e}");
-                            std::process::exit(2);
-                        }
-                    }
-                }
-                "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --paper (full §V scale) --trials N --seed N --threads N \
-                         --pauses a,b,c --scenario NAME --param NAME --values a,b,c"
-                    );
-                    std::process::exit(0);
-                }
-                other => eprintln!("ignoring unknown flag {other}"),
-            }
-            i += 1;
-        }
-
-        let trials = trials.unwrap_or(if paper { 10 } else { 3 });
-        let (param, values) = match SweepConfig::resolve(family, param, values, paper) {
-            Ok(resolved) => resolved,
+        let opts = match parse_cli(&args) {
+            Ok(opts) => opts,
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(2);
             }
         };
-        Cli {
-            sweep: SweepConfig {
-                seed,
-                trials,
-                family,
-                param,
-                values,
-                paper_scale: paper,
-                threads,
-                ..SweepConfig::default()
-            },
-            paper,
+        match opts.action {
+            CliAction::Help => {
+                eprintln!("{}", usage("(figure/table binary)"));
+                std::process::exit(0);
+            }
+            CliAction::ListScenarios => {
+                print!("{}", render_scenario_list());
+                std::process::exit(0);
+            }
+            CliAction::Run => {}
         }
+        // The figure/table binaries fix their own protocol sets and output
+        // formats; accepting these flags and ignoring them would silently
+        // change what an hours-long sweep appears to measure.
+        if opts.protocols.is_some() || opts.json || opts.oracle {
+            eprintln!(
+                "--protocol/--json/--oracle are slrsim flags; the figure binaries \
+                 run the paper's protocol set with their own output"
+            );
+            std::process::exit(2);
+        }
+        let paper = opts.paper;
+        let trials = opts.trials.unwrap_or(if paper { 10 } else { 3 });
+        let threads = opts.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+        let (param, values) =
+            match SweepConfig::resolve(opts.family, opts.param, opts.values, paper) {
+                Ok(resolved) => resolved,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+        let sweep = SweepConfig {
+            seed: opts.seed,
+            trials,
+            family: opts.family,
+            param,
+            values,
+            paper_scale: paper,
+            threads,
+            override_nodes: opts.nodes,
+            override_flows: opts.flows,
+            override_duration: opts.duration,
+            override_dynamics: opts.dynamics,
+        };
+        if let Err(e) = sweep.validate() {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        Cli { sweep, paper }
     }
 
     /// One-line description of the configuration, for run logs.

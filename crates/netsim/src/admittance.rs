@@ -1,0 +1,220 @@
+//! Event-driven link/node admittance: which nodes and links the medium
+//! currently admits.
+//!
+//! Network dynamics (link churn, partitions, node crashes) are modeled as
+//! an administrative filter *on top of* physical connectivity: the radio
+//! channel consults an [`Admittance`] when a transmission starts, and a
+//! gated receiver simply does not perceive the signal — exactly as if an
+//! RF barrier stood on that link. The filter composes with mobility: a
+//! link carries traffic only when the nodes are in range *and* the
+//! admittance allows the pair.
+//!
+//! The layer is driven by [`DynAction`]s, the compiled form of a scenario's
+//! dynamics schedule. Applying actions is the harness's job (it also owns
+//! the protocol-state consequences of a crash); this type only answers
+//! "is this link admitted right now?" queries deterministically.
+
+use std::collections::BTreeSet;
+
+/// One topology-dynamics event, ready to apply at its scheduled time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DynAction {
+    /// Administratively cut the (undirected) link between two nodes.
+    LinkDown(usize, usize),
+    /// Restore a previously cut link.
+    LinkUp(usize, usize),
+    /// Node loses power: it neither transmits nor receives, and the
+    /// harness discards all of its protocol and MAC state.
+    NodeCrash(usize),
+    /// Node restarts cold: admitted again, protocol restarted from
+    /// scratch.
+    NodeRejoin(usize),
+    /// Split the network: nodes may only communicate within their
+    /// component (`assignment[i]` is node `i`'s component id).
+    PartitionSet(Vec<u32>),
+    /// Heal the partition.
+    PartitionClear,
+}
+
+impl DynAction {
+    /// Short name for logs and traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DynAction::LinkDown(..) => "link-down",
+            DynAction::LinkUp(..) => "link-up",
+            DynAction::NodeCrash(..) => "node-crash",
+            DynAction::NodeRejoin(..) => "node-rejoin",
+            DynAction::PartitionSet(..) => "partition-set",
+            DynAction::PartitionClear => "partition-clear",
+        }
+    }
+
+    /// Whether the action degrades connectivity (used for route-repair
+    /// latency accounting: the clock starts at a disruption).
+    pub fn is_disruptive(&self) -> bool {
+        matches!(
+            self,
+            DynAction::LinkDown(..) | DynAction::NodeCrash(..) | DynAction::PartitionSet(..)
+        )
+    }
+}
+
+/// The current administrative state of every node and link.
+#[derive(Debug, Clone)]
+pub struct Admittance {
+    node_up: Vec<bool>,
+    /// Cut links as canonical `(min, max)` pairs.
+    cut: BTreeSet<(usize, usize)>,
+    /// Active partition: component id per node, `None` when healed.
+    partition: Option<Vec<u32>>,
+}
+
+fn canonical(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Admittance {
+    /// A fully transparent admittance for `n` nodes: everything allowed.
+    pub fn new(n: usize) -> Self {
+        Admittance {
+            node_up: vec![true; n],
+            cut: BTreeSet::new(),
+            partition: None,
+        }
+    }
+
+    /// Whether nothing is currently filtered (fast path for scenarios
+    /// without dynamics).
+    pub fn is_transparent(&self) -> bool {
+        self.cut.is_empty() && self.partition.is_none() && self.node_up.iter().all(|&u| u)
+    }
+
+    /// Whether node `i` is powered.
+    pub fn node_is_up(&self, i: usize) -> bool {
+        self.node_up[i]
+    }
+
+    /// Whether the medium admits a signal from `a` to `b`: both nodes up,
+    /// the link not cut, and (under a partition) both in the same
+    /// component.
+    pub fn allows(&self, a: usize, b: usize) -> bool {
+        if !self.node_up[a] || !self.node_up[b] {
+            return false;
+        }
+        if self.cut.contains(&canonical(a, b)) {
+            return false;
+        }
+        match &self.partition {
+            Some(assignment) => assignment[a] == assignment[b],
+            None => true,
+        }
+    }
+
+    /// Applies one dynamics action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `PartitionSet` assignment has the wrong length.
+    pub fn apply(&mut self, action: &DynAction) {
+        match action {
+            DynAction::LinkDown(a, b) => {
+                self.cut.insert(canonical(*a, *b));
+            }
+            DynAction::LinkUp(a, b) => {
+                self.cut.remove(&canonical(*a, *b));
+            }
+            DynAction::NodeCrash(i) => self.node_up[*i] = false,
+            DynAction::NodeRejoin(i) => self.node_up[*i] = true,
+            DynAction::PartitionSet(assignment) => {
+                assert_eq!(
+                    assignment.len(),
+                    self.node_up.len(),
+                    "partition assignment must cover every node"
+                );
+                self.partition = Some(assignment.clone());
+            }
+            DynAction::PartitionClear => self.partition = None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_by_default() {
+        let adm = Admittance::new(4);
+        assert!(adm.is_transparent());
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!(adm.allows(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn link_cut_is_undirected_and_reversible() {
+        let mut adm = Admittance::new(3);
+        adm.apply(&DynAction::LinkDown(2, 0));
+        assert!(!adm.allows(0, 2));
+        assert!(!adm.allows(2, 0));
+        assert!(adm.allows(0, 1));
+        assert!(!adm.is_transparent());
+        adm.apply(&DynAction::LinkUp(0, 2));
+        assert!(adm.allows(0, 2));
+        assert!(adm.is_transparent());
+    }
+
+    #[test]
+    fn crashed_node_blocks_both_directions() {
+        let mut adm = Admittance::new(3);
+        adm.apply(&DynAction::NodeCrash(1));
+        assert!(!adm.node_is_up(1));
+        assert!(!adm.allows(0, 1));
+        assert!(!adm.allows(1, 0));
+        assert!(adm.allows(0, 2));
+        adm.apply(&DynAction::NodeRejoin(1));
+        assert!(adm.allows(0, 1));
+    }
+
+    #[test]
+    fn partition_blocks_cross_component_only() {
+        let mut adm = Admittance::new(4);
+        adm.apply(&DynAction::PartitionSet(vec![0, 0, 1, 1]));
+        assert!(adm.allows(0, 1));
+        assert!(adm.allows(2, 3));
+        assert!(!adm.allows(1, 2));
+        assert!(!adm.allows(0, 3));
+        adm.apply(&DynAction::PartitionClear);
+        assert!(adm.allows(1, 2));
+        assert!(adm.is_transparent());
+    }
+
+    #[test]
+    fn filters_compose() {
+        let mut adm = Admittance::new(4);
+        adm.apply(&DynAction::PartitionSet(vec![0, 0, 1, 1]));
+        adm.apply(&DynAction::LinkDown(0, 1));
+        // Same component but the link is individually cut.
+        assert!(!adm.allows(0, 1));
+        adm.apply(&DynAction::PartitionClear);
+        assert!(!adm.allows(0, 1), "link cut survives the heal");
+        adm.apply(&DynAction::LinkUp(0, 1));
+        assert!(adm.allows(0, 1));
+    }
+
+    #[test]
+    fn disruptive_classification() {
+        assert!(DynAction::LinkDown(0, 1).is_disruptive());
+        assert!(DynAction::NodeCrash(0).is_disruptive());
+        assert!(DynAction::PartitionSet(vec![0]).is_disruptive());
+        assert!(!DynAction::LinkUp(0, 1).is_disruptive());
+        assert!(!DynAction::NodeRejoin(0).is_disruptive());
+        assert!(!DynAction::PartitionClear.is_disruptive());
+    }
+}

@@ -26,11 +26,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admittance;
 pub mod engine;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use admittance::{Admittance, DynAction};
 pub use engine::Simulator;
 pub use queue::{EventQueue, EventToken, Scheduled};
 pub use time::{SimDuration, SimTime};

@@ -127,6 +127,9 @@ pub enum DataDropReason {
     BufferTimeout,
     /// Salvaging after a link failure was impossible.
     SalvageFailed,
+    /// The node was administratively down (crashed) when the application
+    /// offered the packet.
+    NodeDown,
 }
 
 /// Requests a routing protocol makes of the harness.
@@ -197,6 +200,16 @@ pub trait RoutingProtocol {
 
     /// Called once at simulation start (schedule periodic timers here).
     fn on_start(&mut self, ctx: &mut ProtoCtx<'_>) -> Vec<ProtoEffect>;
+
+    /// Called when this node restarts cold after a crash (all protocol
+    /// state already discarded). Defaults to [`RoutingProtocol::on_start`];
+    /// protocols whose safety depends on state not vanishing silently
+    /// (e.g. SRP's ordering invariants) override this to announce the
+    /// reboot so neighbors purge stale routes through them — the
+    /// equivalent of AODV's post-reboot rule (RFC 3561 §6.13).
+    fn on_rejoin(&mut self, ctx: &mut ProtoCtx<'_>) -> Vec<ProtoEffect> {
+        self.on_start(ctx)
+    }
 
     /// The local application wants `packet` delivered to `packet.dst`.
     fn on_data_from_app(&mut self, ctx: &mut ProtoCtx<'_>, packet: DataPacket) -> Vec<ProtoEffect>;

@@ -409,7 +409,10 @@ impl Srp {
             self.last_rerr.insert(*d, now);
         }
         fx.push(ProtoEffect::SendControl {
-            packet: ControlPacket::Srp(SrpMessage::Rerr(SrpRerr { unreachable: fresh })),
+            packet: ControlPacket::Srp(SrpMessage::Rerr(SrpRerr {
+                unreachable: fresh,
+                cold_reboot: false,
+            })),
             next_hop: None,
         });
     }
@@ -446,6 +449,26 @@ impl Srp {
             }
         } else {
             reverse_built = self.route_active(rreq.src, now);
+        }
+
+        // The solicitation is direct evidence its originator currently
+        // has no usable route to the destination. If the originator is
+        // still in our successor set for that destination — possible only
+        // when our state outlived its (it restarted cold faster than our
+        // route expired) — answering from that route would hand it a path
+        // through itself and close a two-node cycle the moment it adopts
+        // the reply. Drop the stale edge first.
+        let stale_requester = {
+            match self.dests.get_mut(&rreq.dst) {
+                Some(ds) if ds.succs.contains(&rreq.src) => {
+                    ds.succs.remove(&rreq.src);
+                    ds.succs.is_empty()
+                }
+                _ => false,
+            }
+        };
+        if stale_requester {
+            self.invalidate(rreq.dst, now);
         }
 
         // Become engaged: cache {A, ID_A, O_#, lasthop}.
@@ -733,6 +756,24 @@ impl Srp {
     fn handle_rerr(&mut self, now: SimTime, prev: NodeId, rerr: SrpRerr) -> Vec<ProtoEffect> {
         let mut fx = Vec::new();
         let mut lost = Vec::new();
+        // R bit: the sender rebooted cold, so *every* successor edge
+        // toward it is stale — purge it from all destinations, not just
+        // the listed ones. Keeping any such edge would let the rebooted
+        // node (label-unassigned, so it accepts any route offer) adopt a
+        // path back through us and close a loop.
+        if rerr.cold_reboot {
+            let dests: Vec<NodeId> = self.dests.keys().copied().collect();
+            for t in dests {
+                let ds = self.dests.get_mut(&t).expect("iterating keys");
+                if ds.succs.contains(&prev) {
+                    ds.succs.remove(&prev);
+                    if ds.succs.is_empty() {
+                        self.invalidate(t, now);
+                        lost.push(t);
+                    }
+                }
+            }
+        }
         for t in rerr.unreachable {
             let became_invalid = {
                 match self.dests.get_mut(&t) {
@@ -762,6 +803,22 @@ impl RoutingProtocol for Srp {
 
     fn on_start(&mut self, _ctx: &mut ProtoCtx<'_>) -> Vec<ProtoEffect> {
         Vec::new() // purely on-demand
+    }
+
+    fn on_rejoin(&mut self, _ctx: &mut ProtoCtx<'_>) -> Vec<ProtoEffect> {
+        // Cold reboot: announce it so neighbors purge every stale
+        // successor edge toward this node before it re-acquires labels
+        // (see [`SrpRerr::cold_reboot`]). Without the announcement, a
+        // neighbor still routing through us — its route outlived our
+        // crash — could answer our upcoming solicitations from that very
+        // route and the successor graph would close into a loop.
+        vec![ProtoEffect::SendControl {
+            packet: ControlPacket::Srp(SrpMessage::Rerr(SrpRerr {
+                unreachable: Vec::new(),
+                cold_reboot: true,
+            })),
+            next_hop: None,
+        }]
     }
 
     fn on_data_from_app(&mut self, ctx: &mut ProtoCtx<'_>, packet: DataPacket) -> Vec<ProtoEffect> {
@@ -803,6 +860,7 @@ impl RoutingProtocol for Srp {
         fx.push(ProtoEffect::SendControl {
             packet: ControlPacket::Srp(SrpMessage::Rerr(SrpRerr {
                 unreachable: vec![packet.dst],
+                cold_reboot: false,
             })),
             next_hop: Some(from),
         });

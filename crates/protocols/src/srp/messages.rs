@@ -82,6 +82,13 @@ pub struct SrpRrep {
 pub struct SrpRerr {
     /// Destinations now unreachable via the sender.
     pub unreachable: Vec<NodeId>,
+    /// R bit: the sender restarted cold and holds *no* routing state —
+    /// every route through it is unreachable, not just the listed ones.
+    /// Receivers must purge the sender from every successor set (the
+    /// SRP analogue of AODV's post-reboot rule, RFC 3561 §6.13); without
+    /// it, stale pre-crash successor edges toward the rebooted node can
+    /// close into routing loops once it re-acquires labels.
+    pub cold_reboot: bool,
 }
 
 /// All SRP control packets.
@@ -143,6 +150,7 @@ mod tests {
         assert_eq!(rreq.kind_name(), "srp-rreq");
         let rerr = SrpMessage::Rerr(SrpRerr {
             unreachable: vec![1, 2, 3],
+            cold_reboot: false,
         });
         assert_eq!(rerr.wire_bytes(), 20);
     }

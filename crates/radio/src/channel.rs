@@ -117,6 +117,24 @@ impl<P: Clone> Channel<P> {
     ///   receiver, and
     /// * `finish_tx(tx_id)` at `now + airtime` (after the rx events).
     pub fn begin_tx(&mut self, frame: Frame<P>, now: SimTime, positions: &[Position]) -> BeginTx {
+        self.begin_tx_gated(frame, now, positions, &|_, _| true)
+    }
+
+    /// Like [`Channel::begin_tx`], but consults an admittance `gate` per
+    /// `(src, receiver)` pair: a gated receiver does not perceive the
+    /// signal at all — no reception, no carrier sense — as if an RF
+    /// barrier stood on the link. Network-dynamics layers (link churn,
+    /// partitions, node crashes) plug in here; a unicast frame whose
+    /// destination is gated is lost in the air, so the transmitter's MAC
+    /// exhausts its retries and reports a link failure to the routing
+    /// layer exactly as with a physical range break.
+    pub fn begin_tx_gated(
+        &mut self,
+        frame: Frame<P>,
+        now: SimTime,
+        positions: &[Position],
+        gate: &dyn Fn(usize, usize) -> bool,
+    ) -> BeginTx {
         let src = frame.src;
         let airtime = self.phy.airtime(frame.bytes);
         let id = TxId(self.next_tx);
@@ -139,7 +157,7 @@ impl<P: Clone> Channel<P> {
                 continue;
             }
             let d = src_pos.distance(pos);
-            if !self.phy.audible(d) {
+            if !self.phy.audible(d) || !gate(src, v) {
                 continue;
             }
             let power = self.phy.rx_power(d);
@@ -272,6 +290,27 @@ mod tests {
         assert!(r.frame.is_some());
         assert!(r.became_idle);
         assert!(!r.collided);
+        ch.finish_tx(b.tx_id);
+        assert_eq!(ch.stats.delivered, 1);
+        assert_eq!(ch.stats.collisions, 0);
+    }
+
+    #[test]
+    fn gated_receiver_perceives_nothing() {
+        // Node 1 is well inside range but the admittance gate blocks the
+        // 0→1 link: no signal, no carrier sense, no collision accounting.
+        let pos = positions(&[(0.0, 0.0), (100.0, 0.0), (150.0, 0.0)]);
+        let mut ch: Channel<u32> = Channel::new(3, PhyConfig::default());
+        let b = ch.begin_tx_gated(frame(0, Some(1)), SimTime::ZERO, &pos, &|s, v| {
+            !(s == 0 && v == 1)
+        });
+        assert_eq!(b.receivers, vec![(2, true)], "gated node 1 must not appear");
+        assert!(
+            !ch.is_busy(1),
+            "gated signal must not occupy node 1's medium"
+        );
+        let r = ch.finish_rx(2, b.tx_id, SimTime::ZERO + b.airtime);
+        assert!(r.frame.is_some());
         ch.finish_tx(b.tx_id);
         assert_eq!(ch.stats.delivered, 1);
         assert_eq!(ch.stats.collisions, 0);

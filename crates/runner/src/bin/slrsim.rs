@@ -3,22 +3,25 @@
 //! ```sh
 //! cargo run --release -p slr-runner --bin slrsim -- --scenario grid
 //! cargo run --release -p slr-runner --bin slrsim -- \
-//!     --scenario scaling --param nodes --values 30,60,90 --json
+//!     --scenario churn --param churn --values 2,6,12 --json
 //! cargo run --release -p slr-runner --bin slrsim -- \
-//!     --protocol srp --pause 100 --trials 3 --oracle
+//!     --scenario grid --dynamics partition:2 --protocol srp --oracle
 //! ```
 //!
-//! Flags (all optional):
+//! Flags (all optional; the parser is shared with the `slr-bench`
+//! binaries, see [`slr_runner::cli`]):
 //!
 //! * `--scenario NAME` — scenario family (default `paper-sweep`); see
 //!   `--list-scenarios`
-//! * `--param NAME` — swept parameter (`pause|nodes|flows|rate|speed`;
-//!   default: the family's)
+//! * `--param NAME` — swept parameter
+//!   (`pause|nodes|flows|rate|speed|churn`; default: the family's)
 //! * `--values a,b,c` — sweep points (default: the family's)
 //! * `--pause SECONDS` — shorthand for `--param pause --values SECONDS`
 //! * `--protocol srp|srp-mp|aodv|dsr|ldr|olsr|all` (default `all`)
 //! * `--trials N` (default 1), `--seed N` (default 42), `--threads N`
 //! * `--nodes N`, `--flows N`, `--duration SECONDS` — post-build overrides
+//! * `--dynamics churn[:RATE]|partition[:K]|crash[:N]|none` — overlay a
+//!   topology-dynamics schedule on any family
 //! * `--paper` — paper-scale scenarios instead of quick
 //! * `--json` — emit one JSON document with aggregates and per-trial
 //!   summaries instead of the text table
@@ -27,162 +30,38 @@
 //! * `--list-scenarios` — print the registry and exit
 
 use slr_netsim::time::SimDuration;
-use slr_runner::experiment::{parse_values, run_sweep, Metric, SweepConfig, SweepResult};
-use slr_runner::registry::{Family, SweepParam};
+use slr_runner::cli::{parse_cli, render_scenario_list, usage, CliAction};
+use slr_runner::experiment::{run_sweep, Metric, SweepConfig, SweepResult};
 use slr_runner::report::render_json;
 use slr_runner::scenario::ProtocolKind;
 use slr_runner::sim::Sim;
 
-fn parse_protocols(s: &str) -> Vec<ProtocolKind> {
-    if s.eq_ignore_ascii_case("all") {
-        return ProtocolKind::all().to_vec();
-    }
-    match ProtocolKind::parse(s) {
-        Some(k) => vec![k],
-        None => {
-            eprintln!("unknown protocol {s}; using all");
-            ProtocolKind::all().to_vec()
-        }
-    }
-}
-
-fn list_scenarios() {
-    println!("registered scenario families:\n");
-    for f in Family::ALL {
-        println!(
-            "  {:<12} {}\n  {:<12} default sweep: --param {} --values {}\n",
-            f.name(),
-            f.summary(),
-            "",
-            f.default_param().name(),
-            f.default_values(false)
-                .iter()
-                .map(|v| v.to_string())
-                .collect::<Vec<_>>()
-                .join(",")
-        );
-    }
-    println!("sweepable parameters: pause, nodes, flows, rate, speed");
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut protocols = ProtocolKind::all().to_vec();
-    let mut family = Family::PaperSweep;
-    let mut param: Option<SweepParam> = None;
-    let mut values: Option<Vec<u64>> = None;
-    let mut trials = 1u64;
-    let mut seed = 42u64;
-    let mut threads: Option<usize> = None;
-    let mut nodes: Option<usize> = None;
-    let mut flows: Option<usize> = None;
-    let mut duration: Option<u64> = None;
-    let mut paper = false;
-    let mut oracle = false;
-    let mut json = false;
-
-    let mut i = 0;
-    while i < args.len() {
-        let flag = args[i].as_str();
-        let value = args.get(i + 1).cloned();
-        match flag {
-            "--scenario" | "--family" => {
-                let name = value.unwrap_or_default();
-                match Family::parse(&name) {
-                    Some(f) => family = f,
-                    None => {
-                        eprintln!("unknown scenario {name:?}; try --list-scenarios");
-                        std::process::exit(2);
-                    }
-                }
-                i += 1;
-            }
-            "--param" => {
-                let name = value.unwrap_or_default();
-                match SweepParam::parse(&name) {
-                    Some(p) => param = Some(p),
-                    None => {
-                        eprintln!(
-                            "unknown sweep parameter {name:?} (pause|nodes|flows|rate|speed)"
-                        );
-                        std::process::exit(2);
-                    }
-                }
-                i += 1;
-            }
-            "--values" => {
-                match parse_values(&value.unwrap_or_default()) {
-                    Ok(list) => values = Some(list),
-                    Err(e) => {
-                        eprintln!("--values: {e}");
-                        std::process::exit(2);
-                    }
-                }
-                i += 1;
-            }
-            "--pause" => {
-                match value.as_deref().and_then(|v| v.trim().parse().ok()) {
-                    Some(p) => {
-                        param = Some(SweepParam::Pause);
-                        values = Some(vec![p]);
-                    }
-                    None => {
-                        eprintln!("--pause needs an integer number of seconds");
-                        std::process::exit(2);
-                    }
-                }
-                i += 1;
-            }
-            "--protocol" => {
-                protocols = parse_protocols(&value.unwrap_or_default());
-                i += 1;
-            }
-            "--trials" => {
-                trials = value.and_then(|v| v.parse().ok()).unwrap_or(trials);
-                i += 1;
-            }
-            "--seed" => {
-                seed = value.and_then(|v| v.parse().ok()).unwrap_or(seed);
-                i += 1;
-            }
-            "--threads" => {
-                threads = value.and_then(|v| v.parse().ok());
-                i += 1;
-            }
-            "--nodes" => {
-                nodes = value.and_then(|v| v.parse().ok());
-                i += 1;
-            }
-            "--flows" => {
-                flows = value.and_then(|v| v.parse().ok());
-                i += 1;
-            }
-            "--duration" => {
-                duration = value.and_then(|v| v.parse().ok());
-                i += 1;
-            }
-            "--paper" => paper = true,
-            "--oracle" => oracle = true,
-            "--json" => json = true,
-            "--list-scenarios" | "--list" => {
-                list_scenarios();
-                return;
-            }
-            "--help" | "-h" => {
-                eprintln!(
-                    "slrsim --scenario NAME [--param pause|nodes|flows|rate|speed] \
-                     [--values a,b,c] [--protocol NAME|all] [--trials N] [--seed N] \
-                     [--nodes N] [--flows N] [--duration S] [--paper] [--json] \
-                     [--oracle] [--list-scenarios]"
-                );
-                return;
-            }
-            other => eprintln!("ignoring unknown flag {other}"),
+    let opts = match parse_cli(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
         }
-        i += 1;
+    };
+    match opts.action {
+        CliAction::ListScenarios => {
+            print!("{}", render_scenario_list());
+            return;
+        }
+        CliAction::Help => {
+            eprintln!("{}", usage("slrsim"));
+            return;
+        }
+        CliAction::Run => {}
     }
 
-    let (param, values) = match SweepConfig::resolve(family, param, values, paper) {
+    let protocols = opts
+        .protocols
+        .unwrap_or_else(|| ProtocolKind::all().to_vec());
+    let family = opts.family;
+    let (param, values) = match SweepConfig::resolve(family, opts.param, opts.values, opts.paper) {
         Ok(resolved) => resolved,
         Err(e) => {
             eprintln!("{e}");
@@ -190,18 +69,19 @@ fn main() {
         }
     };
     let mut cfg = SweepConfig {
-        seed,
-        trials,
+        seed: opts.seed,
+        trials: opts.trials.unwrap_or(1),
         family,
         param,
         values,
-        paper_scale: paper,
-        override_nodes: nodes,
-        override_flows: flows,
-        override_duration: duration,
+        paper_scale: opts.paper,
+        override_nodes: opts.nodes,
+        override_flows: opts.flows,
+        override_duration: opts.duration,
+        override_dynamics: opts.dynamics,
         ..SweepConfig::default()
     };
-    if let Some(t) = threads {
+    if let Some(t) = opts.threads {
         cfg.threads = t;
     }
     if let Err(e) = cfg.validate() {
@@ -209,7 +89,7 @@ fn main() {
         std::process::exit(2);
     }
 
-    let result = if oracle && protocols.contains(&ProtocolKind::Srp) {
+    let result = if opts.oracle && protocols.contains(&ProtocolKind::Srp) {
         // SRP trials run once, sequentially, under the oracle; their
         // summaries feed the stats directly (no duplicate simulation).
         // Other protocols still go through the parallel sweep.
@@ -234,13 +114,13 @@ fn main() {
         result.protocols = protocols.clone();
         result
     } else {
-        if oracle {
+        if opts.oracle {
             eprintln!("--oracle: no SRP in the protocol set, skipping");
         }
         run_sweep(&protocols, &cfg)
     };
 
-    if json {
+    if opts.json {
         print!("{}", render_json(&result));
         return;
     }
@@ -252,8 +132,8 @@ fn main() {
         first.describe(),
         param.name(),
         cfg.values,
-        trials,
-        seed
+        cfg.trials,
+        cfg.seed
     );
     println!(
         "{:<8} {:>8} {:>9} {:>9} {:>11} {:>12} {:>9}",
@@ -282,8 +162,9 @@ fn main() {
 }
 
 /// Runs every SRP point once under the loop-freedom oracle (sequential —
-/// the oracle inspects global protocol state every simulated second) and
-/// returns the summaries so they double as the SRP sweep results.
+/// the oracle inspects global protocol state every simulated second and
+/// after every dynamics event) and returns the summaries so they double
+/// as the SRP sweep results.
 fn run_oracle_pass(
     cfg: &SweepConfig,
 ) -> std::collections::BTreeMap<(&'static str, u64), Vec<slr_runner::TrialSummary>> {
@@ -295,11 +176,12 @@ fn run_oracle_pass(
             let (summary, soft) =
                 Sim::new(scenario).run_with_loop_oracle(SimDuration::from_secs(1));
             eprintln!(
-                "oracle: {}={} trial {} OK ({} soft order drift(s))",
+                "oracle: {}={} trial {} OK ({} soft order drift(s), {} dynamics event(s))",
                 cfg.param.name(),
                 value,
                 trial,
-                soft
+                soft,
+                summary.dynamics_events,
             );
             runs.entry((ProtocolKind::Srp.name(), value))
                 .or_default()

@@ -1,0 +1,480 @@
+//! Network-dynamics specifications: deterministic, seeded topology-event
+//! schedules.
+//!
+//! A [`DynamicsSpec`] is the fourth orthogonal scenario axis, next to
+//! [`crate::scenario::TopologySpec`], [`crate::scenario::MobilitySpec`] and
+//! [`crate::scenario::TrafficSpec`]: it describes *administrative* topology
+//! change — per-link up/down churn, planned partition/heal splits, and node
+//! crash–rejoin — independent of the connectivity changes mobility already
+//! induces. Like mobility and traffic, a spec compiles into a fixed,
+//! protocol-independent event script from the trial's master seed, so every
+//! protocol faces the identical sequence of link flaps and the whole trial
+//! stays bit-reproducible across thread counts.
+//!
+//! The compiled script is a time-sorted list of
+//! [`slr_netsim::admittance::DynAction`]s the harness applies to its
+//! [`slr_netsim::Admittance`]; the radio channel consults that admittance
+//! on every transmission, so dynamics compose with mobility (a link works
+//! only when in range *and* admitted).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use slr_mobility::Position;
+use slr_netsim::admittance::DynAction;
+use slr_netsim::rng::sample_exponential;
+use slr_netsim::time::SimTime;
+
+/// Geographic k-way slab assignment: rank nodes by x coordinate and deal
+/// them into `components` contiguous groups, so every component keeps
+/// its internal multihop connectivity and a partition cut severs real
+/// paths. Deterministic in the positions.
+pub fn slab_assignment(positions: &[Position], components: usize) -> Vec<u32> {
+    let n = positions.len();
+    let k = components.clamp(2, n.max(2)) as u32;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        positions[a]
+            .x
+            .partial_cmp(&positions[b].x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut assignment = vec![0u32; n];
+    for (rank, &node) in order.iter().enumerate() {
+        assignment[node] = (rank * k as usize / n.max(1)) as u32;
+    }
+    assignment
+}
+
+/// Scheduled topology dynamics for one trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DynamicsSpec {
+    /// No administrative dynamics (the default; connectivity changes only
+    /// through mobility).
+    None,
+    /// Independent on/off renewal churn per link: every pair within radio
+    /// range at the start alternates exponentially distributed up and
+    /// down periods.
+    LinkChurn {
+        /// Mean number of down transitions per link per minute (the
+        /// sweepable churn rate; up-time mean is `60 / rate` seconds).
+        flaps_per_minute: f64,
+        /// Mean outage length in seconds.
+        mean_down_secs: f64,
+    },
+    /// A planned split into `components` geographic slabs at one point in
+    /// the run, healed later.
+    Partition {
+        /// Number of components the node set is cut into (by x
+        /// coordinate, so each component stays internally connected).
+        components: usize,
+        /// When the cut happens, as a fraction of the dynamics window.
+        at_frac: f64,
+        /// When the network heals, as a fraction of the dynamics window.
+        heal_frac: f64,
+    },
+    /// `crashes` nodes silently lose all protocol and MAC state at one
+    /// point in the run and restart cold later.
+    CrashRejoin {
+        /// How many nodes crash (clamped to leave at least two alive).
+        crashes: usize,
+        /// When the crash happens, as a fraction of the dynamics window.
+        at_frac: f64,
+        /// When the nodes restart, as a fraction of the dynamics window.
+        rejoin_frac: f64,
+    },
+}
+
+impl DynamicsSpec {
+    /// Default churn dynamics: six flaps per minute per link, two-second
+    /// outages.
+    pub fn default_churn() -> Self {
+        DynamicsSpec::LinkChurn {
+            flaps_per_minute: 6.0,
+            mean_down_secs: 2.0,
+        }
+    }
+
+    /// Default partition dynamics: a two-way split over the middle third
+    /// of the dynamics window.
+    pub fn default_partition() -> Self {
+        DynamicsSpec::Partition {
+            components: 2,
+            at_frac: 1.0 / 3.0,
+            heal_frac: 2.0 / 3.0,
+        }
+    }
+
+    /// Default crash–rejoin dynamics: `crashes` nodes down over the middle
+    /// third of the dynamics window.
+    pub fn default_crash(crashes: usize) -> Self {
+        DynamicsSpec::CrashRejoin {
+            crashes,
+            at_frac: 1.0 / 3.0,
+            rejoin_frac: 2.0 / 3.0,
+        }
+    }
+
+    /// Short name used in descriptions and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DynamicsSpec::None => "none",
+            DynamicsSpec::LinkChurn { .. } => "churn",
+            DynamicsSpec::Partition { .. } => "partition",
+            DynamicsSpec::CrashRejoin { .. } => "crash-rejoin",
+        }
+    }
+
+    /// Parses a CLI spec: `none`, `churn[:FLAPS_PER_MIN]`,
+    /// `partition[:COMPONENTS]`, `crash[:NODES]` / `crash-rejoin[:NODES]`.
+    pub fn parse(s: &str) -> Result<DynamicsSpec, String> {
+        let lower = s.to_ascii_lowercase();
+        let (kind, arg) = match lower.split_once(':') {
+            Some((k, a)) => (k, Some(a)),
+            None => (lower.as_str(), None),
+        };
+        let num = |what: &str| -> Result<Option<u64>, String> {
+            arg.map(|a| {
+                a.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad {what} {a:?} in --dynamics {s:?}"))
+            })
+            .transpose()
+        };
+        match kind {
+            "none" => match arg {
+                None => Ok(DynamicsSpec::None),
+                Some(_) => Err(format!("--dynamics none takes no argument, got {s:?}")),
+            },
+            "churn" => {
+                let rate = num("churn rate")?.unwrap_or(6);
+                if !(1..=60).contains(&rate) {
+                    return Err(format!("churn rate must be 1..=60 flaps/min, got {rate}"));
+                }
+                Ok(DynamicsSpec::LinkChurn {
+                    flaps_per_minute: rate as f64,
+                    mean_down_secs: 2.0,
+                })
+            }
+            "partition" => {
+                let k = num("component count")?.unwrap_or(2);
+                if k < 2 {
+                    return Err(format!("partition needs >= 2 components, got {k}"));
+                }
+                Ok(DynamicsSpec::Partition {
+                    components: k as usize,
+                    at_frac: 1.0 / 3.0,
+                    heal_frac: 2.0 / 3.0,
+                })
+            }
+            "crash" | "crash-rejoin" => {
+                let c = num("crash count")?.unwrap_or(2);
+                if c < 1 {
+                    return Err("crash-rejoin needs >= 1 crash".to_string());
+                }
+                Ok(DynamicsSpec::default_crash(c as usize))
+            }
+            _ => Err(format!(
+                "unknown dynamics {s:?} (none|churn[:RATE]|partition[:K]|crash[:N])"
+            )),
+        }
+    }
+
+    /// The `(onset, recovery)` times of a planned partition or crash
+    /// within the dynamics window `[start, end)`; `None` for specs without
+    /// a planned window (churn runs continuously).
+    pub fn window(&self, start: SimTime, end: SimTime) -> Option<(SimTime, SimTime)> {
+        let at = |frac: f64| {
+            let span = end.saturating_since(start).as_secs_f64();
+            start + slr_netsim::time::SimDuration::from_secs_f64(span * frac)
+        };
+        match *self {
+            DynamicsSpec::None | DynamicsSpec::LinkChurn { .. } => None,
+            DynamicsSpec::Partition {
+                at_frac, heal_frac, ..
+            } => Some((at(at_frac), at(heal_frac))),
+            DynamicsSpec::CrashRejoin {
+                at_frac,
+                rejoin_frac,
+                ..
+            } => Some((at(at_frac), at(rejoin_frac))),
+        }
+    }
+
+    /// Compiles the spec into a time-sorted, deterministic event script.
+    ///
+    /// `positions` are the nodes' locations at the start of the run;
+    /// churn applies to pairs within `link_range_m` there (for static
+    /// topologies that is exactly the link set; under mobility it is the
+    /// initial link set, and the admittance composes with whatever
+    /// connectivity mobility produces later). Events are scheduled inside
+    /// `[start, end)`; `rng` must be a protocol-independent stream so all
+    /// protocols face identical dynamics per trial.
+    pub fn compile(
+        &self,
+        positions: &[Position],
+        link_range_m: f64,
+        start: SimTime,
+        end: SimTime,
+        rng: &mut SmallRng,
+    ) -> Vec<(SimTime, DynAction)> {
+        let n = positions.len();
+        let mut script: Vec<(SimTime, DynAction)> = Vec::new();
+        match *self {
+            DynamicsSpec::None => {}
+            DynamicsSpec::LinkChurn {
+                flaps_per_minute,
+                mean_down_secs,
+            } => {
+                let mean_up = (60.0 / flaps_per_minute.max(f64::EPSILON)).max(0.5);
+                let mean_down = mean_down_secs.max(0.1);
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        if positions[i].distance(&positions[j]) > link_range_m {
+                            continue;
+                        }
+                        let mut t = start.as_secs_f64() + sample_exponential(rng, mean_up);
+                        let horizon = end.as_secs_f64();
+                        while t < horizon {
+                            script.push((SimTime::from_secs_f64(t), DynAction::LinkDown(i, j)));
+                            t += sample_exponential(rng, mean_down);
+                            if t >= horizon {
+                                break;
+                            }
+                            script.push((SimTime::from_secs_f64(t), DynAction::LinkUp(i, j)));
+                            t += sample_exponential(rng, mean_up);
+                        }
+                    }
+                }
+            }
+            DynamicsSpec::Partition { components, .. } => {
+                let (at, heal) = self.window(start, end).expect("partition has a window");
+                // The compiled assignment uses t = 0 positions; the
+                // harness recomputes it from *current* positions when the
+                // cut fires, so mobility between compile time and the cut
+                // cannot leave a component internally disconnected (for
+                // static topologies the two are identical).
+                script.push((
+                    at,
+                    DynAction::PartitionSet(slab_assignment(positions, components)),
+                ));
+                script.push((heal, DynAction::PartitionClear));
+            }
+            DynamicsSpec::CrashRejoin { crashes, .. } => {
+                let (at, rejoin) = self.window(start, end).expect("crash has a window");
+                // Pick distinct victims by partial Fisher–Yates; leave at
+                // least two nodes alive.
+                let count = crashes.min(n.saturating_sub(2));
+                let mut pool: Vec<usize> = (0..n).collect();
+                for c in 0..count {
+                    let pick = rng.gen_range(c..pool.len());
+                    pool.swap(c, pick);
+                }
+                let mut victims: Vec<usize> = pool[..count].to_vec();
+                victims.sort_unstable();
+                for &v in &victims {
+                    script.push((at, DynAction::NodeCrash(v)));
+                }
+                for &v in &victims {
+                    script.push((rejoin, DynAction::NodeRejoin(v)));
+                }
+            }
+        }
+        // Stable sort: same-time events keep generation order, which is
+        // itself deterministic, so the schedule is bit-reproducible.
+        script.sort_by_key(|(t, _)| *t);
+        script
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slr_netsim::rng::stream;
+
+    fn line(n: usize, spacing: f64) -> Vec<Position> {
+        (0..n)
+            .map(|i| Position::new(spacing * i as f64, 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(DynamicsSpec::parse("none").unwrap(), DynamicsSpec::None);
+        assert_eq!(
+            DynamicsSpec::parse("churn").unwrap(),
+            DynamicsSpec::default_churn()
+        );
+        assert_eq!(
+            DynamicsSpec::parse("CHURN:12").unwrap(),
+            DynamicsSpec::LinkChurn {
+                flaps_per_minute: 12.0,
+                mean_down_secs: 2.0
+            }
+        );
+        assert_eq!(
+            DynamicsSpec::parse("partition:3").unwrap(),
+            DynamicsSpec::Partition {
+                components: 3,
+                at_frac: 1.0 / 3.0,
+                heal_frac: 2.0 / 3.0
+            }
+        );
+        assert_eq!(
+            DynamicsSpec::parse("crash:4").unwrap(),
+            DynamicsSpec::default_crash(4)
+        );
+        assert!(DynamicsSpec::parse("churn:0").is_err());
+        assert!(DynamicsSpec::parse("churn:fast").is_err());
+        assert!(DynamicsSpec::parse("partition:1").is_err());
+        assert!(DynamicsSpec::parse("none:1").is_err());
+        assert!(DynamicsSpec::parse("quake").is_err());
+    }
+
+    #[test]
+    fn churn_schedule_is_deterministic_and_windowed() {
+        let pos = line(5, 200.0);
+        let spec = DynamicsSpec::default_churn();
+        let start = SimTime::from_secs(10);
+        let end = SimTime::from_secs(70);
+        let a = spec.compile(&pos, 250.0, start, end, &mut stream(7, "dyn", 0));
+        let b = spec.compile(&pos, 250.0, start, end, &mut stream(7, "dyn", 0));
+        assert_eq!(a, b, "same seed must give the identical schedule");
+        assert!(!a.is_empty(), "60 s at 6 flaps/min must produce events");
+        for (t, action) in &a {
+            assert!(*t >= start && *t < end, "event at {t} outside window");
+            match action {
+                DynAction::LinkDown(i, j) | DynAction::LinkUp(i, j) => {
+                    // Only in-range pairs (adjacent on a 200 m line) churn.
+                    assert_eq!(j - i, 1, "pair ({i},{j}) is out of range");
+                }
+                other => panic!("churn produced {other:?}"),
+            }
+        }
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "must be sorted");
+        let c = spec.compile(&pos, 250.0, start, end, &mut stream(8, "dyn", 0));
+        assert_ne!(a, c, "different seed must give a different schedule");
+    }
+
+    #[test]
+    fn churn_alternates_per_link() {
+        let pos = line(2, 100.0);
+        let spec = DynamicsSpec::LinkChurn {
+            flaps_per_minute: 12.0,
+            mean_down_secs: 1.0,
+        };
+        let script = spec.compile(
+            &pos,
+            250.0,
+            SimTime::ZERO,
+            SimTime::from_secs(300),
+            &mut stream(1, "dyn", 0),
+        );
+        let mut down = false;
+        for (_, action) in &script {
+            match action {
+                DynAction::LinkDown(0, 1) => {
+                    assert!(!down, "double down");
+                    down = true;
+                }
+                DynAction::LinkUp(0, 1) => {
+                    assert!(down, "up before down");
+                    down = false;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn partition_splits_into_geographic_slabs() {
+        let pos = line(9, 200.0);
+        let spec = DynamicsSpec::Partition {
+            components: 3,
+            at_frac: 0.25,
+            heal_frac: 0.75,
+        };
+        let script = spec.compile(
+            &pos,
+            250.0,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            &mut stream(2, "dyn", 0),
+        );
+        assert_eq!(script.len(), 2);
+        assert_eq!(script[0].0, SimTime::from_secs(25));
+        assert_eq!(script[1].0, SimTime::from_secs(75));
+        let DynAction::PartitionSet(assignment) = &script[0].1 else {
+            panic!("first event must be the cut");
+        };
+        // A line sorted by x splits into three contiguous thirds.
+        assert_eq!(assignment, &vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        assert_eq!(script[1].1, DynAction::PartitionClear);
+    }
+
+    #[test]
+    fn crash_rejoin_picks_distinct_victims() {
+        let pos = line(10, 200.0);
+        let spec = DynamicsSpec::default_crash(3);
+        let script = spec.compile(
+            &pos,
+            250.0,
+            SimTime::ZERO,
+            SimTime::from_secs(90),
+            &mut stream(3, "dyn", 0),
+        );
+        let crashes: Vec<usize> = script
+            .iter()
+            .filter_map(|(_, a)| match a {
+                DynAction::NodeCrash(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        let rejoins: Vec<usize> = script
+            .iter()
+            .filter_map(|(_, a)| match a {
+                DynAction::NodeRejoin(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes.len(), 3);
+        assert_eq!(crashes, rejoins, "every crash must rejoin");
+        let mut dedup = crashes.clone();
+        dedup.dedup();
+        assert_eq!(dedup, crashes, "victims must be distinct");
+        assert_eq!(script.len(), 6);
+        assert!(script[0].0 < script[5].0);
+    }
+
+    #[test]
+    fn crash_count_leaves_two_alive() {
+        let pos = line(3, 200.0);
+        let spec = DynamicsSpec::default_crash(50);
+        let script = spec.compile(
+            &pos,
+            250.0,
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+            &mut stream(4, "dyn", 0),
+        );
+        let crashes = script
+            .iter()
+            .filter(|(_, a)| matches!(a, DynAction::NodeCrash(_)))
+            .count();
+        assert_eq!(crashes, 1, "3 nodes allow at most 1 crash");
+    }
+
+    #[test]
+    fn none_compiles_empty() {
+        let pos = line(4, 100.0);
+        let script = DynamicsSpec::None.compile(
+            &pos,
+            250.0,
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            &mut stream(5, "dyn", 0),
+        );
+        assert!(script.is_empty());
+    }
+}

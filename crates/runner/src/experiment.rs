@@ -13,6 +13,7 @@ use std::thread;
 
 use slr_netsim::time::{SimDuration, SimTime};
 
+use crate::dynamics::DynamicsSpec;
 use crate::metrics::TrialSummary;
 use crate::registry::{Family, SweepParam};
 use crate::scenario::{ProtocolKind, Scenario};
@@ -107,6 +108,10 @@ pub struct SweepConfig {
     pub override_flows: Option<usize>,
     /// Optional end-time override in seconds (CLI `--duration`).
     pub override_duration: Option<u64>,
+    /// Optional dynamics override applied after the family builds each
+    /// point (CLI `--dynamics`), composing topology events onto any
+    /// family.
+    pub override_dynamics: Option<DynamicsSpec>,
 }
 
 impl Default for SweepConfig {
@@ -124,6 +129,7 @@ impl Default for SweepConfig {
             override_nodes: None,
             override_flows: None,
             override_duration: None,
+            override_dynamics: None,
         }
     }
 }
@@ -198,6 +204,16 @@ impl SweepConfig {
         if self.override_flows.is_some() && self.param == SweepParam::Flows {
             return Err("--flows conflicts with sweeping flows (drop one)".to_string());
         }
+        if self.param == SweepParam::ChurnRate {
+            if let Some(d) = self.override_dynamics {
+                if !matches!(d, DynamicsSpec::LinkChurn { .. }) {
+                    return Err(format!(
+                        "--dynamics {} conflicts with sweeping churn (every point would be identical)",
+                        d.name()
+                    ));
+                }
+            }
+        }
         // Overrides are constant across points, so one probe scenario
         // catches degenerate combinations before they panic a worker.
         let probe = self.scenario_for(ProtocolKind::Srp, self.values[0], 0);
@@ -227,6 +243,12 @@ impl SweepConfig {
         }
         if let Some(d) = self.override_duration {
             s.end = SimTime::from_secs(d);
+        }
+        if let Some(d) = self.override_dynamics {
+            // Apply before a churn sweep would have: the sweep value wins.
+            if self.param != SweepParam::ChurnRate {
+                s.dynamics = d;
+            }
         }
         s
     }

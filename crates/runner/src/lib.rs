@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod dynamics;
 pub mod experiment;
 pub mod metrics;
 pub mod registry;
@@ -36,6 +38,8 @@ pub mod sim;
 pub mod stats;
 pub mod trace;
 
+pub use cli::{parse_cli, CliAction, CliOptions};
+pub use dynamics::DynamicsSpec;
 pub use experiment::{run_sweep, run_trial, Metric, SweepConfig, SweepResult, PAUSE_TIMES};
 pub use metrics::{Metrics, TrialSummary};
 pub use registry::{Family, SweepParam};

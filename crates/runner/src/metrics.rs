@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::collections::HashSet;
 
+use slr_netsim::admittance::DynAction;
 use slr_netsim::time::SimTime;
 use slr_protocols::DataDropReason;
 
@@ -39,6 +40,34 @@ pub struct Metrics {
     pub link_failures_in_range: u64,
     /// Link failures where the next hop had moved out of range.
     pub link_failures_out_of_range: u64,
+    /// Link failures where the next hop was administratively gated by
+    /// network dynamics (churn outage, partition, crashed node).
+    pub link_failures_gated: u64,
+    /// Administrative link-down events applied.
+    pub dynamics_link_down: u64,
+    /// Administrative link-up (repair) events applied.
+    pub dynamics_link_up: u64,
+    /// Node crash events applied.
+    pub dynamics_crashes: u64,
+    /// Node rejoin events applied.
+    pub dynamics_rejoins: u64,
+    /// Partition set/clear events applied.
+    pub dynamics_partition_events: u64,
+    /// Sum of route-repair-episode latencies in seconds. An episode
+    /// opens at a disruptive dynamics event (further disruptions while
+    /// it is open do not start new episodes) and closes at the next
+    /// first-time delivery of any packet — i.e. this measures how long
+    /// the network as a whole goes without delivering after disruption
+    /// begins, not a per-event or per-flow repair time.
+    pub route_repair_latency_sum: f64,
+    /// Number of closed route-repair episodes.
+    pub route_repairs: u64,
+    /// Loop-freedom oracle checkpoints executed (0 when not under the
+    /// oracle).
+    pub oracle_checks: u64,
+    /// Soft label-order violations the oracle observed (hard violations
+    /// abort the trial).
+    pub oracle_soft_violations: u64,
     /// Channel collisions observed.
     pub collisions: u64,
     /// Sum over nodes of own-sequence-number increments (Fig. 7).
@@ -78,8 +107,41 @@ impl Metrics {
             DataDropReason::BufferOverflow => "buffer-overflow",
             DataDropReason::BufferTimeout => "buffer-timeout",
             DataDropReason::SalvageFailed => "salvage-failed",
+            DataDropReason::NodeDown => "node-down",
         };
         *self.drops.entry(key).or_insert(0) += 1;
+    }
+
+    /// Records one applied dynamics action.
+    pub fn record_dynamics(&mut self, action: &DynAction) {
+        match action {
+            DynAction::LinkDown(..) => self.dynamics_link_down += 1,
+            DynAction::LinkUp(..) => self.dynamics_link_up += 1,
+            DynAction::NodeCrash(..) => self.dynamics_crashes += 1,
+            DynAction::NodeRejoin(..) => self.dynamics_rejoins += 1,
+            DynAction::PartitionSet(..) | DynAction::PartitionClear => {
+                self.dynamics_partition_events += 1
+            }
+        }
+    }
+
+    /// Total administrative dynamics events applied.
+    pub fn dynamics_events(&self) -> u64 {
+        self.dynamics_link_down
+            + self.dynamics_link_up
+            + self.dynamics_crashes
+            + self.dynamics_rejoins
+            + self.dynamics_partition_events
+    }
+
+    /// Mean route-repair-episode latency in seconds (see
+    /// [`Metrics::route_repair_latency_sum`] for the episode semantics;
+    /// 0 without dynamics events).
+    pub fn mean_route_repair_latency(&self) -> f64 {
+        if self.route_repairs == 0 {
+            return 0.0;
+        }
+        self.route_repair_latency_sum / self.route_repairs as f64
     }
 
     /// Records a control packet transmission.
@@ -133,6 +195,11 @@ pub struct TrialSummary {
     pub originated: u64,
     /// Packets delivered.
     pub delivered: u64,
+    /// Administrative dynamics events applied during the trial.
+    pub dynamics_events: u64,
+    /// Mean route-repair-episode latency (s): disruption onset to the
+    /// next first-time delivery, overlapping disruptions merged.
+    pub repair_latency: f64,
 }
 
 impl Metrics {
@@ -147,6 +214,8 @@ impl Metrics {
             max_fd_denominator: self.max_fd_denominator,
             originated: self.data_originated,
             delivered: self.data_delivered,
+            dynamics_events: self.dynamics_events(),
+            repair_latency: self.mean_route_repair_latency(),
         }
     }
 }
@@ -196,5 +265,33 @@ mod tests {
         let m = Metrics::new();
         assert_eq!(m.delivery_ratio(), 0.0);
         assert_eq!(m.mean_latency(), 0.0);
+        assert_eq!(m.mean_route_repair_latency(), 0.0);
+    }
+
+    #[test]
+    fn dynamics_accounting() {
+        let mut m = Metrics::new();
+        m.record_dynamics(&DynAction::LinkDown(0, 1));
+        m.record_dynamics(&DynAction::LinkUp(0, 1));
+        m.record_dynamics(&DynAction::NodeCrash(2));
+        m.record_dynamics(&DynAction::NodeRejoin(2));
+        m.record_dynamics(&DynAction::PartitionSet(vec![0, 0, 1]));
+        m.record_dynamics(&DynAction::PartitionClear);
+        assert_eq!(m.dynamics_events(), 6);
+        m.route_repair_latency_sum = 3.0;
+        m.route_repairs = 2;
+        let s = m.summarize(3);
+        assert_eq!(s.dynamics_events, 6);
+        assert!((s.repair_latency - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_down_drops_are_counted_losses() {
+        let mut m = Metrics::new();
+        m.data_originated = 2;
+        m.record_drop(DataDropReason::NodeDown);
+        m.record_delivery(1, SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(m.drops["node-down"], 1);
+        assert!((m.delivery_ratio() - 0.5).abs() < 1e-12);
     }
 }

@@ -18,12 +18,19 @@
 //!   other: pure contention stress with bursty Poisson arrivals;
 //! * [`Family::Scaling`] — node-count scaling at constant density,
 //!   mirroring how link-reversal/backpressure evaluations scale networks
-//!   (Rai et al., arXiv:1503.06857).
+//!   (Rai et al., arXiv:1503.06857);
+//! * [`Family::Churn`] / [`Family::Partition`] / [`Family::CrashRejoin`] —
+//!   static grids under *administrative* topology dynamics (seeded link
+//!   flaps, planned partition/heal, node crash–rejoin): the adversarial
+//!   link-dynamics setting in which sequence-number protocols are known to
+//!   loop (van Glabbeek et al., arXiv:1512.08891) and the direct test of
+//!   the paper's loop-free-at-every-instant thesis.
 
 use slr_mobility::Terrain;
 use slr_netsim::time::{SimDuration, SimTime};
 use slr_traffic::ArrivalProcess;
 
+use crate::dynamics::DynamicsSpec;
 use crate::scenario::{MobilitySpec, ProtocolKind, Scenario, TopologySpec, TrafficSpec};
 
 /// The scalar scenario parameter a sweep varies.
@@ -39,16 +46,19 @@ pub enum SweepParam {
     PacketRate,
     /// Maximum node speed in m/s.
     MaxSpeed,
+    /// Link-churn rate in down transitions per link per minute.
+    ChurnRate,
 }
 
 impl SweepParam {
     /// Every sweepable parameter.
-    pub const ALL: [SweepParam; 5] = [
+    pub const ALL: [SweepParam; 6] = [
         SweepParam::Pause,
         SweepParam::Nodes,
         SweepParam::Flows,
         SweepParam::PacketRate,
         SweepParam::MaxSpeed,
+        SweepParam::ChurnRate,
     ];
 
     /// CLI / JSON name.
@@ -59,6 +69,7 @@ impl SweepParam {
             SweepParam::Flows => "flows",
             SweepParam::PacketRate => "rate",
             SweepParam::MaxSpeed => "speed",
+            SweepParam::ChurnRate => "churn",
         }
     }
 
@@ -70,6 +81,7 @@ impl SweepParam {
             SweepParam::Flows => "Concurrent Flows",
             SweepParam::PacketRate => "Packets/s per Flow",
             SweepParam::MaxSpeed => "Max Speed (m/s)",
+            SweepParam::ChurnRate => "Link Flaps per Minute",
         }
     }
 
@@ -92,6 +104,17 @@ impl SweepParam {
                     *max_speed = (value as f64).max(0.2);
                 }
             }
+            SweepParam::ChurnRate => match &mut scenario.dynamics {
+                DynamicsSpec::LinkChurn {
+                    flaps_per_minute, ..
+                } => *flaps_per_minute = value as f64,
+                dynamics => {
+                    *dynamics = DynamicsSpec::LinkChurn {
+                        flaps_per_minute: value as f64,
+                        mean_down_secs: 2.0,
+                    }
+                }
+            },
         }
     }
 
@@ -104,6 +127,9 @@ impl SweepParam {
             SweepParam::Flows if value < 1 => Err("flows must be >= 1".to_string()),
             SweepParam::PacketRate if value < 1 => Err("rate must be >= 1 packet/s".to_string()),
             SweepParam::MaxSpeed if value < 1 => Err("speed must be >= 1 m/s".to_string()),
+            SweepParam::ChurnRate if !(1..=60).contains(&value) => {
+                Err(format!("churn must be 1..=60 flaps/min, got {value}"))
+            }
             _ => Ok(()),
         }
     }
@@ -127,16 +153,28 @@ pub enum Family {
     /// Node-count scaling at constant density (≈1 node / 13 200 m², the
     /// paper's density), random waypoint, CBR; swept 50 → 300 nodes.
     Scaling,
+    /// Static grid under seeded per-link up/down churn; swept over the
+    /// churn rate (link flaps per minute).
+    Churn,
+    /// Static grid cut into geographic components mid-run and healed
+    /// later; swept over node count.
+    Partition,
+    /// Static grid where nodes crash (drop all state) mid-run and restart
+    /// cold later; swept over node count.
+    CrashRejoin,
 }
 
 impl Family {
     /// Every registered family, in presentation order.
-    pub const ALL: [Family; 5] = [
+    pub const ALL: [Family; 8] = [
         Family::PaperSweep,
         Family::Grid,
         Family::Line,
         Family::Disc,
         Family::Scaling,
+        Family::Churn,
+        Family::Partition,
+        Family::CrashRejoin,
     ];
 
     /// CLI / JSON name.
@@ -147,6 +185,9 @@ impl Family {
             Family::Line => "line",
             Family::Disc => "disc",
             Family::Scaling => "scaling",
+            Family::Churn => "churn",
+            Family::Partition => "partition",
+            Family::CrashRejoin => "crash-rejoin",
         }
     }
 
@@ -160,6 +201,9 @@ impl Family {
             Family::Line => "static line (maximal hop count), swept over node count",
             Family::Disc => "high-density disc + Poisson bursts, swept over flow count",
             Family::Scaling => "constant-density node-count scaling, 50→300 nodes",
+            Family::Churn => "static grid under seeded link up/down churn, swept over churn rate",
+            Family::Partition => "static grid split into components mid-run, then healed",
+            Family::CrashRejoin => "static grid with nodes crashing cold and rejoining mid-run",
         }
     }
 
@@ -174,13 +218,15 @@ impl Family {
     }
 
     /// Whether sweeping `param` actually changes this family's scenarios.
-    /// Mobility knobs (pause, speed) are meaningless on static families —
-    /// sweeping them would produce identical points.
+    /// Mobility knobs (pause, speed) are meaningless on static families,
+    /// and the churn rate only exists under churn dynamics — sweeping
+    /// either elsewhere would produce identical points.
     pub fn supports(&self, param: SweepParam) -> bool {
         match param {
             SweepParam::Pause | SweepParam::MaxSpeed => {
                 matches!(self, Family::PaperSweep | Family::Scaling)
             }
+            SweepParam::ChurnRate => matches!(self, Family::Churn),
             SweepParam::Nodes | SweepParam::Flows | SweepParam::PacketRate => true,
         }
     }
@@ -189,8 +235,13 @@ impl Family {
     pub fn default_param(&self) -> SweepParam {
         match self {
             Family::PaperSweep => SweepParam::Pause,
-            Family::Grid | Family::Line | Family::Scaling => SweepParam::Nodes,
+            Family::Grid
+            | Family::Line
+            | Family::Scaling
+            | Family::Partition
+            | Family::CrashRejoin => SweepParam::Nodes,
             Family::Disc => SweepParam::Flows,
+            Family::Churn => SweepParam::ChurnRate,
         }
     }
 
@@ -205,6 +256,10 @@ impl Family {
             (Family::Disc, true) => vec![10, 20, 30, 40],
             (Family::Scaling, false) => vec![30, 60, 90],
             (Family::Scaling, true) => vec![50, 100, 150, 200, 250, 300],
+            (Family::Churn, false) => vec![2, 6, 12],
+            (Family::Churn, true) => vec![2, 6, 12, 24],
+            (Family::Partition | Family::CrashRejoin, false) => vec![16, 25],
+            (Family::Partition | Family::CrashRejoin, true) => vec![25, 49, 100],
         }
     }
 
@@ -264,6 +319,24 @@ impl Family {
                     s.end = SimTime::from_secs(120);
                 }
                 Family::scale_terrain(&mut s);
+                s
+            }
+            // The dynamics families share a static-grid substrate so every
+            // connectivity change is attributable to the dynamics schedule
+            // alone, not to mobility.
+            Family::Churn | Family::Partition | Family::CrashRejoin => {
+                let mut s = Family::Grid.base(protocol, seed, trial, paper_scale);
+                s.nodes = if paper_scale { 49 } else { 16 };
+                s.traffic = TrafficSpec::paper_cbr(if paper_scale { 15 } else { 5 });
+                s.end = SimTime::from_secs(if paper_scale { 310 } else { 80 });
+                s.dynamics = match self {
+                    Family::Churn => DynamicsSpec::default_churn(),
+                    Family::Partition => DynamicsSpec::default_partition(),
+                    Family::CrashRejoin => {
+                        DynamicsSpec::default_crash(if paper_scale { 5 } else { 2 })
+                    }
+                    _ => unreachable!("outer match narrows to dynamics families"),
+                };
                 s
             }
         }
@@ -398,6 +471,38 @@ mod tests {
             density(&b)
         );
         assert!(b.terrain.width > a.terrain.width * 5.0);
+    }
+
+    #[test]
+    fn dynamics_families_carry_their_specs() {
+        let c = Family::Churn.base(ProtocolKind::Srp, 1, 0, false);
+        assert_eq!(c.dynamics.name(), "churn");
+        assert_eq!(c.mobility, MobilitySpec::Static);
+        assert_eq!(c.topology.name(), "grid");
+        let p = Family::Partition.base(ProtocolKind::Srp, 1, 0, false);
+        assert_eq!(p.dynamics.name(), "partition");
+        let r = Family::CrashRejoin.base(ProtocolKind::Srp, 1, 0, false);
+        assert_eq!(r.dynamics.name(), "crash-rejoin");
+        assert!(r.describe().contains("crash-rejoin dynamics"));
+    }
+
+    #[test]
+    fn churn_rate_sweep_applies() {
+        let s =
+            Family::Churn.scenario_at(ProtocolKind::Srp, 1, 0, false, SweepParam::ChurnRate, 12);
+        match s.dynamics {
+            DynamicsSpec::LinkChurn {
+                flaps_per_minute, ..
+            } => assert_eq!(flaps_per_minute, 12.0),
+            other => panic!("expected churn dynamics, got {other:?}"),
+        }
+        // Only the churn family sweeps the churn rate.
+        for f in Family::ALL {
+            assert_eq!(f.supports(SweepParam::ChurnRate), f == Family::Churn);
+        }
+        assert!(SweepParam::ChurnRate.validate_value(0).is_err());
+        assert!(SweepParam::ChurnRate.validate_value(61).is_err());
+        assert!(SweepParam::ChurnRate.validate_value(6).is_ok());
     }
 
     #[test]

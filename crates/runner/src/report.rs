@@ -130,7 +130,8 @@ pub fn trial_summary_json(s: &TrialSummary) -> String {
         concat!(
             "{{\"delivery_ratio\":{},\"network_load\":{},\"latency\":{},",
             "\"mac_drops_per_node\":{},\"avg_seqno\":{},",
-            "\"max_fd_denominator\":{},\"originated\":{},\"delivered\":{}}}"
+            "\"max_fd_denominator\":{},\"originated\":{},\"delivered\":{},",
+            "\"dynamics_events\":{},\"repair_latency\":{}}}"
         ),
         json_f64(s.delivery_ratio),
         json_f64(s.network_load),
@@ -140,6 +141,8 @@ pub fn trial_summary_json(s: &TrialSummary) -> String {
         s.max_fd_denominator,
         s.originated,
         s.delivered,
+        s.dynamics_events,
+        json_f64(s.repair_latency),
     )
 }
 
@@ -229,6 +232,8 @@ mod tests {
                         max_fd_denominator: 7,
                         originated: 100,
                         delivered: 80,
+                        dynamics_events: 0,
+                        repair_latency: 0.0,
                     }],
                 );
             }

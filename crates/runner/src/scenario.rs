@@ -2,16 +2,18 @@
 //! composable topology / mobility / traffic specs.
 //!
 //! A [`Scenario`] is the full recipe for one simulation trial. It is built
-//! from three orthogonal pieces:
+//! from four orthogonal pieces:
 //!
 //! * [`TopologySpec`] — how initial node positions are laid out
 //!   (uniform random, grid, line, disc);
 //! * [`MobilitySpec`] — whether and how nodes move (static, random
 //!   waypoint);
-//! * [`TrafficSpec`] — the offered load (CBR or Poisson flows).
+//! * [`TrafficSpec`] — the offered load (CBR or Poisson flows);
+//! * [`DynamicsSpec`] — scheduled topology events (link churn,
+//!   partition/heal, node crash–rejoin).
 //!
 //! Named combinations live in [`crate::registry`]; the paper's §V setup is
-//! [`Scenario::paper`] (uniform random + waypoint + CBR).
+//! [`Scenario::paper`] (uniform random + waypoint + CBR, no dynamics).
 
 use slr_mobility::{Position, Terrain, WaypointConfig};
 use slr_netsim::time::{SimDuration, SimTime};
@@ -25,6 +27,8 @@ use slr_radio::MacConfig;
 use slr_traffic::{ArrivalProcess, TrafficConfig};
 
 use rand::Rng;
+
+pub use crate::dynamics::DynamicsSpec;
 
 /// The protocol under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -290,6 +294,8 @@ pub struct Scenario {
     pub mobility: MobilitySpec,
     /// Offered load.
     pub traffic: TrafficSpec,
+    /// Scheduled topology dynamics.
+    pub dynamics: DynamicsSpec,
     /// MAC configuration.
     pub mac: MacConfig,
 }
@@ -312,6 +318,7 @@ impl Scenario {
                 max_speed: 20.0,
             },
             traffic: TrafficSpec::paper_cbr(30),
+            dynamics: DynamicsSpec::None,
             mac: MacConfig::default(),
         }
     }
@@ -338,6 +345,7 @@ impl Scenario {
                 max_speed: 20.0,
             },
             traffic: TrafficSpec::paper_cbr(15),
+            dynamics: DynamicsSpec::None,
             mac: MacConfig::default(),
         }
     }
@@ -401,13 +409,18 @@ impl Scenario {
 
     /// One-line description for logs and reports.
     pub fn describe(&self) -> String {
+        let dynamics = match self.dynamics {
+            DynamicsSpec::None => String::new(),
+            other => format!(", {} dynamics", other.name()),
+        };
         format!(
-            "{} nodes, {}/{} topology/mobility, {} traffic ({} flows), {} s",
+            "{} nodes, {}/{} topology/mobility, {} traffic ({} flows){}, {} s",
             self.nodes,
             self.topology.name(),
             self.mobility.name(),
             self.traffic.name(),
             self.flows(),
+            dynamics,
             self.end.as_secs_f64(),
         )
     }

@@ -13,10 +13,13 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use slr_mobility::{MobilityScript, Position};
+use slr_netsim::admittance::{Admittance, DynAction};
 use slr_netsim::rng::{derive_seed, stream};
 use slr_netsim::time::{SimDuration, SimTime};
 use slr_netsim::{EventToken, Simulator};
-use slr_protocols::{ControlPacket, DataPacket, ProtoCtx, ProtoEffect, RoutingProtocol, DATA_TTL};
+use slr_protocols::{
+    ControlPacket, DataDropReason, DataPacket, ProtoCtx, ProtoEffect, RoutingProtocol, DATA_TTL,
+};
 use slr_radio::{Channel, Frame, FrameKind, Mac, MacEffect, MacTimer, TxId};
 use slr_traffic::TrafficScript;
 
@@ -33,19 +36,24 @@ pub enum Payload {
     Data(DataPacket),
 }
 
-/// Harness events.
+/// Harness events. Timer and channel events carry the node's *crash
+/// epoch* at scheduling time: a crash increments the epoch, so events
+/// addressed to the node's pre-crash incarnation are recognized as stale
+/// and only their channel bookkeeping runs.
 #[derive(Debug)]
 enum Event {
     /// A scripted application packet enters the network at its source.
     App(usize),
     /// A MAC timer fired.
     MacTimer(usize, MacTimer),
-    /// A routing-protocol timer fired.
-    ProtoTimer(usize, u64),
-    /// A transmission finished at the transmitter.
-    TxEnd(usize, TxId),
-    /// A signal ended at one receiver.
-    RxEnd(usize, TxId),
+    /// A routing-protocol timer fired (node, epoch, token).
+    ProtoTimer(usize, u64, u64),
+    /// A transmission finished at the transmitter (node, epoch, tx).
+    TxEnd(usize, u64, TxId),
+    /// A signal ended at one receiver (node, epoch, tx).
+    RxEnd(usize, u64, TxId),
+    /// The indexed entry of the dynamics script fires.
+    Dynamics(usize),
 }
 
 /// Pending work produced by state machines.
@@ -61,6 +69,7 @@ const POSITION_CACHE_MS: u64 = 100;
 /// One running trial.
 pub struct Sim {
     scenario: Scenario,
+    master: u64,
     sim: Simulator<Event>,
     channel: Channel<Payload>,
     macs: Vec<Mac<Payload>>,
@@ -71,6 +80,14 @@ pub struct Sim {
     positions: Vec<Position>,
     positions_at: SimTime,
     mac_timers: Vec<HashMap<MacTimer, EventToken>>,
+    /// The administrative link/node filter the channel consults.
+    admittance: Admittance,
+    /// Compiled dynamics schedule, time-sorted.
+    dynamics: Vec<(SimTime, DynAction)>,
+    /// Per-node crash epoch (bumped on every crash).
+    epochs: Vec<u64>,
+    /// Earliest unanswered disruption (route-repair latency clock).
+    pending_repair: Option<SimTime>,
     trace: Option<TraceLog>,
     /// Metrics for the trial.
     pub metrics: Metrics,
@@ -115,20 +132,85 @@ impl Sim {
             &scenario.traffic_config(),
             &mut stream(master, "traffic", 0),
         );
+        Sim::assemble(scenario, mobility, traffic, None)
+    }
 
+    /// Convenience constructor with a static topology and explicit traffic
+    /// (used by tests and examples).
+    pub fn with_static_topology(
+        scenario: Scenario,
+        positions: Vec<Position>,
+        traffic: TrafficScript,
+    ) -> Self {
+        Sim::assemble(
+            scenario,
+            MobilityScript::stationary(&positions),
+            traffic,
+            None,
+        )
+    }
+
+    /// Like [`Sim::with_static_topology`], but with caller-supplied
+    /// protocol instances (one per position) instead of
+    /// `scenario.protocol`. Tests use this to wire adversarial or
+    /// instrumented protocols into the real harness, e.g. to exercise
+    /// loss-accounting paths that well-behaved protocols rarely hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protos.len() != positions.len()`.
+    pub fn with_protocols(
+        scenario: Scenario,
+        positions: Vec<Position>,
+        traffic: TrafficScript,
+        protos: Vec<Box<dyn RoutingProtocol>>,
+    ) -> Self {
+        assert_eq!(
+            protos.len(),
+            positions.len(),
+            "one protocol instance per node"
+        );
+        Sim::assemble(
+            scenario,
+            MobilityScript::stationary(&positions),
+            traffic,
+            Some(protos),
+        )
+    }
+
+    /// Shared tail of every constructor: instantiates the channel, MACs,
+    /// protocols and RNG streams, and compiles the dynamics schedule from
+    /// the protocol-independent `"dynamics"` stream (all protocols face
+    /// identical link flaps per trial, mirroring how mobility and traffic
+    /// scripts are fixed across protocols).
+    fn assemble(
+        scenario: Scenario,
+        mobility: MobilityScript,
+        traffic: TrafficScript,
+        protos: Option<Vec<Box<dyn RoutingProtocol>>>,
+    ) -> Self {
+        let master = scenario.master_seed();
+        let positions = mobility.positions_at(SimTime::ZERO);
+        let n = positions.len();
         let channel = Channel::new(n, scenario.mac.phy);
         let macs = (0..n)
             .map(|i| Mac::new(i, scenario.mac, derive_seed(master, &[0x6d61, i as u64])))
             .collect();
         let protos: Vec<Box<dyn RoutingProtocol>> =
-            (0..n).map(|i| scenario.protocol.build(i)).collect();
+            protos.unwrap_or_else(|| (0..n).map(|i| scenario.protocol.build(i)).collect());
         let proto_rngs = (0..n)
             .map(|i| SmallRng::seed_from_u64(derive_seed(master, &[0x7072, i as u64])))
             .collect();
-
-        let positions = mobility.positions_at(SimTime::ZERO);
+        let dynamics = scenario.dynamics.compile(
+            &positions,
+            scenario.mac.phy.rx_range_m,
+            scenario.traffic_start,
+            scenario.end,
+            &mut stream(master, "dynamics", 0),
+        );
         Sim {
             scenario,
+            master,
             sim: Simulator::new(),
             channel,
             macs,
@@ -139,41 +221,10 @@ impl Sim {
             positions,
             positions_at: SimTime::ZERO,
             mac_timers: vec![HashMap::new(); n],
-            trace: None,
-            metrics: Metrics::new(),
-        }
-    }
-
-    /// Convenience constructor with a static topology and explicit traffic
-    /// (used by tests and examples).
-    pub fn with_static_topology(
-        scenario: Scenario,
-        positions: Vec<Position>,
-        traffic: TrafficScript,
-    ) -> Self {
-        let master = scenario.master_seed();
-        let n = positions.len();
-        let channel = Channel::new(n, scenario.mac.phy);
-        let macs = (0..n)
-            .map(|i| Mac::new(i, scenario.mac, derive_seed(master, &[0x6d61, i as u64])))
-            .collect();
-        let protos: Vec<Box<dyn RoutingProtocol>> =
-            (0..n).map(|i| scenario.protocol.build(i)).collect();
-        let proto_rngs = (0..n)
-            .map(|i| SmallRng::seed_from_u64(derive_seed(master, &[0x7072, i as u64])))
-            .collect();
-        Sim {
-            scenario,
-            sim: Simulator::new(),
-            channel,
-            macs,
-            protos,
-            proto_rngs,
-            mobility: MobilityScript::stationary(&positions),
-            traffic,
-            positions,
-            positions_at: SimTime::ZERO,
-            mac_timers: vec![HashMap::new(); n],
+            admittance: Admittance::new(n),
+            dynamics,
+            epochs: vec![0; n],
+            pending_repair: None,
             trace: None,
             metrics: Metrics::new(),
         }
@@ -213,12 +264,15 @@ impl Sim {
         self.run_detailed().0
     }
 
-    fn run_loop(&mut self) {
-        // Schedule all scripted packets up front.
+    /// Schedules the scripted inputs (application packets, dynamics
+    /// events) and starts every protocol.
+    fn startup(&mut self) {
         for (i, p) in self.traffic.packets().iter().enumerate() {
             self.sim.schedule_at(p.time, Event::App(i));
         }
-        // Start every protocol.
+        for (i, (time, _)) in self.dynamics.iter().enumerate() {
+            self.sim.schedule_at(*time, Event::Dynamics(i));
+        }
         for node in 0..self.protos.len() {
             let fx = {
                 let mut ctx = ProtoCtx {
@@ -230,7 +284,10 @@ impl Sim {
             let work: VecDeque<Work> = fx.into_iter().map(|e| Work::Proto(node, e)).collect();
             self.drain(work);
         }
+    }
 
+    fn run_loop(&mut self) {
+        self.startup();
         let end = self.scenario.end;
         while let Some(ev) = self.sim.next_before(end) {
             self.dispatch(ev.event);
@@ -261,6 +318,23 @@ impl Sim {
                         },
                     );
                 }
+                // A crashed source cannot inject traffic; the offered
+                // packet still counts against delivery (losses must not
+                // vanish from the denominator).
+                if !self.admittance.node_is_up(spec.src) {
+                    if let Some(tr) = &mut self.trace {
+                        tr.record(
+                            packet.uid,
+                            TraceEvent::Dropped {
+                                node: spec.src,
+                                reason: DataDropReason::NodeDown,
+                                time: now,
+                            },
+                        );
+                    }
+                    self.metrics.record_drop(DataDropReason::NodeDown);
+                    return;
+                }
                 let fx = {
                     let mut ctx = ProtoCtx {
                         now,
@@ -270,7 +344,10 @@ impl Sim {
                 };
                 self.drain(fx.into_iter().map(|e| Work::Proto(spec.src, e)).collect());
             }
-            Event::ProtoTimer(node, token) => {
+            Event::ProtoTimer(node, epoch, token) => {
+                if epoch != self.epochs[node] {
+                    return; // Timer owned by a pre-crash incarnation.
+                }
                 let now = self.sim.now();
                 let fx = {
                     let mut ctx = ProtoCtx {
@@ -287,15 +364,23 @@ impl Sim {
                 let fx = self.macs[node].on_timer(kind, now);
                 self.drain(fx.into_iter().map(|e| Work::Mac(node, e)).collect());
             }
-            Event::TxEnd(node, tx_id) => {
+            Event::TxEnd(node, epoch, tx_id) => {
+                // Channel bookkeeping runs unconditionally; the MAC only
+                // hears about it if the node has not crashed since.
                 self.channel.finish_tx(tx_id);
+                if epoch != self.epochs[node] {
+                    return;
+                }
                 let now = self.sim.now();
                 let fx = self.macs[node].on_tx_end(now);
                 self.drain(fx.into_iter().map(|e| Work::Mac(node, e)).collect());
             }
-            Event::RxEnd(node, tx_id) => {
+            Event::RxEnd(node, epoch, tx_id) => {
                 let now = self.sim.now();
                 let r = self.channel.finish_rx(node, tx_id, now);
+                if epoch != self.epochs[node] {
+                    return; // Signal addressed to a pre-crash incarnation.
+                }
                 if r.collided {
                     self.metrics.collisions += 1;
                 }
@@ -312,6 +397,72 @@ impl Sim {
                 }
                 self.drain(work);
             }
+            Event::Dynamics(idx) => {
+                let action = self.dynamics[idx].1.clone();
+                self.apply_dynamics(action);
+            }
+        }
+    }
+
+    /// Applies one dynamics action: updates the admittance, performs the
+    /// protocol-state consequences (crash = all state dropped, rejoin =
+    /// cold restart), and keeps the repair-latency clock.
+    fn apply_dynamics(&mut self, action: DynAction) {
+        let now = self.sim.now();
+        // A partition cut is geographic: recompute the slabs from the
+        // nodes' *current* positions so mobility since compile time
+        // cannot leave a component internally disconnected (identical to
+        // the compiled assignment on static topologies).
+        let action = match action {
+            DynAction::PartitionSet(compiled) => {
+                let k = compiled.iter().copied().max().unwrap_or(1) as usize + 1;
+                self.positions_now();
+                DynAction::PartitionSet(crate::dynamics::slab_assignment(&self.positions, k))
+            }
+            other => other,
+        };
+        self.metrics.record_dynamics(&action);
+        if action.is_disruptive() && self.pending_repair.is_none() {
+            self.pending_repair = Some(now);
+        }
+        self.admittance.apply(&action);
+        match action {
+            DynAction::NodeCrash(i) => {
+                // The node loses power: every pending MAC timer dies with
+                // it, and fresh (empty) MAC and protocol state stand ready
+                // for the rejoin. The epoch bump quarantines every event
+                // still addressed to the old incarnation, and the new
+                // seeds are epoch-qualified so the restarted node does not
+                // replay its previous backoff/jitter stream.
+                self.epochs[i] += 1;
+                let epoch = self.epochs[i];
+                for (_, tok) in self.mac_timers[i].drain() {
+                    self.sim.cancel(tok);
+                }
+                self.macs[i] = Mac::new(
+                    i,
+                    self.scenario.mac,
+                    derive_seed(self.master, &[0x6d61, i as u64, epoch]),
+                );
+                self.protos[i] = self.scenario.protocol.build(i);
+                self.proto_rngs[i] =
+                    SmallRng::seed_from_u64(derive_seed(self.master, &[0x7072, i as u64, epoch]));
+            }
+            DynAction::NodeRejoin(i) => {
+                // Cold restart: the protocol boots as at t = 0, plus any
+                // reboot announcement it chooses to make (SRP broadcasts
+                // a cold-reboot RERR so neighbors purge stale routes
+                // through it).
+                let fx = {
+                    let mut ctx = ProtoCtx {
+                        now,
+                        rng: &mut self.proto_rngs[i],
+                    };
+                    self.protos[i].on_rejoin(&mut ctx)
+                };
+                self.drain(fx.into_iter().map(|e| Work::Proto(i, e)).collect());
+            }
+            _ => {}
         }
     }
 
@@ -340,12 +491,29 @@ impl Sim {
         let now = self.sim.now();
         match eff {
             MacEffect::StartTx(frame) => {
+                debug_assert!(
+                    self.admittance.node_is_up(node),
+                    "crashed node {node} attempted to transmit"
+                );
                 self.account_tx(&frame);
                 self.positions_now();
-                let begin = self.channel.begin_tx(frame, now, &self.positions);
+                // The channel consults the admittance per receiver: gated
+                // links (churn outage, partition, crashed node) perceive
+                // nothing, so unicasts toward them burn MAC retries and
+                // surface as link failures to the routing layer. Scenarios
+                // without a dynamics schedule skip the gate entirely —
+                // this is the simulator's hottest loop.
+                let begin = if self.dynamics.is_empty() {
+                    self.channel.begin_tx(frame, now, &self.positions)
+                } else {
+                    let adm = &self.admittance;
+                    self.channel
+                        .begin_tx_gated(frame, now, &self.positions, &|s, v| adm.allows(s, v))
+                };
                 let end_at = now + begin.airtime;
                 for &(v, fresh) in &begin.receivers {
-                    self.sim.schedule_at(end_at, Event::RxEnd(v, begin.tx_id));
+                    self.sim
+                        .schedule_at(end_at, Event::RxEnd(v, self.epochs[v], begin.tx_id));
                     if fresh {
                         for e in self.macs[v].on_channel_busy(now) {
                             work.push_back(Work::Mac(v, e));
@@ -353,7 +521,7 @@ impl Sim {
                     }
                 }
                 self.sim
-                    .schedule_at(end_at, Event::TxEnd(node, begin.tx_id));
+                    .schedule_at(end_at, Event::TxEnd(node, self.epochs[node], begin.tx_id));
             }
             MacEffect::SetTimer(kind, delay) => {
                 if let Some(tok) = self.mac_timers[node].remove(&kind) {
@@ -397,7 +565,9 @@ impl Sim {
             MacEffect::TxFailed { dst, payload } => {
                 self.positions_now();
                 let d = self.positions[node].distance(&self.positions[dst]);
-                if d <= self.scenario.mac.phy.rx_range_m {
+                if !self.admittance.allows(node, dst) {
+                    self.metrics.link_failures_gated += 1;
+                } else if d <= self.scenario.mac.phy.rx_range_m {
                     self.metrics.link_failures_in_range += 1;
                 } else {
                     self.metrics.link_failures_out_of_range += 1;
@@ -406,6 +576,16 @@ impl Sim {
                     Payload::Data(dp) => Some(dp),
                     Payload::Control(_) => None,
                 };
+                if let (Some(dp), Some(tr)) = (&pkt, &mut self.trace) {
+                    tr.record(
+                        dp.uid,
+                        TraceEvent::ForwardFailed {
+                            from: node,
+                            to: dst,
+                            time: now,
+                        },
+                    );
+                }
                 let fx = {
                     let mut ctx = ProtoCtx {
                         now,
@@ -471,7 +651,15 @@ impl Sim {
                 if let Some(tr) = &mut self.trace {
                     tr.record(dp.uid, TraceEvent::Delivered { node, time: now });
                 }
-                self.metrics.record_delivery(dp.uid, dp.origin_time, now);
+                if self.metrics.record_delivery(dp.uid, dp.origin_time, now) {
+                    // First delivery after a disruption closes the
+                    // route-repair latency clock.
+                    if let Some(t0) = self.pending_repair.take() {
+                        self.metrics.route_repair_latency_sum +=
+                            now.saturating_since(t0).as_secs_f64();
+                        self.metrics.route_repairs += 1;
+                    }
+                }
             }
             ProtoEffect::DropData { packet, reason } => {
                 if let Some(tr) = &mut self.trace {
@@ -487,7 +675,8 @@ impl Sim {
                 self.metrics.record_drop(reason);
             }
             ProtoEffect::SetTimer { token, delay } => {
-                self.sim.schedule_in(delay, Event::ProtoTimer(node, token));
+                self.sim
+                    .schedule_in(delay, Event::ProtoTimer(node, self.epochs[node], token));
             }
         }
     }
@@ -591,35 +780,32 @@ impl Sim {
     /// hard violation. Returns the summary and the total count of soft
     /// order violations observed.
     pub fn run_with_loop_oracle(mut self, check_interval: SimDuration) -> (TrialSummary, u64) {
-        for (i, p) in self.traffic.packets().iter().enumerate() {
-            self.sim.schedule_at(p.time, Event::App(i));
-        }
-        for node in 0..self.protos.len() {
-            let fx = {
-                let mut ctx = ProtoCtx {
-                    now: SimTime::ZERO,
-                    rng: &mut self.proto_rngs[node],
-                };
-                self.protos[node].on_start(&mut ctx)
-            };
-            let work: VecDeque<Work> = fx.into_iter().map(|e| Work::Proto(node, e)).collect();
-            self.drain(work);
-        }
+        self.startup();
         let end = self.scenario.end;
         let mut next_check = SimTime::ZERO + check_interval;
         let mut soft = 0u64;
+        let mut checks = 0u64;
         while let Some(ev) = self.sim.next_before(end) {
+            // Dynamics events are the adversarial moments: check the
+            // instant *after* each one fires, not just on the periodic
+            // grid, so a transient loop opened by a link flap cannot hide
+            // between checkpoints.
+            let force_check = matches!(ev.event, Event::Dynamics(_));
             self.dispatch(ev.event);
-            if self.sim.now() >= next_check {
+            if force_check || self.sim.now() >= next_check {
                 soft += self
                     .check_srp_loop_freedom()
                     .unwrap_or_else(|e| panic!("loop-freedom violated: {e}"));
+                checks += 1;
                 next_check = self.sim.now() + check_interval;
             }
         }
         soft += self
             .check_srp_loop_freedom()
             .unwrap_or_else(|e| panic!("loop-freedom violated: {e}"));
+        checks += 1;
+        self.metrics.oracle_checks = checks;
+        self.metrics.oracle_soft_violations = soft;
         let nodes = self.scenario.nodes;
         let metrics = self.finalize_metrics();
         (metrics.summarize(nodes), soft)

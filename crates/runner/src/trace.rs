@@ -29,6 +29,17 @@ pub enum TraceEvent {
         /// When.
         time: SimTime,
     },
+    /// A forwarding attempt failed at the MAC (retries exhausted): the
+    /// packet never reached `to`; the routing layer gets it back for
+    /// salvage. Pairs with the most recent matching [`TraceEvent::Forwarded`].
+    ForwardFailed {
+        /// The node whose transmission failed.
+        from: NodeId,
+        /// The unreachable next hop.
+        to: NodeId,
+        /// When.
+        time: SimTime,
+    },
     /// The packet reached its destination.
     Delivered {
         /// Destination node.
@@ -53,6 +64,7 @@ impl TraceEvent {
         match self {
             TraceEvent::Originated { time, .. }
             | TraceEvent::Forwarded { time, .. }
+            | TraceEvent::ForwardFailed { time, .. }
             | TraceEvent::Delivered { time, .. }
             | TraceEvent::Dropped { time, .. } => *time,
         }
@@ -129,12 +141,44 @@ impl TraceLog {
         path
     }
 
-    /// Number of forwarding transmissions the packet consumed.
+    /// Number of forwarding transmissions the packet consumed (including
+    /// attempts that later failed at the MAC).
     pub fn hop_count(&self, uid: u64) -> usize {
         self.events(uid)
             .iter()
             .filter(|e| matches!(e, TraceEvent::Forwarded { .. }))
             .count()
+    }
+
+    /// The successful hops the packet actually traversed, as directed
+    /// `(from, to)` edges in time order: forwarding attempts the MAC
+    /// later reported as failed (the packet never reached `to`) are
+    /// excluded. This is the packet's physical trajectory, the right
+    /// object for loop analysis — the raw [`TraceLog::path`] also lists
+    /// next hops that never received the packet.
+    pub fn successful_hops(&self, uid: u64) -> Vec<(NodeId, NodeId)> {
+        // (from, to, failed): a ForwardFailed cancels the most recent
+        // unmatched attempt on the same directed edge.
+        let mut hops: Vec<(NodeId, NodeId, bool)> = Vec::new();
+        for e in self.events(uid) {
+            match e {
+                TraceEvent::Forwarded { from, to, .. } => hops.push((*from, *to, false)),
+                TraceEvent::ForwardFailed { from, to, .. } => {
+                    if let Some(h) = hops
+                        .iter_mut()
+                        .rev()
+                        .find(|h| h.0 == *from && h.1 == *to && !h.2)
+                    {
+                        h.2 = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        hops.into_iter()
+            .filter(|h| !h.2)
+            .map(|h| (h.0, h.1))
+            .collect()
     }
 
     /// The packet's final fate.
@@ -171,6 +215,7 @@ impl TraceLog {
                     start = Some(*time);
                 }
                 TraceEvent::Forwarded { to, .. } => out.push_str(&format!(" →{to}")),
+                TraceEvent::ForwardFailed { to, .. } => out.push_str(&format!(" ⇥{to}")),
                 TraceEvent::Delivered { time, .. } => {
                     out.push_str(" ✓");
                     end = Some(*time);
@@ -300,6 +345,40 @@ mod tests {
         );
         assert_eq!(log.events(1).len(), 2);
         assert!(log.events(2).is_empty());
+    }
+
+    #[test]
+    fn successful_hops_exclude_failed_attempts() {
+        let mut log = TraceLog::new(4);
+        log.record(
+            9,
+            TraceEvent::Originated {
+                node: 0,
+                time: t(0),
+            },
+        );
+        // 0→1 ok, 1→2 fails, 1→3 ok (salvage), 3→2 ok.
+        for (from, to, ms) in [(0, 1, 1), (1, 2, 2), (1, 3, 4), (3, 2, 5)] {
+            log.record(
+                9,
+                TraceEvent::Forwarded {
+                    from,
+                    to,
+                    time: t(ms),
+                },
+            );
+        }
+        log.record(
+            9,
+            TraceEvent::ForwardFailed {
+                from: 1,
+                to: 2,
+                time: t(3),
+            },
+        );
+        assert_eq!(log.successful_hops(9), vec![(0, 1), (1, 3), (3, 2)]);
+        assert_eq!(log.hop_count(9), 4, "hop_count keeps failed attempts");
+        assert!(log.render(9).contains('⇥'), "{}", log.render(9));
     }
 
     #[test]

@@ -17,6 +17,8 @@ fn small_scenario(family: Family, kind: ProtocolKind, seed: u64) -> slr_runner::
         Family::Line => (SweepParam::Nodes, 6),
         Family::Disc => (SweepParam::Flows, 6),
         Family::Scaling => (SweepParam::Nodes, 20),
+        Family::Churn => (SweepParam::ChurnRate, 6),
+        Family::Partition | Family::CrashRejoin => (SweepParam::Nodes, 16),
     };
     let mut s = family.scenario_at(kind, seed, 0, false, param, value);
     // Trim runtimes: enough traffic to measure, short enough for CI.

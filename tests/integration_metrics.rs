@@ -1,9 +1,19 @@
-//! The sweep/statistics/report pipeline end to end.
+//! The sweep/statistics/report pipeline end to end, plus regression
+//! coverage for loss accounting (TTL expiry must show up as a loss, not
+//! vanish from the delivery denominator).
 
+use slr_mobility::Position;
+use slr_netsim::time::SimTime;
+use slr_protocols::{
+    DataDropReason, DataPacket, ProtoCtx, ProtoEffect, ProtoStats, RoutingProtocol,
+};
 use slr_runner::experiment::{run_sweep, Metric, SweepConfig};
 use slr_runner::report::{render_figure, render_json, render_table1, render_trend};
-use slr_runner::scenario::ProtocolKind;
+use slr_runner::scenario::{ProtocolKind, Scenario};
+use slr_runner::sim::Sim;
 use slr_runner::stats::MeanCi;
+use slr_runner::trace::PacketFate;
+use slr_traffic::{PacketSpec, TrafficScript};
 
 #[test]
 fn sweep_statistics_and_reports() {
@@ -52,6 +62,151 @@ fn sweep_statistics_and_reports() {
     let overall = result.overall(ProtocolKind::Srp, Metric::DeliveryRatio);
     let point = result.point(ProtocolKind::Srp, 150, Metric::DeliveryRatio);
     assert!((overall.mean - point.mean).abs() < 1e-12);
+}
+
+/// An adversarial protocol that bounces every data packet back to its
+/// sender — the worst-case transient forwarding loop (what OLSR does
+/// briefly with stale topology views), guaranteed to exhaust `DATA_TTL`.
+struct PingPong {
+    node: usize,
+}
+
+impl RoutingProtocol for PingPong {
+    fn name(&self) -> &'static str {
+        "PINGPONG"
+    }
+    fn on_start(&mut self, _ctx: &mut ProtoCtx<'_>) -> Vec<ProtoEffect> {
+        Vec::new()
+    }
+    fn on_data_from_app(
+        &mut self,
+        _ctx: &mut ProtoCtx<'_>,
+        mut packet: DataPacket,
+    ) -> Vec<ProtoEffect> {
+        packet.ttl -= 1;
+        let next_hop = 1 - self.node;
+        vec![ProtoEffect::SendData { packet, next_hop }]
+    }
+    fn on_data_received(
+        &mut self,
+        _ctx: &mut ProtoCtx<'_>,
+        from: usize,
+        mut packet: DataPacket,
+    ) -> Vec<ProtoEffect> {
+        if packet.dst == self.node {
+            return vec![ProtoEffect::DeliverLocal(packet)];
+        }
+        if packet.ttl == 0 {
+            return vec![ProtoEffect::DropData {
+                packet,
+                reason: DataDropReason::TtlExpired,
+            }];
+        }
+        packet.ttl -= 1;
+        vec![ProtoEffect::SendData {
+            packet,
+            next_hop: from,
+        }]
+    }
+    fn on_control_received(
+        &mut self,
+        _ctx: &mut ProtoCtx<'_>,
+        _from: usize,
+        _packet: slr_protocols::ControlPacket,
+    ) -> Vec<ProtoEffect> {
+        Vec::new()
+    }
+    fn on_timer(&mut self, _ctx: &mut ProtoCtx<'_>, _token: u64) -> Vec<ProtoEffect> {
+        Vec::new()
+    }
+    fn on_link_failure(
+        &mut self,
+        _ctx: &mut ProtoCtx<'_>,
+        _next_hop: usize,
+        _packet: Option<DataPacket>,
+    ) -> Vec<ProtoEffect> {
+        Vec::new()
+    }
+    fn stats(&self) -> ProtoStats {
+        ProtoStats::default()
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[test]
+fn ttl_expiry_is_counted_as_a_loss() {
+    // Regression: a packet whose TTL burns out in a forwarding loop must
+    // be recorded as a ttl-expired drop AND stay in the delivery
+    // denominator — transient-loop losses (e.g. OLSR's) must not
+    // silently vanish from delivery statistics.
+    let mut scenario = Scenario::quick(ProtocolKind::Olsr, 0, 1, 0);
+    scenario.nodes = 3;
+    scenario.end = SimTime::from_secs(20);
+    // Nodes 0 and 1 adjacent; the destination (node 2) is far out of
+    // range, so the packet ping-pongs between 0 and 1 until TTL = 0.
+    let positions = vec![
+        Position::new(0.0, 0.0),
+        Position::new(50.0, 0.0),
+        Position::new(100_000.0, 0.0),
+    ];
+    let traffic = TrafficScript::from_packets(vec![PacketSpec {
+        time: SimTime::from_secs(1),
+        src: 0,
+        dst: 2,
+        bytes: 512,
+        flow: 0,
+    }]);
+    let protos: Vec<Box<dyn RoutingProtocol>> = (0..3)
+        .map(|i| Box::new(PingPong { node: i }) as Box<dyn RoutingProtocol>)
+        .collect();
+    let mut sim = Sim::with_protocols(scenario, positions, traffic, protos);
+    sim.enable_trace(16);
+    let (summary, trace) = sim.run_traced();
+
+    assert_eq!(summary.originated, 1);
+    assert_eq!(summary.delivered, 0);
+    assert_eq!(
+        summary.delivery_ratio, 0.0,
+        "TTL-expired packet must count against delivery"
+    );
+    assert_eq!(
+        trace.fate(0),
+        PacketFate::Dropped(DataDropReason::TtlExpired),
+        "trace: {}",
+        trace.render(0)
+    );
+    // The packet consumed exactly DATA_TTL forwarding transmissions.
+    assert_eq!(trace.hop_count(0) as u8, slr_protocols::DATA_TTL);
+}
+
+#[test]
+fn ttl_drop_lands_in_the_metrics_breakdown() {
+    let mut scenario = Scenario::quick(ProtocolKind::Olsr, 0, 2, 0);
+    scenario.nodes = 3;
+    scenario.end = SimTime::from_secs(20);
+    let positions = vec![
+        Position::new(0.0, 0.0),
+        Position::new(50.0, 0.0),
+        Position::new(100_000.0, 0.0),
+    ];
+    let traffic = TrafficScript::from_packets(vec![PacketSpec {
+        time: SimTime::from_secs(1),
+        src: 0,
+        dst: 2,
+        bytes: 512,
+        flow: 0,
+    }]);
+    let protos: Vec<Box<dyn RoutingProtocol>> = (0..3)
+        .map(|i| Box::new(PingPong { node: i }) as Box<dyn RoutingProtocol>)
+        .collect();
+    let (summary, metrics) =
+        Sim::with_protocols(scenario, positions, traffic, protos).run_detailed();
+    assert_eq!(metrics.drops.get("ttl-expired"), Some(&1));
+    // Accounting identity: everything originated is delivered or dropped.
+    let dropped: u64 = metrics.drops.values().sum();
+    assert_eq!(summary.originated, summary.delivered + dropped);
 }
 
 #[test]

@@ -1,0 +1,137 @@
+//! Property tests for the network-dynamics subsystem: for *arbitrary*
+//! seeded churn schedules on small grids, the label-ordered protocols (SRP
+//! and LDR) never form routing loops — the SRP oracle sees zero hard
+//! violations — and delivered packets' physical trajectories stay
+//! loop-free in the only sense topology change permits.
+//!
+//! Scoping note, learned by fuzzing: Theorem 3 bounds the successor graph
+//! *at each instant*. A packet's flight crosses many instants, and under
+//! churn the graph is rewired mid-flight continuously — by link flaps, by
+//! the packet's own MAC failures triggering salvage, and by background
+//! repair traffic from other flows. A packet forwarded under one instant
+//! and returned under the next can legitimately revisit a node (e.g.
+//! `8→9→8→4→…` where 9 adopted 8 only after 8 dropped 9 — every instant
+//! acyclic, the trajectory not simple). Universal per-packet simplicity is
+//! therefore *not* implied by the paper and fuzzing refutes it quickly.
+//! What instantaneous loop-freedom does guarantee is that loops never
+//! persist: a revisit is a rare one-off transient, never a cycle a packet
+//! orbits. The tests pin that down as (a) zero oracle violations ever,
+//! (b) every delivered packet's hop count far below the TTL budget, and
+//! (c) non-simple trajectories confined to a small fraction of delivered
+//! packets (≤20%; 0–8% observed even at 20 flaps/min).
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use slr_netsim::time::{SimDuration, SimTime};
+use slr_protocols::DATA_TTL;
+use slr_runner::registry::{Family, SweepParam};
+use slr_runner::scenario::{ProtocolKind, Scenario};
+use slr_runner::sim::Sim;
+use slr_runner::trace::{PacketFate, TraceLog};
+
+/// A small churn scenario: `side × side` static grid under `rate`
+/// flaps/min link churn, CI-sized.
+fn churn_scenario(kind: ProtocolKind, seed: u64, side: usize, rate: u64) -> Scenario {
+    let mut s = Family::Churn.scenario_at(kind, seed, 0, false, SweepParam::ChurnRate, rate);
+    s.nodes = side * side;
+    s.set_flows(3);
+    s.end = SimTime::from_secs(35);
+    s
+}
+
+/// Checks every delivered packet's physical trajectory (successful hops
+/// only — attempts the MAC reported as failed never moved the packet):
+/// each must consume well under the `DATA_TTL` budget (a persistent loop
+/// would spin it down), and packets that revisit any node must stay a
+/// small minority — transients from mid-flight rewiring, never a
+/// systematic loop.
+fn assert_transient_only_loops(trace: &TraceLog) -> Result<(), TestCaseError> {
+    let mut delivered = 0u64;
+    let mut non_simple = 0u64;
+    for (uid, _) in trace.iter() {
+        if trace.fate(uid) != PacketFate::Delivered {
+            continue;
+        }
+        delivered += 1;
+        let hops = trace.successful_hops(uid);
+        prop_assert!(
+            hops.len() < DATA_TTL as usize / 2,
+            "packet {uid} consumed {} hops (TTL budget {}): {}",
+            hops.len(),
+            DATA_TTL,
+            trace.render(uid)
+        );
+        let mut seen: HashSet<usize> = hops.first().map(|h| h.0).into_iter().collect();
+        if !hops.iter().all(|h| seen.insert(h.1)) {
+            non_simple += 1;
+        }
+    }
+    prop_assert!(delivered > 0, "nothing was delivered");
+    prop_assert!(
+        non_simple * 5 <= delivered,
+        "{non_simple} of {delivered} delivered packets revisited a node (>20%): \
+         transient loops have become systematic"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// SRP under arbitrary churn: the Theorem 3 oracle (checked every
+    /// 2 s of virtual time and immediately after every link flap) sees
+    /// zero violations, for any seed, churn rate and grid size.
+    #[test]
+    fn srp_loop_oracle_holds_under_arbitrary_churn(
+        seed in 0u64..100_000,
+        rate in 1u64..=20,
+        side in 3usize..=4,
+    ) {
+        let s = churn_scenario(ProtocolKind::Srp, seed, side, rate);
+        // Hard violations panic inside the oracle.
+        let (summary, _soft) = Sim::new(s).run_with_loop_oracle(SimDuration::from_secs(2));
+        prop_assert!(summary.originated > 0, "no traffic generated");
+    }
+
+    /// SRP delivered packets never orbit a loop under churn: hop budgets
+    /// stay low and node-revisits are rare transients.
+    #[test]
+    fn srp_delivered_trajectories_are_loop_free(
+        seed in 0u64..100_000,
+        rate in 1u64..=20,
+        side in 3usize..=4,
+    ) {
+        let s = churn_scenario(ProtocolKind::Srp, seed, side, rate);
+        let (summary, trace) = Sim::new(s).run_traced();
+        prop_assert!(summary.originated > 0);
+        assert_transient_only_loops(&trace)?;
+    }
+
+    /// LDR (the labeled-distance baseline): same trajectory property
+    /// under churn.
+    #[test]
+    fn ldr_delivered_trajectories_are_loop_free(
+        seed in 0u64..100_000,
+        rate in 1u64..=20,
+        side in 3usize..=4,
+    ) {
+        let s = churn_scenario(ProtocolKind::Ldr, seed, side, rate);
+        let (summary, trace) = Sim::new(s).run_traced();
+        prop_assert!(summary.originated > 0);
+        assert_transient_only_loops(&trace)?;
+    }
+
+    /// The compiled churn schedule itself is reproducible end to end:
+    /// two sims built from the same scenario report identical summaries
+    /// even with crash dynamics layered on.
+    #[test]
+    fn dynamics_trials_reproduce_for_any_seed(seed in 0u64..100_000) {
+        let mut s = churn_scenario(ProtocolKind::Srp, seed, 3, 10);
+        s.dynamics = slr_runner::DynamicsSpec::default_crash(2);
+        let a = Sim::new(s).run();
+        let b = Sim::new(s).run();
+        prop_assert_eq!(a, b);
+    }
+}
