@@ -1,0 +1,212 @@
+//! `bench_channel` — the channel-medium scaling benchmark behind
+//! `BENCH_channel.json`: brute-force O(N) scan vs grid-bucketed spatial
+//! index, at N ∈ {100, 500, 1000} nodes on the `dense` family's
+//! constant-density disc.
+//!
+//! Two measurements per point:
+//!
+//! * **medium** — the per-transmission medium path against the dense
+//!   family's *moving* nodes: the brute-force channel must rebuild the
+//!   exact O(N) position snapshot and scan it for audible neighbors; the
+//!   indexed channel syncs the incremental tracker and queries the grid.
+//!   Both are timed answering identical carrier-sense-range queries
+//!   (results are asserted equal). This is the cost the refactor
+//!   removes and the headline `speedup`; everything else `begin_tx`
+//!   does (signal bookkeeping per receiver) is shared code, identical
+//!   under either medium;
+//! * **trial** — a full end-to-end `dense`-family SRP trial under each
+//!   medium, whose summaries must be **bit-identical** (the equivalence
+//!   guarantee) and whose wall-clock ratio shows what the refactor buys
+//!   a whole simulation today (the event loop and MAC, not the medium,
+//!   now dominate dense trials).
+//!
+//! Regenerate the committed snapshot with:
+//!
+//! ```sh
+//! cargo run --release -p slr-bench --bin bench_channel > BENCH_channel.json
+//! ```
+//!
+//! Flags: `--values a,b,c` (node counts, default 100,500,1000),
+//! `--seed N` (default 42), `--duration S` (trial seconds, default the
+//! family's).
+
+use std::time::Instant;
+
+use slr_mobility::{MobilityScript, Position, WaypointConfig};
+use slr_netsim::rng::stream;
+use slr_netsim::time::{SimDuration, SimTime};
+use slr_radio::{BruteForceMedium, NeighborQuery, PhyConfig};
+use slr_runner::cli::parse_cli;
+use slr_runner::medium::{MediumView, PositionTracker};
+use slr_runner::registry::{Family, SweepParam};
+use slr_runner::scenario::ProtocolKind;
+use slr_runner::sim::{MediumKind, Sim};
+use slr_runner::TrialSummary;
+
+/// Neighbor queries per medium measurement (one per simulated
+/// transmission, spaced a 512-byte frame's airtime apart).
+const QUERY_TXS: u64 = 50_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_cli(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let seed = opts.seed;
+    let values = opts.values.unwrap_or_else(|| vec![100, 500, 1000]);
+
+    let mut points = Vec::new();
+    for &n in &values {
+        eprintln!("bench_channel: N = {n} …");
+        let (query_brute, query_grid) = bench_medium(n as usize, seed);
+
+        let scenario_for = |_| {
+            let mut s =
+                Family::Dense.scenario_at(ProtocolKind::Srp, seed, 0, false, SweepParam::Nodes, n);
+            if let Some(d) = opts.duration {
+                s.end = SimTime::from_secs(d);
+            }
+            s
+        };
+        let (brute_summary, trial_brute_ms) = run_trial(scenario_for(()), MediumKind::BruteForce);
+        let (grid_summary, trial_grid_ms) = run_trial(scenario_for(()), MediumKind::SpatialGrid);
+        let identical = brute_summary == grid_summary;
+        assert!(
+            identical,
+            "media diverged at N={n}:\n brute {brute_summary:?}\n grid  {grid_summary:?}"
+        );
+
+        points.push(format!(
+            "    {{\n      \"nodes\": {n},\n      \
+             \"medium_ns_per_tx_brute\": {:.0},\n      \
+             \"medium_ns_per_tx_grid\": {:.0},\n      \
+             \"speedup\": {:.2},\n      \
+             \"trial_ms_brute\": {:.1},\n      \
+             \"trial_ms_grid\": {:.1},\n      \
+             \"trial_speedup\": {:.2},\n      \
+             \"summaries_identical\": {identical},\n      \
+             \"delivery_ratio\": {:.4}\n    }}",
+            query_brute,
+            query_grid,
+            query_brute / query_grid,
+            trial_brute_ms,
+            trial_grid_ms,
+            trial_brute_ms / trial_grid_ms,
+            grid_summary.delivery_ratio,
+        ));
+        eprintln!(
+            "bench_channel: N = {n}: medium {:.0} → {:.0} ns/tx ({:.1}×), \
+             trial {:.0} → {:.0} ms ({:.1}×), summaries identical",
+            query_brute,
+            query_grid,
+            query_brute / query_grid,
+            trial_brute_ms,
+            trial_grid_ms,
+            trial_brute_ms / trial_grid_ms,
+        );
+    }
+
+    println!(
+        "{{\n  \"benchmark\": \"channel-medium-scaling\",\n  \
+         \"command\": \"cargo run --release -p slr-bench --bin bench_channel > BENCH_channel.json\",\n  \
+         \"description\": \"brute-force O(N) medium (exact snapshot rebuild + linear scan per tx) vs grid-bucketed spatial index with incremental position tracking, on the dense family's mobile constant-density disc; medium_ns_per_tx = per-transmission position maintenance + carrier-sense neighbor query, trial = full SRP dense trial (summaries must be bit-identical)\",\n  \
+         \"seed\": {seed},\n  \"txs_per_point\": {QUERY_TXS},\n  \"points\": [\n{}\n  ]\n}}",
+        points.join(",\n")
+    );
+}
+
+/// Times one full dense trial under `medium`.
+fn run_trial(scenario: slr_runner::Scenario, medium: MediumKind) -> (TrialSummary, f64) {
+    let sim = Sim::new(scenario).with_medium(medium);
+    let start = Instant::now();
+    let summary = sim.run();
+    (summary, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Times the per-transmission medium path against the dense family's
+/// moving nodes, returning (brute, grid) nanoseconds per transmission.
+/// Both implementations answer the same carrier-sense-range queries; the
+/// results are asserted identical (index, distance and order).
+fn bench_medium(n: usize, seed: u64) -> (f64, f64) {
+    let script = dense_script(n, seed);
+    let cs_range = PhyConfig::default().cs_range_m;
+
+    // Brute-force path: exact snapshot rebuild + O(N) scan per tx.
+    let mut snapshot: Vec<Position> = Vec::new();
+    let mut brute_out: Vec<(usize, f64)> = Vec::new();
+    let brute_ns = time_medium(
+        n,
+        |src, now, out| {
+            script.positions_into(now, &mut snapshot);
+            BruteForceMedium(&snapshot).neighbors_within(src, cs_range, out);
+        },
+        &mut brute_out,
+    );
+
+    // Indexed path: incremental tracker sync + grid query.
+    let mut tracker = PositionTracker::new(&script, cs_range);
+    let mut grid_out: Vec<(usize, f64)> = Vec::new();
+    let grid_ns = time_medium(
+        n,
+        |src, now, out| {
+            tracker.sync_to(&script, now);
+            MediumView::new(&tracker, &script, now).neighbors_within(src, cs_range, out);
+        },
+        &mut grid_out,
+    );
+
+    assert_eq!(brute_out, grid_out, "media answered differently at N={n}");
+    (brute_ns, grid_ns)
+}
+
+/// The dense family's mobility script: waypoint motion (max 20 m/s, no
+/// pauses) over the constant-density disc.
+fn dense_script(n: usize, seed: u64) -> MobilityScript {
+    let radius = Family::dense_disc_radius(n);
+    let spec = slr_runner::TopologySpec::Disc { radius };
+    let terrain = slr_mobility::Terrain::new(2.0 * radius, 2.0 * radius);
+    let starts = spec.positions(n, &terrain, &mut stream(seed, "bench-channel", 0));
+    let cfg = WaypointConfig {
+        terrain,
+        min_speed: 0.1,
+        max_speed: 20.0,
+        pause: SimDuration::ZERO,
+        duration: SimDuration::from_secs(150),
+    };
+    MobilityScript::generate_from(&starts, &cfg, &mut stream(seed, "bench-channel-mob", 0))
+}
+
+/// Runs `QUERY_TXS` queries through `medium`, one per simulated
+/// transmission (times advance by a 512-byte frame's airtime), after an
+/// untimed warm-up eighth (steady-state numbers, not cold-cache ones).
+/// Every 64th timed result is retained in `kept` for
+/// cross-implementation checking.
+fn time_medium(
+    n: usize,
+    mut medium: impl FnMut(usize, SimTime, &mut Vec<(usize, f64)>),
+    kept: &mut Vec<(usize, f64)>,
+) -> f64 {
+    let airtime = PhyConfig::default().airtime(512 + 34);
+    let mut out: Vec<(usize, f64)> = Vec::new();
+    let mut now = SimTime::ZERO;
+    for i in 0..QUERY_TXS / 8 {
+        out.clear();
+        medium((i as usize * 7919) % n, now, &mut out);
+        now += airtime;
+    }
+    let start = Instant::now();
+    for i in 0..QUERY_TXS {
+        let src = (i as usize * 7919) % n; // co-prime stride over sources
+        out.clear();
+        medium(src, now, &mut out);
+        if i % 64 == 0 {
+            kept.extend_from_slice(&out);
+        }
+        now += airtime;
+    }
+    start.elapsed().as_nanos() as f64 / QUERY_TXS as f64
+}

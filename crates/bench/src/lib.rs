@@ -95,6 +95,7 @@ impl Cli {
             override_flows: opts.flows,
             override_duration: opts.duration,
             override_dynamics: opts.dynamics,
+            validate_spatial: opts.validate_spatial,
         };
         if let Err(e) = sweep.validate() {
             eprintln!("{e}");

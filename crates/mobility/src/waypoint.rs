@@ -117,12 +117,21 @@ impl Trajectory {
 
     /// The node's position at time `t` (clamped to the trajectory's span).
     pub fn position_at(&self, t: SimTime) -> Position {
+        self.segments[self.segment_index_at(t)].position_at(t)
+    }
+
+    /// Index of the segment whose time range covers `t` (the last segment
+    /// for any `t` past the trajectory's end).
+    pub fn segment_index_at(&self, t: SimTime) -> usize {
         // Binary search for the segment containing t.
-        let idx = self
-            .segments
+        self.segments
             .partition_point(|s| s.end_time < t)
-            .min(self.segments.len() - 1);
-        self.segments[idx].position_at(t)
+            .min(self.segments.len() - 1)
+    }
+
+    /// Whether the node never moves (every segment holds one position).
+    pub fn is_stationary(&self) -> bool {
+        self.segments.iter().all(|s| s.from == s.to)
     }
 
     /// The segments (for inspection and tests).
@@ -255,15 +264,34 @@ impl MobilityScript {
 
     /// All positions at time `t`.
     pub fn positions_at(&self, t: SimTime) -> Vec<Position> {
-        self.trajectories
-            .iter()
-            .map(|tr| tr.position_at(t))
-            .collect()
+        let mut out = Vec::new();
+        self.positions_into(t, &mut out);
+        out
+    }
+
+    /// All positions at time `t`, written into `out` (cleared first).
+    /// Buffer-reusing form of [`MobilityScript::positions_at`] for hot
+    /// paths that refresh a snapshot repeatedly.
+    pub fn positions_into(&self, t: SimTime, out: &mut Vec<Position>) {
+        out.clear();
+        out.extend(self.trajectories.iter().map(|tr| tr.position_at(t)));
+    }
+
+    /// Whether no node ever moves (e.g. scripts from
+    /// [`MobilityScript::stationary`]).
+    pub fn is_static(&self) -> bool {
+        self.trajectories.iter().all(Trajectory::is_stationary)
     }
 
     /// The trajectory of one node.
     pub fn trajectory(&self, node: usize) -> &Trajectory {
         &self.trajectories[node]
+    }
+
+    /// Replaces one node's trajectory (hand-built motion in tests and
+    /// examples).
+    pub fn replace_trajectory(&mut self, node: usize, trajectory: Trajectory) {
+        self.trajectories[node] = trajectory;
     }
 }
 

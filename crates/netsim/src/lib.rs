@@ -30,9 +30,11 @@ pub mod admittance;
 pub mod engine;
 pub mod queue;
 pub mod rng;
+pub mod spatial;
 pub mod time;
 
 pub use admittance::{Admittance, DynAction};
 pub use engine::Simulator;
 pub use queue::{EventQueue, EventToken, Scheduled};
+pub use spatial::SpatialIndex;
 pub use time::{SimDuration, SimTime};

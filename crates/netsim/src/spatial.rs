@@ -1,0 +1,317 @@
+//! Grid-bucketed spatial index for neighbor queries.
+//!
+//! The simulator's hottest question is "which nodes lie within
+//! carrier-sense range of this transmitter?". A brute-force scan answers
+//! it in O(N) per transmission; this index answers it in O(degree) by
+//! bucketing nodes into square cells and scanning only the block of
+//! cells that can intersect the query disc.
+//!
+//! The index is deliberately *coarse*: it tracks which cell each node is
+//! in, not an exact position, so a node only needs re-bucketing when it
+//! crosses a cell boundary. Callers keep exact positions themselves (the
+//! harness derives them from mobility trajectories) and filter the
+//! candidate set by true distance — see `slr-radio`'s `NeighborQuery`
+//! trait for the contract. Candidate enumeration visits cells in a fixed
+//! row-major order, so results are deterministic; callers that need
+//! index-sorted neighbors sort the filtered survivors (a handful of
+//! elements, not N).
+//!
+//! Points are plain `(x, y)` meter pairs: this crate sits below the
+//! geometry layer and must not depend on it.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Integer cell coordinates (may be negative: positions are not required
+/// to sit in the positive quadrant).
+type CellKey = (i64, i64);
+
+/// A multiply-mix hasher for cell keys. The default SipHash costs more
+/// than scanning a whole cell; cell keys are small, attacker-free
+/// integers, so a Fibonacci-style mix is plenty.
+#[derive(Default)]
+pub struct CellHasher(u64);
+
+impl Hasher for CellHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Cell keys hash via write_i64 below; this path only exists to
+        // satisfy the trait for other key shapes.
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // splitmix64-style finalizer over the running state.
+        let mut x = self.0 ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        self.0 = x;
+    }
+}
+
+type CellMap = HashMap<CellKey, Vec<usize>, BuildHasherDefault<CellHasher>>;
+
+/// A grid-bucketed index over `n` movable points.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    /// Cell side length in meters.
+    cell_m: f64,
+    /// Cell → the nodes currently bucketed in it. Only ever *indexed* by
+    /// key (never iterated), so the map's internal order cannot leak into
+    /// results.
+    cells: CellMap,
+    /// Per-node current cell key.
+    keys: Vec<CellKey>,
+    /// Per-node last-bucketed position (diagnostics and standalone use).
+    points: Vec<(f64, f64)>,
+}
+
+impl SpatialIndex {
+    /// Creates an index over `points` with the given cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_m` is not positive and finite.
+    pub fn new(cell_m: f64, points: &[(f64, f64)]) -> Self {
+        assert!(
+            cell_m.is_finite() && cell_m > 0.0,
+            "cell size must be positive, got {cell_m}"
+        );
+        let mut index = SpatialIndex {
+            cell_m,
+            cells: CellMap::default(),
+            keys: Vec::with_capacity(points.len()),
+            points: Vec::with_capacity(points.len()),
+        };
+        for &p in points {
+            let key = index.key_of(p);
+            index.cells.entry(key).or_default().push(index.keys.len());
+            index.keys.push(key);
+            index.points.push(p);
+        }
+        index
+    }
+
+    /// The cell side length in meters.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_m
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The position `node` was last bucketed at.
+    pub fn point(&self, node: usize) -> (f64, f64) {
+        self.points[node]
+    }
+
+    /// The integer cell coordinates containing position `p`.
+    pub fn key_of(&self, p: (f64, f64)) -> CellKey {
+        (
+            (p.0 / self.cell_m).floor() as i64,
+            (p.1 / self.cell_m).floor() as i64,
+        )
+    }
+
+    /// Moves `node` to position `p`, re-bucketing it iff its cell changed.
+    /// Returns whether a re-bucket happened.
+    pub fn update(&mut self, node: usize, p: (f64, f64)) -> bool {
+        self.points[node] = p;
+        let new_key = self.key_of(p);
+        let old_key = self.keys[node];
+        if new_key == old_key {
+            return false;
+        }
+        let old_cell = self.cells.get_mut(&old_key).expect("node's cell exists");
+        let at = old_cell
+            .iter()
+            .position(|&v| v == node)
+            .expect("node listed in its cell");
+        old_cell.swap_remove(at);
+        if old_cell.is_empty() {
+            self.cells.remove(&old_key);
+        }
+        self.cells.entry(new_key).or_default().push(node);
+        self.keys[node] = new_key;
+        true
+    }
+
+    /// Appends every node bucketed in a cell intersecting the closed disc
+    /// of `radius_m` around `center` to `out` (a superset: whole cells
+    /// are taken, and a node at `center` itself is included — callers
+    /// filter by exact distance). Guaranteed to contain every node whose
+    /// *bucketed* position lies within `radius_m` of `center`.
+    pub fn candidates_within(&self, center: (f64, f64), radius_m: f64, out: &mut Vec<usize>) {
+        let (cx, cy) = self.key_of(center);
+        // A cell at offset k has nearest distance > (k−1)·cell, so cells
+        // beyond ceil(radius/cell) cannot intersect the disc.
+        let r = (radius_m / self.cell_m).ceil() as i64;
+        for dx in -r..=r {
+            for dy in -r..=r {
+                if let Some(cell) = self.cells.get(&(cx + dx, cy + dy)) {
+                    out.extend_from_slice(cell);
+                }
+            }
+        }
+    }
+
+    /// Nodes within `range` meters of `node`'s *bucketed* position,
+    /// excluding `node` itself, ascending by index, appended to `out`.
+    /// Exact only when the bucketed positions are current (static point
+    /// sets, or immediately after `update`s with exact positions).
+    pub fn neighbors_within(&self, node: usize, range: f64, out: &mut Vec<usize>) {
+        let center = self.points[node];
+        let start = out.len();
+        self.candidates_within(center, range, out);
+        let range_sq = range * range;
+        let mut write = start;
+        for read in start..out.len() {
+            let v = out[read];
+            let (x, y) = self.points[v];
+            let (dx, dy) = (x - center.0, y - center.1);
+            if v != node && dx * dx + dy * dy <= range_sq {
+                out[write] = v;
+                write += 1;
+            }
+        }
+        out.truncate(write);
+        out[start..].sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream;
+    use rand::Rng;
+
+    /// Brute-force reference: indices within `range` of `node`, ascending.
+    fn brute(points: &[(f64, f64)], node: usize, range: f64) -> Vec<usize> {
+        let (cx, cy) = points[node];
+        points
+            .iter()
+            .enumerate()
+            .filter(|&(v, &(x, y))| {
+                v != node && (x - cx) * (x - cx) + (y - cy) * (y - cy) <= range * range
+            })
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    fn random_points(n: usize, extent: f64, seed: u64) -> Vec<(f64, f64)> {
+        let mut rng = stream(seed, "spatial-test", 0);
+        (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(-extent..extent),
+                    rng.gen_range(-extent..extent),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        // Cell sizes straddling the query ranges: blocks of 3×3 up to 9×9.
+        for seed in 0..6 {
+            let points = random_points(120, 1500.0, seed);
+            for cell in [150.0, 300.0, 550.0, 800.0] {
+                let index = SpatialIndex::new(cell, &points);
+                let mut out = Vec::new();
+                for node in 0..points.len() {
+                    for range in [100.0, 250.0, 550.0] {
+                        out.clear();
+                        index.neighbors_within(node, range, &mut out);
+                        assert_eq!(
+                            out,
+                            brute(&points, node, range),
+                            "seed {seed} cell {cell} node {node} range {range}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn updates_rebucket_only_on_cell_change() {
+        let mut index = SpatialIndex::new(100.0, &[(10.0, 10.0), (250.0, 10.0)]);
+        // Move within the same cell: no re-bucket.
+        assert!(!index.update(0, (90.0, 90.0)));
+        // Cross a boundary: re-bucket.
+        assert!(index.update(0, (110.0, 90.0)));
+        assert_eq!(index.key_of(index.point(0)), (1, 0));
+        let mut out = Vec::new();
+        index.neighbors_within(1, 100.0, &mut out);
+        assert!(out.is_empty(), "0 is 140 m away");
+        index.update(0, (240.0, 10.0));
+        out.clear();
+        index.neighbors_within(1, 100.0, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn tracks_moving_points_against_brute_force() {
+        let mut points = random_points(60, 800.0, 99);
+        let mut index = SpatialIndex::new(300.0, &points);
+        let mut rng = stream(7, "spatial-walk", 0);
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            // Random walk every point, including multi-cell jumps.
+            for (v, p) in points.iter_mut().enumerate() {
+                p.0 += rng.gen_range(-400.0..400.0);
+                p.1 += rng.gen_range(-400.0..400.0);
+                index.update(v, *p);
+            }
+            for node in [0, 17, 59] {
+                out.clear();
+                index.neighbors_within(node, 300.0, &mut out);
+                assert_eq!(out, brute(&points, node, 300.0));
+            }
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_are_fine() {
+        let points = [(-10.0, -10.0), (-20.0, -15.0), (500.0, 500.0)];
+        let index = SpatialIndex::new(550.0, &points);
+        let mut out = Vec::new();
+        index.neighbors_within(0, 50.0, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn range_may_exceed_cell_size() {
+        let points = random_points(80, 1000.0, 5);
+        let index = SpatialIndex::new(120.0, &points);
+        let mut out = Vec::new();
+        for node in [0, 40, 79] {
+            out.clear();
+            index.neighbors_within(node, 700.0, &mut out);
+            assert_eq!(out, brute(&points, node, 700.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn bad_cell_size_panics() {
+        let _ = SpatialIndex::new(0.0, &[]);
+    }
+}

@@ -14,10 +14,10 @@
 
 use std::collections::HashMap;
 
-use slr_mobility::Position;
 use slr_netsim::time::{SimDuration, SimTime};
 
 use crate::frame::Frame;
+use crate::medium::NeighborQuery;
 use crate::phy::PhyConfig;
 
 /// Identifier for one transmission on the channel.
@@ -78,6 +78,8 @@ pub struct Channel<P> {
     /// Per-node end time of its own current transmission (`SimTime::ZERO`
     /// when idle). Used for half-duplex corruption.
     tx_until: Vec<SimTime>,
+    /// Reusable neighbor-query buffer (no per-transmission allocation).
+    neighbor_scratch: Vec<(usize, f64)>,
     /// Statistics.
     pub stats: ChannelStats,
 }
@@ -96,6 +98,7 @@ impl<P: Clone> Channel<P> {
             in_flight: HashMap::new(),
             signals: vec![Vec::new(); n],
             tx_until: vec![SimTime::ZERO; n],
+            neighbor_scratch: Vec::new(),
             stats: ChannelStats::default(),
         }
     }
@@ -110,14 +113,22 @@ impl<P: Clone> Channel<P> {
         !self.signals[node].is_empty()
     }
 
-    /// Starts a transmission by `frame.src` at `now`, with all node
-    /// positions sampled at `now`. The caller must schedule:
+    /// Starts a transmission by `frame.src` at `now`; `medium` answers
+    /// exact node positions at `now` and the carrier-sense-range neighbor
+    /// set ([`BruteForceMedium`](crate::medium::BruteForceMedium) over a
+    /// position slice is the reference implementation). The caller must
+    /// schedule:
     ///
     /// * `finish_rx(node, tx_id)` at `now + airtime` for every returned
     ///   receiver, and
     /// * `finish_tx(tx_id)` at `now + airtime` (after the rx events).
-    pub fn begin_tx(&mut self, frame: Frame<P>, now: SimTime, positions: &[Position]) -> BeginTx {
-        self.begin_tx_gated(frame, now, positions, &|_, _| true)
+    pub fn begin_tx(
+        &mut self,
+        frame: Frame<P>,
+        now: SimTime,
+        medium: &dyn NeighborQuery,
+    ) -> BeginTx {
+        self.begin_tx_gated(frame, now, medium, &|_, _| true)
     }
 
     /// Like [`Channel::begin_tx`], but consults an admittance `gate` per
@@ -132,7 +143,7 @@ impl<P: Clone> Channel<P> {
         &mut self,
         frame: Frame<P>,
         now: SimTime,
-        positions: &[Position],
+        medium: &dyn NeighborQuery,
         gate: &dyn Fn(usize, usize) -> bool,
     ) -> BeginTx {
         let src = frame.src;
@@ -150,14 +161,12 @@ impl<P: Clone> Channel<P> {
             s.corrupted = true;
         }
 
-        let src_pos = positions[src];
+        let mut audible = std::mem::take(&mut self.neighbor_scratch);
+        audible.clear();
+        medium.neighbors_within(src, self.phy.cs_range_m, &mut audible);
         let mut receivers = Vec::new();
-        for (v, pos) in positions.iter().enumerate() {
-            if v == src {
-                continue;
-            }
-            let d = src_pos.distance(pos);
-            if !self.phy.audible(d) || !gate(src, v) {
+        for &(v, d) in &audible {
+            if !gate(src, v) {
                 continue;
             }
             let power = self.phy.rx_power(d);
@@ -180,6 +189,7 @@ impl<P: Clone> Channel<P> {
             self.signals[v].push(new_sig);
             receivers.push((v, was_idle));
         }
+        self.neighbor_scratch = audible;
 
         self.in_flight.insert(
             id.0,
@@ -259,6 +269,8 @@ impl<P: Clone> Channel<P> {
 mod tests {
     use super::*;
     use crate::frame::{Frame, FrameKind};
+    use crate::medium::BruteForceMedium;
+    use slr_mobility::Position;
 
     fn frame(src: usize, dst: Option<usize>) -> Frame<u32> {
         Frame {
@@ -281,7 +293,7 @@ mod tests {
         let pos = positions(&[(0.0, 0.0), (100.0, 0.0), (2000.0, 0.0)]);
         let mut ch: Channel<u32> = Channel::new(3, PhyConfig::default());
         let t0 = SimTime::ZERO;
-        let b = ch.begin_tx(frame(0, Some(1)), t0, &pos);
+        let b = ch.begin_tx(frame(0, Some(1)), t0, &BruteForceMedium(&pos));
         // Node 1 in range, node 2 far outside carrier sense.
         assert_eq!(b.receivers, vec![(1, true)]);
         assert!(ch.is_busy(1));
@@ -301,9 +313,12 @@ mod tests {
         // 0→1 link: no signal, no carrier sense, no collision accounting.
         let pos = positions(&[(0.0, 0.0), (100.0, 0.0), (150.0, 0.0)]);
         let mut ch: Channel<u32> = Channel::new(3, PhyConfig::default());
-        let b = ch.begin_tx_gated(frame(0, Some(1)), SimTime::ZERO, &pos, &|s, v| {
-            !(s == 0 && v == 1)
-        });
+        let b = ch.begin_tx_gated(
+            frame(0, Some(1)),
+            SimTime::ZERO,
+            &BruteForceMedium(&pos),
+            &|s, v| !(s == 0 && v == 1),
+        );
         assert_eq!(b.receivers, vec![(2, true)], "gated node 1 must not appear");
         assert!(
             !ch.is_busy(1),
@@ -321,7 +336,7 @@ mod tests {
         // 400 m: inside carrier sense (550) but outside reception (250).
         let pos = positions(&[(0.0, 0.0), (400.0, 0.0)]);
         let mut ch: Channel<u32> = Channel::new(2, PhyConfig::default());
-        let b = ch.begin_tx(frame(0, Some(1)), SimTime::ZERO, &pos);
+        let b = ch.begin_tx(frame(0, Some(1)), SimTime::ZERO, &BruteForceMedium(&pos));
         assert_eq!(b.receivers.len(), 1);
         assert!(ch.is_busy(1));
         let r = ch.finish_rx(1, b.tx_id, SimTime::ZERO + b.airtime);
@@ -335,8 +350,8 @@ mod tests {
         // Nodes 0 and 2 both 100 m from node 1, transmit simultaneously.
         let pos = positions(&[(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)]);
         let mut ch: Channel<u32> = Channel::new(3, PhyConfig::default());
-        let a = ch.begin_tx(frame(0, Some(1)), SimTime::ZERO, &pos);
-        let b = ch.begin_tx(frame(2, Some(1)), SimTime::ZERO, &pos);
+        let a = ch.begin_tx(frame(0, Some(1)), SimTime::ZERO, &BruteForceMedium(&pos));
+        let b = ch.begin_tx(frame(2, Some(1)), SimTime::ZERO, &BruteForceMedium(&pos));
         let end = SimTime::ZERO + a.airtime;
         let ra = ch.finish_rx(1, a.tx_id, end);
         let rb = ch.finish_rx(1, b.tx_id, end);
@@ -353,8 +368,8 @@ mod tests {
         // (200/50)^4 = 256 ≥ 10 → node 0's frame captures.
         let pos = positions(&[(0.0, 0.0), (50.0, 0.0), (250.0, 0.0)]);
         let mut ch: Channel<u32> = Channel::new(3, PhyConfig::default());
-        let a = ch.begin_tx(frame(0, Some(1)), SimTime::ZERO, &pos);
-        let b = ch.begin_tx(frame(2, Some(1)), SimTime::ZERO, &pos);
+        let a = ch.begin_tx(frame(0, Some(1)), SimTime::ZERO, &BruteForceMedium(&pos));
+        let b = ch.begin_tx(frame(2, Some(1)), SimTime::ZERO, &BruteForceMedium(&pos));
         let end = SimTime::ZERO + a.airtime;
         let ra = ch.finish_rx(1, a.tx_id, end);
         let rb = ch.finish_rx(1, b.tx_id, end);
@@ -369,9 +384,9 @@ mod tests {
         let pos = positions(&[(0.0, 0.0), (100.0, 0.0)]);
         let mut ch: Channel<u32> = Channel::new(2, PhyConfig::default());
         // Node 1 starts transmitting first.
-        let own = ch.begin_tx(frame(1, None), SimTime::ZERO, &pos);
+        let own = ch.begin_tx(frame(1, None), SimTime::ZERO, &BruteForceMedium(&pos));
         // Node 0 transmits to node 1 while node 1 is busy sending.
-        let a = ch.begin_tx(frame(0, Some(1)), SimTime::ZERO, &pos);
+        let a = ch.begin_tx(frame(0, Some(1)), SimTime::ZERO, &BruteForceMedium(&pos));
         let end = SimTime::ZERO + a.airtime;
         let r = ch.finish_rx(1, a.tx_id, end);
         assert!(r.frame.is_none(), "transmitting node cannot receive");
@@ -386,11 +401,11 @@ mod tests {
     fn busy_transitions_are_reported() {
         let pos = positions(&[(0.0, 0.0), (100.0, 0.0), (150.0, 0.0)]);
         let mut ch: Channel<u32> = Channel::new(3, PhyConfig::default());
-        let a = ch.begin_tx(frame(0, None), SimTime::ZERO, &pos);
+        let a = ch.begin_tx(frame(0, None), SimTime::ZERO, &BruteForceMedium(&pos));
         // Both 1 and 2 become busy.
         assert_eq!(a.receivers, vec![(1, true), (2, true)]);
         // A second overlapping tx does not re-report busy.
-        let b = ch.begin_tx(frame(1, None), SimTime::ZERO, &pos);
+        let b = ch.begin_tx(frame(1, None), SimTime::ZERO, &BruteForceMedium(&pos));
         let two: Vec<usize> = b.receivers.iter().map(|&(v, _)| v).collect();
         assert_eq!(two, vec![0, 2]);
         assert!(b.receivers.iter().all(|&(v, fresh)| v == 0 || !fresh));

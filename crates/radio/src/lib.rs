@@ -7,6 +7,10 @@
 //!   carrier-sense ranges, `d⁻⁴` power law with 10× capture;
 //! * [`channel::Channel`] — the shared medium: per-receiver signal
 //!   tracking, collisions, capture, half-duplex, busy/idle transitions;
+//! * [`medium::NeighborQuery`] — how the channel sees space: exact
+//!   positions plus carrier-sense-range neighbor sets, answered by a
+//!   brute-force scan (the reference oracle) or a grid-bucketed spatial
+//!   index (O(degree) per transmission instead of O(N));
 //! * [`mac::Mac`] — a DCF-style MAC: DIFS + slotted binary-exponential
 //!   backoff with freezing, NAV, RTS/CTS above a size threshold,
 //!   SIFS-spaced ACKs with retry limits, link-failure notification to the
@@ -22,9 +26,11 @@
 pub mod channel;
 pub mod frame;
 pub mod mac;
+pub mod medium;
 pub mod phy;
 
 pub use channel::{BeginTx, Channel, ChannelStats, FinishRx, TxId};
 pub use frame::{Frame, FrameKind};
 pub use mac::{DropReason, Mac, MacConfig, MacCounters, MacEffect, MacTimer};
+pub use medium::{BruteForceMedium, NeighborQuery, StaticGridMedium, ValidatingQuery};
 pub use phy::PhyConfig;

@@ -27,6 +27,9 @@
 //!   summaries instead of the text table
 //! * `--oracle` — additionally run SRP trials under the loop-freedom
 //!   oracle (panics on any Theorem 3 violation)
+//! * `--validate-spatial` — debug: cross-check every spatial-index
+//!   neighbor query against the brute-force oracle (pairs well with
+//!   `--oracle`; restores the old O(N)-per-transmission cost)
 //! * `--list-scenarios` — print the registry and exit
 
 use slr_netsim::time::SimDuration;
@@ -79,6 +82,7 @@ fn main() {
         override_flows: opts.flows,
         override_duration: opts.duration,
         override_dynamics: opts.dynamics,
+        validate_spatial: opts.validate_spatial,
         ..SweepConfig::default()
     };
     if let Some(t) = opts.threads {
@@ -173,8 +177,11 @@ fn run_oracle_pass(
     for &value in &cfg.values {
         for trial in 0..cfg.trials {
             let scenario = cfg.scenario_for(ProtocolKind::Srp, value, trial);
-            let (summary, soft) =
-                Sim::new(scenario).run_with_loop_oracle(SimDuration::from_secs(1));
+            let mut sim = Sim::new(scenario);
+            if cfg.validate_spatial {
+                sim.enable_spatial_validation();
+            }
+            let (summary, soft) = sim.run_with_loop_oracle(SimDuration::from_secs(1));
             eprintln!(
                 "oracle: {}={} trial {} OK ({} soft order drift(s), {} dynamics event(s))",
                 cfg.param.name(),

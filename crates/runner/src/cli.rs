@@ -52,6 +52,10 @@ pub struct CliOptions {
     pub paper: bool,
     /// `--oracle`: run SRP under the loop-freedom oracle.
     pub oracle: bool,
+    /// `--validate-spatial`: cross-check every spatial-index neighbor
+    /// query against the brute-force oracle (debug; slows trials to the
+    /// old O(N·N) cost).
+    pub validate_spatial: bool,
     /// `--json`: machine-readable output.
     pub json: bool,
     /// What to do (run / list / help).
@@ -74,6 +78,7 @@ impl Default for CliOptions {
             dynamics: None,
             paper: false,
             oracle: false,
+            validate_spatial: false,
             json: false,
             action: CliAction::Run,
         }
@@ -87,7 +92,7 @@ pub fn usage(bin: &str) -> String {
          [--values a,b,c] [--pause S] [--protocol NAME|all] [--trials N] \
          [--seed N] [--threads N] [--nodes N] [--flows N] [--duration S] \
          [--dynamics churn[:RATE]|partition[:K]|crash[:N]|none] [--paper] \
-         [--json] [--oracle] [--list-scenarios]"
+         [--json] [--oracle] [--validate-spatial] [--list-scenarios]"
     )
 }
 
@@ -200,6 +205,7 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
             "--dynamics" => opts.dynamics = Some(DynamicsSpec::parse(&take_value()?)?),
             "--paper" => opts.paper = true,
             "--oracle" => opts.oracle = true,
+            "--validate-spatial" => opts.validate_spatial = true,
             "--json" => opts.json = true,
             "--list-scenarios" | "--list" => opts.action = CliAction::ListScenarios,
             "--help" | "-h" => opts.action = CliAction::Help,
@@ -239,7 +245,7 @@ mod tests {
         assert_eq!(o.values, None);
         assert_eq!(o.seed, 42);
         assert_eq!(o.action, CliAction::Run);
-        assert!(!o.paper && !o.json && !o.oracle);
+        assert!(!o.paper && !o.json && !o.oracle && !o.validate_spatial);
     }
 
     #[test]
@@ -270,6 +276,7 @@ mod tests {
             "--paper",
             "--json",
             "--oracle",
+            "--validate-spatial",
         ])
         .unwrap();
         assert_eq!(o.family, Family::Churn);
@@ -290,6 +297,7 @@ mod tests {
             })
         );
         assert!(o.paper && o.json && o.oracle);
+        assert!(o.validate_spatial);
     }
 
     #[test]
@@ -385,6 +393,8 @@ mod tests {
             assert!(listing.contains(f.name()), "missing {}", f.name());
         }
         assert!(listing.contains("churn"));
+        assert!(listing.contains("dense"));
         assert!(usage("slrsim").contains("--dynamics"));
+        assert!(usage("slrsim").contains("--validate-spatial"));
     }
 }

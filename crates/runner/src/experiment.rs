@@ -112,6 +112,10 @@ pub struct SweepConfig {
     /// point (CLI `--dynamics`), composing topology events onto any
     /// family.
     pub override_dynamics: Option<DynamicsSpec>,
+    /// Cross-check every spatial-index neighbor query against the
+    /// brute-force oracle (CLI `--validate-spatial`; debug only — it
+    /// restores the old O(N) scan per transmission on top of the index).
+    pub validate_spatial: bool,
 }
 
 impl Default for SweepConfig {
@@ -130,6 +134,7 @@ impl Default for SweepConfig {
             override_flows: None,
             override_duration: None,
             override_dynamics: None,
+            validate_spatial: false,
         }
     }
 }
@@ -361,7 +366,11 @@ pub fn run_sweep(protocols: &[ProtocolKind], cfg: &SweepConfig) -> SweepResult {
                 break;
             };
             let scenario = cfg.scenario_for(kind, value, trial);
-            let summary = Sim::new(scenario).run();
+            let mut sim = Sim::new(scenario);
+            if cfg.validate_spatial {
+                sim.enable_spatial_validation();
+            }
+            let summary = sim.run();
             tx.send((kind.name(), value, trial, summary))
                 .expect("collector alive");
         }));

@@ -30,6 +30,7 @@
 pub mod cli;
 pub mod dynamics;
 pub mod experiment;
+pub mod medium;
 pub mod metrics;
 pub mod registry;
 pub mod report;
@@ -41,9 +42,10 @@ pub mod trace;
 pub use cli::{parse_cli, CliAction, CliOptions};
 pub use dynamics::DynamicsSpec;
 pub use experiment::{run_sweep, run_trial, Metric, SweepConfig, SweepResult, PAUSE_TIMES};
+pub use medium::{MediumView, PositionTracker};
 pub use metrics::{Metrics, TrialSummary};
 pub use registry::{Family, SweepParam};
 pub use scenario::{MobilitySpec, ProtocolKind, Scenario, TopologySpec, TrafficSpec};
-pub use sim::{Payload, Sim};
+pub use sim::{MediumKind, Payload, Sim};
 pub use stats::MeanCi;
 pub use trace::{PacketFate, TraceEvent, TraceLog};

@@ -162,11 +162,17 @@ pub enum Family {
     /// Static grid where nodes crash (drop all state) mid-run and restart
     /// cold later; swept over node count.
     CrashRejoin,
+    /// Thousand-node scale: a constant-density disc of 1,000–5,000
+    /// continuously-moving nodes — the massively-dense regime (Catanuto
+    /// et al., INFOCOM 2007) that the spatial-index medium and the
+    /// incremental position tracker exist to make tractable; swept over
+    /// node count.
+    Dense,
 }
 
 impl Family {
     /// Every registered family, in presentation order.
-    pub const ALL: [Family; 8] = [
+    pub const ALL: [Family; 9] = [
         Family::PaperSweep,
         Family::Grid,
         Family::Line,
@@ -175,7 +181,14 @@ impl Family {
         Family::Churn,
         Family::Partition,
         Family::CrashRejoin,
+        Family::Dense,
     ];
+
+    /// The dense family's target density: one node per this many square
+    /// meters (≈10 neighbors within the 250 m reception range — sparse
+    /// enough that the O(N) brute-force scan, not the local degree,
+    /// dominates an unindexed channel).
+    pub const DENSE_AREA_PER_NODE_M2: f64 = 20_000.0;
 
     /// CLI / JSON name.
     pub fn name(&self) -> &'static str {
@@ -188,6 +201,7 @@ impl Family {
             Family::Churn => "churn",
             Family::Partition => "partition",
             Family::CrashRejoin => "crash-rejoin",
+            Family::Dense => "dense",
         }
     }
 
@@ -204,6 +218,9 @@ impl Family {
             Family::Churn => "static grid under seeded link up/down churn, swept over churn rate",
             Family::Partition => "static grid split into components mid-run, then healed",
             Family::CrashRejoin => "static grid with nodes crashing cold and rejoining mid-run",
+            Family::Dense => {
+                "constant-density mobile disc at 1000-5000 nodes, swept over node count"
+            }
         }
     }
 
@@ -239,7 +256,8 @@ impl Family {
             | Family::Line
             | Family::Scaling
             | Family::Partition
-            | Family::CrashRejoin => SweepParam::Nodes,
+            | Family::CrashRejoin
+            | Family::Dense => SweepParam::Nodes,
             Family::Disc => SweepParam::Flows,
             Family::Churn => SweepParam::ChurnRate,
         }
@@ -260,6 +278,8 @@ impl Family {
             (Family::Churn, true) => vec![2, 6, 12, 24],
             (Family::Partition | Family::CrashRejoin, false) => vec![16, 25],
             (Family::Partition | Family::CrashRejoin, true) => vec![25, 49, 100],
+            (Family::Dense, false) => vec![500, 1000],
+            (Family::Dense, true) => vec![1000, 2000, 5000],
         }
     }
 
@@ -321,6 +341,22 @@ impl Family {
                 Family::scale_terrain(&mut s);
                 s
             }
+            Family::Dense => {
+                // Mobile on purpose: a thousand continuously-moving nodes
+                // is the regime where an unindexed medium must rebuild an
+                // O(N) snapshot per transmission — exactly what the
+                // incremental tracker + spatial index exist to kill.
+                let mut s = Scenario::quick(protocol, 0, seed, trial);
+                s.nodes = if paper_scale { 2000 } else { 1000 };
+                s.mobility = MobilitySpec::RandomWaypoint {
+                    pause: SimDuration::ZERO,
+                    max_speed: 20.0,
+                };
+                s.traffic = TrafficSpec::paper_cbr(if paper_scale { 40 } else { 20 });
+                s.end = SimTime::from_secs(if paper_scale { 60 } else { 40 });
+                Family::scale_disc(&mut s);
+                s
+            }
             // The dynamics families share a static-grid substrate so every
             // connectivity change is attributable to the dynamics schedule
             // alone, not to mobility.
@@ -369,6 +405,10 @@ impl Family {
             // Constant density: terrain area grows linearly with nodes.
             Family::scale_terrain(&mut s);
         }
+        if *self == Family::Dense && param == SweepParam::Nodes {
+            // Constant density: disc area grows linearly with nodes.
+            Family::scale_disc(&mut s);
+        }
         s
     }
 
@@ -378,6 +418,21 @@ impl Family {
         let area_per_node = 2200.0 * 600.0 / 100.0;
         let width = (area_per_node * s.nodes as f64 / 600.0).max(600.0);
         s.terrain = Terrain::new(width, 600.0);
+    }
+
+    /// Sets a disc topology sized for [`Family::DENSE_AREA_PER_NODE_M2`]
+    /// at `s.nodes` nodes, with a terrain square enclosing it.
+    fn scale_disc(s: &mut Scenario) {
+        let radius = Family::dense_disc_radius(s.nodes);
+        s.topology = TopologySpec::Disc { radius };
+        s.terrain = Terrain::new(2.0 * radius, 2.0 * radius);
+    }
+
+    /// Radius of the dense family's disc for `nodes` nodes at
+    /// [`Family::DENSE_AREA_PER_NODE_M2`] (shared with the channel
+    /// benchmarks so they measure the same geometry the family runs).
+    pub fn dense_disc_radius(nodes: usize) -> f64 {
+        (nodes as f64 * Family::DENSE_AREA_PER_NODE_M2 / core::f64::consts::PI).sqrt()
     }
 }
 
@@ -503,6 +558,45 @@ mod tests {
         assert!(SweepParam::ChurnRate.validate_value(0).is_err());
         assert!(SweepParam::ChurnRate.validate_value(61).is_err());
         assert!(SweepParam::ChurnRate.validate_value(6).is_ok());
+    }
+
+    #[test]
+    fn dense_preserves_density_across_node_sweep() {
+        let radius = |s: &Scenario| match s.topology {
+            TopologySpec::Disc { radius } => radius,
+            other => panic!("dense must lay out on a disc, got {other:?}"),
+        };
+        let a = Family::Dense.scenario_at(ProtocolKind::Srp, 1, 0, true, SweepParam::Nodes, 1000);
+        let b = Family::Dense.scenario_at(ProtocolKind::Srp, 1, 0, true, SweepParam::Nodes, 5000);
+        assert_eq!(a.nodes, 1000);
+        assert_eq!(b.nodes, 5000);
+        let density =
+            |s: &Scenario| s.nodes as f64 / (core::f64::consts::PI * radius(s) * radius(s));
+        assert!(
+            (density(&a) - density(&b)).abs() / density(&a) < 1e-9,
+            "density drifted: {} vs {}",
+            density(&a),
+            density(&b)
+        );
+        assert!(
+            (1.0 / density(&a) - Family::DENSE_AREA_PER_NODE_M2).abs() < 1e-6,
+            "unexpected area per node {}",
+            1.0 / density(&a)
+        );
+        assert_eq!(
+            a.mobility,
+            MobilitySpec::RandomWaypoint {
+                pause: SimDuration::ZERO,
+                max_speed: 20.0
+            }
+        );
+        // The family's axis is scale; pause/speed/churn stay fixed.
+        assert!(!Family::Dense.supports(SweepParam::Pause));
+        assert!(!Family::Dense.supports(SweepParam::MaxSpeed));
+        assert!(!Family::Dense.supports(SweepParam::ChurnRate));
+        assert!(Family::Dense.supports(SweepParam::Flows));
+        // The terrain encloses the disc (waypoint overlays stay sane).
+        assert!(a.terrain.width >= 2.0 * radius(&a) - 1e-9);
     }
 
     #[test]

@@ -20,9 +20,13 @@ use slr_netsim::{EventToken, Simulator};
 use slr_protocols::{
     ControlPacket, DataDropReason, DataPacket, ProtoCtx, ProtoEffect, RoutingProtocol, DATA_TTL,
 };
-use slr_radio::{Channel, Frame, FrameKind, Mac, MacEffect, MacTimer, TxId};
+use slr_radio::{
+    BeginTx, BruteForceMedium, Channel, Frame, FrameKind, Mac, MacEffect, MacTimer, NeighborQuery,
+    TxId, ValidatingQuery,
+};
 use slr_traffic::TrafficScript;
 
+use crate::medium::{MediumView, PositionTracker};
 use crate::metrics::{Metrics, TrialSummary};
 use crate::scenario::{MobilitySpec, Scenario, TopologySpec};
 use crate::trace::{TraceEvent, TraceLog};
@@ -62,9 +66,18 @@ enum Work {
     Proto(usize, ProtoEffect),
 }
 
-/// How often cached node positions are refreshed (at 20 m/s this bounds
-/// the position error to 2 m versus a 250 m radio range).
-const POSITION_CACHE_MS: u64 = 100;
+/// Which medium implementation answers the channel's neighbor queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MediumKind {
+    /// The grid-bucketed spatial index with incremental position
+    /// tracking (O(degree) per transmission; the production path).
+    #[default]
+    SpatialGrid,
+    /// The brute-force O(N) scan over exact positions — the reference
+    /// oracle the index must match bit-for-bit. Kept for equivalence
+    /// tests and the `slr-bench` channel-scaling benchmark.
+    BruteForce,
+}
 
 /// One running trial.
 pub struct Sim {
@@ -77,8 +90,19 @@ pub struct Sim {
     proto_rngs: Vec<SmallRng>,
     mobility: MobilityScript,
     traffic: TrafficScript,
-    positions: Vec<Position>,
-    positions_at: SimTime,
+    /// Incrementally-maintained spatial index over node positions.
+    tracker: PositionTracker,
+    /// Scratch snapshot for the brute-force medium, spatial validation
+    /// and geographic partition recomputes (reused, never reallocated).
+    snapshot: Vec<Position>,
+    /// When the snapshot was last filled (static scripts fill it once).
+    snapshot_at: Option<SimTime>,
+    /// Whether no node ever moves (snapshot never goes stale).
+    static_script: bool,
+    /// Which neighbor-query implementation serves the channel.
+    medium: MediumKind,
+    /// Cross-check every grid query against the brute-force oracle.
+    validate_spatial: bool,
     mac_timers: Vec<HashMap<MacTimer, EventToken>>,
     /// The administrative link/node filter the channel consults.
     admittance: Admittance,
@@ -192,6 +216,8 @@ impl Sim {
         let master = scenario.master_seed();
         let positions = mobility.positions_at(SimTime::ZERO);
         let n = positions.len();
+        let tracker = PositionTracker::new(&mobility, scenario.mac.phy.cs_range_m);
+        let static_script = mobility.is_static();
         let channel = Channel::new(n, scenario.mac.phy);
         let macs = (0..n)
             .map(|i| Mac::new(i, scenario.mac, derive_seed(master, &[0x6d61, i as u64])))
@@ -218,8 +244,12 @@ impl Sim {
             proto_rngs,
             mobility,
             traffic,
-            positions,
-            positions_at: SimTime::ZERO,
+            tracker,
+            snapshot: positions,
+            snapshot_at: Some(SimTime::ZERO),
+            static_script,
+            medium: MediumKind::default(),
+            validate_spatial: false,
             mac_timers: vec![HashMap::new(); n],
             admittance: Admittance::new(n),
             dynamics,
@@ -234,6 +264,27 @@ impl Sim {
     /// [`crate::trace::TraceLog`]).
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(TraceLog::new(capacity));
+    }
+
+    /// Selects which medium implementation answers the channel's
+    /// neighbor queries (the spatial grid by default; the brute-force
+    /// oracle for equivalence tests and the channel benchmark).
+    pub fn set_medium(&mut self, medium: MediumKind) {
+        self.medium = medium;
+    }
+
+    /// Builder form of [`Sim::set_medium`].
+    pub fn with_medium(mut self, medium: MediumKind) -> Self {
+        self.set_medium(medium);
+        self
+    }
+
+    /// Cross-checks every spatial-index neighbor query against the
+    /// brute-force oracle for the rest of the trial, panicking with a
+    /// diagnostic on the first divergence (`slrsim --validate-spatial`).
+    /// No effect under [`MediumKind::BruteForce`].
+    pub fn enable_spatial_validation(&mut self) {
+        self.validate_spatial = true;
     }
 
     /// Runs the trial and returns the summary plus the packet trace
@@ -416,8 +467,8 @@ impl Sim {
         let action = match action {
             DynAction::PartitionSet(compiled) => {
                 let k = compiled.iter().copied().max().unwrap_or(1) as usize + 1;
-                self.positions_now();
-                DynAction::PartitionSet(crate::dynamics::slab_assignment(&self.positions, k))
+                self.fill_snapshot(now);
+                DynAction::PartitionSet(crate::dynamics::slab_assignment(&self.snapshot, k))
             }
             other => other,
         };
@@ -476,15 +527,58 @@ impl Sim {
         }
     }
 
-    fn positions_now(&mut self) -> &[Position] {
-        let now = self.sim.now();
-        if now.saturating_since(self.positions_at) >= SimDuration::from_millis(POSITION_CACHE_MS)
-            || now < self.positions_at
-        {
-            self.positions = self.mobility.positions_at(now);
-            self.positions_at = now;
+    /// Refreshes the full-position snapshot to `now` (no-op for static
+    /// scripts and repeated calls at the same instant; the buffer is
+    /// reused, never reallocated).
+    fn fill_snapshot(&mut self, now: SimTime) {
+        if self.snapshot_at == Some(now) || (self.static_script && self.snapshot_at.is_some()) {
+            return;
         }
-        &self.positions
+        self.mobility.positions_into(now, &mut self.snapshot);
+        self.snapshot_at = Some(now);
+    }
+
+    /// Starts `frame` on the channel through the configured medium.
+    ///
+    /// The grid path syncs the incremental tracker and answers from the
+    /// spatial index; the brute-force path refreshes the exact full
+    /// snapshot and scans it. Under `--validate-spatial` every grid
+    /// query is cross-checked against the brute-force oracle. Scenarios
+    /// without a dynamics schedule skip the admittance gate entirely —
+    /// this is the simulator's hottest loop.
+    fn begin_tx_on_medium(&mut self, frame: Frame<Payload>, now: SimTime) -> BeginTx {
+        let gated = !self.dynamics.is_empty();
+        let validate = self.validate_spatial;
+        if self.medium == MediumKind::BruteForce || validate {
+            self.fill_snapshot(now);
+        }
+        let adm = &self.admittance;
+        let gate = |s: usize, v: usize| adm.allows(s, v);
+        match self.medium {
+            MediumKind::SpatialGrid => {
+                self.tracker.sync_to(&self.mobility, now);
+                let view = MediumView::new(&self.tracker, &self.mobility, now);
+                let oracle = BruteForceMedium(&self.snapshot);
+                let checked = ValidatingQuery {
+                    fast: &view,
+                    oracle: &oracle,
+                };
+                let medium: &dyn NeighborQuery = if validate { &checked } else { &view };
+                if gated {
+                    self.channel.begin_tx_gated(frame, now, medium, &gate)
+                } else {
+                    self.channel.begin_tx(frame, now, medium)
+                }
+            }
+            MediumKind::BruteForce => {
+                let medium = BruteForceMedium(&self.snapshot);
+                if gated {
+                    self.channel.begin_tx_gated(frame, now, &medium, &gate)
+                } else {
+                    self.channel.begin_tx(frame, now, &medium)
+                }
+            }
+        }
     }
 
     fn apply_mac(&mut self, node: usize, eff: MacEffect<Payload>, work: &mut VecDeque<Work>) {
@@ -496,20 +590,11 @@ impl Sim {
                     "crashed node {node} attempted to transmit"
                 );
                 self.account_tx(&frame);
-                self.positions_now();
                 // The channel consults the admittance per receiver: gated
                 // links (churn outage, partition, crashed node) perceive
                 // nothing, so unicasts toward them burn MAC retries and
-                // surface as link failures to the routing layer. Scenarios
-                // without a dynamics schedule skip the gate entirely —
-                // this is the simulator's hottest loop.
-                let begin = if self.dynamics.is_empty() {
-                    self.channel.begin_tx(frame, now, &self.positions)
-                } else {
-                    let adm = &self.admittance;
-                    self.channel
-                        .begin_tx_gated(frame, now, &self.positions, &|s, v| adm.allows(s, v))
-                };
+                // surface as link failures to the routing layer.
+                let begin = self.begin_tx_on_medium(frame, now);
                 let end_at = now + begin.airtime;
                 for &(v, fresh) in &begin.receivers {
                     self.sim
@@ -563,8 +648,10 @@ impl Sim {
             },
             MacEffect::TxDone { .. } => {}
             MacEffect::TxFailed { dst, payload } => {
-                self.positions_now();
-                let d = self.positions[node].distance(&self.positions[dst]);
+                let d = self
+                    .mobility
+                    .position(node, now)
+                    .distance(&self.mobility.position(dst, now));
                 if !self.admittance.allows(node, dst) {
                     self.metrics.link_failures_gated += 1;
                 } else if d <= self.scenario.mac.phy.rx_range_m {

@@ -1,9 +1,11 @@
-//! Reproducibility: identical seeds produce bit-identical results, and
-//! mobility/traffic are identical across protocols within a trial.
+//! Reproducibility: identical seeds produce bit-identical results,
+//! mobility/traffic are identical across protocols within a trial, and
+//! the spatial-index medium is bit-equivalent to the brute-force scan.
 
 use slr_netsim::time::SimTime;
+use slr_runner::registry::{Family, SweepParam};
 use slr_runner::scenario::{ProtocolKind, Scenario};
-use slr_runner::sim::Sim;
+use slr_runner::sim::{MediumKind, Sim};
 
 #[test]
 fn identical_seeds_reproduce_exactly() {
@@ -33,6 +35,58 @@ fn different_trials_differ() {
     let a = Sim::new(mk(0)).run();
     let b = Sim::new(mk(1)).run();
     assert_ne!(a, b, "different trials should see different scripts");
+}
+
+/// The tentpole equivalence guarantee, pinned on fixed seeds (the
+/// proptest in `proptest_spatial.rs` fuzzes the same property): the
+/// grid-indexed medium and the brute-force position scan must produce
+/// bit-identical trials — across mobility (stale buckets would shift
+/// receptions), churn dynamics (the admittance gate composes with the
+/// neighbor query), and structured topologies.
+#[test]
+fn spatial_index_matches_brute_force_medium() {
+    let scenarios: Vec<(&str, Scenario)> = vec![
+        ("mobile paper-sweep", {
+            let mut s = Scenario::quick(ProtocolKind::Srp, 0, 77, 0);
+            s.nodes = 40;
+            s.end = SimTime::from_secs(50);
+            s.set_flows(6);
+            s
+        }),
+        (
+            "grid under churn",
+            Family::Churn.scenario_at(ProtocolKind::Aodv, 5, 1, false, SweepParam::ChurnRate, 8),
+        ),
+        ("dense disc (scaled down)", {
+            let mut s =
+                Family::Dense.scenario_at(ProtocolKind::Srp, 9, 0, false, SweepParam::Nodes, 100);
+            s.end = SimTime::from_secs(25);
+            s
+        }),
+    ];
+    for (name, scenario) in scenarios {
+        let grid = Sim::new(scenario)
+            .with_medium(MediumKind::SpatialGrid)
+            .run();
+        let brute = Sim::new(scenario).with_medium(MediumKind::BruteForce).run();
+        assert_eq!(grid, brute, "{name}: media diverged");
+        assert!(grid.originated > 0, "{name}: no traffic");
+    }
+}
+
+/// `--validate-spatial` wires the cross-checking medium into a full
+/// trial; a run completing under it is itself the assertion (any
+/// divergent query panics with a diagnostic).
+#[test]
+fn spatial_validation_passes_on_mobile_trial() {
+    let mut s = Scenario::quick(ProtocolKind::Srp, 0, 31, 0);
+    s.nodes = 30;
+    s.end = SimTime::from_secs(40);
+    s.set_flows(5);
+    let mut sim = Sim::new(s);
+    sim.enable_spatial_validation();
+    let validated = sim.run();
+    assert_eq!(validated, Sim::new(s).run(), "validation must not perturb");
 }
 
 #[test]

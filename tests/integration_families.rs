@@ -19,6 +19,9 @@ fn small_scenario(family: Family, kind: ProtocolKind, seed: u64) -> slr_runner::
         Family::Scaling => (SweepParam::Nodes, 20),
         Family::Churn => (SweepParam::ChurnRate, 6),
         Family::Partition | Family::CrashRejoin => (SweepParam::Nodes, 16),
+        // CI-sized slice of the thousand-node family (the full scale is
+        // covered by the dense CI smoke run and BENCH_channel.json).
+        Family::Dense => (SweepParam::Nodes, 100),
     };
     let mut s = family.scenario_at(kind, seed, 0, false, param, value);
     // Trim runtimes: enough traffic to measure, short enough for CI.
