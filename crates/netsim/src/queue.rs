@@ -2,17 +2,52 @@
 //!
 //! Events at equal times pop in insertion order (a monotone sequence number
 //! breaks ties), which makes whole-simulation runs bit-reproducible for a
-//! given seed. Cancellation is lazy: a cancelled token is skipped when it
-//! reaches the head of the heap.
+//! given seed.
+//!
+//! ## Cancellation and compaction
+//!
+//! Cancellation is O(1): the entry's slot in an internal slab is marked
+//! cancelled and the heap entry becomes a *tombstone*, skipped when it
+//! reaches the head. Tombstones are physically removed either lazily (at
+//! the head) or by a threshold-triggered compaction: when more than half
+//! of the heap (beyond a small floor) is tombstones, the heap is rebuilt
+//! from its live entries in O(n). Under a schedule/cancel/reschedule timer
+//! churn loop — the MAC's ACK/CTS pattern, where almost every armed timer
+//! is cancelled long before its distant fire time — the heap therefore
+//! stays proportional to the *live* event count instead of growing with
+//! the total number of cancellations.
+//!
+//! Compaction never reorders live events (ordering lives in the entries
+//! themselves), so pop order — and with it simulation determinism — is
+//! unaffected by when or whether it runs.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
 /// Handle identifying a scheduled event, usable to cancel it.
+///
+/// Internally a `(slot, generation)` pair into the queue's slab: slots are
+/// recycled once their heap entry is gone, and the generation is bumped on
+/// every recycle, so a stale token held across a pop can never cancel an
+/// unrelated later event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventToken(u64);
+
+impl EventToken {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventToken(((slot as u64) << 32) | gen as u64)
+    }
+
+    fn slot(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    fn generation(self) -> u32 {
+        self.0 as u32
+    }
+}
 
 /// An event popped from the queue.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +63,7 @@ pub struct Scheduled<E> {
 struct Entry<E> {
     time: SimTime,
     seq: u64,
+    slot: u32,
     event: E,
 }
 
@@ -53,8 +89,32 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A min-heap of timed events with stable FIFO tie-breaking and O(1)
-/// cancellation.
+/// Slab slot state. A slot stays allocated for exactly as long as its heap
+/// entry physically exists (pending *or* tombstoned); it is recycled when
+/// the entry is popped, skimmed, or compacted away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Slot free; value is the next free slot (`u32::MAX` = none).
+    Free(u32),
+    /// Event scheduled and not cancelled.
+    Pending,
+    /// Event cancelled; its heap entry is a tombstone.
+    Cancelled,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    gen: u32,
+    state: SlotState,
+}
+
+/// Tombstone count below which compaction never triggers; avoids O(n)
+/// rebuilds of tiny heaps where lazy skimming is already cheap.
+const COMPACT_FLOOR: usize = 64;
+
+/// A min-heap of timed events with stable FIFO tie-breaking, O(1)
+/// cancellation, and tombstone compaction keeping memory proportional to
+/// the live event count.
 ///
 /// # Examples
 ///
@@ -73,9 +133,10 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    /// Sequence numbers of events that are scheduled and not yet popped or
-    /// cancelled. Entries in `heap` whose seq is absent here are skipped.
-    pending: HashSet<u64>,
+    slots: Vec<Slot>,
+    free_head: u32,
+    /// Tombstoned (cancelled, not yet physically removed) heap entries.
+    cancelled: usize,
     next_seq: u64,
 }
 
@@ -84,37 +145,114 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            slots: Vec::new(),
+            free_head: u32::MAX,
+            cancelled: 0,
             next_seq: 0,
         }
     }
 
+    fn alloc_slot(&mut self) -> u32 {
+        if self.free_head != u32::MAX {
+            let slot = self.free_head;
+            let s = &mut self.slots[slot as usize];
+            match s.state {
+                SlotState::Free(next) => self.free_head = next,
+                _ => unreachable!("free list points at a live slot"),
+            }
+            s.state = SlotState::Pending;
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                gen: 0,
+                state: SlotState::Pending,
+            });
+            slot
+        }
+    }
+
+    /// Recycles `slot` once its heap entry is physically gone. The
+    /// generation bump invalidates every outstanding token for it.
+    fn free_slot(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.state = SlotState::Free(self.free_head);
+        self.free_head = slot;
+    }
+
     /// Schedules `event` at absolute `time`; returns a cancellation token.
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
+        let slot = self.alloc_slot();
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
-        self.pending.insert(seq);
-        EventToken(seq)
+        self.heap.push(Entry {
+            time,
+            seq,
+            slot,
+            event,
+        });
+        EventToken::new(slot, self.slots[slot as usize].gen)
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event
-    /// was still pending (not yet popped or cancelled).
+    /// was still pending (not yet popped or cancelled). O(1); may trigger
+    /// an amortized-O(1) tombstone compaction.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        self.pending.remove(&token.0)
+        let slot = token.slot() as usize;
+        match self.slots.get(slot) {
+            Some(s) if s.gen == token.generation() && s.state == SlotState::Pending => {
+                self.slots[slot].state = SlotState::Cancelled;
+                self.cancelled += 1;
+                if self.cancelled > COMPACT_FLOOR && self.cancelled * 2 > self.heap.len() {
+                    self.compact();
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Rebuilds the heap from its live entries, recycling every tombstone.
+    /// O(n); triggered when tombstones outnumber live entries.
+    fn compact(&mut self) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let mut live = Vec::with_capacity(entries.len() - self.cancelled);
+        for e in entries {
+            match self.slots[e.slot as usize].state {
+                SlotState::Pending => live.push(e),
+                SlotState::Cancelled => {
+                    self.cancelled -= 1;
+                    self.free_slot(e.slot);
+                }
+                SlotState::Free(_) => unreachable!("heap entry with freed slot"),
+            }
+        }
+        debug_assert_eq!(self.cancelled, 0);
+        self.heap = BinaryHeap::from(live);
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
         while let Some(entry) = self.heap.pop() {
-            if !self.pending.remove(&entry.seq) {
-                continue; // cancelled
+            let slot = entry.slot;
+            let state = self.slots[slot as usize].state;
+            let generation = self.slots[slot as usize].gen;
+            self.free_slot(slot);
+            match state {
+                SlotState::Cancelled => {
+                    self.cancelled -= 1;
+                    continue;
+                }
+                SlotState::Pending => {
+                    return Some(Scheduled {
+                        time: entry.time,
+                        token: EventToken::new(slot, generation),
+                        event: entry.event,
+                    });
+                }
+                SlotState::Free(_) => unreachable!("heap entry with freed slot"),
             }
-            return Some(Scheduled {
-                time: entry.time,
-                token: EventToken(entry.seq),
-                event: entry.event,
-            });
         }
         None
     }
@@ -122,23 +260,35 @@ impl<E> EventQueue<E> {
     /// The firing time of the earliest pending event.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         loop {
-            let head_seq = self.heap.peek()?.seq;
-            if !self.pending.contains(&head_seq) {
-                self.heap.pop();
-                continue;
+            let head = self.heap.peek()?;
+            match self.slots[head.slot as usize].state {
+                SlotState::Pending => return Some(head.time),
+                SlotState::Cancelled => {
+                    let e = self.heap.pop().expect("peeked above");
+                    self.cancelled -= 1;
+                    self.free_slot(e.slot);
+                }
+                SlotState::Free(_) => unreachable!("heap entry with freed slot"),
             }
-            return Some(self.heap.peek().expect("checked above").time);
         }
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.heap.len() - self.cancelled
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.len() == 0
+    }
+
+    /// Physical heap entries, live *and* tombstoned. The compaction
+    /// contract keeps this within a constant factor of [`EventQueue::len`]
+    /// (plus [`COMPACT_FLOOR`]) no matter how many cancellations have
+    /// occurred — the bound the timer-churn regression test asserts.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
     }
 }
 
@@ -151,6 +301,7 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::time::SimDuration;
 
     #[test]
     fn pops_in_time_order() {
@@ -189,7 +340,7 @@ mod tests {
     #[test]
     fn cancel_unknown_token_is_false() {
         let mut q: EventQueue<u8> = EventQueue::new();
-        assert!(!q.cancel(EventToken(42)));
+        assert!(!q.cancel(EventToken::new(42, 0)));
     }
 
     #[test]
@@ -201,6 +352,19 @@ mod tests {
         assert!(!q.cancel(a), "cancelling a popped event reports false");
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    fn stale_token_cannot_cancel_recycled_slot() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), 1);
+        assert_eq!(q.pop().unwrap().event, 1);
+        // The new event reuses slot 0; the stale token must not touch it.
+        let b = q.schedule(SimTime::from_secs(2), 2);
+        assert!(!q.cancel(a), "stale token must not cancel a reused slot");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b));
+        assert!(q.pop().is_none());
     }
 
     #[test]
@@ -223,5 +387,85 @@ mod tests {
         q.schedule(SimTime::from_secs(5), 2);
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn compaction_preserves_fifo_and_time_order() {
+        // Interleave live and cancelled events so several compactions run,
+        // then verify pop order is exactly what an uncancelled queue with
+        // the same live set would produce.
+        let mut q = EventQueue::new();
+        let mut expected = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..20u64 {
+                let t = SimTime::from_millis(1000 - round * 10);
+                let id = round * 100 + i;
+                let tok = q.schedule(t, id);
+                if i % 3 == 0 {
+                    expected.push((t, id));
+                } else {
+                    q.cancel(tok);
+                }
+            }
+        }
+        // Live events at equal times pop in schedule order.
+        expected.sort_by_key(|&(t, id)| (t, id));
+        let mut got = Vec::new();
+        while let Some(e) = q.pop() {
+            got.push((e.time, e.event));
+        }
+        assert_eq!(got, expected);
+    }
+
+    /// Satellite regression (issue 4): a sim-realistic timer-churn loop —
+    /// schedule a timeout well in the future, cancel it shortly after,
+    /// re-arm, repeat (the MAC's ACK/CTS pattern under heavy traffic) —
+    /// must not grow the heap with the cancellation count. Under the old
+    /// lazy-only cancellation every cancelled entry sat in the heap until
+    /// its distant fire time passed, so this loop grew the heap linearly
+    /// (~100k tombstones below); with compaction the physical heap stays
+    /// within a small constant factor of the live event count.
+    #[test]
+    fn timer_churn_keeps_heap_bounded() {
+        let mut q = EventQueue::new();
+        let timeout = SimDuration::from_secs(10); // re-armed far ahead
+        let step = SimDuration::from_micros(300); // cancelled quickly
+        let mut now = SimTime::ZERO;
+        let mut max_heap = 0usize;
+        // 100 concurrent logical timers (nodes), each re-armed 1000 times.
+        let mut tokens: Vec<EventToken> = (0..100).map(|i| q.schedule(now + timeout, i)).collect();
+        for _ in 0..1000 {
+            now += step;
+            for (i, tok) in tokens.iter_mut().enumerate() {
+                assert!(q.cancel(*tok), "timer was still pending");
+                *tok = q.schedule(now + timeout, i);
+            }
+            max_heap = max_heap.max(q.heap_len());
+        }
+        assert_eq!(q.len(), 100, "exactly the live timers remain");
+        assert!(
+            max_heap <= 4 * 100 + 2 * COMPACT_FLOOR,
+            "heap grew with cancellations: peak {max_heap} physical \
+             entries for 100 live timers (100k cancellations)"
+        );
+        // Drain: every live timer pops exactly once, in FIFO order.
+        let mut seen = Vec::new();
+        while let Some(e) = q.pop() {
+            seen.push(e.event);
+        }
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heap_len_reports_tombstones_below_compaction_floor() {
+        let mut q = EventQueue::new();
+        let toks: Vec<_> = (0..10)
+            .map(|i| q.schedule(SimTime::from_secs(9), i))
+            .collect();
+        for t in &toks[..5] {
+            q.cancel(*t);
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.heap_len(), 10, "below the floor tombstones persist");
     }
 }
