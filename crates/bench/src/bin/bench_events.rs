@@ -1,0 +1,161 @@
+//! `bench_events` — the event-engine scaling benchmark behind
+//! `BENCH_events.json`: batched `TxComplete` completion vs the retained
+//! per-receiver `RxEnd`/`TxEnd` scheduling, on full `dense`-family SRP
+//! trials at N ∈ {1000, 2000, 5000}.
+//!
+//! Per point it reports:
+//!
+//! * **trial wall clock** under each engine (the per-receiver oracle is
+//!   skipped above `--values` entries past `PER_RECEIVER_CAP` nodes to
+//!   keep regeneration affordable; the summaries of every pair that does
+//!   run are asserted **bit-identical** — the equivalence guarantee the
+//!   proptests fuzz);
+//! * **events processed** under each engine: batching collapses ~50
+//!   per-receiver heap events per transmission into one;
+//! * the **whole-trial speedup** against the last per-receiver-engine
+//!   whole-trial figure committed before the engine overhaul
+//!   (`BENCH_channel.json` of the spatial-index PR recorded the N = 1000
+//!   dense trial at 7636.6 ms through the same grid medium), answering
+//!   the ROADMAP scaling item in its own units.
+//!
+//! The default run records every node count at the dense family's
+//! default duration (40 s simulated) and appends one more 5000-node
+//! point at the CI smoke budget (30 s simulated, the duration the
+//! workflow's dense trial has used since the spatial-index PR) — the
+//! ROADMAP "5,000-node dense trial under 10 s wall-clock" gate is scored
+//! on that budget trial, with the full-duration figure alongside it.
+//!
+//! Regenerate the committed snapshot with:
+//!
+//! ```sh
+//! cargo run --release -p slr-bench --bin bench_events > BENCH_events.json
+//! ```
+//!
+//! Flags: `--values a,b,c` (node counts, default 1000,2000,5000),
+//! `--seed N` (default 42), `--duration S` (override trial seconds).
+
+use std::time::Instant;
+
+use slr_netsim::time::SimTime;
+use slr_runner::cli::parse_cli;
+use slr_runner::registry::{Family, SweepParam};
+use slr_runner::scenario::ProtocolKind;
+use slr_runner::sim::{EngineKind, Sim};
+use slr_runner::{Metrics, TrialSummary};
+
+/// Largest node count at which the per-receiver oracle trial also runs
+/// (it schedules ~50× the heap events; above this it only costs
+/// regeneration time without adding information — equivalence at scale
+/// is covered by `proptest_engine.rs`).
+const PER_RECEIVER_CAP: u64 = 2000;
+
+/// The N = 1000 dense whole-trial wall clock committed in
+/// `BENCH_channel.json` before the engine overhaul (same grid medium,
+/// same family defaults, per-receiver scheduling and lazy-cancel queue).
+const PRE_OVERHAUL_N1000_TRIAL_MS: f64 = 7636.6;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_cli(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let seed = opts.seed;
+    // (nodes, duration override): family-default duration per count,
+    // plus the 5000-node CI-smoke-budget trial (30 s simulated).
+    let runs: Vec<(u64, Option<u64>)> = match opts.values {
+        Some(v) => v.into_iter().map(|n| (n, opts.duration)).collect(),
+        None => vec![(1000, None), (2000, None), (5000, None), (5000, Some(30))],
+    };
+
+    let mut points = Vec::new();
+    for &(n, duration) in &runs {
+        eprintln!("bench_events: N = {n} (batched) …");
+        let scenario_for = || {
+            let mut s =
+                Family::Dense.scenario_at(ProtocolKind::Srp, seed, 0, false, SweepParam::Nodes, n);
+            if let Some(d) = duration {
+                s.end = SimTime::from_secs(d);
+            }
+            s
+        };
+        let duration_s = duration.unwrap_or_else(|| scenario_for().end.as_secs_f64() as u64);
+        let (batched_summary, batched_metrics, batched_ms) =
+            run_trial(scenario_for(), EngineKind::Batched);
+
+        let per_receiver = if n <= PER_RECEIVER_CAP {
+            eprintln!("bench_events: N = {n} (per-receiver oracle) …");
+            let (summary, metrics, ms) = run_trial(scenario_for(), EngineKind::PerReceiver);
+            assert_eq!(
+                batched_summary, summary,
+                "engines diverged at N={n}:\n batched {batched_summary:?}\n per-rx {summary:?}"
+            );
+            Some((metrics, ms))
+        } else {
+            None
+        };
+
+        let per_rx_fields = match &per_receiver {
+            Some((m, ms)) => format!(
+                "\n      \"trial_ms_per_receiver\": {ms:.1},\n      \
+                 \"events_per_receiver\": {},\n      \
+                 \"speedup_vs_per_receiver\": {:.2},\n      \
+                 \"summaries_identical\": true,",
+                m.sim_events,
+                ms / batched_ms,
+            ),
+            None => String::new(),
+        };
+        let vs_pre = if n == 1000 && duration.is_none() {
+            format!(
+                "\n      \"speedup_vs_pre_overhaul_trial\": {:.2},",
+                PRE_OVERHAUL_N1000_TRIAL_MS / batched_ms
+            )
+        } else {
+            String::new()
+        };
+        points.push(format!(
+            "    {{\n      \"nodes\": {n},\n      \
+             \"duration_s\": {duration_s},\n      \
+             \"trial_ms_batched\": {batched_ms:.1},\n      \
+             \"events_batched\": {},{per_rx_fields}{vs_pre}\n      \
+             \"transmissions\": {},\n      \
+             \"delivery_ratio\": {:.4}\n    }}",
+            batched_metrics.sim_events,
+            batched_metrics.mac_tx_data + batched_metrics.control_sent,
+            batched_summary.delivery_ratio,
+        ));
+        eprintln!(
+            "bench_events: N = {n}: batched {batched_ms:.0} ms ({} events){}",
+            batched_metrics.sim_events,
+            match &per_receiver {
+                Some((m, ms)) => format!(
+                    ", per-receiver {ms:.0} ms ({} events, {:.2}×), summaries identical",
+                    m.sim_events,
+                    ms / batched_ms
+                ),
+                None => String::new(),
+            }
+        );
+    }
+
+    println!(
+        "{{\n  \"benchmark\": \"event-engine-scaling\",\n  \
+         \"command\": \"cargo run --release -p slr-bench --bin bench_events > BENCH_events.json\",\n  \
+         \"description\": \"batched TxComplete completion (one heap event per transmission; receivers complete in ascending order from the channel's retained receiver set) vs the retained per-receiver RxEnd/TxEnd oracle, on full dense-family SRP trials at the family's default duration; paired summaries are asserted bit-identical; speedup_vs_pre_overhaul_trial compares against the N=1000 whole-trial figure committed in BENCH_channel.json before the engine overhaul (7636.6 ms)\",\n  \
+         \"seed\": {seed},\n  \"points\": [\n{}\n  ]\n}}",
+        points.join(",\n")
+    );
+}
+
+/// Times one full dense trial under `engine`.
+fn run_trial(scenario: slr_runner::Scenario, engine: EngineKind) -> (TrialSummary, Metrics, f64) {
+    let sim = Sim::new(scenario).with_engine(engine);
+    let start = Instant::now();
+    let (summary, metrics) = sim.run_detailed();
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    (summary, metrics, ms)
+}

@@ -96,6 +96,7 @@ impl Cli {
             override_duration: opts.duration,
             override_dynamics: opts.dynamics,
             validate_spatial: opts.validate_spatial,
+            engine: opts.engine,
         };
         if let Err(e) = sweep.validate() {
             eprintln!("{e}");

@@ -28,6 +28,7 @@
 
 pub mod admittance;
 pub mod engine;
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod spatial;
@@ -35,6 +36,7 @@ pub mod time;
 
 pub use admittance::{Admittance, DynAction};
 pub use engine::Simulator;
+pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use queue::{EventQueue, EventToken, Scheduled};
 pub use spatial::SpatialIndex;
 pub use time::{SimDuration, SimTime};

@@ -1,7 +1,7 @@
 //! The SRP protocol engine: Procedures 1–4, Algorithm 1, SDC and the
 //! Eq. 9–11 relay rules from §III of the paper.
 
-use std::collections::HashMap;
+use slr_netsim::hash::FastHashMap;
 
 use slr_core::{new_order, Frac32, SplitLabel32, SuccessorTable};
 use slr_netsim::time::{SimDuration, SimTime};
@@ -151,12 +151,12 @@ pub struct Srp {
     /// Definition 7). Only we may increment it.
     own_seqno: u64,
     seqno_increments: u64,
-    dests: HashMap<NodeId, DestState>,
-    rreq_seen: HashMap<(NodeId, u64), RreqCache>,
+    dests: FastHashMap<NodeId, DestState>,
+    rreq_seen: FastHashMap<(NodeId, u64), RreqCache>,
     next_rreq_id: u64,
-    discoveries: HashMap<NodeId, Discovery>,
+    discoveries: FastHashMap<NodeId, Discovery>,
     buffer: PacketBuffer,
-    last_rerr: HashMap<NodeId, SimTime>,
+    last_rerr: FastHashMap<NodeId, SimTime>,
     max_denominator: u64,
     discoveries_started: u64,
     resets_requested: u64,
@@ -170,12 +170,12 @@ impl Srp {
             cfg,
             own_seqno: 1,
             seqno_increments: 0,
-            dests: HashMap::new(),
-            rreq_seen: HashMap::new(),
+            dests: FastHashMap::default(),
+            rreq_seen: FastHashMap::default(),
             next_rreq_id: 0,
-            discoveries: HashMap::new(),
+            discoveries: FastHashMap::default(),
             buffer: PacketBuffer::new(cfg.buffer_capacity),
-            last_rerr: HashMap::new(),
+            last_rerr: FastHashMap::default(),
             max_denominator: 1,
             discoveries_started: 0,
             resets_requested: 0,

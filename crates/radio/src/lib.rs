@@ -29,7 +29,7 @@ pub mod mac;
 pub mod medium;
 pub mod phy;
 
-pub use channel::{BeginTx, Channel, ChannelStats, FinishRx, TxId};
+pub use channel::{BeginTx, Channel, ChannelStats, FinishRx, Receiver, TxId};
 pub use frame::{Frame, FrameKind};
 pub use mac::{DropReason, Mac, MacConfig, MacCounters, MacEffect, MacTimer};
 pub use medium::{BruteForceMedium, NeighborQuery, StaticGridMedium, ValidatingQuery};

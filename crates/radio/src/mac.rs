@@ -19,7 +19,9 @@
 //! [`MacEffect`]s the harness interprets (start a transmission on the
 //! channel, arm or cancel a timer, deliver a payload upward, …).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use slr_netsim::hash::FastHashMap;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -90,6 +92,26 @@ pub enum MacTimer {
     TxSifs,
     /// Wake-up when the NAV expires.
     NavEnd,
+}
+
+impl MacTimer {
+    /// Number of timer kinds (size for dense per-node timer tables).
+    pub const COUNT: usize = 7;
+
+    /// A dense index in `0..COUNT`, stable per kind — harnesses keep
+    /// per-node timer tokens in a flat array instead of a hash map (timer
+    /// arm/cancel is the hottest bookkeeping in a trial).
+    pub fn index(self) -> usize {
+        match self {
+            MacTimer::Difs => 0,
+            MacTimer::Backoff => 1,
+            MacTimer::Cts => 2,
+            MacTimer::Ack => 3,
+            MacTimer::RespSifs => 4,
+            MacTimer::TxSifs => 5,
+            MacTimer::NavEnd => 6,
+        }
+    }
 }
 
 /// Why the MAC dropped a payload.
@@ -248,7 +270,7 @@ pub struct Mac<P> {
 
     next_seq: u64,
     /// Last data sequence number delivered per source (duplicate filter).
-    rx_dedup: HashMap<usize, u64>,
+    rx_dedup: FastHashMap<usize, u64>,
 
     /// Statistics.
     pub counters: MacCounters,
@@ -273,7 +295,7 @@ impl<P: Clone> Mac<P> {
             transmitting: false,
             nav_until: SimTime::ZERO,
             next_seq: 0,
-            rx_dedup: HashMap::new(),
+            rx_dedup: FastHashMap::default(),
             counters: MacCounters::default(),
         }
     }
@@ -281,6 +303,35 @@ impl<P: Clone> Mac<P> {
     /// This MAC's node id.
     pub fn node(&self) -> usize {
         self.node
+    }
+
+    /// Whether this MAC currently believes the physical carrier is busy.
+    /// Diagnostic: the harness's channel is the ground truth; the two
+    /// views must agree whenever the node is up (the crash–rejoin
+    /// regression tests hold the harness to exactly that).
+    pub fn carrier_busy(&self) -> bool {
+        self.phys_busy
+    }
+
+    /// Overwrites the carrier view without running the freeze/resume
+    /// machinery. For harnesses that *elide* busy/idle notifications to
+    /// transition-insensitive MACs (see [`Mac::transition_sensitive`])
+    /// and lazily resynchronize from channel ground truth before the
+    /// next input — behaviorally identical to having delivered every
+    /// elided notification, since an insensitive MAC's only reaction to
+    /// one is this assignment.
+    pub fn set_carrier(&mut self, busy: bool) {
+        self.phys_busy = busy;
+    }
+
+    /// Whether a carrier busy/idle transition can change this MAC's
+    /// behavior *right now*: deferring or counting down (freeze/resume
+    /// act), or holding a frame waiting for the medium (idle resumes
+    /// access). In every other state a transition's entire effect is the
+    /// `phys_busy` flag itself, which [`Mac::set_carrier`] can replay
+    /// later.
+    pub fn transition_sensitive(&self) -> bool {
+        matches!(self.access, Access::WantTx | Access::Difs | Access::Backoff)
     }
 
     /// Queue length (both priorities).
@@ -300,13 +351,29 @@ impl<P: Clone> Mac<P> {
         now: SimTime,
     ) -> Vec<MacEffect<P>> {
         let mut fx = Vec::new();
+        self.enqueue_into(payload, dst, payload_bytes, priority, now, &mut fx);
+        fx
+    }
+
+    /// [`Mac::enqueue`] appending into a caller-supplied buffer (the
+    /// harness's hot path reuses one scratch vector across every MAC
+    /// call; the allocating wrappers remain for tests and examples).
+    pub fn enqueue_into(
+        &mut self,
+        payload: P,
+        dst: Option<usize>,
+        payload_bytes: u32,
+        priority: bool,
+        now: SimTime,
+        fx: &mut Vec<MacEffect<P>>,
+    ) {
         if self.queue_len() >= self.cfg.queue_capacity {
             self.counters.drop_ifq += 1;
             fx.push(MacEffect::Dropped {
                 payload,
                 reason: DropReason::IfqOverflow,
             });
-            return fx;
+            return;
         }
         let out = Outgoing {
             payload,
@@ -319,31 +386,46 @@ impl<P: Clone> Mac<P> {
             self.lo_queue.push_back(out);
         }
         if self.access == Access::Idle {
-            self.stage_next(&mut fx);
-            self.reevaluate(now, &mut fx);
+            self.stage_next(fx);
+            self.reevaluate(now, fx);
         }
-        fx
     }
 
     /// Physical carrier went busy at this node.
     pub fn on_channel_busy(&mut self, now: SimTime) -> Vec<MacEffect<P>> {
         let mut fx = Vec::new();
-        self.phys_busy = true;
-        self.freeze(now, &mut fx);
+        self.on_channel_busy_into(now, &mut fx);
         fx
+    }
+
+    /// [`Mac::on_channel_busy`], appending into a caller buffer.
+    pub fn on_channel_busy_into(&mut self, now: SimTime, fx: &mut Vec<MacEffect<P>>) {
+        self.phys_busy = true;
+        self.freeze(now, fx);
     }
 
     /// Physical carrier went idle at this node.
     pub fn on_channel_idle(&mut self, now: SimTime) -> Vec<MacEffect<P>> {
         let mut fx = Vec::new();
-        self.phys_busy = false;
-        self.reevaluate(now, &mut fx);
+        self.on_channel_idle_into(now, &mut fx);
         fx
+    }
+
+    /// [`Mac::on_channel_idle`], appending into a caller buffer.
+    pub fn on_channel_idle_into(&mut self, now: SimTime, fx: &mut Vec<MacEffect<P>>) {
+        self.phys_busy = false;
+        self.reevaluate(now, fx);
     }
 
     /// A frame was received intact.
     pub fn on_rx_frame(&mut self, frame: Frame<P>, now: SimTime) -> Vec<MacEffect<P>> {
         let mut fx = Vec::new();
+        self.on_rx_frame_into(frame, now, &mut fx);
+        fx
+    }
+
+    /// [`Mac::on_rx_frame`], appending into a caller buffer.
+    pub fn on_rx_frame_into(&mut self, frame: Frame<P>, now: SimTime, fx: &mut Vec<MacEffect<P>>) {
         if !frame.addressed_to(self.node) {
             // Virtual carrier sense: honour the frame's NAV.
             if frame.nav > SimDuration::ZERO {
@@ -351,9 +433,9 @@ impl<P: Clone> Mac<P> {
                 if until > self.nav_until {
                     self.nav_until = until;
                 }
-                self.freeze(now, &mut fx);
+                self.freeze(now, fx);
             }
-            return fx;
+            return;
         }
         match frame.kind {
             FrameKind::Data => {
@@ -416,23 +498,28 @@ impl<P: Clone> Mac<P> {
                     fx.push(MacEffect::TxDone { dst: cur.out.dst });
                     self.cw = self.cfg.cw_min;
                     self.access = Access::Idle;
-                    self.stage_next(&mut fx);
-                    self.reevaluate(now, &mut fx);
+                    self.stage_next(fx);
+                    self.reevaluate(now, fx);
                 }
             }
         }
-        fx
     }
 
     /// Our transmission finished (scheduled by the harness at tx start +
     /// airtime).
     pub fn on_tx_end(&mut self, now: SimTime) -> Vec<MacEffect<P>> {
         let mut fx = Vec::new();
+        self.on_tx_end_into(now, &mut fx);
+        fx
+    }
+
+    /// [`Mac::on_tx_end`], appending into a caller buffer.
+    pub fn on_tx_end_into(&mut self, now: SimTime, fx: &mut Vec<MacEffect<P>>) {
         self.transmitting = false;
         if matches!(self.response, Some(RespState::Tx)) {
             self.response = None;
-            self.reevaluate(now, &mut fx);
-            return fx;
+            self.reevaluate(now, fx);
+            return;
         }
         match self.access {
             Access::TxRts => {
@@ -453,8 +540,8 @@ impl<P: Clone> Mac<P> {
                     fx.push(MacEffect::TxDone { dst: cur.out.dst });
                     self.cw = self.cfg.cw_min;
                     self.access = Access::Idle;
-                    self.stage_next(&mut fx);
-                    self.reevaluate(now, &mut fx);
+                    self.stage_next(fx);
+                    self.reevaluate(now, fx);
                 } else {
                     self.access = Access::WaitAck;
                     let timeout = self.cfg.sifs
@@ -465,17 +552,22 @@ impl<P: Clone> Mac<P> {
             }
             _ => {}
         }
-        fx
     }
 
     /// A MAC timer fired.
     pub fn on_timer(&mut self, timer: MacTimer, now: SimTime) -> Vec<MacEffect<P>> {
         let mut fx = Vec::new();
+        self.on_timer_into(timer, now, &mut fx);
+        fx
+    }
+
+    /// [`Mac::on_timer`], appending into a caller buffer.
+    pub fn on_timer_into(&mut self, timer: MacTimer, now: SimTime, fx: &mut Vec<MacEffect<P>>) {
         match timer {
             MacTimer::Difs => {
                 if self.access == Access::Difs {
                     if self.slots_remaining == 0 {
-                        self.transmit_current(now, &mut fx);
+                        self.transmit_current(now, fx);
                     } else {
                         self.access = Access::Backoff;
                         self.backoff_started = now;
@@ -489,18 +581,18 @@ impl<P: Clone> Mac<P> {
             MacTimer::Backoff => {
                 if self.access == Access::Backoff {
                     self.slots_remaining = 0;
-                    self.transmit_current(now, &mut fx);
+                    self.transmit_current(now, fx);
                 }
             }
             MacTimer::Cts => {
                 if self.access == Access::WaitCts {
-                    self.retry(true, now, &mut fx);
+                    self.retry(true, now, fx);
                 }
             }
             MacTimer::Ack => {
                 if self.access == Access::WaitAck {
                     let long = self.current.as_ref().map(|c| c.use_rts).unwrap_or(false);
-                    self.retry(!long, now, &mut fx);
+                    self.retry(!long, now, fx);
                 }
             }
             MacTimer::RespSifs => {
@@ -538,14 +630,13 @@ impl<P: Clone> Mac<P> {
             }
             MacTimer::TxSifs => {
                 if self.access == Access::SifsData {
-                    self.send_data(now, &mut fx);
+                    self.send_data(now, fx);
                 }
             }
             MacTimer::NavEnd => {
-                self.reevaluate(now, &mut fx);
+                self.reevaluate(now, fx);
             }
         }
-        fx
     }
 
     /// Whether the medium is free for access-machine purposes.

@@ -83,6 +83,7 @@ fn main() {
         override_duration: opts.duration,
         override_dynamics: opts.dynamics,
         validate_spatial: opts.validate_spatial,
+        engine: opts.engine,
         ..SweepConfig::default()
     };
     if let Some(t) = opts.threads {
@@ -177,7 +178,7 @@ fn run_oracle_pass(
     for &value in &cfg.values {
         for trial in 0..cfg.trials {
             let scenario = cfg.scenario_for(ProtocolKind::Srp, value, trial);
-            let mut sim = Sim::new(scenario);
+            let mut sim = Sim::new(scenario).with_engine(cfg.engine);
             if cfg.validate_spatial {
                 sim.enable_spatial_validation();
             }

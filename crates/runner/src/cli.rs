@@ -10,6 +10,7 @@
 use crate::dynamics::DynamicsSpec;
 use crate::registry::{Family, SweepParam};
 use crate::scenario::ProtocolKind;
+use crate::sim::EngineKind;
 
 /// What the invocation asks the binary to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +57,10 @@ pub struct CliOptions {
     /// query against the brute-force oracle (debug; slows trials to the
     /// old O(N·N) cost).
     pub validate_spatial: bool,
+    /// `--engine batched|per-receiver`: how transmission-end events are
+    /// scheduled (batched by default; per-receiver is the retained
+    /// reference engine, bit-identical but slower at density).
+    pub engine: EngineKind,
     /// `--json`: machine-readable output.
     pub json: bool,
     /// What to do (run / list / help).
@@ -79,6 +84,7 @@ impl Default for CliOptions {
             paper: false,
             oracle: false,
             validate_spatial: false,
+            engine: EngineKind::Batched,
             json: false,
             action: CliAction::Run,
         }
@@ -92,7 +98,8 @@ pub fn usage(bin: &str) -> String {
          [--values a,b,c] [--pause S] [--protocol NAME|all] [--trials N] \
          [--seed N] [--threads N] [--nodes N] [--flows N] [--duration S] \
          [--dynamics churn[:RATE]|partition[:K]|crash[:N]|none] [--paper] \
-         [--json] [--oracle] [--validate-spatial] [--list-scenarios]"
+         [--json] [--oracle] [--validate-spatial] \
+         [--engine batched|per-receiver] [--list-scenarios]"
     )
 }
 
@@ -206,6 +213,17 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
             "--paper" => opts.paper = true,
             "--oracle" => opts.oracle = true,
             "--validate-spatial" => opts.validate_spatial = true,
+            "--engine" => {
+                opts.engine = match take_value()?.as_str() {
+                    "batched" => EngineKind::Batched,
+                    "per-receiver" => EngineKind::PerReceiver,
+                    other => {
+                        return Err(format!(
+                            "unknown engine {other:?} (expected batched or per-receiver)"
+                        ))
+                    }
+                }
+            }
             "--json" => opts.json = true,
             "--list-scenarios" | "--list" => opts.action = CliAction::ListScenarios,
             "--help" | "-h" => opts.action = CliAction::Help,

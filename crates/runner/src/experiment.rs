@@ -17,7 +17,7 @@ use crate::dynamics::DynamicsSpec;
 use crate::metrics::TrialSummary;
 use crate::registry::{Family, SweepParam};
 use crate::scenario::{ProtocolKind, Scenario};
-use crate::sim::Sim;
+use crate::sim::{EngineKind, Sim};
 use crate::stats::MeanCi;
 
 /// The paper's eight pause times (§V).
@@ -116,6 +116,10 @@ pub struct SweepConfig {
     /// brute-force oracle (CLI `--validate-spatial`; debug only — it
     /// restores the old O(N) scan per transmission on top of the index).
     pub validate_spatial: bool,
+    /// Which transmission-end event engine trials run under (CLI
+    /// `--engine`; the per-receiver oracle is bit-identical but slower
+    /// at density).
+    pub engine: EngineKind,
 }
 
 impl Default for SweepConfig {
@@ -135,6 +139,7 @@ impl Default for SweepConfig {
             override_duration: None,
             override_dynamics: None,
             validate_spatial: false,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -366,7 +371,7 @@ pub fn run_sweep(protocols: &[ProtocolKind], cfg: &SweepConfig) -> SweepResult {
                 break;
             };
             let scenario = cfg.scenario_for(kind, value, trial);
-            let mut sim = Sim::new(scenario);
+            let mut sim = Sim::new(scenario).with_engine(cfg.engine);
             if cfg.validate_spatial {
                 sim.enable_spatial_validation();
             }

@@ -46,6 +46,6 @@ pub use medium::{MediumView, PositionTracker};
 pub use metrics::{Metrics, TrialSummary};
 pub use registry::{Family, SweepParam};
 pub use scenario::{MobilitySpec, ProtocolKind, Scenario, TopologySpec, TrafficSpec};
-pub use sim::{MediumKind, Payload, Sim};
+pub use sim::{EngineKind, MediumKind, Payload, Sim};
 pub use stats::MeanCi;
 pub use trace::{PacketFate, TraceEvent, TraceLog};

@@ -1,7 +1,8 @@
 //! Per-trial metric collection: exactly the quantities the paper reports.
 
 use std::collections::HashMap;
-use std::collections::HashSet;
+
+use slr_netsim::hash::FastHashSet;
 
 use slr_netsim::admittance::DynAction;
 use slr_netsim::time::SimTime;
@@ -70,6 +71,12 @@ pub struct Metrics {
     pub oracle_soft_violations: u64,
     /// Channel collisions observed.
     pub collisions: u64,
+    /// Discrete events the simulator processed. Engine-dependent by
+    /// design (the batched engine folds a transmission's receiver
+    /// completions into one event), so it lives here for diagnostics and
+    /// benchmarks but is deliberately *not* part of [`TrialSummary`],
+    /// whose equality is the cross-engine bit-identity check.
+    pub sim_events: u64,
     /// Sum over nodes of own-sequence-number increments (Fig. 7).
     pub seqno_increments_total: u64,
     /// Largest SRP feasible-distance denominator seen on any node.
@@ -78,7 +85,7 @@ pub struct Metrics {
     pub discoveries: u64,
     /// Path resets requested (SRP/LDR).
     pub resets: u64,
-    delivered_uids: HashSet<u64>,
+    delivered_uids: FastHashSet<u64>,
 }
 
 impl Metrics {

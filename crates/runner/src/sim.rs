@@ -7,7 +7,8 @@
 //! interactions (carrier-sense callbacks, link-failure notifications,
 //! timer bookkeeping) live in exactly one place.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::rc::Rc;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -32,18 +33,27 @@ use crate::scenario::{MobilitySpec, Scenario, TopologySpec};
 use crate::trace::{TraceEvent, TraceLog};
 
 /// Upper-layer payloads carried in MAC data frames.
+///
+/// Reference-counted: a frame's payload is cloned once per perceiving
+/// receiver and again per MAC retry attempt, and control packets are
+/// ~100-byte enums — at dense scale the deep copies were measurable.
+/// The receiving protocol takes ownership at delivery (`try_unwrap`
+/// avoids the copy whenever the reference is unique by then).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     /// A routing control packet.
-    Control(ControlPacket),
+    Control(Rc<ControlPacket>),
     /// A data-plane packet.
-    Data(DataPacket),
+    Data(Rc<DataPacket>),
 }
 
-/// Harness events. Timer and channel events carry the node's *crash
-/// epoch* at scheduling time: a crash increments the epoch, so events
-/// addressed to the node's pre-crash incarnation are recognized as stale
-/// and only their channel bookkeeping runs.
+/// Harness events. Timer and transmitter-end events carry the node's
+/// *crash epoch* at scheduling time: a crash increments the epoch, so
+/// events addressed to the node's pre-crash incarnation are recognized as
+/// stale and only their channel bookkeeping runs. Receiver-side signal
+/// ends carry no epoch — crashed receivers are quarantined channel-side
+/// ([`Channel::crash_receiver`]), and busy/idle transitions track the
+/// physical medium, reaching whichever MAC incarnation is up at fire time.
 #[derive(Debug)]
 enum Event {
     /// A scripted application packet enters the network at its source.
@@ -52,10 +62,17 @@ enum Event {
     MacTimer(usize, MacTimer),
     /// A routing-protocol timer fired (node, epoch, token).
     ProtoTimer(usize, u64, u64),
-    /// A transmission finished at the transmitter (node, epoch, tx).
+    /// A transmission finished at the transmitter (node, epoch, tx) —
+    /// the retained per-receiver engine.
     TxEnd(usize, u64, TxId),
-    /// A signal ended at one receiver (node, epoch, tx).
-    RxEnd(usize, u64, TxId),
+    /// A signal ended at one receiver (node, tx) — the retained
+    /// per-receiver engine.
+    RxEnd(usize, TxId),
+    /// A whole transmission ended (node, epoch, tx): every receiver
+    /// signal completes in ascending node order from the channel's
+    /// retained receiver set, then the transmitter side — one heap event
+    /// per transmission instead of one per receiver (the batched engine).
+    TxComplete(usize, u64, TxId),
     /// The indexed entry of the dynamics script fires.
     Dynamics(usize),
 }
@@ -77,6 +94,25 @@ pub enum MediumKind {
     /// oracle the index must match bit-for-bit. Kept for equivalence
     /// tests and the `slr-bench` channel-scaling benchmark.
     BruteForce,
+}
+
+/// How transmission-end processing is driven through the event queue.
+/// Both engines execute the identical per-receiver completion logic in
+/// the identical order; they differ only in how many heap events carry
+/// it, and must therefore produce bit-identical trials (the equivalence
+/// tests in the workspace root hold them to exactly that, the same way
+/// `BruteForceMedium` anchors the spatial index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// One `TxComplete` heap event per transmission: receivers complete
+    /// in ascending node order from the channel's retained receiver set,
+    /// then the transmitter (the production path — at dense scale the
+    /// per-receiver events, not the medium, dominated trial time).
+    #[default]
+    Batched,
+    /// One `RxEnd` heap event per receiver plus a `TxEnd` — the original
+    /// scheduling, retained as the reference oracle for the batched path.
+    PerReceiver,
 }
 
 /// One running trial.
@@ -101,13 +137,39 @@ pub struct Sim {
     static_script: bool,
     /// Which neighbor-query implementation serves the channel.
     medium: MediumKind,
+    /// How transmission-end events are scheduled.
+    engine: EngineKind,
     /// Cross-check every grid query against the brute-force oracle.
     validate_spatial: bool,
-    mac_timers: Vec<HashMap<MacTimer, EventToken>>,
+    /// Whether `startup` has run (guards partial stepping via
+    /// [`Sim::advance_until`] followed by a full run).
+    started: bool,
+    /// Per-node armed MAC timers, a flat `[Option<EventToken>]` per node
+    /// indexed by [`MacTimer::index`] — timer arm/cancel is the hottest
+    /// bookkeeping in a trial and a hash map here was measurable.
+    mac_timers: Vec<[Option<EventToken>; MacTimer::COUNT]>,
+    /// Recycled work queues (no allocation per dispatched event).
+    work_pool: Vec<VecDeque<Work>>,
+    /// Reusable MAC-effect buffer handed to `Mac::*_into` calls (one
+    /// scratch vector instead of an allocation per MAC invocation).
+    mac_fx: Vec<MacEffect<Payload>>,
+    /// Per-node cache of [`Mac::transition_sensitive`]: whether a carrier
+    /// busy/idle transition can change the MAC's behavior right now.
+    /// Maintained after every MAC call; lets the harness elide the
+    /// notification fan-out to quiescent MACs (the single most frequent
+    /// MAC call at dense scale — tens of millions of no-ops per trial).
+    mac_sensitive: Vec<bool>,
+    /// Nodes whose MAC carrier view went stale through an elided
+    /// notification; resynchronized from channel ground truth at the
+    /// node's next MAC input (`mac_call`), before anything can read it.
+    carrier_stale: Vec<bool>,
     /// The administrative link/node filter the channel consults.
     admittance: Admittance,
     /// Compiled dynamics schedule, time-sorted.
     dynamics: Vec<(SimTime, DynAction)>,
+    /// Whether any dynamics are scheduled (guards admittance checks and
+    /// the per-receiver gate on the hot path).
+    has_dynamics: bool,
     /// Per-node crash epoch (bumped on every crash).
     epochs: Vec<u64>,
     /// Earliest unanswered disruption (route-repair latency clock).
@@ -249,9 +311,16 @@ impl Sim {
             snapshot_at: Some(SimTime::ZERO),
             static_script,
             medium: MediumKind::default(),
+            engine: EngineKind::default(),
             validate_spatial: false,
-            mac_timers: vec![HashMap::new(); n],
+            started: false,
+            mac_timers: vec![[None; MacTimer::COUNT]; n],
+            work_pool: Vec::new(),
+            mac_fx: Vec::new(),
+            mac_sensitive: vec![false; n],
+            carrier_stale: vec![false; n],
             admittance: Admittance::new(n),
+            has_dynamics: !dynamics.is_empty(),
             dynamics,
             epochs: vec![0; n],
             pending_repair: None,
@@ -276,6 +345,19 @@ impl Sim {
     /// Builder form of [`Sim::set_medium`].
     pub fn with_medium(mut self, medium: MediumKind) -> Self {
         self.set_medium(medium);
+        self
+    }
+
+    /// Selects how transmission-end events are scheduled (batched by
+    /// default; the per-receiver oracle for equivalence tests and the
+    /// `slr-bench` event-engine benchmark).
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        self.engine = engine;
+    }
+
+    /// Builder form of [`Sim::set_engine`].
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.set_engine(engine);
         self
     }
 
@@ -332,17 +414,83 @@ impl Sim {
                 };
                 self.protos[node].on_start(&mut ctx)
             };
-            let work: VecDeque<Work> = fx.into_iter().map(|e| Work::Proto(node, e)).collect();
-            self.drain(work);
+            self.drain_proto(node, fx);
+        }
+    }
+
+    /// Runs `startup` exactly once per trial, however the trial is
+    /// driven (full run, oracle run, or partial stepping).
+    fn ensure_started(&mut self) {
+        if !self.started {
+            self.started = true;
+            self.startup();
         }
     }
 
     fn run_loop(&mut self) {
-        self.startup();
+        self.ensure_started();
         let end = self.scenario.end;
         while let Some(ev) = self.sim.next_before(end) {
             self.dispatch(ev.event);
         }
+    }
+
+    /// Processes events strictly before `horizon` (clamped to the
+    /// scenario end), starting the trial if needed. A stepping hook for
+    /// tests and diagnostics that must observe or perturb mid-trial state
+    /// (e.g. the crash-mid-reception regression tests); the run methods
+    /// continue seamlessly afterwards.
+    pub fn advance_until(&mut self, horizon: SimTime) {
+        self.ensure_started();
+        let end = self.scenario.end.min(horizon);
+        while let Some(ev) = self.sim.next_before(end) {
+            self.dispatch(ev.event);
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Appends a dynamics action at `time`, after the compiled schedule
+    /// (tests use this to place crash/rejoin events at sub-airtime
+    /// precision the stochastic compiler cannot target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the simulation's past.
+    pub fn inject_dynamics(&mut self, time: SimTime, action: DynAction) {
+        let idx = self.dynamics.len();
+        self.dynamics.push((time, action));
+        self.has_dynamics = true;
+        if self.started {
+            self.sim.schedule_at(time, Event::Dynamics(idx));
+        }
+        // Otherwise `startup` schedules it along with the compiled script.
+    }
+
+    /// Whether `node`'s medium is physically busy (ground truth).
+    pub fn channel_is_busy(&self, node: usize) -> bool {
+        self.channel.is_busy(node)
+    }
+
+    /// The carrier state `node`'s MAC will act on at its next input.
+    /// Must agree with [`Sim::channel_is_busy`] whenever the node is up.
+    /// (Elided notifications leave the MAC's stored flag stale until the
+    /// lazy resync; this reports the effective, post-resync view.)
+    pub fn mac_carrier_busy(&self, node: usize) -> bool {
+        if self.carrier_stale[node] {
+            self.channel.is_busy(node)
+        } else {
+            self.macs[node].carrier_busy()
+        }
+    }
+
+    /// Collisions the channel has counted so far (mid-trial diagnostic;
+    /// the final figure lands in the metrics at trial end).
+    pub fn channel_collisions(&self) -> u64 {
+        self.channel.stats.collisions
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -393,7 +541,7 @@ impl Sim {
                     };
                     self.protos[spec.src].on_data_from_app(&mut ctx, packet)
                 };
-                self.drain(fx.into_iter().map(|e| Work::Proto(spec.src, e)).collect());
+                self.drain_proto(spec.src, fx);
             }
             Event::ProtoTimer(node, epoch, token) => {
                 if epoch != self.epochs[node] {
@@ -407,13 +555,12 @@ impl Sim {
                     };
                     self.protos[node].on_timer(&mut ctx, token)
                 };
-                self.drain(fx.into_iter().map(|e| Work::Proto(node, e)).collect());
+                self.drain_proto(node, fx);
             }
             Event::MacTimer(node, kind) => {
-                self.mac_timers[node].remove(&kind);
+                self.mac_timers[node][kind.index()] = None;
                 let now = self.sim.now();
-                let fx = self.macs[node].on_timer(kind, now);
-                self.drain(fx.into_iter().map(|e| Work::Mac(node, e)).collect());
+                self.mac_call_drain(node, |mac, fx| mac.on_timer_into(kind, now, fx));
             }
             Event::TxEnd(node, epoch, tx_id) => {
                 // Channel bookkeeping runs unconditionally; the MAC only
@@ -423,36 +570,78 @@ impl Sim {
                     return;
                 }
                 let now = self.sim.now();
-                let fx = self.macs[node].on_tx_end(now);
-                self.drain(fx.into_iter().map(|e| Work::Mac(node, e)).collect());
+                self.mac_call_drain(node, |mac, fx| mac.on_tx_end_into(now, fx));
             }
-            Event::RxEnd(node, epoch, tx_id) => {
+            Event::RxEnd(node, tx_id) => {
+                self.finish_signal(node, tx_id);
+            }
+            Event::TxComplete(node, epoch, tx_id) => {
+                // The whole transmission in one event: each receiver's
+                // signal completes (ascending node order, each one's
+                // effects fully drained before the next — exactly the pop
+                // order the per-receiver engine produces), then the
+                // transmitter side.
                 let now = self.sim.now();
-                let r = self.channel.finish_rx(node, tx_id, now);
+                let receivers = self.channel.take_tx_receivers(tx_id);
+                for r in &receivers {
+                    let outcome = self.channel.finish_rx_batched(r.node as usize, tx_id, now);
+                    self.after_finish_rx(r.node as usize, outcome, now);
+                }
+                self.channel.recycle_receivers(receivers);
+                self.channel.finish_tx_batched(tx_id);
                 if epoch != self.epochs[node] {
-                    return; // Signal addressed to a pre-crash incarnation.
+                    return;
                 }
-                if r.collided {
-                    self.metrics.collisions += 1;
-                }
-                let mut work = VecDeque::new();
-                if let Some(frame) = r.frame {
-                    for e in self.macs[node].on_rx_frame(frame, now) {
-                        work.push_back(Work::Mac(node, e));
-                    }
-                }
-                if r.became_idle {
-                    for e in self.macs[node].on_channel_idle(now) {
-                        work.push_back(Work::Mac(node, e));
-                    }
-                }
-                self.drain(work);
+                self.mac_call_drain(node, |mac, fx| mac.on_tx_end_into(now, fx));
             }
             Event::Dynamics(idx) => {
                 let action = self.dynamics[idx].1.clone();
                 self.apply_dynamics(action);
             }
         }
+    }
+
+    /// Completes one receiver's signal: channel bookkeeping, then frame
+    /// delivery and busy→idle notification for the node's *current* MAC.
+    /// Shared verbatim by both event engines — their bit-identity rests on
+    /// this being the only receiver-completion path.
+    ///
+    /// Crash semantics: a receiver that crashed mid-reception had its
+    /// signals quarantined channel-side ([`Channel::crash_receiver`]), so
+    /// no frame and no collision can surface here. Busy/idle transitions
+    /// describe the physical medium at the node's radio, so they reach
+    /// whichever MAC incarnation is up now — a fresh post-rejoin MAC that
+    /// was resynced to "busy" on rejoin would otherwise stay deaf to the
+    /// medium going quiet and defer forever. A node that is *down* has no
+    /// radio to notify; the rejoin path resyncs it from `Channel::is_busy`.
+    fn finish_signal(&mut self, node: usize, tx_id: TxId) {
+        let now = self.sim.now();
+        let r = self.channel.finish_rx(node, tx_id, now);
+        self.after_finish_rx(node, r, now);
+    }
+
+    /// The engine-independent tail of a signal completion: frame delivery
+    /// and busy→idle notification for the node's current MAC.
+    fn after_finish_rx(&mut self, node: usize, r: slr_radio::FinishRx<Payload>, now: SimTime) {
+        if self.has_dynamics && !self.admittance.node_is_up(node) {
+            return;
+        }
+        let mut work = self.take_work();
+        if let Some(frame) = r.frame {
+            self.mac_call(node, &mut work, |mac, fx| {
+                mac.on_rx_frame_into(frame, now, fx)
+            });
+        }
+        if r.became_idle {
+            if self.mac_sensitive[node] {
+                self.mac_call(node, &mut work, |mac, fx| mac.on_channel_idle_into(now, fx));
+            } else {
+                // The only effect an insensitive MAC takes from an idle
+                // notification is the carrier flag; replay it lazily.
+                self.carrier_stale[node] = true;
+            }
+        }
+        self.drain(work);
     }
 
     /// Applies one dynamics action: updates the admittance, performs the
@@ -487,8 +676,10 @@ impl Sim {
                 // replay its previous backoff/jitter stream.
                 self.epochs[i] += 1;
                 let epoch = self.epochs[i];
-                for (_, tok) in self.mac_timers[i].drain() {
-                    self.sim.cancel(tok);
+                for slot in self.mac_timers[i].iter_mut() {
+                    if let Some(tok) = slot.take() {
+                        self.sim.cancel(tok);
+                    }
                 }
                 self.macs[i] = Mac::new(
                     i,
@@ -498,8 +689,27 @@ impl Sim {
                 self.protos[i] = self.scenario.protocol.build(i);
                 self.proto_rngs[i] =
                     SmallRng::seed_from_u64(derive_seed(self.master, &[0x7072, i as u64, epoch]));
+                // The fresh MAC boots idle and quiescent; its carrier
+                // view resyncs from channel ground truth at its next
+                // input (signals may still be in flight at the antenna).
+                self.mac_sensitive[i] = false;
+                self.carrier_stale[i] = true;
+                // The dead radio cannot decode its in-flight receptions:
+                // quarantine them channel-side so their eventual
+                // completion counts neither a delivery nor a collision
+                // (their RF energy still occupies the node's medium).
+                self.channel.crash_receiver(i);
             }
             DynAction::NodeRejoin(i) => {
+                let mut work = self.take_work();
+                // The reborn radio samples the medium before anything
+                // else: a signal still in flight at its position (crash
+                // and rejoin within one airtime) must reach carrier
+                // sense, or the fresh MAC — born believing the medium
+                // idle — would transmit straight over it.
+                if self.channel.is_busy(i) {
+                    self.mac_call(i, &mut work, |mac, fx| mac.on_channel_busy_into(now, fx));
+                }
                 // Cold restart: the protocol boots as at t = 0, plus any
                 // reboot announcement it chooses to make (SRP broadcasts
                 // a cold-reboot RERR so neighbors purge stale routes
@@ -511,13 +721,19 @@ impl Sim {
                     };
                     self.protos[i].on_rejoin(&mut ctx)
                 };
-                self.drain(fx.into_iter().map(|e| Work::Proto(i, e)).collect());
+                work.extend(fx.into_iter().map(|e| Work::Proto(i, e)));
+                self.drain(work);
             }
             _ => {}
         }
     }
 
-    /// Processes queued effects until quiescent.
+    /// An empty work queue from the pool (allocation-free steady state).
+    fn take_work(&mut self) -> VecDeque<Work> {
+        self.work_pool.pop().unwrap_or_default()
+    }
+
+    /// Processes queued effects until quiescent, then pools the queue.
     fn drain(&mut self, mut work: VecDeque<Work>) {
         while let Some(w) = work.pop_front() {
             match w {
@@ -525,6 +741,46 @@ impl Sim {
                 Work::Proto(node, eff) => self.apply_proto(node, eff, &mut work),
             }
         }
+        self.work_pool.push(work);
+    }
+
+    /// Runs one MAC call through the reusable effect scratch, queuing
+    /// its effects for `node` onto `work`.
+    fn mac_call(
+        &mut self,
+        node: usize,
+        work: &mut VecDeque<Work>,
+        f: impl FnOnce(&mut Mac<Payload>, &mut Vec<MacEffect<Payload>>),
+    ) {
+        if self.carrier_stale[node] {
+            self.carrier_stale[node] = false;
+            let busy = self.channel.is_busy(node);
+            self.macs[node].set_carrier(busy);
+        }
+        let mut fx = std::mem::take(&mut self.mac_fx);
+        debug_assert!(fx.is_empty());
+        f(&mut self.macs[node], &mut fx);
+        self.mac_sensitive[node] = self.macs[node].transition_sensitive();
+        work.extend(fx.drain(..).map(|e| Work::Mac(node, e)));
+        self.mac_fx = fx;
+    }
+
+    /// [`Sim::mac_call`] followed immediately by a full drain.
+    fn mac_call_drain(
+        &mut self,
+        node: usize,
+        f: impl FnOnce(&mut Mac<Payload>, &mut Vec<MacEffect<Payload>>),
+    ) {
+        let mut work = self.take_work();
+        self.mac_call(node, &mut work, f);
+        self.drain(work);
+    }
+
+    /// Drains one node's protocol effects.
+    fn drain_proto(&mut self, node: usize, fx: Vec<ProtoEffect>) {
+        let mut work = self.take_work();
+        work.extend(fx.into_iter().map(|e| Work::Proto(node, e)));
+        self.drain(work);
     }
 
     /// Refreshes the full-position snapshot to `now` (no-op for static
@@ -547,7 +803,7 @@ impl Sim {
     /// without a dynamics schedule skip the admittance gate entirely —
     /// this is the simulator's hottest loop.
     fn begin_tx_on_medium(&mut self, frame: Frame<Payload>, now: SimTime) -> BeginTx {
-        let gated = !self.dynamics.is_empty();
+        let gated = self.has_dynamics;
         let validate = self.validate_spatial;
         if self.medium == MediumKind::BruteForce || validate {
             self.fill_snapshot(now);
@@ -565,7 +821,7 @@ impl Sim {
                 };
                 let medium: &dyn NeighborQuery = if validate { &checked } else { &view };
                 if gated {
-                    self.channel.begin_tx_gated(frame, now, medium, &gate)
+                    self.channel.begin_tx_gated(frame, now, medium, gate)
                 } else {
                     self.channel.begin_tx(frame, now, medium)
                 }
@@ -573,7 +829,7 @@ impl Sim {
             MediumKind::BruteForce => {
                 let medium = BruteForceMedium(&self.snapshot);
                 if gated {
-                    self.channel.begin_tx_gated(frame, now, &medium, &gate)
+                    self.channel.begin_tx_gated(frame, now, &medium, gate)
                 } else {
                     self.channel.begin_tx(frame, now, &medium)
                 }
@@ -596,32 +852,66 @@ impl Sim {
                 // surface as link failures to the routing layer.
                 let begin = self.begin_tx_on_medium(frame, now);
                 let end_at = now + begin.airtime;
-                for &(v, fresh) in &begin.receivers {
-                    self.sim
-                        .schedule_at(end_at, Event::RxEnd(v, self.epochs[v], begin.tx_id));
-                    if fresh {
-                        for e in self.macs[v].on_channel_busy(now) {
-                            work.push_back(Work::Mac(v, e));
+                match self.engine {
+                    EngineKind::Batched => {
+                        self.sim.schedule_at(
+                            end_at,
+                            Event::TxComplete(node, self.epochs[node], begin.tx_id),
+                        );
+                    }
+                    EngineKind::PerReceiver => {
+                        for r in self.channel.tx_receivers(begin.tx_id) {
+                            self.sim
+                                .schedule_at(end_at, Event::RxEnd(r.node as usize, begin.tx_id));
                         }
+                        self.sim.schedule_at(
+                            end_at,
+                            Event::TxEnd(node, self.epochs[node], begin.tx_id),
+                        );
                     }
                 }
-                self.sim
-                    .schedule_at(end_at, Event::TxEnd(node, self.epochs[node], begin.tx_id));
+                // Busy fan-out, computed once per tx from the channel's
+                // signal sets: only nodes whose medium actually went
+                // idle → busy hear anything, and a transmission that
+                // flips nobody skips the walk entirely.
+                if begin.fresh_busy > 0 {
+                    let mut fx = std::mem::take(&mut self.mac_fx);
+                    for r in self.channel.tx_receivers(begin.tx_id) {
+                        if !r.fresh_busy {
+                            continue;
+                        }
+                        let v = r.node as usize;
+                        if self.mac_sensitive[v] {
+                            // Sensitive implies non-stale: the flag only
+                            // becomes sensitive inside `mac_call`, which
+                            // resynchronizes first.
+                            debug_assert!(!self.carrier_stale[v]);
+                            self.macs[v].on_channel_busy_into(now, &mut fx);
+                            self.mac_sensitive[v] = self.macs[v].transition_sensitive();
+                            work.extend(fx.drain(..).map(|e| Work::Mac(v, e)));
+                        } else {
+                            self.carrier_stale[v] = true;
+                        }
+                    }
+                    self.mac_fx = fx;
+                }
             }
             MacEffect::SetTimer(kind, delay) => {
-                if let Some(tok) = self.mac_timers[node].remove(&kind) {
+                let slot = &mut self.mac_timers[node][kind.index()];
+                if let Some(tok) = slot.take() {
                     self.sim.cancel(tok);
                 }
                 let tok = self.sim.schedule_in(delay, Event::MacTimer(node, kind));
-                self.mac_timers[node].insert(kind, tok);
+                self.mac_timers[node][kind.index()] = Some(tok);
             }
             MacEffect::CancelTimer(kind) => {
-                if let Some(tok) = self.mac_timers[node].remove(&kind) {
+                if let Some(tok) = self.mac_timers[node][kind.index()].take() {
                     self.sim.cancel(tok);
                 }
             }
             MacEffect::Deliver { from, payload } => match payload {
                 Payload::Control(cp) => {
+                    let cp = Rc::try_unwrap(cp).unwrap_or_else(|rc| (*rc).clone());
                     let fx = {
                         let mut ctx = ProtoCtx {
                             now,
@@ -634,6 +924,7 @@ impl Sim {
                     }
                 }
                 Payload::Data(dp) => {
+                    let dp = Rc::try_unwrap(dp).unwrap_or_else(|rc| (*rc).clone());
                     let fx = {
                         let mut ctx = ProtoCtx {
                             now,
@@ -660,7 +951,9 @@ impl Sim {
                     self.metrics.link_failures_out_of_range += 1;
                 }
                 let pkt = match payload {
-                    Payload::Data(dp) => Some(dp),
+                    Payload::Data(dp) => {
+                        Some(Rc::try_unwrap(dp).unwrap_or_else(|rc| (*rc).clone()))
+                    }
                     Payload::Control(_) => None,
                 };
                 if let (Some(dp), Some(tr)) = (&pkt, &mut self.trace) {
@@ -699,11 +992,16 @@ impl Sim {
             ProtoEffect::SendControl { packet, next_hop } => {
                 self.metrics.record_control(packet.kind_name());
                 let bytes = packet.wire_bytes();
-                let fx =
-                    self.macs[node].enqueue(Payload::Control(packet), next_hop, bytes, true, now);
-                for e in fx {
-                    work.push_back(Work::Mac(node, e));
-                }
+                self.mac_call(node, work, |mac, fx| {
+                    mac.enqueue_into(
+                        Payload::Control(Rc::new(packet)),
+                        next_hop,
+                        bytes,
+                        true,
+                        now,
+                        fx,
+                    )
+                });
             }
             ProtoEffect::SendData { packet, next_hop } => {
                 self.metrics.data_tx += 1;
@@ -723,16 +1021,16 @@ impl Sim {
                         .as_ref()
                         .map(|sr| sr.wire_bytes())
                         .unwrap_or(0);
-                let fx = self.macs[node].enqueue(
-                    Payload::Data(packet),
-                    Some(next_hop),
-                    bytes,
-                    false,
-                    now,
-                );
-                for e in fx {
-                    work.push_back(Work::Mac(node, e));
-                }
+                self.mac_call(node, work, |mac, fx| {
+                    mac.enqueue_into(
+                        Payload::Data(Rc::new(packet)),
+                        Some(next_hop),
+                        bytes,
+                        false,
+                        now,
+                        fx,
+                    )
+                });
             }
             ProtoEffect::DeliverLocal(dp) => {
                 if let Some(tr) = &mut self.trace {
@@ -776,6 +1074,7 @@ impl Sim {
     }
 
     fn finalize_metrics(mut self) -> Metrics {
+        self.metrics.sim_events = self.sim.processed();
         for mac in &self.macs {
             self.metrics.mac_drops += mac.counters.total_drops();
             self.metrics.mac_drop_retry += mac.counters.drop_retry;
@@ -867,7 +1166,7 @@ impl Sim {
     /// hard violation. Returns the summary and the total count of soft
     /// order violations observed.
     pub fn run_with_loop_oracle(mut self, check_interval: SimDuration) -> (TrialSummary, u64) {
-        self.startup();
+        self.ensure_started();
         let end = self.scenario.end;
         let mut next_check = SimTime::ZERO + check_interval;
         let mut soft = 0u64;

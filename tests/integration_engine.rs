@@ -1,0 +1,209 @@
+//! The batched event engine's fixed-seed contracts (the proptest in
+//! `proptest_engine.rs` fuzzes the same properties):
+//!
+//! * batched vs per-receiver bit-identity on representative scenarios,
+//!   including dynamics families whose crash epochs exercise the event
+//!   quarantine paths;
+//! * the crash-mid-reception audit: a node crashing while a signal is in
+//!   flight at its antenna and rejoining — before *or* after that signal
+//!   ends — must come back with a MAC whose carrier view matches the
+//!   channel's ground truth at every instant, without phantom collision
+//!   accounting from the undecodable signal.
+
+use slr_netsim::admittance::DynAction;
+use slr_netsim::time::{SimDuration, SimTime};
+use slr_runner::registry::{Family, SweepParam};
+use slr_runner::scenario::{ProtocolKind, Scenario};
+use slr_runner::sim::{EngineKind, Sim};
+use slr_traffic::{PacketSpec, TrafficScript};
+
+use slr_mobility::Position;
+
+#[test]
+fn batched_engine_matches_per_receiver_on_fixed_scenarios() {
+    let scenarios: Vec<(&str, Scenario)> = vec![
+        ("mobile paper-sweep", {
+            let mut s = Scenario::quick(ProtocolKind::Srp, 0, 77, 0);
+            s.nodes = 40;
+            s.end = SimTime::from_secs(50);
+            s.set_flows(6);
+            s
+        }),
+        (
+            "grid under churn",
+            Family::Churn.scenario_at(ProtocolKind::Aodv, 5, 1, false, SweepParam::ChurnRate, 8),
+        ),
+        (
+            "crash-rejoin",
+            Family::CrashRejoin.scenario_at(ProtocolKind::Srp, 11, 0, false, SweepParam::Nodes, 16),
+        ),
+        ("dense disc (scaled down)", {
+            let mut s =
+                Family::Dense.scenario_at(ProtocolKind::Srp, 9, 0, false, SweepParam::Nodes, 100);
+            s.end = SimTime::from_secs(25);
+            s
+        }),
+    ];
+    for (name, scenario) in scenarios {
+        let batched = Sim::new(scenario).with_engine(EngineKind::Batched).run();
+        let per_rx = Sim::new(scenario)
+            .with_engine(EngineKind::PerReceiver)
+            .run();
+        assert_eq!(batched, per_rx, "{name}: engines diverged");
+        assert!(batched.originated > 0, "{name}: no traffic");
+    }
+}
+
+/// The audit fixture: two static SRP nodes 100 m apart, a trigger packet
+/// at t = 10 s (whose route discovery puts a broadcast on the air toward
+/// node 1) and steady follow-up traffic from 15 s.
+fn audit_sim(engine: EngineKind) -> Sim {
+    let mut scenario = Scenario::quick(ProtocolKind::Srp, 900, 3, 0);
+    scenario.nodes = 2;
+    scenario.end = SimTime::from_secs(45);
+    let positions = vec![Position::new(0.0, 0.0), Position::new(100.0, 0.0)];
+    let mut packets = vec![PacketSpec {
+        time: SimTime::from_secs(10),
+        src: 0,
+        dst: 1,
+        bytes: 512,
+        flow: 0,
+    }];
+    packets.extend((0..30).map(|i| PacketSpec {
+        time: SimTime::from_millis(15_000 + i * 250),
+        src: 0,
+        dst: 1,
+        bytes: 512,
+        flow: 0,
+    }));
+    Sim::with_static_topology(scenario, positions, TrafficScript::from_packets(packets))
+        .with_engine(engine)
+}
+
+/// Steps until a signal is in flight at node 1, returning the detection
+/// instant (within 25 µs of the true transmission start).
+fn step_to_first_signal(sim: &mut Sim) -> SimTime {
+    let mut t = SimTime::from_secs(10);
+    sim.advance_until(t);
+    while !sim.channel_is_busy(1) {
+        t += SimDuration::from_micros(25);
+        sim.advance_until(t);
+        assert!(
+            t < SimTime::from_secs(12),
+            "no transmission ever reached node 1"
+        );
+    }
+    t
+}
+
+/// Walks 5 ms in 25 µs steps asserting the rejoined MAC's carrier view
+/// equals channel ground truth at every step.
+fn assert_views_agree(sim: &mut Sim, from: SimTime) {
+    let mut t = from;
+    for _ in 0..200 {
+        t += SimDuration::from_micros(25);
+        sim.advance_until(t);
+        assert_eq!(
+            sim.mac_carrier_busy(1),
+            sim.channel_is_busy(1),
+            "carrier views diverged at {t}"
+        );
+    }
+}
+
+fn crash_rejoin_before_signal_end(engine: EngineKind) {
+    let mut sim = audit_sim(engine);
+    let t = step_to_first_signal(&mut sim);
+    // Crash node 1 mid-reception, rejoin while the signal (≥ 350 µs of
+    // airtime) is still in the air.
+    sim.inject_dynamics(t + SimDuration::from_micros(25), DynAction::NodeCrash(1));
+    sim.inject_dynamics(t + SimDuration::from_micros(75), DynAction::NodeRejoin(1));
+    sim.advance_until(t + SimDuration::from_micros(100));
+    assert!(
+        sim.channel_is_busy(1),
+        "fixture broke: signal ended before the rejoin window"
+    );
+    assert!(
+        sim.mac_carrier_busy(1),
+        "fresh MAC is deaf to the signal still at its antenna"
+    );
+    // Through the signal's end and the protocol's reboot chatter, the
+    // rejoined node's view must track the medium exactly.
+    assert_views_agree(&mut sim, t + SimDuration::from_micros(100));
+    assert_eq!(
+        sim.channel_collisions(),
+        0,
+        "the undecodable quarantined signal must not count as a \
+         collision, and the rebooted MAC must defer to it"
+    );
+    // The trial still completes and the follow-up traffic flows.
+    let (summary, metrics) = sim.run_detailed();
+    assert_eq!(summary.originated, 31);
+    assert!(
+        summary.delivered >= 25,
+        "post-rejoin delivery collapsed: {} of {}",
+        summary.delivered,
+        summary.originated
+    );
+    assert_eq!(metrics.dynamics_crashes, 1);
+    assert_eq!(metrics.dynamics_rejoins, 1);
+}
+
+fn crash_rejoin_after_signal_end(engine: EngineKind) {
+    let mut sim = audit_sim(engine);
+    let t = step_to_first_signal(&mut sim);
+    // Crash mid-reception; the signal ends (≤ t + ~400 µs) while the
+    // node is still down; rejoin afterwards.
+    sim.inject_dynamics(t + SimDuration::from_micros(25), DynAction::NodeCrash(1));
+    sim.inject_dynamics(t + SimDuration::from_millis(2), DynAction::NodeRejoin(1));
+    sim.advance_until(t + SimDuration::from_millis(2) + SimDuration::from_micros(25));
+    // The quarantined signal ended at a down antenna: no delivery, no
+    // collision, and the rejoined MAC must not believe a long-gone
+    // signal still occupies the medium.
+    assert_eq!(sim.channel_collisions(), 0);
+    assert_views_agree(&mut sim, t + SimDuration::from_millis(2));
+    let (summary, _) = sim.run_detailed();
+    assert_eq!(summary.originated, 31);
+    assert!(
+        summary.delivered >= 25,
+        "post-rejoin delivery collapsed: {} of {}",
+        summary.delivered,
+        summary.originated
+    );
+}
+
+#[test]
+fn crash_mid_reception_rejoin_before_signal_end_batched() {
+    crash_rejoin_before_signal_end(EngineKind::Batched);
+}
+
+#[test]
+fn crash_mid_reception_rejoin_before_signal_end_per_receiver() {
+    crash_rejoin_before_signal_end(EngineKind::PerReceiver);
+}
+
+#[test]
+fn crash_mid_reception_rejoin_after_signal_end_batched() {
+    crash_rejoin_after_signal_end(EngineKind::Batched);
+}
+
+#[test]
+fn crash_mid_reception_rejoin_after_signal_end_per_receiver() {
+    crash_rejoin_after_signal_end(EngineKind::PerReceiver);
+}
+
+/// The same sub-airtime injected schedule must produce bit-identical
+/// trials under both engines (the proptest fuzzes compiled schedules,
+/// which cannot place events inside an airtime window; this pins the
+/// adversarial timing directly).
+#[test]
+fn injected_mid_airtime_dynamics_keep_engines_identical() {
+    let run = |engine| {
+        let mut sim = audit_sim(engine);
+        let t = step_to_first_signal(&mut sim);
+        sim.inject_dynamics(t + SimDuration::from_micros(25), DynAction::NodeCrash(1));
+        sim.inject_dynamics(t + SimDuration::from_micros(75), DynAction::NodeRejoin(1));
+        sim.run_detailed().0
+    };
+    assert_eq!(run(EngineKind::Batched), run(EngineKind::PerReceiver));
+}

@@ -1,0 +1,137 @@
+//! Property tests for the batched event engine: over *arbitrary* random
+//! topologies, mobility and dynamics (link churn and node crash–rejoin),
+//! a trial driven by one `TxComplete` event per transmission is
+//! **bit-identical** to the same trial driven by the retained
+//! per-receiver `RxEnd`/`TxEnd` scheduling — the reference oracle, the
+//! same way `BruteForceMedium` anchors the spatial index in
+//! `proptest_spatial.rs`.
+//!
+//! This is the contract that makes the batched engine safe to use by
+//! default: both engines share the per-receiver completion code verbatim
+//! and differ only in how many heap events carry it, so every metric in
+//! the trial summary — deliveries, collisions, latencies, repair
+//! episodes — may not shift by a single bit, no matter how receivers
+//! interleave, crash mid-reception, or rejoin with signals still in the
+//! air.
+
+use proptest::prelude::*;
+
+use slr_netsim::time::{SimDuration, SimTime};
+use slr_runner::registry::{Family, SweepParam};
+use slr_runner::scenario::{MobilitySpec, ProtocolKind, Scenario, TopologySpec};
+use slr_runner::sim::{EngineKind, Sim};
+use slr_runner::DynamicsSpec;
+
+/// A CI-sized scenario over the fuzzed axes.
+fn scenario(
+    kind: ProtocolKind,
+    seed: u64,
+    nodes: usize,
+    topology: u8,
+    mobile: bool,
+    flows: usize,
+    dynamics: DynamicsSpec,
+) -> Scenario {
+    let mut s = Scenario::quick(kind, 0, seed, 0);
+    s.nodes = nodes;
+    s.topology = match topology % 4 {
+        0 => TopologySpec::UniformRandom,
+        1 => TopologySpec::Grid { spacing: 180.0 },
+        2 => TopologySpec::Line { spacing: 200.0 },
+        _ => TopologySpec::Disc { radius: 400.0 },
+    };
+    s.mobility = if mobile {
+        MobilitySpec::RandomWaypoint {
+            pause: SimDuration::from_secs(5),
+            max_speed: 20.0,
+        }
+    } else {
+        MobilitySpec::Static
+    };
+    s.set_flows(flows);
+    s.dynamics = dynamics;
+    s.end = SimTime::from_secs(35);
+    s
+}
+
+fn engines_agree(s: Scenario) -> Result<(), TestCaseError> {
+    let batched = Sim::new(s).with_engine(EngineKind::Batched).run();
+    let per_rx = Sim::new(s).with_engine(EngineKind::PerReceiver).run();
+    prop_assert_eq!(&batched, &per_rx, "engines diverged on {}", s.describe());
+    prop_assert!(batched.originated > 0, "no traffic in {}", s.describe());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random topology × mobility × flows: bit-identical summaries.
+    #[test]
+    fn batched_engine_equals_per_receiver(
+        seed in 0u64..100_000,
+        nodes in 12usize..=40,
+        topology in 0u8..4,
+        mobile in proptest::bool::ANY,
+        flows in 2usize..=6,
+    ) {
+        let s = scenario(
+            ProtocolKind::Srp, seed, nodes, topology, mobile, flows,
+            DynamicsSpec::None,
+        );
+        engines_agree(s)?;
+    }
+
+    /// Same property under link churn (timer cancel/reschedule storms
+    /// and MAC retry cascades exercise the queue's tombstone path).
+    #[test]
+    fn engines_agree_under_churn(
+        seed in 0u64..100_000,
+        nodes in 12usize..=30,
+        topology in 0u8..4,
+        mobile in proptest::bool::ANY,
+        rate in 1u64..=20,
+    ) {
+        let s = scenario(
+            ProtocolKind::Aodv, seed, nodes, topology, mobile, 3,
+            DynamicsSpec::LinkChurn {
+                flaps_per_minute: rate as f64,
+                mean_down_secs: 2.0,
+            },
+        );
+        engines_agree(s)?;
+    }
+
+    /// Same property under node crash–rejoin: crash epochs, channel-side
+    /// signal quarantine and the lazy carrier resync must behave
+    /// identically whether receiver completions arrive as one batch or
+    /// as individual heap events.
+    #[test]
+    fn engines_agree_under_crash_rejoin(
+        seed in 0u64..100_000,
+        nodes in 12usize..=30,
+        topology in 0u8..4,
+        mobile in proptest::bool::ANY,
+        crashes in 1usize..=4,
+    ) {
+        let s = scenario(
+            ProtocolKind::Srp, seed, nodes, topology, mobile, 3,
+            DynamicsSpec::default_crash(crashes),
+        );
+        engines_agree(s)?;
+    }
+
+    /// The dense family itself (scaled down to CI size) — the workload
+    /// the batched engine exists for — with the spatial oracle layered
+    /// on top: both axes of the equivalence matrix at once.
+    #[test]
+    fn dense_family_engines_agree(
+        seed in 0u64..100_000,
+        nodes in 60u64..=120,
+    ) {
+        let mut s = Family::Dense.scenario_at(
+            ProtocolKind::Srp, seed, 0, false, SweepParam::Nodes, nodes,
+        );
+        s.end = SimTime::from_secs(25);
+        engines_agree(s)?;
+    }
+}
