@@ -25,6 +25,14 @@
 //! ROADMAP "5,000-node dense trial under 10 s wall-clock" gate is scored
 //! on that budget trial, with the full-duration figure alongside it.
 //!
+//! Every point also carries a **per-phase wall-clock breakdown** (medium
+//! query / signal completion / MAC / protocol, from a separately timed
+//! instrumented batched trial whose summary is asserted identical): the
+//! attribution that makes `BENCH_parallel.json`'s worker-count scaling
+//! curve explainable — only the signal/MAC/protocol phases run inside
+//! conservative windows; the medium query lives in MAC-timer dispatch,
+//! which the parallel engine keeps serial.
+//!
 //! Regenerate the committed snapshot with:
 //!
 //! ```sh
@@ -86,6 +94,38 @@ fn main() {
         let (batched_summary, batched_metrics, batched_ms) =
             run_trial(scenario_for(), EngineKind::Batched);
 
+        // The phase breakdown comes from a second, instrumented trial so
+        // the headline wall clock stays probe-free; instrumentation must
+        // not perturb the simulation itself.
+        eprintln!("bench_events: N = {n} (batched, phase-instrumented) …");
+        let (phased_summary, _, phases, phased_ms) = {
+            let sim = Sim::new(scenario_for()).with_engine(EngineKind::Batched);
+            let start = Instant::now();
+            let (summary, metrics, phases) = sim.run_phased();
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            (summary, metrics, phases, ms)
+        };
+        assert_eq!(
+            batched_summary, phased_summary,
+            "phase instrumentation perturbed the trial at N={n}"
+        );
+        let phase_ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        let accounted = phase_ms(phases.medium)
+            + phase_ms(phases.signal)
+            + phase_ms(phases.mac)
+            + phase_ms(phases.proto);
+        let phases_json = format!(
+            "\n      \"phases\": {{\n        \"instrumented_trial_ms\": {phased_ms:.1},\n        \
+             \"medium_ms\": {:.1},\n        \"signal_ms\": {:.1},\n        \
+             \"mac_ms\": {:.1},\n        \"proto_ms\": {:.1},\n        \
+             \"other_ms\": {:.1}\n      }},",
+            phase_ms(phases.medium),
+            phase_ms(phases.signal),
+            phase_ms(phases.mac),
+            phase_ms(phases.proto),
+            (phased_ms - accounted).max(0.0),
+        );
+
         let per_receiver = if n <= PER_RECEIVER_CAP {
             eprintln!("bench_events: N = {n} (per-receiver oracle) …");
             let (summary, metrics, ms) = run_trial(scenario_for(), EngineKind::PerReceiver);
@@ -121,7 +161,7 @@ fn main() {
             "    {{\n      \"nodes\": {n},\n      \
              \"duration_s\": {duration_s},\n      \
              \"trial_ms_batched\": {batched_ms:.1},\n      \
-             \"events_batched\": {},{per_rx_fields}{vs_pre}\n      \
+             \"events_batched\": {},{per_rx_fields}{vs_pre}{phases_json}\n      \
              \"transmissions\": {},\n      \
              \"delivery_ratio\": {:.4}\n    }}",
             batched_metrics.sim_events,
@@ -145,7 +185,7 @@ fn main() {
     println!(
         "{{\n  \"benchmark\": \"event-engine-scaling\",\n  \
          \"command\": \"cargo run --release -p slr-bench --bin bench_events > BENCH_events.json\",\n  \
-         \"description\": \"batched TxComplete completion (one heap event per transmission; receivers complete in ascending order from the channel's retained receiver set) vs the retained per-receiver RxEnd/TxEnd oracle, on full dense-family SRP trials at the family's default duration; paired summaries are asserted bit-identical; speedup_vs_pre_overhaul_trial compares against the N=1000 whole-trial figure committed in BENCH_channel.json before the engine overhaul (7636.6 ms)\",\n  \
+         \"description\": \"batched TxComplete completion (one heap event per transmission; receivers complete in ascending order from the channel's retained receiver set) vs the retained per-receiver RxEnd/TxEnd oracle, on full dense-family SRP trials at the family's default duration; paired summaries are asserted bit-identical; speedup_vs_pre_overhaul_trial compares against the N=1000 whole-trial figure committed in BENCH_channel.json before the engine overhaul (7636.6 ms); phases attributes a separately-instrumented batched trial's wall clock to medium query / signal completion / MAC / protocol (signal+mac+proto parallelize under --engine parallel, the medium query stays serial — see BENCH_parallel.json)\",\n  \
          \"seed\": {seed},\n  \"points\": [\n{}\n  ]\n}}",
         points.join(",\n")
     );

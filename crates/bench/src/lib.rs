@@ -69,6 +69,7 @@ impl Cli {
             std::process::exit(2);
         }
         let paper = opts.paper;
+        let workers = opts.effective_workers();
         let trials = opts.trials.unwrap_or(if paper { 10 } else { 3 });
         let threads = opts.threads.unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -97,6 +98,7 @@ impl Cli {
             override_dynamics: opts.dynamics,
             validate_spatial: opts.validate_spatial,
             engine: opts.engine,
+            workers,
         };
         if let Err(e) = sweep.validate() {
             eprintln!("{e}");

@@ -41,6 +41,16 @@ impl<E> Simulator<E> {
         }
     }
 
+    /// Like [`Simulator::new`], with the queue's tombstone-compaction
+    /// floor set to `floor` (see [`EventQueue::with_compact_floor`]).
+    pub fn with_compact_floor(floor: usize) -> Self {
+        Simulator {
+            queue: EventQueue::with_compact_floor(floor),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -102,6 +112,14 @@ impl<E> Simulator<E> {
             Some(t) if t < horizon => self.next(),
             _ => None,
         }
+    }
+
+    /// The head event without popping it: `(time, &event)` of the next
+    /// thing [`Simulator::next`] would return. Window-popping dispatchers
+    /// peek to decide whether the head extends the current same-timestamp
+    /// window before committing to the pop.
+    pub fn peek_event(&mut self) -> Option<(SimTime, &E)> {
+        self.queue.peek_event()
     }
 }
 

@@ -108,9 +108,13 @@ struct Slot {
     state: SlotState,
 }
 
-/// Tombstone count below which compaction never triggers; avoids O(n)
-/// rebuilds of tiny heaps where lazy skimming is already cheap.
-const COMPACT_FLOOR: usize = 64;
+/// Default tombstone count below which compaction never triggers; avoids
+/// O(n) rebuilds of tiny heaps where lazy skimming is already cheap.
+/// Tunable per queue via [`EventQueue::with_compact_floor`] — e.g. the
+/// parallel engine's merge phase drains per-worker insertion buffers in
+/// bursts and may prefer a higher floor so mid-burst cancellations never
+/// trigger a rebuild inside the merge.
+pub const DEFAULT_COMPACT_FLOOR: usize = 64;
 
 /// A min-heap of timed events with stable FIFO tie-breaking, O(1)
 /// cancellation, and tombstone compaction keeping memory proportional to
@@ -138,18 +142,36 @@ pub struct EventQueue<E> {
     /// Tombstoned (cancelled, not yet physically removed) heap entries.
     cancelled: usize,
     next_seq: u64,
+    /// Tombstone count below which compaction never triggers.
+    compact_floor: usize,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default compaction floor.
     pub fn new() -> Self {
+        EventQueue::with_compact_floor(DEFAULT_COMPACT_FLOOR)
+    }
+
+    /// Creates an empty queue whose tombstone compaction only triggers
+    /// once more than `floor` entries are tombstoned (and tombstones
+    /// outnumber live entries). `floor = 0` compacts as aggressively as
+    /// the ratio allows; `usize::MAX` disables compaction (lazy skimming
+    /// only — the pre-compaction behavior, heap memory grows with the
+    /// cancellation count under timer churn).
+    pub fn with_compact_floor(floor: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             slots: Vec::new(),
             free_head: u32::MAX,
             cancelled: 0,
             next_seq: 0,
+            compact_floor: floor,
         }
+    }
+
+    /// The configured compaction floor.
+    pub fn compact_floor(&self) -> usize {
+        self.compact_floor
     }
 
     fn alloc_slot(&mut self) -> u32 {
@@ -204,7 +226,7 @@ impl<E> EventQueue<E> {
             Some(s) if s.gen == token.generation() && s.state == SlotState::Pending => {
                 self.slots[slot].state = SlotState::Cancelled;
                 self.cancelled += 1;
-                if self.cancelled > COMPACT_FLOOR && self.cancelled * 2 > self.heap.len() {
+                if self.cancelled > self.compact_floor && self.cancelled * 2 > self.heap.len() {
                     self.compact();
                 }
                 true
@@ -259,10 +281,26 @@ impl<E> EventQueue<E> {
 
     /// The firing time of the earliest pending event.
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim_head()?;
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The earliest pending event, without popping it: `(time, &event)`.
+    /// The basis of window-popping dispatchers (pop consecutive events
+    /// sharing the head timestamp, but only after inspecting each head to
+    /// decide it is safe to take into the window).
+    pub fn peek_event(&mut self) -> Option<(SimTime, &E)> {
+        self.skim_head()?;
+        self.heap.peek().map(|e| (e.time, &e.event))
+    }
+
+    /// Physically removes tombstones sitting at the heap head; afterwards
+    /// the head (if any) is a live entry. Returns `None` when empty.
+    fn skim_head(&mut self) -> Option<()> {
         loop {
             let head = self.heap.peek()?;
             match self.slots[head.slot as usize].state {
-                SlotState::Pending => return Some(head.time),
+                SlotState::Pending => return Some(()),
                 SlotState::Cancelled => {
                     let e = self.heap.pop().expect("peeked above");
                     self.cancelled -= 1;
@@ -285,10 +323,18 @@ impl<E> EventQueue<E> {
 
     /// Physical heap entries, live *and* tombstoned. The compaction
     /// contract keeps this within a constant factor of [`EventQueue::len`]
-    /// (plus [`COMPACT_FLOOR`]) no matter how many cancellations have
+    /// (plus the compaction floor) no matter how many cancellations have
     /// occurred — the bound the timer-churn regression test asserts.
     pub fn heap_len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Slab slots ever allocated (free *and* in use). Compaction recycles
+    /// the slots of every tombstone it removes, so this stays proportional
+    /// to the peak *physical* heap size — the slab-reuse contract the
+    /// compaction unit test asserts.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -444,7 +490,7 @@ mod tests {
         }
         assert_eq!(q.len(), 100, "exactly the live timers remain");
         assert!(
-            max_heap <= 4 * 100 + 2 * COMPACT_FLOOR,
+            max_heap <= 4 * 100 + 2 * DEFAULT_COMPACT_FLOOR,
             "heap grew with cancellations: peak {max_heap} physical \
              entries for 100 live timers (100k cancellations)"
         );
@@ -454,6 +500,84 @@ mod tests {
             seen.push(e.event);
         }
         assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    /// Satellite (issue 5): the compaction threshold is a constructor
+    /// parameter. A queue with a tiny floor compacts aggressively; one
+    /// with `usize::MAX` never compacts (the pre-compaction lazy
+    /// behavior); the default matches [`DEFAULT_COMPACT_FLOOR`].
+    #[test]
+    fn compact_floor_is_configurable() {
+        assert_eq!(
+            EventQueue::<u32>::new().compact_floor(),
+            DEFAULT_COMPACT_FLOOR
+        );
+        let mut eager = EventQueue::with_compact_floor(0);
+        let mut never = EventQueue::with_compact_floor(usize::MAX);
+        let far = SimTime::from_secs(100);
+        for q in [&mut eager, &mut never] {
+            let toks: Vec<_> = (0..100).map(|i| q.schedule(far, i)).collect();
+            for t in &toks[..99] {
+                q.cancel(*t);
+            }
+        }
+        assert!(
+            eager.heap_len() <= 2,
+            "floor 0 must compact tombstones away, heap_len {}",
+            eager.heap_len()
+        );
+        assert_eq!(never.heap_len(), 100, "floor usize::MAX must never compact");
+        // Both still pop exactly the one live event.
+        assert_eq!(eager.pop().unwrap().event, 99);
+        assert_eq!(never.pop().unwrap().event, 99);
+    }
+
+    /// Satellite (issue 5): compaction recycles the slab slot of every
+    /// tombstone it removes — later schedules must *reuse* those slots
+    /// instead of growing the slab, so slab memory tracks the live event
+    /// count, not the cancellation count.
+    #[test]
+    fn compaction_recycles_slab_slots() {
+        let mut q = EventQueue::with_compact_floor(0);
+        let far = SimTime::from_secs(100);
+        // 1000 schedule/cancel rounds over a single live event: without
+        // slot recycling the slab would hold ~1000 slots afterwards.
+        let mut tok = q.schedule(far, 0u32);
+        for i in 1..1000 {
+            assert!(q.cancel(tok));
+            tok = q.schedule(far, i);
+        }
+        assert_eq!(q.len(), 1);
+        let peak = q.slot_count();
+        assert!(
+            peak <= 4,
+            "cancelled slots were not recycled: {peak} slab slots \
+             for 1 live event after 999 cancellations"
+        );
+        // A burst of fresh events first drains the free list before
+        // growing the slab: slot growth ≤ the net new live entries.
+        for i in 0..50u32 {
+            q.schedule(far, i);
+        }
+        assert!(
+            q.slot_count() <= peak + 50,
+            "slab grew past the live demand: {} slots",
+            q.slot_count()
+        );
+    }
+
+    #[test]
+    fn peek_event_exposes_head_without_popping() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(1), "b");
+        assert_eq!(q.peek_event(), Some((SimTime::from_secs(1), &"a")));
+        assert_eq!(q.len(), 2, "peek must not consume");
+        // Cancelling the head makes peek skim to the next live entry.
+        q.cancel(a);
+        assert_eq!(q.peek_event(), Some((SimTime::from_secs(1), &"b")));
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.peek_event(), None);
     }
 
     #[test]

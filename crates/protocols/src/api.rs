@@ -194,7 +194,13 @@ pub struct ProtoStats {
 }
 
 /// A routing protocol instance living on one node.
-pub trait RoutingProtocol {
+///
+/// `Send` is a supertrait: the parallel event engine ships disjoint
+/// per-node protocol instances to worker threads inside a dispatch
+/// window. Protocols are plain-data state machines (tables, buffers,
+/// deterministic RNG streams), so the bound is free; it only rules out
+/// thread-bound internals like `Rc` appearing in a future protocol.
+pub trait RoutingProtocol: Send {
     /// Protocol name for reports ("SRP", "AODV", …).
     fn name(&self) -> &'static str;
 

@@ -373,34 +373,21 @@ impl<P: Clone> Channel<P> {
         }
     }
 
-    /// Signal completion shared by both engine paths; `release` is the
+    /// Signal completion shared by every engine path; `release` is the
     /// per-receiver refcount bookkeeping the batched walk skips.
     fn finish_rx_inner(&mut self, node: usize, tx_id: TxId, now: SimTime) -> FinishRx<P> {
-        let n = &mut self.nodes[node];
-        let idx = n.position_of(tx_id).expect("finish_rx for unknown signal");
-        let sig = n.swap_remove(idx);
-        let became_idle = !n.is_busy();
-
-        // A node still transmitting at the signal's end cannot have
-        // received it (its own tx overlapped the tail).
-        let half_duplex = n.tx_until > now;
-        let ok = sig.receivable && !sig.corrupted && !half_duplex;
-        let collided = sig.receivable && !ok;
-
-        let frame = if ok {
-            self.stats.delivered += 1;
-            Some(self.frame_of(tx_id))
-        } else {
-            if collided {
-                self.stats.collisions += 1;
-            }
-            None
+        let frames = TxFrames {
+            in_flight: &self.in_flight,
+            base: self.in_flight_base,
         };
-        FinishRx {
-            frame,
-            became_idle,
-            collided,
-        }
+        complete_signal(
+            &mut self.nodes[node],
+            &frames,
+            tx_id,
+            now,
+            &mut self.stats.delivered,
+            &mut self.stats.collisions,
+        )
     }
 
     /// Completes the signal of transmission `tx_id` at `node`.
@@ -437,6 +424,51 @@ impl<P: Clone> Channel<P> {
         self.release(tx_id);
     }
 
+    /// Splits the per-node radio state into disjoint shards at the given
+    /// ascending node `bounds` (`bounds[w]..bounds[w+1]` is shard `w`;
+    /// `bounds` must start at 0 and end at the node count), alongside a
+    /// shared read-only view of the in-flight frame table. The parallel
+    /// event engine hands each worker its shard: signal completions only
+    /// ever touch the completing receiver's own [`NodeState`] plus the
+    /// (frozen, read-only) in-flight table, so disjoint node ranges
+    /// commute. Per-shard `delivered`/`collisions` deltas must be folded
+    /// back into [`Channel::stats`] by the caller afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not an ascending cover of `0..nodes`.
+    pub fn par_views(&mut self, bounds: &[usize]) -> (TxFrames<'_, P>, Vec<ChannelShard<'_>>) {
+        assert!(bounds.len() >= 2, "need at least one shard");
+        assert_eq!(*bounds.first().unwrap(), 0, "bounds must start at 0");
+        assert_eq!(
+            *bounds.last().unwrap(),
+            self.nodes.len(),
+            "bounds must cover every node"
+        );
+        let frames = TxFrames {
+            in_flight: &self.in_flight,
+            base: self.in_flight_base,
+        };
+        let mut shards = Vec::with_capacity(bounds.len() - 1);
+        let mut rest: &mut [NodeState] = &mut self.nodes;
+        let mut offset = 0usize;
+        for w in 0..bounds.len() - 1 {
+            let len = bounds[w + 1]
+                .checked_sub(bounds[w])
+                .expect("bounds must ascend");
+            let (head, tail) = rest.split_at_mut(len);
+            shards.push(ChannelShard {
+                nodes: head,
+                offset,
+                delivered: 0,
+                collisions: 0,
+            });
+            offset += len;
+            rest = tail;
+        }
+        (frames, shards)
+    }
+
     fn index_of(&self, tx_id: TxId) -> usize {
         debug_assert!(tx_id.0 >= self.in_flight_base, "tx already completed");
         (tx_id.0 - self.in_flight_base) as usize
@@ -446,10 +478,6 @@ impl<P: Clone> Channel<P> {
         self.in_flight[self.index_of(tx_id)]
             .as_ref()
             .expect("in-flight tx")
-    }
-
-    fn frame_of(&self, tx_id: TxId) -> Frame<P> {
-        self.entry(tx_id).frame.clone()
     }
 
     fn release(&mut self, tx_id: TxId) {
@@ -465,6 +493,114 @@ impl<P: Clone> Channel<P> {
                 self.in_flight_base += 1;
             }
         }
+    }
+}
+
+/// A shared, read-only view of the channel's in-flight frame table,
+/// handed to every [`ChannelShard`] of one [`Channel::par_views`] split.
+/// Immutable for the lifetime of the split (no transmission can begin
+/// inside a conservative dispatch window), so workers may clone frames
+/// from it concurrently — which is why harness payloads must be
+/// atomically reference-counted under the parallel engine.
+pub struct TxFrames<'a, P> {
+    in_flight: &'a VecDeque<Option<InFlight<P>>>,
+    base: u64,
+}
+
+impl<P: Clone> TxFrames<'_, P> {
+    fn frame_of(&self, tx_id: TxId) -> Frame<P> {
+        debug_assert!(tx_id.0 >= self.base, "tx already completed");
+        self.in_flight[(tx_id.0 - self.base) as usize]
+            .as_ref()
+            .expect("in-flight tx")
+            .frame
+            .clone()
+    }
+}
+
+/// A disjoint slice of per-node radio state (see [`Channel::par_views`]).
+/// Signal completions against a shard are identical to
+/// [`Channel::finish_rx_batched`] except that the delivery/collision
+/// counters accumulate locally — the caller folds them into the channel's
+/// stats at merge time (the sums are order-independent, so the fold point
+/// cannot perturb determinism).
+pub struct ChannelShard<'a> {
+    nodes: &'a mut [NodeState],
+    offset: usize,
+    /// Frames delivered through this shard since the split.
+    pub delivered: u64,
+    /// Receivable frames lost to collisions through this shard.
+    pub collisions: u64,
+}
+
+impl ChannelShard<'_> {
+    /// Whether `node` belongs to this shard.
+    pub fn contains(&self, node: usize) -> bool {
+        node >= self.offset && node < self.offset + self.nodes.len()
+    }
+
+    /// Whether `node`'s medium is physically busy (shard-local
+    /// equivalent of [`Channel::is_busy`]).
+    pub fn is_busy(&self, node: usize) -> bool {
+        self.nodes[node - self.offset].is_busy()
+    }
+
+    /// Completes the signal of `tx_id` at `node` (which must belong to
+    /// this shard) — the shard-local equivalent of
+    /// [`Channel::finish_rx_batched`].
+    pub fn finish_rx<P: Clone>(
+        &mut self,
+        frames: &TxFrames<'_, P>,
+        node: usize,
+        tx_id: TxId,
+        now: SimTime,
+    ) -> FinishRx<P> {
+        complete_signal(
+            &mut self.nodes[node - self.offset],
+            frames,
+            tx_id,
+            now,
+            &mut self.delivered,
+            &mut self.collisions,
+        )
+    }
+}
+
+/// The one signal-completion routine behind [`Channel::finish_rx`],
+/// [`Channel::finish_rx_batched`] and [`ChannelShard::finish_rx`]: every
+/// engine — per-receiver, batched, parallel — completes receivers through
+/// this exact code, which is what their bit-identity rests on.
+fn complete_signal<P: Clone>(
+    n: &mut NodeState,
+    frames: &TxFrames<'_, P>,
+    tx_id: TxId,
+    now: SimTime,
+    delivered: &mut u64,
+    collisions: &mut u64,
+) -> FinishRx<P> {
+    let idx = n.position_of(tx_id).expect("finish_rx for unknown signal");
+    let sig = n.swap_remove(idx);
+    let became_idle = !n.is_busy();
+
+    // A node still transmitting at the signal's end cannot have
+    // received it (its own tx overlapped the tail).
+    let half_duplex = n.tx_until > now;
+    let ok = sig.receivable && !sig.corrupted && !half_duplex;
+    let collided = sig.receivable && !ok;
+
+    let frame = if ok {
+        *delivered += 1;
+        Some(frames.frame_of(tx_id))
+    } else {
+        if collided {
+            *collisions += 1;
+        }
+        None
+    };
+    FinishRx {
+        frame,
+        became_idle,
+        collided,
     }
 }
 
@@ -660,6 +796,54 @@ mod tests {
         // The window advanced: a new tx starts cleanly.
         let c = ch.begin_tx(frame(1, None), end, &BruteForceMedium(&pos));
         assert_eq!(c.receiver_count, 2);
+    }
+
+    /// The sharded completion path must be byte-for-byte the batched
+    /// walk: same outcomes, same stat totals, regardless of how the node
+    /// range is cut.
+    #[test]
+    fn sharded_finish_rx_matches_batched_walk() {
+        let coords = &[(0.0, 0.0), (100.0, 0.0), (150.0, 0.0), (220.0, 0.0)];
+        let run = |bounds: &[usize]| {
+            let pos = positions(coords);
+            let mut ch: Channel<u32> = Channel::new(4, PhyConfig::default());
+            let a = ch.begin_tx(frame(0, None), SimTime::ZERO, &BruteForceMedium(&pos));
+            let b = ch.begin_tx(frame(3, None), SimTime::ZERO, &BruteForceMedium(&pos));
+            let end = SimTime::ZERO + a.airtime;
+            let ra = ch.take_tx_receivers(a.tx_id);
+            let rb = ch.take_tx_receivers(b.tx_id);
+            let mut outcomes = Vec::new();
+            {
+                let (frames, mut shards) = ch.par_views(bounds);
+                for (tx, set) in [(a.tx_id, &ra), (b.tx_id, &rb)] {
+                    for r in set {
+                        let node = r.node as usize;
+                        let s = shards
+                            .iter_mut()
+                            .find(|s| s.contains(node))
+                            .expect("owner shard");
+                        let fin = s.finish_rx(&frames, node, tx, end);
+                        outcomes.push((node, fin.frame.is_some(), fin.became_idle, fin.collided));
+                    }
+                }
+                let (d, c) = shards
+                    .iter()
+                    .fold((0, 0), |(d, c), s| (d + s.delivered, c + s.collisions));
+                ch.stats.delivered += d;
+                ch.stats.collisions += c;
+            }
+            ch.recycle_receivers(ra);
+            ch.recycle_receivers(rb);
+            ch.finish_tx_batched(a.tx_id);
+            ch.finish_tx_batched(b.tx_id);
+            (outcomes, ch.stats)
+        };
+        let whole = run(&[0, 4]);
+        let split = run(&[0, 1, 2, 4]);
+        let ragged = run(&[0, 3, 3, 4]); // empty middle shard is legal
+        assert_eq!(whole, split);
+        assert_eq!(whole, ragged);
+        assert!(whole.1.delivered > 0, "fixture delivers something");
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod mac;
 pub mod medium;
 pub mod phy;
 
-pub use channel::{BeginTx, Channel, ChannelStats, FinishRx, Receiver, TxId};
+pub use channel::{
+    BeginTx, Channel, ChannelShard, ChannelStats, FinishRx, Receiver, TxFrames, TxId,
+};
 pub use frame::{Frame, FrameKind};
 pub use mac::{DropReason, Mac, MacConfig, MacCounters, MacEffect, MacTimer};
 pub use medium::{BruteForceMedium, NeighborQuery, StaticGridMedium, ValidatingQuery};

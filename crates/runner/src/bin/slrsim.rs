@@ -30,6 +30,11 @@
 //! * `--validate-spatial` — debug: cross-check every spatial-index
 //!   neighbor query against the brute-force oracle (pairs well with
 //!   `--oracle`; restores the old O(N)-per-transmission cost)
+//! * `--engine batched|per-receiver|parallel` — transmission-end event
+//!   dispatch; all three are bit-identical, they trade wall clock only
+//! * `--workers N` — intra-trial workers for `--engine parallel`
+//!   (default: the machine's cores, capped at 8); the sweep budgets
+//!   `workers × threads` against the available cores
 //! * `--list-scenarios` — print the registry and exit
 
 use slr_netsim::time::SimDuration;
@@ -60,6 +65,7 @@ fn main() {
         CliAction::Run => {}
     }
 
+    let workers = opts.effective_workers();
     let protocols = opts
         .protocols
         .unwrap_or_else(|| ProtocolKind::all().to_vec());
@@ -84,6 +90,7 @@ fn main() {
         override_dynamics: opts.dynamics,
         validate_spatial: opts.validate_spatial,
         engine: opts.engine,
+        workers,
         ..SweepConfig::default()
     };
     if let Some(t) = opts.threads {
@@ -178,7 +185,9 @@ fn run_oracle_pass(
     for &value in &cfg.values {
         for trial in 0..cfg.trials {
             let scenario = cfg.scenario_for(ProtocolKind::Srp, value, trial);
-            let mut sim = Sim::new(scenario).with_engine(cfg.engine);
+            let mut sim = Sim::new(scenario)
+                .with_engine(cfg.engine)
+                .with_workers(cfg.workers);
             if cfg.validate_spatial {
                 sim.enable_spatial_validation();
             }

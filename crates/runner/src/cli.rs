@@ -39,8 +39,11 @@ pub struct CliOptions {
     pub trials: Option<u64>,
     /// Base seed (`--seed`, default 42).
     pub seed: u64,
-    /// Worker threads (`--threads`), if given.
+    /// Worker threads across trials (`--threads`), if given.
     pub threads: Option<usize>,
+    /// Workers *within* a trial for `--engine parallel` (`--workers`),
+    /// if given.
+    pub workers: Option<usize>,
     /// Node-count override (`--nodes`), if given.
     pub nodes: Option<usize>,
     /// Flow-count override (`--flows`), if given.
@@ -57,9 +60,11 @@ pub struct CliOptions {
     /// query against the brute-force oracle (debug; slows trials to the
     /// old O(N·N) cost).
     pub validate_spatial: bool,
-    /// `--engine batched|per-receiver`: how transmission-end events are
-    /// scheduled (batched by default; per-receiver is the retained
-    /// reference engine, bit-identical but slower at density).
+    /// `--engine batched|per-receiver|parallel`: how transmission-end
+    /// events are dispatched (batched by default; per-receiver is the
+    /// retained reference engine, bit-identical but slower at density;
+    /// parallel executes conservative windows on `--workers` threads,
+    /// bit-identical at any worker count).
     pub engine: EngineKind,
     /// `--json`: machine-readable output.
     pub json: bool,
@@ -77,6 +82,7 @@ impl Default for CliOptions {
             trials: None,
             seed: 42,
             threads: None,
+            workers: None,
             nodes: None,
             flows: None,
             duration: None,
@@ -91,6 +97,22 @@ impl Default for CliOptions {
     }
 }
 
+impl CliOptions {
+    /// Resolves `--workers` to a concrete intra-trial width: the explicit
+    /// flag under `--engine parallel`, else the machine's cores capped at
+    /// 8 (where the scaling curve flattens), else 1 for the serial
+    /// engines. The single defaulting policy every front-end shares.
+    pub fn effective_workers(&self) -> usize {
+        match (self.engine, self.workers) {
+            (EngineKind::Parallel, Some(w)) => w,
+            (EngineKind::Parallel, None) => std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+            _ => 1,
+        }
+    }
+}
+
 /// The one-line usage string shared by the front-ends.
 pub fn usage(bin: &str) -> String {
     format!(
@@ -99,7 +121,8 @@ pub fn usage(bin: &str) -> String {
          [--seed N] [--threads N] [--nodes N] [--flows N] [--duration S] \
          [--dynamics churn[:RATE]|partition[:K]|crash[:N]|none] [--paper] \
          [--json] [--oracle] [--validate-spatial] \
-         [--engine batched|per-receiver] [--list-scenarios]"
+         [--engine batched|per-receiver|parallel] [--workers N] \
+         [--list-scenarios]"
     )
 }
 
@@ -206,6 +229,13 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
             "--trials" => opts.trials = Some(parse_num(flag, &take_value()?)?),
             "--seed" => opts.seed = parse_num(flag, &take_value()?)?,
             "--threads" => opts.threads = Some(parse_num(flag, &take_value()?)? as usize),
+            "--workers" => {
+                let w = parse_num(flag, &take_value()?)? as usize;
+                if w == 0 {
+                    return Err("--workers needs at least 1".to_string());
+                }
+                opts.workers = Some(w);
+            }
             "--nodes" => opts.nodes = Some(parse_num(flag, &take_value()?)? as usize),
             "--flows" => opts.flows = Some(parse_num(flag, &take_value()?)? as usize),
             "--duration" => opts.duration = Some(parse_num(flag, &take_value()?)?),
@@ -217,9 +247,10 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
                 opts.engine = match take_value()?.as_str() {
                     "batched" => EngineKind::Batched,
                     "per-receiver" => EngineKind::PerReceiver,
+                    "parallel" => EngineKind::Parallel,
                     other => {
                         return Err(format!(
-                            "unknown engine {other:?} (expected batched or per-receiver)"
+                            "unknown engine {other:?} (expected batched, per-receiver or parallel)"
                         ))
                     }
                 }
@@ -235,6 +266,13 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
     if saw_pause_shorthand && (saw_param || saw_values) {
         return Err(
             "--pause is shorthand for --param pause --values S; drop it or the explicit flags"
+                .to_string(),
+        );
+    }
+    if opts.workers.is_some() && opts.engine != EngineKind::Parallel {
+        return Err(
+            "--workers only applies to --engine parallel (trials of the \
+             serial engines parallelize across trials via --threads)"
                 .to_string(),
         );
     }
@@ -396,6 +434,25 @@ mod tests {
             Family::Grid,
             "--family is an alias for --scenario"
         );
+    }
+
+    #[test]
+    fn parallel_engine_and_workers() {
+        let o = parse(&["--engine", "parallel", "--workers", "4"]).unwrap();
+        assert_eq!(o.engine, EngineKind::Parallel);
+        assert_eq!(o.workers, Some(4));
+        // `--engine parallel` without `--workers` defers the width to the
+        // front-end's core budget.
+        let o = parse(&["--engine", "parallel"]).unwrap();
+        assert_eq!(o.workers, None);
+        // Guard rails: workers need the parallel engine, and at least 1.
+        let e = parse(&["--workers", "4"]).unwrap_err();
+        assert!(e.contains("--engine parallel"), "{e}");
+        let e = parse(&["--engine", "batched", "--workers", "2"]).unwrap_err();
+        assert!(e.contains("--engine parallel"), "{e}");
+        assert!(parse(&["--engine", "parallel", "--workers", "0"]).is_err());
+        assert!(parse(&["--engine", "quantum"]).is_err());
+        assert!(usage("slrsim").contains("--workers"));
     }
 
     #[test]

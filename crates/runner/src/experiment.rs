@@ -120,6 +120,12 @@ pub struct SweepConfig {
     /// `--engine`; the per-receiver oracle is bit-identical but slower
     /// at density).
     pub engine: EngineKind,
+    /// Intra-trial workers for [`EngineKind::Parallel`] (CLI `--workers`;
+    /// ignored by the serial engines). Output is bit-identical at any
+    /// worker count; this only trades wall clock. The sweep budgets
+    /// `workers × threads` against the available cores — see
+    /// [`SweepConfig::effective_threads`].
+    pub workers: usize,
 }
 
 impl Default for SweepConfig {
@@ -140,6 +146,7 @@ impl Default for SweepConfig {
             override_dynamics: None,
             validate_spatial: false,
             engine: EngineKind::default(),
+            workers: 1,
         }
     }
 }
@@ -224,6 +231,16 @@ impl SweepConfig {
                 }
             }
         }
+        if self.workers == 0 {
+            return Err("workers must be at least 1".to_string());
+        }
+        if self.workers > 1 && self.engine != EngineKind::Parallel {
+            return Err(format!(
+                "workers = {} requires the parallel engine (serial engines \
+                 parallelize across trials via threads)",
+                self.workers
+            ));
+        }
         // Overrides are constant across points, so one probe scenario
         // catches degenerate combinations before they panic a worker.
         let probe = self.scenario_for(ProtocolKind::Srp, self.values[0], 0);
@@ -238,6 +255,23 @@ impl SweepConfig {
             ));
         }
         Ok(())
+    }
+
+    /// The cross-trial thread count after budgeting against the
+    /// intra-trial workers: under the parallel engine every trial wants
+    /// `workers` cores of its own, so the sweep caps its thread count at
+    /// `available_cores / workers` (never below 1, never above the
+    /// configured `threads`). Serial engines use `threads` as-is. This is
+    /// the `--workers` × `--threads` core-budget rule.
+    pub fn effective_threads(&self) -> usize {
+        let threads = self.threads.max(1);
+        if self.engine != EngineKind::Parallel || self.workers <= 1 {
+            return threads;
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(threads * self.workers);
+        (cores / self.workers).clamp(1, threads)
     }
 
     /// Builds the scenario for one sweep point.
@@ -359,9 +393,11 @@ pub fn run_sweep(protocols: &[ProtocolKind], cfg: &SweepConfig) -> SweepResult {
 
     let (result_tx, result_rx) = mpsc::channel();
     let job_queue = std::sync::Arc::new(std::sync::Mutex::new(jobs));
-    let workers = cfg.threads.max(1);
+    // Budget workers × threads against the cores: a parallel-engine trial
+    // occupies `cfg.workers` cores by itself.
+    let sweep_threads = cfg.effective_threads();
     let mut handles = Vec::new();
-    for _ in 0..workers {
+    for _ in 0..sweep_threads {
         let q = std::sync::Arc::clone(&job_queue);
         let tx = result_tx.clone();
         let cfg = cfg.clone();
@@ -371,7 +407,9 @@ pub fn run_sweep(protocols: &[ProtocolKind], cfg: &SweepConfig) -> SweepResult {
                 break;
             };
             let scenario = cfg.scenario_for(kind, value, trial);
-            let mut sim = Sim::new(scenario).with_engine(cfg.engine);
+            let mut sim = Sim::new(scenario)
+                .with_engine(cfg.engine)
+                .with_workers(cfg.workers);
             if cfg.validate_spatial {
                 sim.enable_spatial_validation();
             }
@@ -552,6 +590,75 @@ mod tests {
             ..SweepConfig::default()
         };
         assert!(ok.validate().is_ok(), "orthogonal overrides are fine");
+    }
+
+    #[test]
+    fn worker_thread_core_budget() {
+        // Serial engines: threads pass through untouched.
+        let cfg = SweepConfig {
+            threads: 6,
+            ..SweepConfig::default()
+        };
+        assert_eq!(cfg.effective_threads(), 6);
+        // Parallel engine: workers × threads is capped by the cores.
+        let cfg = SweepConfig {
+            threads: 16,
+            engine: EngineKind::Parallel,
+            workers: 4,
+            ..SweepConfig::default()
+        };
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(64);
+        let eff = cfg.effective_threads();
+        assert!((1..=16).contains(&eff));
+        assert!(
+            eff * 4 <= cores.max(4),
+            "workers x threads ({}) exceeds the core budget ({cores})",
+            eff * 4
+        );
+        // Validation: >1 workers require the parallel engine.
+        let bad = SweepConfig {
+            workers: 4,
+            values: vec![0],
+            ..SweepConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let zero = SweepConfig {
+            workers: 0,
+            values: vec![0],
+            ..SweepConfig::default()
+        };
+        assert!(zero.validate().is_err());
+        let ok = SweepConfig {
+            engine: EngineKind::Parallel,
+            workers: 2,
+            values: vec![0],
+            ..SweepConfig::default()
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn sweep_runs_under_the_parallel_engine() {
+        let run = |engine, workers| {
+            let cfg = SweepConfig {
+                seed: 11,
+                trials: 2,
+                values: vec![150],
+                threads: 2,
+                engine,
+                workers,
+                ..SweepConfig::default()
+            };
+            run_sweep(&[ProtocolKind::Srp], &cfg)
+        };
+        let batched = run(EngineKind::Batched, 1);
+        let parallel = run(EngineKind::Parallel, 2);
+        // The whole sweep result — every trial summary — is bit-identical.
+        for (key, cell) in &batched.runs {
+            assert_eq!(cell, &parallel.runs[key], "sweep diverged at {key:?}");
+        }
     }
 
     #[test]

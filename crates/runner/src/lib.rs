@@ -32,6 +32,7 @@ pub mod dynamics;
 pub mod experiment;
 pub mod medium;
 pub mod metrics;
+mod par;
 pub mod registry;
 pub mod report;
 pub mod scenario;
@@ -46,6 +47,6 @@ pub use medium::{MediumView, PositionTracker};
 pub use metrics::{Metrics, TrialSummary};
 pub use registry::{Family, SweepParam};
 pub use scenario::{MobilitySpec, ProtocolKind, Scenario, TopologySpec, TrafficSpec};
-pub use sim::{EngineKind, MediumKind, Payload, Sim};
+pub use sim::{EngineKind, MediumKind, Payload, PhaseTimes, Sim};
 pub use stats::MeanCi;
 pub use trace::{PacketFate, TraceEvent, TraceLog};

@@ -8,13 +8,15 @@
 //! timer bookkeeping) live in exactly one place.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use slr_mobility::{MobilityScript, Position};
 use slr_netsim::admittance::{Admittance, DynAction};
+use slr_netsim::pool::{with_pool, WorkerPool};
 use slr_netsim::rng::{derive_seed, stream};
 use slr_netsim::time::{SimDuration, SimTime};
 use slr_netsim::{EventToken, Simulator};
@@ -23,12 +25,13 @@ use slr_protocols::{
 };
 use slr_radio::{
     BeginTx, BruteForceMedium, Channel, Frame, FrameKind, Mac, MacEffect, MacTimer, NeighborQuery,
-    TxId, ValidatingQuery,
+    Receiver, TxId, ValidatingQuery,
 };
 use slr_traffic::TrafficScript;
 
 use crate::medium::{MediumView, PositionTracker};
 use crate::metrics::{Metrics, TrialSummary};
+use crate::par::{self, Op, Shard, SharedCtx, Task, TaskKind, WorkerScratch};
 use crate::scenario::{MobilitySpec, Scenario, TopologySpec};
 use crate::trace::{TraceEvent, TraceLog};
 
@@ -39,12 +42,17 @@ use crate::trace::{TraceEvent, TraceLog};
 /// ~100-byte enums — at dense scale the deep copies were measurable.
 /// The receiving protocol takes ownership at delivery (`try_unwrap`
 /// avoids the copy whenever the reference is unique by then).
+///
+/// *Atomically* reference-counted since the parallel engine: the workers
+/// of one dispatch window clone a transmission's payload concurrently
+/// (one clone per completing receiver) straight out of the channel's
+/// shared in-flight table.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     /// A routing control packet.
-    Control(Rc<ControlPacket>),
+    Control(Arc<ControlPacket>),
     /// A data-plane packet.
-    Data(Rc<DataPacket>),
+    Data(Arc<DataPacket>),
 }
 
 /// Harness events. Timer and transmitter-end events carry the node's
@@ -83,6 +91,19 @@ enum Work {
     Proto(usize, ProtoEffect),
 }
 
+/// Whether an event may join a conservative dispatch window: its handling
+/// must be provably node-local. MAC timers are the only events that can
+/// start a transmission (global: medium query, channel mutation, busy
+/// fan-out to other nodes); dynamics rewire admittance, epochs and whole
+/// node stacks; the per-receiver engine's `RxEnd`/`TxEnd` never coexist
+/// with the parallel engine but are excluded for defense in depth.
+fn window_safe(ev: &Event) -> bool {
+    matches!(
+        ev,
+        Event::App(_) | Event::ProtoTimer(..) | Event::TxComplete(..)
+    )
+}
+
 /// Which medium implementation answers the channel's neighbor queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MediumKind {
@@ -97,22 +118,33 @@ pub enum MediumKind {
 }
 
 /// How transmission-end processing is driven through the event queue.
-/// Both engines execute the identical per-receiver completion logic in
-/// the identical order; they differ only in how many heap events carry
-/// it, and must therefore produce bit-identical trials (the equivalence
-/// tests in the workspace root hold them to exactly that, the same way
-/// `BruteForceMedium` anchors the spatial index).
+/// Every engine executes the identical per-receiver completion logic in
+/// the identical effective order; they differ only in how heap events
+/// carry it and on which thread it runs, and must therefore produce
+/// bit-identical trials (the equivalence tests in the workspace root hold
+/// them to exactly that, the same way `BruteForceMedium` anchors the
+/// spatial index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
     /// One `TxComplete` heap event per transmission: receivers complete
     /// in ascending node order from the channel's retained receiver set,
-    /// then the transmitter (the production path — at dense scale the
-    /// per-receiver events, not the medium, dominated trial time).
+    /// then the transmitter (the serial production path — at dense scale
+    /// the per-receiver events, not the medium, dominated trial time).
     #[default]
     Batched,
     /// One `RxEnd` heap event per receiver plus a `TxEnd` — the original
     /// scheduling, retained as the reference oracle for the batched path.
     PerReceiver,
+    /// The batched scheduling, dispatched through conservative
+    /// same-timestamp windows whose node-local tasks (receiver
+    /// completions, protocol reactions, application arrivals, protocol
+    /// timers) execute concurrently on a persistent worker pool (see
+    /// [`Sim::set_workers`]); global side effects merge in canonical
+    /// order, so output is bit-identical to [`EngineKind::Batched`] at
+    /// any worker count. MAC timers (the only events that can start a
+    /// transmission — DIFS/SIFS > 0 is the conservative-lookahead bound)
+    /// and dynamics events still dispatch serially between windows.
+    Parallel,
 }
 
 /// One running trial.
@@ -175,8 +207,86 @@ pub struct Sim {
     /// Earliest unanswered disruption (route-repair latency clock).
     pending_repair: Option<SimTime>,
     trace: Option<TraceLog>,
+    /// Worker count for [`EngineKind::Parallel`] (1 = inline windowed
+    /// execution, no threads). Ignored by the serial engines.
+    workers: usize,
+    /// Reusable window buffers for the parallel engine.
+    win: WindowBufs,
+    /// Persistent per-worker scratch (op buffers, MAC-effect buffers,
+    /// work queues) for the parallel engine.
+    par_scratch: Vec<WorkerScratch>,
+    /// Per-phase wall-clock accumulators (serial engines only; enabled by
+    /// [`Sim::enable_phase_timing`]).
+    phase: Option<Box<PhaseTimes>>,
     /// Metrics for the trial.
     pub metrics: Metrics,
+}
+
+/// Reusable buffers of the windowed dispatcher — the inline (width = 1)
+/// path allocates nothing in steady state; the pooled path still builds
+/// its short-lived shard/slot vectors per window, since those hold
+/// borrows that cannot outlive the window.
+#[derive(Default)]
+struct WindowBufs {
+    /// The events popped into the current window, in heap-pop order.
+    events: Vec<Event>,
+    /// The window's node-local tasks, in canonical order.
+    tasks: Vec<Task>,
+    /// Transmissions completing in this window: `(tx, receivers)` for the
+    /// post-merge channel epilogue (receiver-vector recycling + in-flight
+    /// retirement, exactly where the serial walk would have done it).
+    txs: Vec<(TxId, Vec<Receiver>)>,
+    /// The window's shard bounds (recomputed in place).
+    bounds: Vec<usize>,
+    /// Outer vector collecting each worker's op buffer for the merge (the
+    /// inner vectors live in [`WorkerScratch`] between windows).
+    op_lists: Vec<Vec<(u32, Op)>>,
+}
+
+/// Where a serial trial's wall clock goes, by harness phase (see
+/// [`Sim::enable_phase_timing`]): the attribution behind the
+/// `bench_events` per-phase breakdown, which is what makes the parallel
+/// engine's worker-count scaling curve explainable — only the signal /
+/// MAC / protocol phases parallelize; the medium query runs inside MAC
+/// timer dispatch, which stays serial.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Neighbor queries + transmission starts (`begin_tx` through the
+    /// configured medium).
+    pub medium: Duration,
+    /// Per-receiver signal completion (channel bookkeeping).
+    pub signal: Duration,
+    /// MAC state-machine invocations.
+    pub mac: Duration,
+    /// Routing-protocol invocations.
+    pub proto: Duration,
+}
+
+/// What one [`Sim::pump`] call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pumped {
+    /// Nothing left before the horizon.
+    Idle,
+    /// One serial event dispatched (`dynamics` reports whether it was a
+    /// dynamics action — the loop-freedom oracle checks right after those).
+    Event { dynamics: bool },
+    /// One conservative window of node-local tasks executed.
+    Window,
+}
+
+/// A window is executed on the pool only when it has at least this many
+/// tasks per participating worker; smaller windows run inline on the
+/// dispatching thread (same code, same canonical order — the threshold is
+/// pure scheduling and cannot affect output).
+const PAR_MIN_TASKS_PER_WORKER: usize = 3;
+
+/// Phase selector for the wall-clock attribution probes.
+#[derive(Clone, Copy)]
+enum PhaseSel {
+    Medium,
+    Signal,
+    Mac,
+    Proto,
 }
 
 impl Sim {
@@ -325,6 +435,10 @@ impl Sim {
             epochs: vec![0; n],
             pending_repair: None,
             trace: None,
+            workers: 1,
+            win: WindowBufs::default(),
+            par_scratch: Vec::new(),
+            phase: None,
             metrics: Metrics::new(),
         }
     }
@@ -359,6 +473,35 @@ impl Sim {
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.set_engine(engine);
         self
+    }
+
+    /// Sets the worker count for [`EngineKind::Parallel`]: window tasks
+    /// execute `workers`-way concurrent (the dispatching thread plus
+    /// `workers - 1` pooled threads). `1` keeps the windowed dispatch but
+    /// runs every task inline. Output is bit-identical across worker
+    /// counts by construction; this only trades wall clock. No effect on
+    /// the serial engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn set_workers(&mut self, workers: usize) {
+        assert!(workers >= 1, "at least one worker (the dispatch thread)");
+        self.workers = workers;
+    }
+
+    /// Builder form of [`Sim::set_workers`].
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.set_workers(workers);
+        self
+    }
+
+    /// Accumulates per-phase wall-clock attribution (medium / signal /
+    /// MAC / protocol) during the trial, reported by [`Sim::run_phased`].
+    /// Serial engines only — the parallel engine's workers overlap phases
+    /// by design, so per-phase wall clock is not well-defined there.
+    pub fn enable_phase_timing(&mut self) {
+        self.phase = Some(Box::default());
     }
 
     /// Cross-checks every spatial-index neighbor query against the
@@ -397,6 +540,45 @@ impl Sim {
         self.run_detailed().0
     }
 
+    /// Like [`Sim::run_detailed`], additionally reporting where the wall
+    /// clock went by harness phase (enables phase timing if the caller
+    /// has not already). The attribution behind `bench_events`'
+    /// per-phase breakdown; meaningful under the serial engines.
+    pub fn run_phased(mut self) -> (TrialSummary, Metrics, PhaseTimes) {
+        if self.phase.is_none() {
+            self.enable_phase_timing();
+        }
+        self.run_loop();
+        let phases = *self.phase.take().expect("enabled above");
+        let nodes = self.scenario.nodes;
+        let metrics = self.finalize_metrics();
+        (metrics.summarize(nodes), metrics, phases)
+    }
+
+    /// Phase-timing probe: the start instant, taken only when enabled.
+    #[inline]
+    fn ph_t0(&self) -> Option<Instant> {
+        if self.phase.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Phase-timing probe: accumulates the elapsed time since `t0`.
+    #[inline]
+    fn ph_add(&mut self, t0: Option<Instant>, sel: PhaseSel) {
+        if let (Some(p), Some(t0)) = (self.phase.as_deref_mut(), t0) {
+            let d = t0.elapsed();
+            match sel {
+                PhaseSel::Medium => p.medium += d,
+                PhaseSel::Signal => p.signal += d,
+                PhaseSel::Mac => p.mac += d,
+                PhaseSel::Proto => p.proto += d,
+            }
+        }
+    }
+
     /// Schedules the scripted inputs (application packets, dynamics
     /// events) and starts every protocol.
     fn startup(&mut self) {
@@ -430,22 +612,83 @@ impl Sim {
     fn run_loop(&mut self) {
         self.ensure_started();
         let end = self.scenario.end;
-        while let Some(ev) = self.sim.next_before(end) {
-            self.dispatch(ev.event);
+        self.drive(end);
+    }
+
+    /// Drives the trial to `end`, standing up the worker pool once for
+    /// the whole run when the parallel engine wants more than one worker.
+    fn drive(&mut self, end: SimTime) {
+        if self.engine == EngineKind::Parallel && self.workers > 1 {
+            let threads = self.workers - 1;
+            let this = &mut *self;
+            with_pool(
+                threads,
+                move |pool| {
+                    while this.pump(end, Some(pool)) != Pumped::Idle {}
+                },
+            );
+        } else {
+            while self.pump(end, None) != Pumped::Idle {}
         }
+    }
+
+    /// Processes one unit of work strictly before `end`: a single serial
+    /// event (serial engines; MAC-timer/dynamics events under the
+    /// parallel engine) or one conservative window of node-local tasks.
+    fn pump(&mut self, end: SimTime, pool: Option<&WorkerPool<'_>>) -> Pumped {
+        if self.engine != EngineKind::Parallel {
+            return match self.sim.next_before(end) {
+                Some(ev) => {
+                    let dynamics = matches!(ev.event, Event::Dynamics(_));
+                    self.dispatch(ev.event);
+                    Pumped::Event { dynamics }
+                }
+                None => Pumped::Idle,
+            };
+        }
+        let (t, safe) = match self.sim.peek_event() {
+            Some((t, ev)) if t < end => (t, window_safe(ev)),
+            _ => return Pumped::Idle,
+        };
+        if !safe {
+            let ev = self.sim.next().expect("peeked above");
+            let dynamics = matches!(ev.event, Event::Dynamics(_));
+            self.dispatch(ev.event);
+            return Pumped::Event { dynamics };
+        }
+        // Pop the maximal run of window-safe events sharing the head
+        // timestamp, in heap order. The conservative bound (every newly
+        // scheduled event is strictly later than `t`: SIFS/DIFS, airtimes
+        // and timer delays are all positive) means nothing processed here
+        // can insert ahead of anything popped here; an event arriving *at*
+        // `t` during the window sorts after every already-scheduled entry
+        // by sequence number and is picked up by the next pump.
+        let mut events = std::mem::take(&mut self.win.events);
+        debug_assert!(events.is_empty());
+        loop {
+            events.push(self.sim.next().expect("peeked above").event);
+            match self.sim.peek_event() {
+                Some((t2, ev)) if t2 == t && window_safe(ev) => continue,
+                _ => break,
+            }
+        }
+        self.execute_window(t, &events, pool);
+        events.clear();
+        self.win.events = events;
+        Pumped::Window
     }
 
     /// Processes events strictly before `horizon` (clamped to the
     /// scenario end), starting the trial if needed. A stepping hook for
     /// tests and diagnostics that must observe or perturb mid-trial state
     /// (e.g. the crash-mid-reception regression tests); the run methods
-    /// continue seamlessly afterwards.
+    /// continue seamlessly afterwards. Under the parallel engine the
+    /// windows run inline (no pool is stood up for partial stepping) —
+    /// which cannot change output, only wall clock.
     pub fn advance_until(&mut self, horizon: SimTime) {
         self.ensure_started();
         let end = self.scenario.end.min(horizon);
-        while let Some(ev) = self.sim.next_before(end) {
-            self.dispatch(ev.event);
-        }
+        while self.pump(end, None) != Pumped::Idle {}
     }
 
     /// The current virtual time.
@@ -534,6 +777,7 @@ impl Sim {
                     self.metrics.record_drop(DataDropReason::NodeDown);
                     return;
                 }
+                let t0 = self.ph_t0();
                 let fx = {
                     let mut ctx = ProtoCtx {
                         now,
@@ -541,6 +785,7 @@ impl Sim {
                     };
                     self.protos[spec.src].on_data_from_app(&mut ctx, packet)
                 };
+                self.ph_add(t0, PhaseSel::Proto);
                 self.drain_proto(spec.src, fx);
             }
             Event::ProtoTimer(node, epoch, token) => {
@@ -548,6 +793,7 @@ impl Sim {
                     return; // Timer owned by a pre-crash incarnation.
                 }
                 let now = self.sim.now();
+                let t0 = self.ph_t0();
                 let fx = {
                     let mut ctx = ProtoCtx {
                         now,
@@ -555,6 +801,7 @@ impl Sim {
                     };
                     self.protos[node].on_timer(&mut ctx, token)
                 };
+                self.ph_add(t0, PhaseSel::Proto);
                 self.drain_proto(node, fx);
             }
             Event::MacTimer(node, kind) => {
@@ -584,7 +831,9 @@ impl Sim {
                 let now = self.sim.now();
                 let receivers = self.channel.take_tx_receivers(tx_id);
                 for r in &receivers {
+                    let t0 = self.ph_t0();
                     let outcome = self.channel.finish_rx_batched(r.node as usize, tx_id, now);
+                    self.ph_add(t0, PhaseSel::Signal);
                     self.after_finish_rx(r.node as usize, outcome, now);
                 }
                 self.channel.recycle_receivers(receivers);
@@ -597,6 +846,264 @@ impl Sim {
             Event::Dynamics(idx) => {
                 let action = self.dynamics[idx].1.clone();
                 self.apply_dynamics(action);
+            }
+        }
+    }
+
+    /// Executes one conservative window: expands its events into
+    /// node-local tasks (canonical order: events in heap-pop order; a
+    /// transmission's receivers in ascending node order, then its
+    /// transmitter — exactly the serial batched walk), runs them sharded
+    /// by node ownership (on the pool when the window is big enough,
+    /// inline otherwise), then replays every buffered global side effect
+    /// in canonical (task, emission) order and retires the window's
+    /// transmissions. Bit-identical to dispatching the same events
+    /// through the serial batched path, at any worker count.
+    fn execute_window(&mut self, now: SimTime, events: &[Event], pool: Option<&WorkerPool<'_>>) {
+        let mut tasks = std::mem::take(&mut self.win.tasks);
+        let mut txs = std::mem::take(&mut self.win.txs);
+        debug_assert!(tasks.is_empty() && txs.is_empty());
+        for ev in events {
+            match *ev {
+                Event::App(i) => {
+                    let src = self.traffic.packets()[i].src;
+                    tasks.push(Task {
+                        owner: src as u32,
+                        kind: TaskKind::App(i as u32),
+                    });
+                }
+                Event::ProtoTimer(node, epoch, token) => {
+                    // The epoch gate the serial dispatch applies at fire
+                    // time; epochs cannot change inside a window.
+                    if epoch == self.epochs[node] {
+                        tasks.push(Task {
+                            owner: node as u32,
+                            kind: TaskKind::ProtoTimer(token),
+                        });
+                    }
+                }
+                Event::TxComplete(node, epoch, tx) => {
+                    let receivers = self.channel.take_tx_receivers(tx);
+                    for r in &receivers {
+                        tasks.push(Task {
+                            owner: r.node,
+                            kind: TaskKind::RxComplete(tx),
+                        });
+                    }
+                    if epoch == self.epochs[node] {
+                        tasks.push(Task {
+                            owner: node as u32,
+                            kind: TaskKind::TxEndTail,
+                        });
+                    }
+                    txs.push((tx, receivers));
+                }
+                _ => unreachable!("non-window-safe event in a window"),
+            }
+        }
+
+        // Execution width: pool workers only pay off past a per-worker
+        // task grain; below it (or without a pool) the window runs inline
+        // through the identical task machinery. The width is additionally
+        // clamped to the node count (a shard needs at least one node).
+        let n = self.protos.len();
+        let width = match pool {
+            Some(pool) => {
+                let cap = (pool.threads() + 1).min(n.max(1));
+                if cap > 1 && tasks.len() >= cap * PAR_MIN_TASKS_PER_WORKER {
+                    cap
+                } else {
+                    1
+                }
+            }
+            None => 1,
+        };
+        let mut bounds = std::mem::take(&mut self.win.bounds);
+        par::shard_bounds_into(n, width, &mut bounds);
+        while self.par_scratch.len() < width {
+            self.par_scratch.push(WorkerScratch::default());
+        }
+
+        let mut chan_delivered = 0u64;
+        let mut chan_collisions = 0u64;
+        let mut ops_by_worker = std::mem::take(&mut self.win.op_lists);
+        debug_assert!(ops_by_worker.is_empty());
+        {
+            let (frames, mut chan_shards) = self.channel.par_views(&bounds);
+            let ctx = SharedCtx {
+                now,
+                frames: &frames,
+                admittance: &self.admittance,
+                mobility: &self.mobility,
+                traffic: &self.traffic,
+                has_dynamics: self.has_dynamics,
+                rx_range_m: self.scenario.mac.phy.rx_range_m,
+                trace_on: self.trace.is_some(),
+            };
+            // Split every per-node table at the same bounds.
+            let mut shards: Vec<Shard<'_>> = Vec::with_capacity(width);
+            {
+                let mut macs: &mut [Mac<Payload>] = &mut self.macs;
+                let mut protos: &mut [Box<dyn RoutingProtocol>] = &mut self.protos;
+                let mut rngs: &mut [SmallRng] = &mut self.proto_rngs;
+                let mut sens: &mut [bool] = &mut self.mac_sensitive;
+                let mut stale: &mut [bool] = &mut self.carrier_stale;
+                for (w, chan) in chan_shards.drain(..).enumerate() {
+                    let len = bounds[w + 1] - bounds[w];
+                    let (m, m_rest) = macs.split_at_mut(len);
+                    let (p, p_rest) = protos.split_at_mut(len);
+                    let (r, r_rest) = rngs.split_at_mut(len);
+                    let (se, se_rest) = sens.split_at_mut(len);
+                    let (st, st_rest) = stale.split_at_mut(len);
+                    macs = m_rest;
+                    protos = p_rest;
+                    rngs = r_rest;
+                    sens = se_rest;
+                    stale = st_rest;
+                    shards.push(Shard {
+                        base: bounds[w],
+                        macs: m,
+                        protos: p,
+                        rngs: r,
+                        sensitive: se,
+                        stale: st,
+                        chan,
+                    });
+                }
+            }
+
+            if width == 1 {
+                let shard = &mut shards[0];
+                let scratch = &mut self.par_scratch[0];
+                debug_assert!(scratch.ops.is_empty());
+                for (i, task) in tasks.iter().enumerate() {
+                    par::run_task(i as u32, task, shard, &ctx, scratch);
+                }
+                chan_delivered = shard.chan.delivered;
+                chan_collisions = shard.chan.collisions;
+                ops_by_worker.push(std::mem::take(&mut scratch.ops));
+            } else {
+                let pool = pool.expect("width > 1 implies a pool");
+                let taken: Vec<WorkerScratch> = self.par_scratch.drain(..width).collect();
+                let slots: Vec<Mutex<Option<(Shard<'_>, WorkerScratch)>>> = shards
+                    .into_iter()
+                    .zip(taken)
+                    .map(|pair| Mutex::new(Some(pair)))
+                    .collect();
+                let tasks_ref: &[Task] = &tasks;
+                pool.broadcast(&|wi| {
+                    // `width` can be clamped below the pool size when the
+                    // node count is tiny; surplus workers sit this one out.
+                    let Some(slot) = slots.get(wi) else { return };
+                    let (mut shard, mut scratch) =
+                        slot.lock().expect("window slot").take().expect("filled");
+                    debug_assert!(scratch.ops.is_empty());
+                    for (i, task) in tasks_ref.iter().enumerate() {
+                        if shard.owns(task.owner) {
+                            par::run_task(i as u32, task, &mut shard, &ctx, &mut scratch);
+                        }
+                    }
+                    *slot.lock().expect("window slot") = Some((shard, scratch));
+                });
+                for slot in slots {
+                    let (shard, mut scratch) =
+                        slot.into_inner().expect("window mutex").expect("refilled");
+                    chan_delivered += shard.chan.delivered;
+                    chan_collisions += shard.chan.collisions;
+                    ops_by_worker.push(std::mem::take(&mut scratch.ops));
+                    self.par_scratch.push(scratch);
+                }
+            }
+        }
+        self.channel.stats.delivered += chan_delivered;
+        self.channel.stats.collisions += chan_collisions;
+
+        // Replay the buffered global effects in canonical order: tasks in
+        // window order, each task's ops in emission order. Each worker's
+        // buffer is already sorted by task index (it walked its tasks in
+        // window order), so the merge is a cursor walk.
+        for v in &mut ops_by_worker {
+            v.reverse(); // pop from the back = front of the op stream
+        }
+        for (t, task) in tasks.iter().enumerate() {
+            let w = if width == 1 {
+                0
+            } else {
+                par::worker_of(task.owner, n, width)
+            };
+            while ops_by_worker[w]
+                .last()
+                .is_some_and(|(ti, _)| *ti == t as u32)
+            {
+                let (_, op) = ops_by_worker[w].pop().expect("checked");
+                self.apply_op(op, now);
+            }
+        }
+        debug_assert!(ops_by_worker.iter().all(|v| v.is_empty()));
+        // Hand the (now empty, capacity-retaining) op buffers back.
+        for (i, v) in ops_by_worker.drain(..).enumerate() {
+            self.par_scratch[i].ops = v;
+        }
+        self.win.op_lists = ops_by_worker;
+        self.win.bounds = bounds;
+
+        // Channel epilogue, in window order: recycle each transmission's
+        // receiver vector and retire its in-flight entry — the tail of
+        // the serial batched walk.
+        for (tx, receivers) in txs.drain(..) {
+            self.channel.recycle_receivers(receivers);
+            self.channel.finish_tx_batched(tx);
+        }
+        tasks.clear();
+        self.win.tasks = tasks;
+        self.win.txs = txs;
+    }
+
+    /// Applies one buffered global side effect — each arm is the exact
+    /// statement the serial dispatch path would have executed in place.
+    fn apply_op(&mut self, op: Op, now: SimTime) {
+        match op {
+            Op::MacSet { node, kind, delay } => {
+                let node = node as usize;
+                if let Some(tok) = self.mac_timers[node][kind.index()].take() {
+                    self.sim.cancel(tok);
+                }
+                let tok = self.sim.schedule_in(delay, Event::MacTimer(node, kind));
+                self.mac_timers[node][kind.index()] = Some(tok);
+            }
+            Op::MacCancel { node, kind } => {
+                if let Some(tok) = self.mac_timers[node as usize][kind.index()].take() {
+                    self.sim.cancel(tok);
+                }
+            }
+            Op::ProtoSet { node, token, delay } => {
+                let node = node as usize;
+                self.sim
+                    .schedule_in(delay, Event::ProtoTimer(node, self.epochs[node], token));
+            }
+            Op::Control { kind } => self.metrics.record_control(kind),
+            Op::DataTx => self.metrics.data_tx += 1,
+            Op::Originated => self.metrics.data_originated += 1,
+            Op::Drop { reason } => self.metrics.record_drop(reason),
+            Op::IfqDrop => *self.metrics.drops.entry("ifq-overflow").or_insert(0) += 1,
+            Op::LinkFailGated => self.metrics.link_failures_gated += 1,
+            Op::LinkFailInRange => self.metrics.link_failures_in_range += 1,
+            Op::LinkFailOutOfRange => self.metrics.link_failures_out_of_range += 1,
+            Op::Delivery { uid, origin } => {
+                if self.metrics.record_delivery(uid, origin, now) {
+                    // First delivery after a disruption closes the
+                    // route-repair latency clock.
+                    if let Some(t0) = self.pending_repair.take() {
+                        self.metrics.route_repair_latency_sum +=
+                            now.saturating_since(t0).as_secs_f64();
+                        self.metrics.route_repairs += 1;
+                    }
+                }
+            }
+            Op::Trace { uid, ev } => {
+                if let Some(tr) = &mut self.trace {
+                    tr.record(uid, ev);
+                }
             }
         }
     }
@@ -616,7 +1123,9 @@ impl Sim {
     /// radio to notify; the rejoin path resyncs it from `Channel::is_busy`.
     fn finish_signal(&mut self, node: usize, tx_id: TxId) {
         let now = self.sim.now();
+        let t0 = self.ph_t0();
         let r = self.channel.finish_rx(node, tx_id, now);
+        self.ph_add(t0, PhaseSel::Signal);
         self.after_finish_rx(node, r, now);
     }
 
@@ -759,7 +1268,9 @@ impl Sim {
         }
         let mut fx = std::mem::take(&mut self.mac_fx);
         debug_assert!(fx.is_empty());
+        let t0 = self.ph_t0();
         f(&mut self.macs[node], &mut fx);
+        self.ph_add(t0, PhaseSel::Mac);
         self.mac_sensitive[node] = self.macs[node].transition_sensitive();
         work.extend(fx.drain(..).map(|e| Work::Mac(node, e)));
         self.mac_fx = fx;
@@ -850,10 +1361,14 @@ impl Sim {
                 // links (churn outage, partition, crashed node) perceive
                 // nothing, so unicasts toward them burn MAC retries and
                 // surface as link failures to the routing layer.
+                let t0 = self.ph_t0();
                 let begin = self.begin_tx_on_medium(frame, now);
+                self.ph_add(t0, PhaseSel::Medium);
                 let end_at = now + begin.airtime;
                 match self.engine {
-                    EngineKind::Batched => {
+                    // The parallel engine schedules exactly like the
+                    // batched one; only dispatch differs.
+                    EngineKind::Batched | EngineKind::Parallel => {
                         self.sim.schedule_at(
                             end_at,
                             Event::TxComplete(node, self.epochs[node], begin.tx_id),
@@ -875,6 +1390,7 @@ impl Sim {
                 // idle → busy hear anything, and a transmission that
                 // flips nobody skips the walk entirely.
                 if begin.fresh_busy > 0 {
+                    let t0 = self.ph_t0();
                     let mut fx = std::mem::take(&mut self.mac_fx);
                     for r in self.channel.tx_receivers(begin.tx_id) {
                         if !r.fresh_busy {
@@ -894,6 +1410,7 @@ impl Sim {
                         }
                     }
                     self.mac_fx = fx;
+                    self.ph_add(t0, PhaseSel::Mac);
                 }
             }
             MacEffect::SetTimer(kind, delay) => {
@@ -911,7 +1428,8 @@ impl Sim {
             }
             MacEffect::Deliver { from, payload } => match payload {
                 Payload::Control(cp) => {
-                    let cp = Rc::try_unwrap(cp).unwrap_or_else(|rc| (*rc).clone());
+                    let cp = Arc::try_unwrap(cp).unwrap_or_else(|arc| (*arc).clone());
+                    let t0 = self.ph_t0();
                     let fx = {
                         let mut ctx = ProtoCtx {
                             now,
@@ -919,12 +1437,14 @@ impl Sim {
                         };
                         self.protos[node].on_control_received(&mut ctx, from, cp)
                     };
+                    self.ph_add(t0, PhaseSel::Proto);
                     for e in fx {
                         work.push_back(Work::Proto(node, e));
                     }
                 }
                 Payload::Data(dp) => {
-                    let dp = Rc::try_unwrap(dp).unwrap_or_else(|rc| (*rc).clone());
+                    let dp = Arc::try_unwrap(dp).unwrap_or_else(|arc| (*arc).clone());
+                    let t0 = self.ph_t0();
                     let fx = {
                         let mut ctx = ProtoCtx {
                             now,
@@ -932,6 +1452,7 @@ impl Sim {
                         };
                         self.protos[node].on_data_received(&mut ctx, from, dp)
                     };
+                    self.ph_add(t0, PhaseSel::Proto);
                     for e in fx {
                         work.push_back(Work::Proto(node, e));
                     }
@@ -952,7 +1473,7 @@ impl Sim {
                 }
                 let pkt = match payload {
                     Payload::Data(dp) => {
-                        Some(Rc::try_unwrap(dp).unwrap_or_else(|rc| (*rc).clone()))
+                        Some(Arc::try_unwrap(dp).unwrap_or_else(|arc| (*arc).clone()))
                     }
                     Payload::Control(_) => None,
                 };
@@ -966,6 +1487,7 @@ impl Sim {
                         },
                     );
                 }
+                let t0 = self.ph_t0();
                 let fx = {
                     let mut ctx = ProtoCtx {
                         now,
@@ -973,6 +1495,7 @@ impl Sim {
                     };
                     self.protos[node].on_link_failure(&mut ctx, dst, pkt)
                 };
+                self.ph_add(t0, PhaseSel::Proto);
                 for e in fx {
                     work.push_back(Work::Proto(node, e));
                 }
@@ -994,7 +1517,7 @@ impl Sim {
                 let bytes = packet.wire_bytes();
                 self.mac_call(node, work, |mac, fx| {
                     mac.enqueue_into(
-                        Payload::Control(Rc::new(packet)),
+                        Payload::Control(Arc::new(packet)),
                         next_hop,
                         bytes,
                         true,
@@ -1023,7 +1546,7 @@ impl Sim {
                         .unwrap_or(0);
                 self.mac_call(node, work, |mac, fx| {
                     mac.enqueue_into(
-                        Payload::Data(Rc::new(packet)),
+                        Payload::Data(Arc::new(packet)),
                         Some(next_hop),
                         bytes,
                         false,
@@ -1165,27 +1688,27 @@ impl Sim {
     /// oracle every `check_interval` of virtual time, panicking on any
     /// hard violation. Returns the summary and the total count of soft
     /// order violations observed.
+    ///
+    /// Works under every engine — the ISSUE-4 principle that the oracle
+    /// stays in the loop while the machinery around it is restructured
+    /// (cf. *Sequence Numbers Do Not Guarantee Loop Freedom*): under the
+    /// parallel engine checkpoints land between dispatch units (windows
+    /// instead of single events), so the sampling instants — and with
+    /// them the *soft*-violation census — can differ from the serial
+    /// engines'; the hard invariants (acyclicity, label ordering) are
+    /// instant-independent and checked just as often.
     pub fn run_with_loop_oracle(mut self, check_interval: SimDuration) -> (TrialSummary, u64) {
         self.ensure_started();
         let end = self.scenario.end;
-        let mut next_check = SimTime::ZERO + check_interval;
-        let mut soft = 0u64;
-        let mut checks = 0u64;
-        while let Some(ev) = self.sim.next_before(end) {
-            // Dynamics events are the adversarial moments: check the
-            // instant *after* each one fires, not just on the periodic
-            // grid, so a transient loop opened by a link flap cannot hide
-            // between checkpoints.
-            let force_check = matches!(ev.event, Event::Dynamics(_));
-            self.dispatch(ev.event);
-            if force_check || self.sim.now() >= next_check {
-                soft += self
-                    .check_srp_loop_freedom()
-                    .unwrap_or_else(|e| panic!("loop-freedom violated: {e}"));
-                checks += 1;
-                next_check = self.sim.now() + check_interval;
-            }
-        }
+        let (mut soft, mut checks) = if self.engine == EngineKind::Parallel && self.workers > 1 {
+            let threads = self.workers - 1;
+            let this = &mut self;
+            with_pool(threads, move |pool| {
+                this.oracle_loop(end, check_interval, Some(pool))
+            })
+        } else {
+            self.oracle_loop(end, check_interval, None)
+        };
         soft += self
             .check_srp_loop_freedom()
             .unwrap_or_else(|e| panic!("loop-freedom violated: {e}"));
@@ -1195,6 +1718,39 @@ impl Sim {
         let nodes = self.scenario.nodes;
         let metrics = self.finalize_metrics();
         (metrics.summarize(nodes), soft)
+    }
+
+    /// The oracle-checked drive loop behind [`Sim::run_with_loop_oracle`]:
+    /// returns `(soft violations, checks)` accumulated before the final
+    /// end-of-trial check.
+    fn oracle_loop(
+        &mut self,
+        end: SimTime,
+        check_interval: SimDuration,
+        pool: Option<&WorkerPool<'_>>,
+    ) -> (u64, u64) {
+        let mut next_check = SimTime::ZERO + check_interval;
+        let mut soft = 0u64;
+        let mut checks = 0u64;
+        loop {
+            let pumped = self.pump(end, pool);
+            if pumped == Pumped::Idle {
+                break;
+            }
+            // Dynamics events are the adversarial moments: check the
+            // instant *after* each one fires, not just on the periodic
+            // grid, so a transient loop opened by a link flap cannot hide
+            // between checkpoints.
+            let force_check = matches!(pumped, Pumped::Event { dynamics: true });
+            if force_check || self.sim.now() >= next_check {
+                soft += self
+                    .check_srp_loop_freedom()
+                    .unwrap_or_else(|e| panic!("loop-freedom violated: {e}"));
+                checks += 1;
+                next_check = self.sim.now() + check_interval;
+            }
+        }
+        (soft, checks)
     }
 }
 

@@ -1,25 +1,53 @@
-//! A mobile ad hoc network demo: one quick-scale trial per protocol on the
-//! *same* mobility and traffic scripts, printing the paper's three metrics.
+//! A mobile ad hoc network demo of the current engine surface:
+//!
+//! 1. one quick-scale trial per protocol on the *same* mobility and
+//!    traffic scripts, printing the paper's three metrics;
+//! 2. one `dense`-family SRP trial run under the selected event engine,
+//!    with the batched engine's summary cross-checked bit-for-bit when a
+//!    non-default engine is chosen.
 //!
 //! ```sh
-//! cargo run --release -p slr-runner --example manet_demo [pause_secs]
+//! cargo run --release --example manet_demo
+//! cargo run --release --example manet_demo -- --pause 300
+//! cargo run --release --example manet_demo -- --nodes 400 \
+//!     --engine parallel --workers 4
+//! cargo run --release --example manet_demo -- --engine per-receiver
 //! ```
+//!
+//! Flags (shared parser with `slrsim`): `--pause S` for the per-protocol
+//! comparison; `--engine batched|per-receiver|parallel`, `--workers N`,
+//! `--nodes N`, `--duration S` and `--seed N` for the dense engine demo.
 
+use slr_runner::cli::{parse_cli, usage, CliAction};
+use slr_runner::registry::{Family, SweepParam};
 use slr_runner::scenario::{ProtocolKind, Scenario};
-use slr_runner::sim::Sim;
+use slr_runner::sim::{EngineKind, Sim};
 
 fn main() {
-    let pause: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_cli(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if opts.action != CliAction::Run {
+        eprintln!("{}", usage("manet_demo"));
+        return;
+    }
+    let pause = match (&opts.param, &opts.values) {
+        (Some(SweepParam::Pause), Some(v)) => v[0],
+        _ => 0,
+    };
+
     println!("50 nodes, 15 CBR flows, 160 s, pause {pause} s — same scripts for every protocol\n");
     println!(
         "{:<8} {:>10} {:>10} {:>12} {:>12} {:>10}",
         "proto", "delivery", "load", "latency(s)", "drops/node", "seqno"
     );
     for kind in ProtocolKind::all() {
-        let scenario = Scenario::quick(kind, pause, 42, 0);
+        let scenario = Scenario::quick(kind, pause, opts.seed, 0);
         let summary = Sim::new(scenario).run();
         println!(
             "{:<8} {:>10.3} {:>10.3} {:>12.4} {:>12.1} {:>10.2}",
@@ -33,4 +61,53 @@ fn main() {
     }
     println!("\nExpected shape (paper §V): SRP best delivery & lowest load;");
     println!("AODV/LDR mid; DSR degrades with mobility; OLSR trades overhead for latency.");
+
+    // Part 2: the dense family under the selected engine. Every engine is
+    // bit-identical by contract; the demo proves it on the spot whenever
+    // a non-default engine is picked.
+    let nodes = opts.nodes.unwrap_or(300) as u64;
+    let workers = opts.effective_workers();
+    let engine_name = match opts.engine {
+        EngineKind::Batched => "batched".to_string(),
+        EngineKind::PerReceiver => "per-receiver".to_string(),
+        EngineKind::Parallel => format!("parallel ({workers} workers)"),
+    };
+    let dense_scenario = || {
+        let mut s = Family::Dense.scenario_at(
+            ProtocolKind::Srp,
+            opts.seed,
+            0,
+            opts.paper,
+            SweepParam::Nodes,
+            nodes,
+        );
+        if let Some(d) = opts.duration {
+            s.end = slr_netsim::time::SimTime::from_secs(d);
+        }
+        s
+    };
+    println!(
+        "\ndense family: {} mobile nodes, SRP, engine {engine_name}",
+        nodes
+    );
+    let start = std::time::Instant::now();
+    let summary = Sim::new(dense_scenario())
+        .with_engine(opts.engine)
+        .with_workers(workers)
+        .run();
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "  delivery {:.3}, load {:.3}, latency {:.4} s — {wall:.2} s wall clock",
+        summary.delivery_ratio, summary.network_load, summary.latency
+    );
+    if opts.engine != EngineKind::Batched {
+        let baseline = Sim::new(dense_scenario())
+            .with_engine(EngineKind::Batched)
+            .run();
+        assert_eq!(
+            baseline, summary,
+            "engine determinism contract violated: {engine_name} != batched"
+        );
+        println!("  cross-check: summary bit-identical to the batched engine ✓");
+    }
 }

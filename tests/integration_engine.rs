@@ -1,14 +1,18 @@
-//! The batched event engine's fixed-seed contracts (the proptest in
-//! `proptest_engine.rs` fuzzes the same properties):
+//! The event engines' fixed-seed contracts (the proptests in
+//! `proptest_engine.rs` fuzz the same properties):
 //!
 //! * batched vs per-receiver bit-identity on representative scenarios,
 //!   including dynamics families whose crash epochs exercise the event
 //!   quarantine paths;
+//! * parallel vs batched bit-identity at worker counts 1, 2 and 8 — the
+//!   conservative-window discipline and canonical side-effect merge must
+//!   not move a single bit no matter how tasks shard across workers;
 //! * the crash-mid-reception audit: a node crashing while a signal is in
 //!   flight at its antenna and rejoining — before *or* after that signal
 //!   ends — must come back with a MAC whose carrier view matches the
 //!   channel's ground truth at every instant, without phantom collision
-//!   accounting from the undecodable signal.
+//!   accounting from the undecodable signal (run under every engine,
+//!   including the parallel engine's mixed `advance_until` stepping).
 
 use slr_netsim::admittance::DynAction;
 use slr_netsim::time::{SimDuration, SimTime};
@@ -19,9 +23,9 @@ use slr_traffic::{PacketSpec, TrafficScript};
 
 use slr_mobility::Position;
 
-#[test]
-fn batched_engine_matches_per_receiver_on_fixed_scenarios() {
-    let scenarios: Vec<(&str, Scenario)> = vec![
+/// The fixed-seed equivalence fleet shared by the engine-identity tests.
+fn fixed_scenarios() -> Vec<(&'static str, Scenario)> {
+    vec![
         ("mobile paper-sweep", {
             let mut s = Scenario::quick(ProtocolKind::Srp, 0, 77, 0);
             s.nodes = 40;
@@ -43,8 +47,12 @@ fn batched_engine_matches_per_receiver_on_fixed_scenarios() {
             s.end = SimTime::from_secs(25);
             s
         }),
-    ];
-    for (name, scenario) in scenarios {
+    ]
+}
+
+#[test]
+fn batched_engine_matches_per_receiver_on_fixed_scenarios() {
+    for (name, scenario) in fixed_scenarios() {
         let batched = Sim::new(scenario).with_engine(EngineKind::Batched).run();
         let per_rx = Sim::new(scenario)
             .with_engine(EngineKind::PerReceiver)
@@ -52,6 +60,41 @@ fn batched_engine_matches_per_receiver_on_fixed_scenarios() {
         assert_eq!(batched, per_rx, "{name}: engines diverged");
         assert!(batched.originated > 0, "{name}: no traffic");
     }
+}
+
+/// The parallel engine's determinism contract, pinned at fixed seeds: the
+/// same trial under `--engine parallel` is bit-identical to `Batched` at
+/// worker counts 1 (inline windows), 2 and 8 (sharded across the pool,
+/// with 8 workers over ≤100 nodes forcing ragged and empty shards).
+#[test]
+fn parallel_engine_matches_batched_on_fixed_scenarios() {
+    for (name, scenario) in fixed_scenarios() {
+        let batched = Sim::new(scenario).with_engine(EngineKind::Batched).run();
+        for workers in [1, 2, 8] {
+            let par = Sim::new(scenario)
+                .with_engine(EngineKind::Parallel)
+                .with_workers(workers)
+                .run();
+            assert_eq!(
+                batched, par,
+                "{name}: parallel@{workers} diverged from batched"
+            );
+        }
+    }
+}
+
+/// More pool workers than nodes: the execution width clamps to the node
+/// count and the surplus workers must idle through every broadcast
+/// without touching (or panicking on) anyone else's shard.
+#[test]
+fn parallel_engine_with_more_workers_than_nodes() {
+    let scenario = Family::Churn.scenario_at(ProtocolKind::Srp, 5, 0, false, SweepParam::Nodes, 9);
+    let batched = Sim::new(scenario).with_engine(EngineKind::Batched).run();
+    let par = Sim::new(scenario)
+        .with_engine(EngineKind::Parallel)
+        .with_workers(16)
+        .run();
+    assert_eq!(batched, par, "16 workers over 9 nodes diverged");
 }
 
 /// The audit fixture: two static SRP nodes 100 m apart, a trigger packet
@@ -192,18 +235,34 @@ fn crash_mid_reception_rejoin_after_signal_end_per_receiver() {
     crash_rejoin_after_signal_end(EngineKind::PerReceiver);
 }
 
+#[test]
+fn crash_mid_reception_rejoin_before_signal_end_parallel() {
+    crash_rejoin_before_signal_end(EngineKind::Parallel);
+}
+
+#[test]
+fn crash_mid_reception_rejoin_after_signal_end_parallel() {
+    crash_rejoin_after_signal_end(EngineKind::Parallel);
+}
+
 /// The same sub-airtime injected schedule must produce bit-identical
-/// trials under both engines (the proptest fuzzes compiled schedules,
+/// trials under every engine (the proptest fuzzes compiled schedules,
 /// which cannot place events inside an airtime window; this pins the
-/// adversarial timing directly).
+/// adversarial timing directly — for the parallel engine it also mixes
+/// `advance_until` inline stepping with a pooled full run).
 #[test]
 fn injected_mid_airtime_dynamics_keep_engines_identical() {
     let run = |engine| {
         let mut sim = audit_sim(engine);
+        if engine == EngineKind::Parallel {
+            sim.set_workers(4);
+        }
         let t = step_to_first_signal(&mut sim);
         sim.inject_dynamics(t + SimDuration::from_micros(25), DynAction::NodeCrash(1));
         sim.inject_dynamics(t + SimDuration::from_micros(75), DynAction::NodeRejoin(1));
         sim.run_detailed().0
     };
-    assert_eq!(run(EngineKind::Batched), run(EngineKind::PerReceiver));
+    let batched = run(EngineKind::Batched);
+    assert_eq!(batched, run(EngineKind::PerReceiver));
+    assert_eq!(batched, run(EngineKind::Parallel));
 }

@@ -1,10 +1,12 @@
-//! Property tests for the batched event engine: over *arbitrary* random
+//! Property tests for the event engines: over *arbitrary* random
 //! topologies, mobility and dynamics (link churn and node crash–rejoin),
 //! a trial driven by one `TxComplete` event per transmission is
 //! **bit-identical** to the same trial driven by the retained
 //! per-receiver `RxEnd`/`TxEnd` scheduling — the reference oracle, the
 //! same way `BruteForceMedium` anchors the spatial index in
-//! `proptest_spatial.rs`.
+//! `proptest_spatial.rs` — and the conservative-window *parallel* engine
+//! is bit-identical to batched at every worker count (1, 2 and 8),
+//! fuzzed over the same axes.
 //!
 //! This is the contract that makes the batched engine safe to use by
 //! default: both engines share the per-receiver completion code verbatim
@@ -12,7 +14,10 @@
 //! the trial summary — deliveries, collisions, latencies, repair
 //! episodes — may not shift by a single bit, no matter how receivers
 //! interleave, crash mid-reception, or rejoin with signals still in the
-//! air.
+//! air. The parallel engine extends the same contract across threads:
+//! node-local tasks may execute in any wall-clock order on any worker,
+//! but the canonical side-effect merge must reconstruct the serial
+//! batched history exactly.
 
 use proptest::prelude::*;
 
@@ -58,6 +63,27 @@ fn engines_agree(s: Scenario) -> Result<(), TestCaseError> {
     let batched = Sim::new(s).with_engine(EngineKind::Batched).run();
     let per_rx = Sim::new(s).with_engine(EngineKind::PerReceiver).run();
     prop_assert_eq!(&batched, &per_rx, "engines diverged on {}", s.describe());
+    prop_assert!(batched.originated > 0, "no traffic in {}", s.describe());
+    Ok(())
+}
+
+/// The worker-count axis: parallel@1 ≡ parallel@2 ≡ parallel@8 ≡ batched,
+/// bit-identical.
+fn parallel_agrees_at_all_widths(s: Scenario) -> Result<(), TestCaseError> {
+    let batched = Sim::new(s).with_engine(EngineKind::Batched).run();
+    for workers in [1usize, 2, 8] {
+        let par = Sim::new(s)
+            .with_engine(EngineKind::Parallel)
+            .with_workers(workers)
+            .run();
+        prop_assert_eq!(
+            &batched,
+            &par,
+            "parallel@{} diverged from batched on {}",
+            workers,
+            s.describe()
+        );
+    }
     prop_assert!(batched.originated > 0, "no traffic in {}", s.describe());
     Ok(())
 }
@@ -133,5 +159,46 @@ proptest! {
         );
         s.end = SimTime::from_secs(25);
         engines_agree(s)?;
+    }
+
+    /// The parallel engine's worker-count axis over topology × mobility ×
+    /// dynamics: every fuzzed trial runs under batched and under
+    /// parallel@{1,2,8}, and all four summaries must be bit-identical.
+    /// `dynamics` selects none / link churn / crash–rejoin, so the window
+    /// discipline is exercised against timer-cancel storms, epoch bumps
+    /// and mid-window-adjacent crash quarantines alike.
+    #[test]
+    fn parallel_engine_bit_identical_across_worker_counts(
+        seed in 0u64..100_000,
+        nodes in 12usize..=40,
+        topology in 0u8..4,
+        mobile in proptest::bool::ANY,
+        dynamics in 0u8..3,
+    ) {
+        let dynamics = match dynamics {
+            0 => DynamicsSpec::None,
+            1 => DynamicsSpec::LinkChurn { flaps_per_minute: 8.0, mean_down_secs: 2.0 },
+            _ => DynamicsSpec::default_crash(2),
+        };
+        let s = scenario(
+            ProtocolKind::Srp, seed, nodes, topology, mobile, 3, dynamics,
+        );
+        parallel_agrees_at_all_widths(s)?;
+    }
+
+    /// The dense family (CI-scaled) under the parallel engine: the
+    /// receiver sets here are large enough that windows actually cross
+    /// the pool threshold, so this exercises the sharded path (not just
+    /// inline windows) at 2 and 8 workers.
+    #[test]
+    fn dense_family_parallel_agrees(
+        seed in 0u64..100_000,
+        nodes in 60u64..=100,
+    ) {
+        let mut s = Family::Dense.scenario_at(
+            ProtocolKind::Srp, seed, 0, false, SweepParam::Nodes, nodes,
+        );
+        s.end = SimTime::from_secs(20);
+        parallel_agrees_at_all_widths(s)?;
     }
 }
