@@ -96,6 +96,7 @@ impl Cli {
             override_flows: opts.flows,
             override_duration: opts.duration,
             override_dynamics: opts.dynamics,
+            override_adversary: opts.adversary,
             validate_spatial: opts.validate_spatial,
             engine: opts.engine,
             workers,

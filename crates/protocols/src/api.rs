@@ -191,6 +191,12 @@ pub struct ProtoStats {
     pub discoveries: u64,
     /// Path resets requested (SRP T/D bits; LDR reset requests).
     pub resets_requested: u64,
+    /// Deliberate misbehaviours performed by this node (nonzero only on
+    /// adversarial nodes wrapped in [`crate::adversary::Adversary`]).
+    pub adversarial_actions: u64,
+    /// Control packets rejected by this node's validation layer (nonzero
+    /// only on honest nodes wrapped in [`crate::audit::Audit`]).
+    pub audit_rejections: u64,
 }
 
 /// A routing protocol instance living on one node.
@@ -251,6 +257,14 @@ pub trait RoutingProtocol: Send {
 
     /// End-of-run statistics.
     fn stats(&self) -> ProtoStats;
+
+    /// Running count of deliberate misbehaviours this node has performed.
+    /// Zero for every honest protocol; the adversary wrapper overrides
+    /// it, and the harness polls the sum to trigger oracle checks after
+    /// every adversarial action.
+    fn adversarial_actions(&self) -> u64 {
+        0
+    }
 
     /// Dynamic downcast hook, used by the harness for protocol-specific
     /// oracles (e.g. SRP's global loop-freedom check).

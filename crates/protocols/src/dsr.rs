@@ -628,6 +628,8 @@ impl RoutingProtocol for Dsr {
             max_fd_denominator: 0,
             discoveries: self.discoveries_started,
             resets_requested: 0,
+            adversarial_actions: 0,
+            audit_rejections: 0,
         }
     }
 

@@ -671,6 +671,8 @@ impl RoutingProtocol for Ldr {
             max_fd_denominator: 0,
             discoveries: self.discoveries_started,
             resets_requested: self.resets_requested,
+            adversarial_actions: 0,
+            audit_rejections: 0,
         }
     }
 

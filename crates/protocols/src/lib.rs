@@ -23,14 +23,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod aodv;
 pub mod api;
+pub mod audit;
 pub mod dsr;
 pub mod ldr;
 pub mod olsr;
 pub mod srp;
 
+pub use adversary::{Adversary, AdversaryKind};
 pub use api::{
     ControlPacket, DataDropReason, DataPacket, NodeId, PacketBuffer, ProtoCtx, ProtoEffect,
     ProtoStats, RingSchedule, RoutingProtocol, SourceRoute, DATA_TTL,
 };
+pub use audit::Audit;

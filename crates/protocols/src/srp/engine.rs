@@ -3,7 +3,7 @@
 
 use slr_netsim::hash::FastHashMap;
 
-use slr_core::{new_order, Frac32, SplitLabel32, SuccessorTable};
+use slr_core::{maintains_order, new_order, Frac32, SplitLabel32, SuccessorTable};
 use slr_netsim::time::{SimDuration, SimTime};
 
 use crate::api::{
@@ -90,6 +90,19 @@ struct DestState {
     label: SplitLabel32,
     dist: u32,
     succs: SuccessorTable<NodeId, u32>,
+    /// Last confirmation time per successor — the advertisement or
+    /// data-plane use that vouched for the recorded ordering. An entry
+    /// unconfirmed for ROUTE_LIFETIME is pruned: a recorded ordering is
+    /// only evidence about the neighbor's label while the neighbor could
+    /// not yet have invalidated *and forgotten* it, and DELETE_PERIOD >
+    /// ROUTE_LIFETIME guarantees every stale entry pointing at a node
+    /// dies before that node may restart its label (Definition 3).
+    /// Without this, `expires` — refreshed by *any* advert or use for
+    /// the destination — keeps individual stale entries alive forever,
+    /// and a neighbor that forgot and re-adopted a regressed label at
+    /// the same sequence number closes a successor cycle the per-node
+    /// order checks cannot see.
+    fresh: std::collections::BTreeMap<NodeId, SimTime>,
     /// Route expiry (refreshed on use). The route is *active* while
     /// `now < expires` and the successor set is non-empty (Definition 2).
     expires: SimTime,
@@ -106,6 +119,7 @@ impl DestState {
             label: SplitLabel32::unassigned(),
             dist: u32::MAX,
             succs: SuccessorTable::new(),
+            fresh: std::collections::BTreeMap::new(),
             expires: SimTime::ZERO,
             forget_at: None,
             rr_counter: 0,
@@ -157,6 +171,14 @@ pub struct Srp {
     discoveries: FastHashMap<NodeId, Discovery>,
     buffer: PacketBuffer,
     last_rerr: FastHashMap<NodeId, SimTime>,
+    /// The highest destination sequence number ever *held* per
+    /// destination. Unlike the label, this survives DELETE_PERIOD
+    /// forgetting (the AODV §6.13 discipline): a destination's sequence
+    /// number never decreases in honest operation, so an advertisement
+    /// below the floor is provably stale or forged and re-adopting it
+    /// after the label was forgotten can close a routing loop two honest
+    /// nodes' local order checks cannot see.
+    seqno_floor: FastHashMap<NodeId, u64>,
     max_denominator: u64,
     discoveries_started: u64,
     resets_requested: u64,
@@ -176,6 +198,7 @@ impl Srp {
             discoveries: FastHashMap::default(),
             buffer: PacketBuffer::new(cfg.buffer_capacity),
             last_rerr: FastHashMap::default(),
+            seqno_floor: FastHashMap::default(),
             max_denominator: 1,
             discoveries_started: 0,
             resets_requested: 0,
@@ -201,9 +224,43 @@ impl Srp {
         }
     }
 
+    /// Per-entry expiry: drop successors whose recorded ordering has not
+    /// been re-confirmed (advertisement or data-plane use) within
+    /// ROUTE_LIFETIME, invalidating the route if the set empties. This is
+    /// the half of Definition 2 the per-destination `expires` clock cannot
+    /// provide — see the `fresh` field.
+    fn prune_stale_succs(&mut self, t: NodeId, now: SimTime) {
+        let lifetime = self.cfg.route_lifetime;
+        let Some(ds) = self.dests.get_mut(&t) else {
+            return;
+        };
+        let stale: Vec<NodeId> = ds
+            .succs
+            .iter()
+            .map(|(n, _)| *n)
+            .filter(|n| {
+                ds.fresh
+                    .get(n)
+                    .map(|t0| now.saturating_since(*t0) >= lifetime)
+                    .unwrap_or(false)
+            })
+            .collect();
+        if stale.is_empty() {
+            return;
+        }
+        for n in stale {
+            ds.succs.remove(&n);
+            ds.fresh.remove(&n);
+        }
+        if ds.succs.is_empty() && ds.forget_at.is_none() {
+            ds.forget_at = Some(now + self.cfg.delete_period);
+        }
+    }
+
     /// Whether we have an active route to `t` (Definition 2), applying
     /// lazy expiry.
     fn route_active(&mut self, t: NodeId, now: SimTime) -> bool {
+        self.prune_stale_succs(t, now);
         let expired = match self.dests.get(&t) {
             Some(ds) => !ds.succs.is_empty() && now >= ds.expires,
             None => false,
@@ -253,6 +310,7 @@ impl Srp {
             }
         };
         ds.expires = now + self.cfg.route_lifetime;
+        ds.fresh.insert(next_hop, now);
         packet.ttl -= 1;
         Some(vec![ProtoEffect::SendData { packet, next_hop }])
     }
@@ -352,12 +410,33 @@ impl Srp {
         if t == self.node {
             return None;
         }
+        self.prune_stale_succs(t, now);
         let own = self.label_for(t, now);
         if !own.precedes(&adv) {
             return None; // infeasible at this node
         }
+        // DELETE_PERIOD forgetting erases the label but not the
+        // sequence-number floor: once this node has held seqno `s` for
+        // `t`, an advertisement below `s` is stale (or forged — honest
+        // destinations never decrease their number) and adopting it
+        // fresh would restart the order from a point other nodes'
+        // recorded orderings have already moved past.
+        if adv.seqno() < self.seqno_floor.get(&t).copied().unwrap_or(0) {
+            return None;
+        }
         let g = new_order(own, cached, adv);
         if !g.label.is_finite() {
+            return None;
+        }
+        // Theorem 6 only guarantees the result maintains order under
+        // Facts 1–2 (own ≺ adv, cached ≺ adv). Fact 1 is checked above;
+        // Fact 2 holds by construction of the cached solicitation in
+        // honest operation, but a forged advertisement can violate it —
+        // e.g. adv == cached makes the split mediant *equal* its bounds
+        // instead of lying strictly between them, and installing that
+        // label breaks the Eq. 5 successor invariant the loop-freedom
+        // proof rests on. Re-verify Definition 1 and drop otherwise.
+        if !maintains_order(&g.label, &own, &cached, &adv, None) {
             return None;
         }
         let ds = self.dests.entry(t).or_insert_with(DestState::unassigned);
@@ -366,6 +445,7 @@ impl Srp {
         ds.succs.prune_out_of_order(&g.label);
         let dist = adv_dist.saturating_add(1);
         ds.succs.insert(from, adv, dist);
+        ds.fresh.insert(from, now);
         ds.dist = ds
             .succs
             .best_successor()
@@ -373,6 +453,8 @@ impl Srp {
             .unwrap_or(dist);
         ds.expires = now + self.cfg.route_lifetime;
         ds.forget_at = None;
+        let floor = self.seqno_floor.entry(t).or_insert(0);
+        *floor = (*floor).max(g.label.seqno());
         let den = g.label.fd().den() as u64;
         if den > self.max_denominator {
             self.max_denominator = den;
@@ -972,6 +1054,8 @@ impl RoutingProtocol for Srp {
             max_fd_denominator: self.max_denominator,
             discoveries: self.discoveries_started,
             resets_requested: self.resets_requested,
+            adversarial_actions: 0,
+            audit_rejections: 0,
         }
     }
 
@@ -994,11 +1078,26 @@ impl Srp {
     }
 
     /// Current successors toward `dst` with their recorded advertisement
-    /// orderings (oracle introspection).
-    pub fn oracle_successors(&self, dst: NodeId) -> Vec<(NodeId, SplitLabel32)> {
+    /// orderings (oracle introspection). Applies the same per-entry
+    /// freshness horizon as the engine's own pruning, lazily: expiry is
+    /// evaluated on query, so an entry the protocol would never act on
+    /// again must not appear in the oracle's successor graph either.
+    pub fn oracle_successors(&self, dst: NodeId, now: SimTime) -> Vec<(NodeId, SplitLabel32)> {
+        let lifetime = self.cfg.route_lifetime;
         self.dests
             .get(&dst)
-            .map(|d| d.succs.iter().map(|(n, e)| (*n, e.label)).collect())
+            .map(|d| {
+                d.succs
+                    .iter()
+                    .filter(|(n, _)| {
+                        d.fresh
+                            .get(n)
+                            .map(|t0| now.saturating_since(*t0) < lifetime)
+                            .unwrap_or(true)
+                    })
+                    .map(|(n, e)| (*n, e.label))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -1123,6 +1222,136 @@ mod tests {
         assert_eq!(a.stats().own_seqno_increments, 0);
         assert_eq!(b.stats().own_seqno_increments, 0);
         assert_eq!(c.stats().own_seqno_increments, 0);
+    }
+
+    /// Regression: a forged advertisement equal to the cached solicitation
+    /// ordering violates Fact 2 and makes Algorithm 1's split mediant
+    /// degenerate — mediant(1/2, 1/2) = 2/4, numerically *equal* to its
+    /// bounds instead of strictly between them. Installing it would record
+    /// a successor ordering the node's own label does not strictly precede
+    /// (Eq. 5), the invariant Theorem 3's loop-freedom proof rests on.
+    /// Set Route must drop the advertisement instead.
+    #[test]
+    fn forged_degenerate_mediant_advertisement_is_dropped() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut b = Srp::new(1, SrpConfig::default());
+        let half = Fraction::new(1, 2).unwrap();
+        // Engaged relay whose cached minimum-predecessor ordering is
+        // (3, 1/2) for the flood (src 0, id 7).
+        b.rreq_seen.insert(
+            (0, 7),
+            RreqCache {
+                cached: SplitLabel32::new(3, half),
+                last_hop: 0,
+                replied: false,
+            },
+        );
+        // A reply advertising *exactly* the cached ordering — honest
+        // repliers always advertise a strictly lower one.
+        let forged = SrpRrep {
+            rreq_src: 0,
+            rreq_id: 7,
+            dst: 9,
+            dst_seqno: 3,
+            lfd: half,
+            ld: 1,
+            no_reverse: false,
+        };
+        let fx = b.on_control_received(
+            &mut ctx_at(&mut rng, 2),
+            5,
+            ControlPacket::Srp(SrpMessage::Rrep(forged)),
+        );
+        assert!(
+            rrep_of(&fx).is_none(),
+            "forged reply must not be relayed: {fx:?}"
+        );
+        assert!(
+            !b.label_for(9, SimTime::from_secs(2)).is_finite(),
+            "no label may be installed from degenerate bounds"
+        );
+    }
+
+    /// Regression: the per-destination sequence-number floor survives
+    /// DELETE_PERIOD forgetting. Forged floods can carry non-monotone
+    /// victim sequence numbers; a node that once held seqno 3 for a
+    /// destination and then forgot its label must not re-adopt the
+    /// destination at seqno 1 — that restarts the order from a point the
+    /// network's recorded orderings have moved past, and two honest
+    /// nodes doing so can close a cycle no local order check sees.
+    #[test]
+    fn seqno_floor_survives_label_forgetting() {
+        let mut b = Srp::new(1, SrpConfig::default());
+        let now = SimTime::from_secs(1);
+        // Adopt dest 9 at seqno 3 via neighbor 2.
+        let adv = SplitLabel32::new(3, Fraction::new(1, 2).unwrap());
+        assert!(b
+            .set_route(9, 2, adv, 1, SplitLabel32::unassigned(), now)
+            .is_some());
+        // Invalidate and let DELETE_PERIOD pass: the label is forgotten.
+        b.invalidate(9, now);
+        let later = now + b.cfg.delete_period + SimDuration::from_secs(1);
+        assert!(!b.label_for(9, later).is_finite(), "label forgotten");
+        // A staler advertisement (seqno 1) must stay rejected...
+        let stale = SplitLabel32::new(1, Fraction::new(1, 4).unwrap());
+        assert!(
+            b.set_route(9, 5, stale, 1, SplitLabel32::unassigned(), later)
+                .is_none(),
+            "below-floor advertisement re-adopted after forgetting"
+        );
+        // ...while one at or above the floor is still usable.
+        let fresh = SplitLabel32::new(3, Fraction::new(1, 4).unwrap());
+        assert!(b
+            .set_route(9, 5, fresh, 1, SplitLabel32::unassigned(), later)
+            .is_some());
+    }
+
+    #[test]
+    fn unconfirmed_successor_entry_expires_within_route_lifetime() {
+        // Bug harvest (sybil audit, seed 1, trial 9): node 13 forgot its
+        // label for dest 10 after DELETE_PERIOD, then passively
+        // re-adopted a *regressed* ordering at the same sequence number
+        // through node 9 — which still held the successor entry recorded
+        // from 13's old label, because per-destination route refreshes
+        // (driven by unrelated adverts) kept the whole DestState alive.
+        // The two honest nodes formed a successor cycle no local order
+        // check could see. The fix: a successor entry unconfirmed for
+        // ROUTE_LIFETIME is pruned, and ROUTE_LIFETIME < DELETE_PERIOD
+        // guarantees every stale entry pointing at a node is gone before
+        // that node may restart its label.
+        let cfg = SrpConfig::default();
+        assert!(
+            cfg.delete_period > cfg.route_lifetime,
+            "per-entry expiry is only sound if entries die before labels may restart"
+        );
+        let mut b = Srp::new(9, cfg);
+        let now = SimTime::from_secs(1);
+        // Two successors toward dest 10: the destination itself and 13.
+        let direct = SplitLabel32::new(17, Fraction::new(0, 1).unwrap());
+        let via_13 = SplitLabel32::new(17, Fraction::new(2, 3).unwrap());
+        assert!(b
+            .set_route(10, 13, via_13, 2, SplitLabel32::unassigned(), now)
+            .is_some());
+        assert!(b
+            .set_route(10, 10, direct, 0, SplitLabel32::unassigned(), now)
+            .is_some());
+        // Keep the *route* alive through fresh direct adverts while 13
+        // stays silent past ROUTE_LIFETIME — exactly the refresh pattern
+        // that used to immortalize the stale entry.
+        let later = now + b.cfg.route_lifetime + SimDuration::from_secs(1);
+        assert!(b
+            .set_route(10, 10, direct, 0, SplitLabel32::unassigned(), later)
+            .is_some());
+        assert!(b.route_active(10, later), "route itself stays active");
+        let succs = b.oracle_successors(10, later);
+        assert!(
+            succs.iter().all(|(n, _)| *n != 13),
+            "unconfirmed entry for 13 must be pruned: {succs:?}"
+        );
+        assert!(
+            succs.iter().any(|(n, _)| *n == 10),
+            "freshly confirmed successor must survive"
+        );
     }
 
     #[test]
@@ -1262,6 +1491,7 @@ mod tests {
                 label: SplitLabel32::new(7, Fraction::new(2, 3).unwrap()),
                 dist: 2,
                 succs: SuccessorTable::new(),
+                fresh: std::collections::BTreeMap::new(),
                 expires: SimTime::ZERO,
                 forget_at: None,
                 rr_counter: 0,
@@ -1307,6 +1537,7 @@ mod tests {
                 label: SplitLabel32::new(5, big),
                 dist: 2,
                 succs: SuccessorTable::new(),
+                fresh: std::collections::BTreeMap::new(),
                 expires: SimTime::ZERO,
                 forget_at: None,
                 rr_counter: 0,

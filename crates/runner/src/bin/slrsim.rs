@@ -22,6 +22,8 @@
 //! * `--nodes N`, `--flows N`, `--duration SECONDS` — post-build overrides
 //! * `--dynamics churn[:RATE]|partition[:K]|crash[:N]|none` — overlay a
 //!   topology-dynamics schedule on any family
+//! * `--adversary byzantine[:PCT]|sybil[:PCT]|chaos[:PCT]|none` — field
+//!   misbehaving nodes on any family (honest nodes get the audit layer)
 //! * `--paper` — paper-scale scenarios instead of quick
 //! * `--json` — emit one JSON document with aggregates and per-trial
 //!   summaries instead of the text table
@@ -88,6 +90,7 @@ fn main() {
         override_flows: opts.flows,
         override_duration: opts.duration,
         override_dynamics: opts.dynamics,
+        override_adversary: opts.adversary,
         validate_spatial: opts.validate_spatial,
         engine: opts.engine,
         workers,

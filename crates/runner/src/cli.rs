@@ -7,6 +7,7 @@
 //! conflicting shorthands are errors, not warnings — a typo must not
 //! silently change what an hours-long sweep measures.
 
+use crate::adversary::AdversarySpec;
 use crate::dynamics::DynamicsSpec;
 use crate::registry::{Family, SweepParam};
 use crate::scenario::ProtocolKind;
@@ -52,6 +53,8 @@ pub struct CliOptions {
     pub duration: Option<u64>,
     /// Dynamics override (`--dynamics churn[:R]|partition[:K]|crash[:N]`).
     pub dynamics: Option<DynamicsSpec>,
+    /// Adversary override (`--adversary byzantine[:P]|sybil[:P]|chaos[:P]|none`).
+    pub adversary: Option<AdversarySpec>,
     /// `--paper`: full §V scale.
     pub paper: bool,
     /// `--oracle`: run SRP under the loop-freedom oracle.
@@ -87,6 +90,7 @@ impl Default for CliOptions {
             flows: None,
             duration: None,
             dynamics: None,
+            adversary: None,
             paper: false,
             oracle: false,
             validate_spatial: false,
@@ -119,7 +123,8 @@ pub fn usage(bin: &str) -> String {
         "{bin} [--scenario NAME] [--param pause|nodes|flows|rate|speed|churn] \
          [--values a,b,c] [--pause S] [--protocol NAME|all] [--trials N] \
          [--seed N] [--threads N] [--nodes N] [--flows N] [--duration S] \
-         [--dynamics churn[:RATE]|partition[:K]|crash[:N]|none] [--paper] \
+         [--dynamics churn[:RATE]|partition[:K]|crash[:N]|none] \
+         [--adversary byzantine[:PCT]|sybil[:PCT]|chaos[:PCT]|none] [--paper] \
          [--json] [--oracle] [--validate-spatial] \
          [--engine batched|per-receiver|parallel] [--workers N] \
          [--list-scenarios]"
@@ -240,6 +245,7 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
             "--flows" => opts.flows = Some(parse_num(flag, &take_value()?)? as usize),
             "--duration" => opts.duration = Some(parse_num(flag, &take_value()?)?),
             "--dynamics" => opts.dynamics = Some(DynamicsSpec::parse(&take_value()?)?),
+            "--adversary" => opts.adversary = Some(AdversarySpec::parse(&take_value()?)?),
             "--paper" => opts.paper = true,
             "--oracle" => opts.oracle = true,
             "--validate-spatial" => opts.validate_spatial = true,
@@ -329,6 +335,8 @@ mod tests {
             "60",
             "--dynamics",
             "churn:12",
+            "--adversary",
+            "byzantine:20",
             "--paper",
             "--json",
             "--oracle",
@@ -352,8 +360,20 @@ mod tests {
                 mean_down_secs: 2.0
             })
         );
+        assert_eq!(o.adversary, Some(AdversarySpec::Byzantine { percent: 20 }));
         assert!(o.paper && o.json && o.oracle);
         assert!(o.validate_spatial);
+    }
+
+    #[test]
+    fn adversary_flag_parses_and_rejects() {
+        let o = parse(&["--adversary", "sybil"]).unwrap();
+        assert_eq!(o.adversary, Some(AdversarySpec::default_sybil()));
+        let o = parse(&["--adversary", "none"]).unwrap();
+        assert_eq!(o.adversary, Some(AdversarySpec::None));
+        assert!(parse(&["--adversary", "gremlin"]).is_err());
+        assert!(parse(&["--adversary", "chaos:80"]).is_err());
+        assert!(usage("slrsim").contains("--adversary"));
     }
 
     #[test]
@@ -379,6 +399,7 @@ mod tests {
             "--flows",
             "--duration",
             "--dynamics",
+            "--adversary",
         ] {
             let e = parse(&[flag]).unwrap_err();
             assert!(e.contains(flag), "{flag}: {e}");

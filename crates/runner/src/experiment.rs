@@ -13,6 +13,7 @@ use std::thread;
 
 use slr_netsim::time::{SimDuration, SimTime};
 
+use crate::adversary::AdversarySpec;
 use crate::dynamics::DynamicsSpec;
 use crate::metrics::TrialSummary;
 use crate::registry::{Family, SweepParam};
@@ -112,6 +113,10 @@ pub struct SweepConfig {
     /// point (CLI `--dynamics`), composing topology events onto any
     /// family.
     pub override_dynamics: Option<DynamicsSpec>,
+    /// Optional adversary override applied after the family builds each
+    /// point (CLI `--adversary`), fielding misbehaving nodes on any
+    /// family.
+    pub override_adversary: Option<AdversarySpec>,
     /// Cross-check every spatial-index neighbor query against the
     /// brute-force oracle (CLI `--validate-spatial`; debug only — it
     /// restores the old O(N) scan per transmission on top of the index).
@@ -144,6 +149,7 @@ impl Default for SweepConfig {
             override_flows: None,
             override_duration: None,
             override_dynamics: None,
+            override_adversary: None,
             validate_spatial: false,
             engine: EngineKind::default(),
             workers: 1,
@@ -231,6 +237,15 @@ impl SweepConfig {
                 }
             }
         }
+        if self.param == SweepParam::Adversaries {
+            if let Some(AdversarySpec::None) = self.override_adversary {
+                return Err(
+                    "--adversary none conflicts with sweeping adversaries (every \
+                     point would be identical)"
+                        .to_string(),
+                );
+            }
+        }
         if self.workers == 0 {
             return Err("workers must be at least 1".to_string());
         }
@@ -292,6 +307,17 @@ impl SweepConfig {
             // Apply before a churn sweep would have: the sweep value wins.
             if self.param != SweepParam::ChurnRate {
                 s.dynamics = d;
+            }
+        }
+        if let Some(a) = self.override_adversary {
+            // An adversary sweep sets the fraction on the family's kind;
+            // otherwise `--adversary` picks kind and fraction wholesale.
+            if self.param == SweepParam::Adversaries {
+                let mut a = a;
+                a.set_percent(s.adversary.percent().max(1));
+                s.adversary = a;
+            } else {
+                s.adversary = a;
             }
         }
         s
@@ -669,6 +695,40 @@ mod tests {
             "typo must not be dropped"
         );
         assert!(parse_values("").is_err());
+    }
+
+    #[test]
+    fn adversary_override_composes() {
+        use crate::registry::Family;
+        // `--adversary` fields misbehaving nodes on any family.
+        let cfg = SweepConfig {
+            override_adversary: Some(AdversarySpec::default_chaos()),
+            ..SweepConfig::default()
+        };
+        let s = cfg.scenario_for(ProtocolKind::Srp, 0, 0);
+        assert_eq!(s.adversary.name(), "chaos");
+        // Under an adversary-fraction sweep the swept value wins; the
+        // override only picks the kind.
+        let cfg = SweepConfig {
+            family: Family::Byzantine,
+            param: SweepParam::Adversaries,
+            values: vec![10, 25],
+            override_adversary: Some(AdversarySpec::default_sybil()),
+            ..SweepConfig::default()
+        };
+        let s = cfg.scenario_for(ProtocolKind::Srp, 25, 0);
+        assert_eq!(s.adversary.name(), "sybil");
+        assert_eq!(s.adversary.percent(), 25);
+        // `--adversary none` under an adversary sweep would flatten every
+        // point; rejected up front.
+        let bad = SweepConfig {
+            family: Family::Byzantine,
+            param: SweepParam::Adversaries,
+            values: vec![10],
+            override_adversary: Some(AdversarySpec::None),
+            ..SweepConfig::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

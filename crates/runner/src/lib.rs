@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod cli;
 pub mod dynamics;
 pub mod experiment;
@@ -40,6 +41,7 @@ pub mod sim;
 pub mod stats;
 pub mod trace;
 
+pub use adversary::AdversarySpec;
 pub use cli::{parse_cli, CliAction, CliOptions};
 pub use dynamics::DynamicsSpec;
 pub use experiment::{run_sweep, run_trial, Metric, SweepConfig, SweepResult, PAUSE_TIMES};

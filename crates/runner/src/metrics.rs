@@ -85,6 +85,13 @@ pub struct Metrics {
     pub discoveries: u64,
     /// Path resets requested (SRP/LDR).
     pub resets: u64,
+    /// Adversarial actions performed (forgeries, replays, drops, delays,
+    /// sybil floods) summed over adversarial nodes; 0 in honest trials.
+    pub adversary_actions: u64,
+    /// Control packets the audit layer rejected at honest nodes
+    /// (label-order violations, seqno regressions, replays, first-hop
+    /// impersonation, blacklisted neighbors); 0 in honest trials.
+    pub audit_rejections: u64,
     delivered_uids: FastHashSet<u64>,
 }
 
@@ -207,6 +214,18 @@ pub struct TrialSummary {
     /// Mean route-repair-episode latency (s): disruption onset to the
     /// next first-time delivery, overlapping disruptions merged.
     pub repair_latency: f64,
+    /// Loop-freedom oracle checkpoints executed (0 off-oracle). Part of
+    /// the summary so the cross-engine bit-identity contract covers the
+    /// oracle's sampling schedule, not just the trial's outcome.
+    pub oracle_checks: u64,
+    /// Soft label-order violations the oracle observed (0 off-oracle).
+    pub oracle_soft_violations: u64,
+    /// Adversarial actions performed (0 in honest trials). Nonzero means
+    /// the misbehaviour scripts actually fired.
+    pub adversary_actions: u64,
+    /// Control packets the honest nodes' audit layer rejected (0 in
+    /// honest trials). Nonzero means containment actually engaged.
+    pub audit_rejections: u64,
 }
 
 impl Metrics {
@@ -223,6 +242,10 @@ impl Metrics {
             delivered: self.data_delivered,
             dynamics_events: self.dynamics_events(),
             repair_latency: self.mean_route_repair_latency(),
+            oracle_checks: self.oracle_checks,
+            oracle_soft_violations: self.oracle_soft_violations,
+            adversary_actions: self.adversary_actions,
+            audit_rejections: self.audit_rejections,
         }
     }
 }

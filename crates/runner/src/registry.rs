@@ -30,6 +30,7 @@ use slr_mobility::Terrain;
 use slr_netsim::time::{SimDuration, SimTime};
 use slr_traffic::ArrivalProcess;
 
+use crate::adversary::AdversarySpec;
 use crate::dynamics::DynamicsSpec;
 use crate::scenario::{MobilitySpec, ProtocolKind, Scenario, TopologySpec, TrafficSpec};
 
@@ -48,17 +49,20 @@ pub enum SweepParam {
     MaxSpeed,
     /// Link-churn rate in down transitions per link per minute.
     ChurnRate,
+    /// Adversarial node fraction in percent.
+    Adversaries,
 }
 
 impl SweepParam {
     /// Every sweepable parameter.
-    pub const ALL: [SweepParam; 6] = [
+    pub const ALL: [SweepParam; 7] = [
         SweepParam::Pause,
         SweepParam::Nodes,
         SweepParam::Flows,
         SweepParam::PacketRate,
         SweepParam::MaxSpeed,
         SweepParam::ChurnRate,
+        SweepParam::Adversaries,
     ];
 
     /// CLI / JSON name.
@@ -70,6 +74,7 @@ impl SweepParam {
             SweepParam::PacketRate => "rate",
             SweepParam::MaxSpeed => "speed",
             SweepParam::ChurnRate => "churn",
+            SweepParam::Adversaries => "adversaries",
         }
     }
 
@@ -82,6 +87,7 @@ impl SweepParam {
             SweepParam::PacketRate => "Packets/s per Flow",
             SweepParam::MaxSpeed => "Max Speed (m/s)",
             SweepParam::ChurnRate => "Link Flaps per Minute",
+            SweepParam::Adversaries => "Adversarial Nodes (%)",
         }
     }
 
@@ -115,6 +121,15 @@ impl SweepParam {
                     }
                 }
             },
+            SweepParam::Adversaries => match &mut scenario.adversary {
+                // Byzantine is the default misbehaviour when the base
+                // scenario fields none; the adversary families (and
+                // --adversary) pick the kind, the sweep sets the fraction.
+                AdversarySpec::None => {
+                    scenario.adversary = AdversarySpec::Byzantine { percent: value }
+                }
+                spec => spec.set_percent(value),
+            },
         }
     }
 
@@ -129,6 +144,9 @@ impl SweepParam {
             SweepParam::MaxSpeed if value < 1 => Err("speed must be >= 1 m/s".to_string()),
             SweepParam::ChurnRate if !(1..=60).contains(&value) => {
                 Err(format!("churn must be 1..=60 flaps/min, got {value}"))
+            }
+            SweepParam::Adversaries if !(1..=49).contains(&value) => {
+                Err(format!("adversaries must be 1..=49 percent, got {value}"))
             }
             _ => Ok(()),
         }
@@ -168,11 +186,22 @@ pub enum Family {
     /// incremental position tracker exist to make tractable; swept over
     /// node count.
     Dense,
+    /// Static grid where a fraction of the nodes forges labels/seqnos
+    /// and replays stale updates; honest nodes carry the audit layer;
+    /// swept over the adversarial fraction.
+    Byzantine,
+    /// Static grid where a fraction of the nodes forges control traffic
+    /// under stolen identities; swept over the adversarial fraction.
+    Sybil,
+    /// Static grid where a fraction of the nodes drops/delays/replays
+    /// control traffic and flaps its own links on purpose; swept over
+    /// the adversarial fraction.
+    Chaos,
 }
 
 impl Family {
     /// Every registered family, in presentation order.
-    pub const ALL: [Family; 9] = [
+    pub const ALL: [Family; 12] = [
         Family::PaperSweep,
         Family::Grid,
         Family::Line,
@@ -182,6 +211,9 @@ impl Family {
         Family::Partition,
         Family::CrashRejoin,
         Family::Dense,
+        Family::Byzantine,
+        Family::Sybil,
+        Family::Chaos,
     ];
 
     /// The dense family's target density: one node per this many square
@@ -202,6 +234,9 @@ impl Family {
             Family::Partition => "partition",
             Family::CrashRejoin => "crash-rejoin",
             Family::Dense => "dense",
+            Family::Byzantine => "byzantine",
+            Family::Sybil => "sybil",
+            Family::Chaos => "chaos",
         }
     }
 
@@ -220,6 +255,15 @@ impl Family {
             Family::CrashRejoin => "static grid with nodes crashing cold and rejoining mid-run",
             Family::Dense => {
                 "constant-density mobile disc at 1000-5000 nodes, swept over node count"
+            }
+            Family::Byzantine => {
+                "static grid with label/seqno-forging nodes, swept over adversary fraction"
+            }
+            Family::Sybil => {
+                "static grid with identity-forging nodes, swept over adversary fraction"
+            }
+            Family::Chaos => {
+                "static grid with drop/delay/replay + self-flapping nodes, swept over fraction"
             }
         }
     }
@@ -244,6 +288,9 @@ impl Family {
                 matches!(self, Family::PaperSweep | Family::Scaling)
             }
             SweepParam::ChurnRate => matches!(self, Family::Churn),
+            SweepParam::Adversaries => {
+                matches!(self, Family::Byzantine | Family::Sybil | Family::Chaos)
+            }
             SweepParam::Nodes | SweepParam::Flows | SweepParam::PacketRate => true,
         }
     }
@@ -260,6 +307,7 @@ impl Family {
             | Family::Dense => SweepParam::Nodes,
             Family::Disc => SweepParam::Flows,
             Family::Churn => SweepParam::ChurnRate,
+            Family::Byzantine | Family::Sybil | Family::Chaos => SweepParam::Adversaries,
         }
     }
 
@@ -280,6 +328,8 @@ impl Family {
             (Family::Partition | Family::CrashRejoin, true) => vec![25, 49, 100],
             (Family::Dense, false) => vec![500, 1000],
             (Family::Dense, true) => vec![1000, 2000, 5000],
+            (Family::Byzantine | Family::Sybil | Family::Chaos, false) => vec![10, 25],
+            (Family::Byzantine | Family::Sybil | Family::Chaos, true) => vec![5, 10, 25, 40],
         }
     }
 
@@ -355,6 +405,22 @@ impl Family {
                 s.traffic = TrafficSpec::paper_cbr(if paper_scale { 40 } else { 20 });
                 s.end = SimTime::from_secs(if paper_scale { 60 } else { 40 });
                 Family::scale_disc(&mut s);
+                s
+            }
+            // The adversary families share the static-grid substrate too:
+            // every anomaly is attributable to the misbehaving nodes, not
+            // to mobility or environmental churn.
+            Family::Byzantine | Family::Sybil | Family::Chaos => {
+                let mut s = Family::Grid.base(protocol, seed, trial, paper_scale);
+                s.nodes = if paper_scale { 49 } else { 16 };
+                s.traffic = TrafficSpec::paper_cbr(if paper_scale { 15 } else { 5 });
+                s.end = SimTime::from_secs(if paper_scale { 310 } else { 80 });
+                s.adversary = match self {
+                    Family::Byzantine => AdversarySpec::default_byzantine(),
+                    Family::Sybil => AdversarySpec::default_sybil(),
+                    Family::Chaos => AdversarySpec::default_chaos(),
+                    _ => unreachable!("outer match narrows to adversary families"),
+                };
                 s
             }
             // The dynamics families share a static-grid substrate so every
@@ -558,6 +624,47 @@ mod tests {
         assert!(SweepParam::ChurnRate.validate_value(0).is_err());
         assert!(SweepParam::ChurnRate.validate_value(61).is_err());
         assert!(SweepParam::ChurnRate.validate_value(6).is_ok());
+    }
+
+    #[test]
+    fn adversary_families_carry_their_specs() {
+        for (f, name) in [
+            (Family::Byzantine, "byzantine"),
+            (Family::Sybil, "sybil"),
+            (Family::Chaos, "chaos"),
+        ] {
+            let s = f.base(ProtocolKind::Srp, 1, 0, false);
+            assert_eq!(s.adversary.name(), name);
+            assert_eq!(s.mobility, MobilitySpec::Static);
+            assert_eq!(s.topology.name(), "grid");
+            assert_eq!(f.default_param(), SweepParam::Adversaries);
+            let swept = f.scenario_at(ProtocolKind::Srp, 1, 0, false, SweepParam::Adversaries, 25);
+            assert_eq!(swept.adversary.percent(), 25);
+            assert_eq!(
+                swept.adversary.name(),
+                name,
+                "sweep sets fraction, keeps kind"
+            );
+            assert!(s.describe().contains("adversaries"), "{}", s.describe());
+        }
+        // Sweeping the fraction on a family without a kind defaults to
+        // byzantine misbehaviour.
+        let mut s = Family::Grid.base(ProtocolKind::Srp, 1, 0, false);
+        SweepParam::Adversaries.apply(&mut s, 10);
+        assert_eq!(s.adversary.name(), "byzantine");
+        assert_eq!(s.adversary.percent(), 10);
+        assert!(SweepParam::Adversaries.validate_value(0).is_err());
+        assert!(SweepParam::Adversaries.validate_value(50).is_err());
+        assert!(SweepParam::Adversaries.validate_value(25).is_ok());
+        // Only the adversary families sweep the fraction.
+        for f in [
+            Family::Grid,
+            Family::Churn,
+            Family::Dense,
+            Family::PaperSweep,
+        ] {
+            assert!(!f.supports(SweepParam::Adversaries), "{}", f.name());
+        }
     }
 
     #[test]

@@ -131,7 +131,9 @@ pub fn trial_summary_json(s: &TrialSummary) -> String {
             "{{\"delivery_ratio\":{},\"network_load\":{},\"latency\":{},",
             "\"mac_drops_per_node\":{},\"avg_seqno\":{},",
             "\"max_fd_denominator\":{},\"originated\":{},\"delivered\":{},",
-            "\"dynamics_events\":{},\"repair_latency\":{}}}"
+            "\"dynamics_events\":{},\"repair_latency\":{},",
+            "\"oracle_checks\":{},\"oracle_soft_violations\":{},",
+            "\"adversary_actions\":{},\"audit_rejections\":{}}}"
         ),
         json_f64(s.delivery_ratio),
         json_f64(s.network_load),
@@ -143,6 +145,10 @@ pub fn trial_summary_json(s: &TrialSummary) -> String {
         s.delivered,
         s.dynamics_events,
         json_f64(s.repair_latency),
+        s.oracle_checks,
+        s.oracle_soft_violations,
+        s.adversary_actions,
+        s.audit_rejections,
     )
 }
 
@@ -234,6 +240,10 @@ mod tests {
                         delivered: 80,
                         dynamics_events: 0,
                         repair_latency: 0.0,
+                        oracle_checks: 0,
+                        oracle_soft_violations: 0,
+                        adversary_actions: 0,
+                        audit_rejections: 0,
                     }],
                 );
             }

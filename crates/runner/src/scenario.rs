@@ -28,6 +28,7 @@ use slr_traffic::{ArrivalProcess, TrafficConfig};
 
 use rand::Rng;
 
+pub use crate::adversary::AdversarySpec;
 pub use crate::dynamics::DynamicsSpec;
 
 /// The protocol under test.
@@ -296,6 +297,8 @@ pub struct Scenario {
     pub traffic: TrafficSpec,
     /// Scheduled topology dynamics.
     pub dynamics: DynamicsSpec,
+    /// Adversarial participants (Byzantine/sybil/chaos nodes).
+    pub adversary: AdversarySpec,
     /// MAC configuration.
     pub mac: MacConfig,
 }
@@ -319,6 +322,7 @@ impl Scenario {
             },
             traffic: TrafficSpec::paper_cbr(30),
             dynamics: DynamicsSpec::None,
+            adversary: AdversarySpec::None,
             mac: MacConfig::default(),
         }
     }
@@ -346,6 +350,7 @@ impl Scenario {
             },
             traffic: TrafficSpec::paper_cbr(15),
             dynamics: DynamicsSpec::None,
+            adversary: AdversarySpec::None,
             mac: MacConfig::default(),
         }
     }
@@ -413,14 +418,19 @@ impl Scenario {
             DynamicsSpec::None => String::new(),
             other => format!(", {} dynamics", other.name()),
         };
+        let adversary = match self.adversary {
+            AdversarySpec::None => String::new(),
+            other => format!(", {}% {} adversaries", other.percent(), other.name()),
+        };
         format!(
-            "{} nodes, {}/{} topology/mobility, {} traffic ({} flows){}, {} s",
+            "{} nodes, {}/{} topology/mobility, {} traffic ({} flows){}{}, {} s",
             self.nodes,
             self.topology.name(),
             self.mobility.name(),
             self.traffic.name(),
             self.flows(),
             dynamics,
+            adversary,
             self.end.as_secs_f64(),
         )
     }

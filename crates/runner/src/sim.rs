@@ -21,7 +21,8 @@ use slr_netsim::rng::{derive_seed, stream};
 use slr_netsim::time::{SimDuration, SimTime};
 use slr_netsim::{EventToken, Simulator};
 use slr_protocols::{
-    ControlPacket, DataDropReason, DataPacket, ProtoCtx, ProtoEffect, RoutingProtocol, DATA_TTL,
+    Adversary, Audit, ControlPacket, DataDropReason, DataPacket, ProtoCtx, ProtoEffect,
+    RoutingProtocol, DATA_TTL,
 };
 use slr_radio::{
     BeginTx, BruteForceMedium, Channel, Frame, FrameKind, Mac, MacEffect, MacTimer, NeighborQuery,
@@ -102,6 +103,25 @@ fn window_safe(ev: &Event) -> bool {
         ev,
         Event::App(_) | Event::ProtoTimer(..) | Event::TxComplete(..)
     )
+}
+
+/// Builds the protocol stack for one node, applying the scenario's
+/// adversarial wrapping: masked nodes run the misbehaviour script
+/// ([`Adversary`]), honest nodes carry the validation layer ([`Audit`]).
+/// With no adversaries in the trial (`mask` empty) the bare protocol is
+/// returned, so non-adversarial trials are bit-unchanged. Used both at
+/// assembly and on crash–rejoin rebuilds, so a restarted node keeps its
+/// role.
+fn build_protocol(scenario: &Scenario, mask: &[bool], node: usize) -> Box<dyn RoutingProtocol> {
+    let inner = scenario.protocol.build(node);
+    if mask.is_empty() {
+        return inner;
+    }
+    match scenario.adversary.kind() {
+        Some(kind) if mask[node] => Box::new(Adversary::new(inner, kind, node, mask.len())),
+        Some(_) => Box::new(Audit::new(inner)),
+        None => inner,
+    }
 }
 
 /// Which medium implementation answers the channel's neighbor queries.
@@ -202,6 +222,10 @@ pub struct Sim {
     /// Whether any dynamics are scheduled (guards admittance checks and
     /// the per-receiver gate on the hot path).
     has_dynamics: bool,
+    /// Which nodes run adversarial scripts this trial (empty when the
+    /// trial fields no adversaries; when non-empty, every honest node
+    /// carries the audit/validation layer instead).
+    adversary_mask: Vec<bool>,
     /// Per-node crash epoch (bumped on every crash).
     epochs: Vec<u64>,
     /// Earliest unanswered disruption (route-repair latency clock).
@@ -394,18 +418,44 @@ impl Sim {
         let macs = (0..n)
             .map(|i| Mac::new(i, scenario.mac, derive_seed(master, &[0x6d61, i as u64])))
             .collect();
-        let protos: Vec<Box<dyn RoutingProtocol>> =
-            protos.unwrap_or_else(|| (0..n).map(|i| scenario.protocol.build(i)).collect());
+        // The adversarial cast draws from its own protocol-independent
+        // stream (like dynamics and traffic): every protocol faces the
+        // identical misbehaving nodes per (seed, trial).
+        let victims = scenario
+            .adversary
+            .select_victims(n, &mut stream(master, "adversary", 0));
+        let mut adversary_mask = vec![false; if victims.is_empty() { 0 } else { n }];
+        for &v in &victims {
+            adversary_mask[v] = true;
+        }
+        let protos: Vec<Box<dyn RoutingProtocol>> = protos.unwrap_or_else(|| {
+            (0..n)
+                .map(|i| build_protocol(&scenario, &adversary_mask, i))
+                .collect()
+        });
         let proto_rngs = (0..n)
             .map(|i| SmallRng::seed_from_u64(derive_seed(master, &[0x7072, i as u64])))
             .collect();
-        let dynamics = scenario.dynamics.compile(
+        let mut dynamics = scenario.dynamics.compile(
             &positions,
             scenario.mac.phy.rx_range_m,
             scenario.traffic_start,
             scenario.end,
             &mut stream(master, "dynamics", 0),
         );
+        // Chaos adversaries flap their own links on purpose: their
+        // crash–rejoin pairs join the compiled dynamics schedule. The
+        // stable sort keeps same-time entries in generation order.
+        let flaps = scenario.adversary.compile_flaps(
+            &victims,
+            scenario.traffic_start,
+            scenario.end,
+            &mut stream(master, "adversary", 1),
+        );
+        if !flaps.is_empty() {
+            dynamics.extend(flaps);
+            dynamics.sort_by_key(|(t, _)| *t);
+        }
         Sim {
             scenario,
             master,
@@ -432,6 +482,7 @@ impl Sim {
             admittance: Admittance::new(n),
             has_dynamics: !dynamics.is_empty(),
             dynamics,
+            adversary_mask,
             epochs: vec![0; n],
             pending_repair: None,
             trace: None,
@@ -1195,7 +1246,7 @@ impl Sim {
                     self.scenario.mac,
                     derive_seed(self.master, &[0x6d61, i as u64, epoch]),
                 );
-                self.protos[i] = self.scenario.protocol.build(i);
+                self.protos[i] = build_protocol(&self.scenario, &self.adversary_mask, i);
                 self.proto_rngs[i] =
                     SmallRng::seed_from_u64(derive_seed(self.master, &[0x7072, i as u64, epoch]));
                 // The fresh MAC boots idle and quiescent; its carrier
@@ -1612,8 +1663,16 @@ impl Sim {
                 self.metrics.max_fd_denominator.max(st.max_fd_denominator);
             self.metrics.discoveries += st.discoveries;
             self.metrics.resets += st.resets_requested;
+            self.metrics.adversary_actions += st.adversarial_actions;
+            self.metrics.audit_rejections += st.audit_rejections;
         }
         self.metrics
+    }
+
+    /// Which nodes run adversarial scripts this trial (empty when the
+    /// scenario fields no adversaries).
+    pub fn adversary_mask(&self) -> &[bool] {
+        &self.adversary_mask
     }
 
     /// Access to per-node protocol state (testing/diagnostics).
@@ -1654,12 +1713,21 @@ impl Sim {
         dests.sort_unstable();
         dests.dedup();
 
+        // In adversarial trials the loop-freedom contract is scoped to
+        // the *honest subgraph*: an adversary advertises labels it does
+        // not hold, so edges out of it encode its lies, not SRP state —
+        // they are excluded from the cycle check and the soft census.
+        // The per-edge recorded-ordering invariant stays global: it is
+        // maintained locally by each node's (honest) inner engine
+        // regardless of what its neighbors inject.
+        let adversarial = |i: usize| self.adversary_mask.get(i).copied().unwrap_or(false);
+        let now = self.now();
         let mut soft_violations = 0u64;
         for t in dests {
             let mut edges = Vec::new();
             for (i, srp) in srps.iter().enumerate() {
                 let own = srp.oracle_label(t);
-                for (j, recorded) in srp.oracle_successors(t) {
+                for (j, recorded) in srp.oracle_successors(t, now) {
                     // Hard invariant: the node's label strictly precedes
                     // the ordering recorded for each successor (Eqs. 5–6).
                     if !own.precedes(&recorded) {
@@ -1667,18 +1735,45 @@ impl Sim {
                             "dest {t}: node {i} label {own} !≺ recorded {recorded} at {j}"
                         ));
                     }
+                    if adversarial(i) {
+                        continue;
+                    }
                     edges.push((i, j));
                     // Soft check: the successor's current label should
                     // still be in order unless it was forgotten.
                     let current = srps[j].oracle_label(t);
-                    if !current.is_unassigned() && !own.precedes(&current) && j != t {
+                    if !adversarial(j)
+                        && !current.is_unassigned()
+                        && !own.precedes(&current)
+                        && j != t
+                    {
                         soft_violations += 1;
                     }
                 }
             }
             // Hard invariant: no routing loops, ever (Theorem 3).
             if let Some(cycle) = find_cycle(n, &edges) {
-                return Err(format!("dest {t}: successor cycle {cycle:?}"));
+                // Dump each cycle node's label and successor entries so a
+                // violation report is diagnosable post-mortem.
+                let detail: Vec<String> = cycle
+                    .iter()
+                    .map(|&i| {
+                        let succs: Vec<String> = srps[i]
+                            .oracle_successors(t, now)
+                            .into_iter()
+                            .map(|(j, r)| format!("{j}:{r}"))
+                            .collect();
+                        format!(
+                            "node {i} label {} succs [{}]",
+                            srps[i].oracle_label(t),
+                            succs.join(", ")
+                        )
+                    })
+                    .collect();
+                return Err(format!(
+                    "dest {t}: successor cycle {cycle:?} — {}",
+                    detail.join("; ")
+                ));
             }
         }
         Ok(soft_violations)
@@ -1691,12 +1786,14 @@ impl Sim {
     ///
     /// Works under every engine — the ISSUE-4 principle that the oracle
     /// stays in the loop while the machinery around it is restructured
-    /// (cf. *Sequence Numbers Do Not Guarantee Loop Freedom*): under the
-    /// parallel engine checkpoints land between dispatch units (windows
-    /// instead of single events), so the sampling instants — and with
-    /// them the *soft*-violation census — can differ from the serial
-    /// engines'; the hard invariants (acyclicity, label ordering) are
-    /// instant-independent and checked just as often.
+    /// (cf. *Sequence Numbers Do Not Guarantee Loop Freedom*). Periodic
+    /// checkpoints land only at *timestamp boundaries* (the queue holds
+    /// nothing more at the current instant), which every engine reaches
+    /// in the identical sequence however it groups same-time events into
+    /// dispatch units — so the sampling instants, the soft-violation
+    /// census, and the check count are bit-identical across engines and
+    /// worker counts. Adversarial trials additionally check after every
+    /// instant at which an adversary acted.
     pub fn run_with_loop_oracle(mut self, check_interval: SimDuration) -> (TrialSummary, u64) {
         self.ensure_started();
         let end = self.scenario.end;
@@ -1732,6 +1829,8 @@ impl Sim {
         let mut next_check = SimTime::ZERO + check_interval;
         let mut soft = 0u64;
         let mut checks = 0u64;
+        let has_adversaries = !self.adversary_mask.is_empty();
+        let mut adv_actions = 0u64;
         loop {
             let pumped = self.pump(end, pool);
             if pumped == Pumped::Idle {
@@ -1740,14 +1839,36 @@ impl Sim {
             // Dynamics events are the adversarial moments: check the
             // instant *after* each one fires, not just on the periodic
             // grid, so a transient loop opened by a link flap cannot hide
-            // between checkpoints.
+            // between checkpoints. (Dynamics dispatch solo under every
+            // engine, so these checks land at identical points too.)
             let force_check = matches!(pumped, Pumped::Event { dynamics: true });
-            if force_check || self.sim.now() >= next_check {
+            // Periodic checks sample only at timestamp boundaries — the
+            // queue holds nothing more at `now` — which every engine
+            // reaches in the identical sequence however it groups
+            // same-time events into dispatch units (single events,
+            // batched transmissions, or parallel windows). Checking
+            // mid-timestamp would observe engine-dependent intermediate
+            // states and diverge the soft census.
+            let now = self.sim.now();
+            let boundary = self.sim.peek_event().map_or(true, |(t, _)| t > now);
+            // After any instant at which an adversary acted (forged,
+            // replayed, dropped, delayed, flooded), check immediately: a
+            // forged label that opens a loop must not hide until the
+            // next grid point.
+            let adv_acted = has_adversaries && boundary && {
+                let total: u64 = self.protos.iter().map(|p| p.adversarial_actions()).sum();
+                // `!=`, not `>`: a chaos self-crash rebuilds the wrapper
+                // and resets its counter, so the sum can decrease.
+                let acted = total != adv_actions;
+                adv_actions = total;
+                acted
+            };
+            if force_check || adv_acted || (boundary && now >= next_check) {
                 soft += self
                     .check_srp_loop_freedom()
                     .unwrap_or_else(|e| panic!("loop-freedom violated: {e}"));
                 checks += 1;
-                next_check = self.sim.now() + check_interval;
+                next_check = now + check_interval;
             }
         }
         (soft, checks)

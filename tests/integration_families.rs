@@ -22,6 +22,10 @@ fn small_scenario(family: Family, kind: ProtocolKind, seed: u64) -> slr_runner::
         // CI-sized slice of the thousand-node family (the full scale is
         // covered by the dense CI smoke run and BENCH_channel.json).
         Family::Dense => (SweepParam::Nodes, 100),
+        // Default fraction (10% → one adversary at this scale): higher
+        // fractions legitimately collapse delivery (that is the measured
+        // effect, not a harness failure) and belong to the sweeps.
+        Family::Byzantine | Family::Sybil | Family::Chaos => (SweepParam::Adversaries, 10),
     };
     let mut s = family.scenario_at(kind, seed, 0, false, param, value);
     // Trim runtimes: enough traffic to measure, short enough for CI.
