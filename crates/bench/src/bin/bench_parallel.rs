@@ -85,7 +85,20 @@ fn main() {
 
         let mut worker_fields = Vec::new();
         for &w in &WORKER_COUNTS {
-            eprintln!("bench_parallel: N = {n} (parallel, {w} worker(s)) …");
+            // A worker count above the host's parallelism measures pure
+            // scheduling overhead, never scaling; mark those entries so a
+            // single-core regeneration can't be misread as a speedup
+            // regression (the nightly multi-core run produces the real
+            // curve).
+            let oversubscribed = w > host_parallelism;
+            eprintln!(
+                "bench_parallel: N = {n} (parallel, {w} worker(s){}) …",
+                if oversubscribed {
+                    ", oversubscribed"
+                } else {
+                    ""
+                }
+            );
             let (summary, ms) = run_trial(scenario_for(), EngineKind::Parallel, w);
             assert_eq!(
                 baseline, summary,
@@ -93,7 +106,8 @@ fn main() {
             );
             worker_fields.push(format!(
                 "        {{ \"workers\": {w}, \"trial_ms\": {ms:.1}, \
-                 \"speedup_vs_batched\": {:.2}, \"summary_identical\": true }}",
+                 \"speedup_vs_batched\": {:.2}, \"summary_identical\": true, \
+                 \"oversubscribed\": {oversubscribed} }}",
                 batched_ms / ms,
             ));
             eprintln!(

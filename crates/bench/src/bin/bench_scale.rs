@@ -1,0 +1,108 @@
+//! `bench_scale` — the memory-lean scale benchmark behind
+//! `BENCH_scale.json`: full `huge`-family SRP trials (static
+//! constant-density disc, locality-bounded flows) swept over node count
+//! on the serial batched engine.
+//!
+//! Per point it reports:
+//!
+//! * the wall clock and **µs/event** (events from `Metrics::sim_events`)
+//!   — the curve that must stay flat-to-sublinear from 5k to 100k nodes
+//!   for the compact-table profile to have paid off;
+//! * the end-of-run **per-subsystem memory report**
+//!   (`Sim::run_with_mem_report`): live heap bytes of protocol tables,
+//!   MAC state, channel, spatial index, event queue and delivery-dedup
+//!   metrics, plus bytes/node and the protocol+MAC bytes/node figure the
+//!   ≤ 1 KiB/node budget is stated against;
+//! * the **geodesic stretch** of delivered packets (hops taken over the
+//!   straight-line minimum at radio range) — finite stretch is the
+//!   liveness sanity check that the locality-bounded script is actually
+//!   deliverable at scale.
+//!
+//! Regenerate the committed snapshot with:
+//!
+//! ```sh
+//! cargo run --release -p slr-bench --bin bench_scale > BENCH_scale.json
+//! ```
+//!
+//! Flags: `--values a,b,c` (node counts, default 5000,20000,100000),
+//! `--seed N` (default 42), `--duration S` (override trial seconds).
+
+use std::time::Instant;
+
+use slr_netsim::time::SimTime;
+use slr_runner::cli::parse_cli;
+use slr_runner::registry::{Family, SweepParam};
+use slr_runner::scenario::ProtocolKind;
+use slr_runner::sim::{EngineKind, Sim};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_cli(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let seed = opts.seed;
+    let values: Vec<u64> = opts.values.unwrap_or_else(|| vec![5_000, 20_000, 100_000]);
+
+    let mut points = Vec::new();
+    for &n in &values {
+        let mut scenario =
+            Family::Huge.scenario_at(ProtocolKind::Srp, seed, 0, false, SweepParam::Nodes, n);
+        if let Some(d) = opts.duration {
+            scenario.end = SimTime::from_secs(d);
+        }
+        let duration_s = scenario.end.as_secs_f64();
+        eprintln!("bench_scale: N = {n} (batched, {duration_s} s simulated) …");
+        let sim = Sim::new(scenario).with_engine(EngineKind::Batched);
+        let start = Instant::now();
+        let (summary, metrics, mem) = sim.run_with_mem_report();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let us_per_event = ms * 1e3 / metrics.sim_events.max(1) as f64;
+        let stretch = metrics.geodesic_stretch().unwrap_or(f64::NAN);
+        eprintln!(
+            "bench_scale: N = {n}: {ms:.0} ms, {} events ({us_per_event:.2} µs/event), \
+             {:.1} B/node total, {:.1} B/node proto+MAC, delivery {:.4}, stretch {stretch:.3}",
+            metrics.sim_events,
+            mem.bytes_per_node(),
+            mem.proto_mac_bytes_per_node(),
+            summary.delivery_ratio,
+        );
+        points.push(format!(
+            "    {{\n      \"nodes\": {n},\n      \"duration_s\": {duration_s},\n      \
+             \"trial_ms\": {ms:.1},\n      \"sim_events\": {},\n      \
+             \"us_per_event\": {us_per_event:.3},\n      \
+             \"mem_bytes\": {{\n        \"proto\": {},\n        \"mac\": {},\n        \
+             \"channel\": {},\n        \"spatial\": {},\n        \"queue\": {},\n        \
+             \"metrics_dedup\": {},\n        \"total\": {}\n      }},\n      \
+             \"bytes_per_node\": {:.1},\n      \"proto_mac_bytes_per_node\": {:.1},\n      \
+             \"delivery_ratio\": {:.4},\n      \"geodesic_stretch\": {stretch:.4}\n    }}",
+            metrics.sim_events,
+            mem.proto_bytes,
+            mem.mac_bytes,
+            mem.channel_bytes,
+            mem.spatial_bytes,
+            mem.queue_bytes,
+            mem.metrics_bytes,
+            mem.total(),
+            mem.bytes_per_node(),
+            mem.proto_mac_bytes_per_node(),
+            summary.delivery_ratio,
+        ));
+    }
+
+    println!(
+        "{{\n  \"benchmark\": \"memory-lean-scale\",\n  \
+         \"command\": \"cargo run --release -p slr-bench --bin bench_scale > BENCH_scale.json\",\n  \
+         \"description\": \"huge-family SRP trials (static constant-density disc, locality-bounded \
+         flows) on the serial batched engine, swept over node count; us_per_event must stay \
+         flat-to-sublinear with N and proto_mac_bytes_per_node inside the 1 KiB/node budget for \
+         the compact-table (sorted-vec + interned-label + flow-window-dedup) profile to hold; \
+         geodesic_stretch is mean hops over the straight-line minimum at radio range — finite \
+         means the locality-bounded script is deliverable, and it falls as density rises\",\n  \
+         \"seed\": {seed},\n  \"engine\": \"batched\",\n  \"points\": [\n{}\n  ]\n}}",
+        points.join(",\n")
+    );
+}

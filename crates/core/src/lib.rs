@@ -51,6 +51,7 @@
 pub mod dag;
 pub mod engine;
 pub mod fraction;
+pub mod intern;
 pub mod label;
 pub mod neworder;
 pub mod slr;
@@ -58,9 +59,10 @@ pub mod sternbrocot;
 pub mod successors;
 
 pub use fraction::{Frac32, Frac64, FracInt, Fraction, FractionError};
+pub use intern::{LabelHandle, LabelInterner};
 pub use label::{SeqNo, SplitLabel, SplitLabel32, SplitLabel64};
 pub use neworder::{
-    check_order, maintains_order, needs_denominator_reset, new_order, NewOrder, NewOrderCase,
-    OrderCheck,
+    check_order, maintains_order, needs_denominator_reset, new_order, reduce_label, NewOrder,
+    NewOrderCase, OrderCheck,
 };
 pub use successors::{SuccessorEntry, SuccessorTable};

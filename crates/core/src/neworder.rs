@@ -9,8 +9,9 @@
 //! topological order, or the infinite ordering `(0, (1,1))`, which forces
 //! the caller (Procedure 3, *Set Route*) to ignore the advertisement.
 
-use crate::fraction::FracInt;
+use crate::fraction::{FracInt, Fraction};
 use crate::label::SplitLabel;
+use crate::sternbrocot::simplest_between;
 
 /// The outcome of [`new_order`] with the reason it was chosen, mirroring the
 /// five assignment cases distinguished in the proof of Theorem 6.
@@ -199,6 +200,66 @@ pub fn needs_denominator_reset<T: FracInt>(label: &SplitLabel<T>, max_denom: u64
     label.fd().den().as_u128() > max_denom as u128
 }
 
+/// Farey reduction of a proposed label (the paper's §VI future-work item):
+/// replace `g`'s raw-mediant fraction with the *simplest* fraction whose
+/// adoption satisfies exactly the same Definition 1 inequalities.
+///
+/// The open interval the reduced fraction must lie in is read off
+/// Definition 1 restricted to `g`'s sequence number:
+///
+/// * below (`lo`): the advertiser's fraction when `adv` shares the seqno
+///   (Eq. 5), and `succ_floor` — the largest same-seqno fraction among
+///   successors that remain installed (Eq. 6);
+/// * above (`hi`): `own`'s and `cached`'s fractions when they share the
+///   seqno (Eqs. 3–4), and `1/1` (the result must stay finite).
+///
+/// `g` itself lies in that interval whenever it maintains order, so
+/// [`simplest_between`] can only return a denominator ≤ `g`'s. Returns
+/// `None` when no strictly simpler fraction exists (the caller keeps `g`)
+/// and defensively re-verifies Definition 1 on the candidate.
+pub fn reduce_label<T: FracInt>(
+    g: &SplitLabel<T>,
+    own: &SplitLabel<T>,
+    cached: &SplitLabel<T>,
+    adv: &SplitLabel<T>,
+    succ_floor: Option<Fraction<T>>,
+) -> Option<SplitLabel<T>> {
+    let sn = g.seqno();
+    let mut lo = Fraction::zero();
+    let mut hi = Fraction::one();
+    if adv.seqno() == sn && adv.fd() > lo {
+        lo = adv.fd();
+    }
+    if let Some(f) = succ_floor {
+        if f > lo {
+            lo = f;
+        }
+    }
+    if own.seqno() == sn && own.fd() < hi {
+        hi = own.fd();
+    }
+    if cached.seqno() == sn && cached.fd() < hi {
+        hi = cached.fd();
+    }
+    let r = simplest_between(&lo, &hi)?;
+    if r.den() >= g.fd().den() {
+        return None; // no simpler representation exists
+    }
+    let reduced = SplitLabel::new(sn, r);
+    // Defense in depth: the interval construction above implies these,
+    // but adopting a label is exactly where an error would break the
+    // Theorem 3 loop-freedom argument — never trust the fast path.
+    if !maintains_order(&reduced, own, cached, adv, None) {
+        return None;
+    }
+    if let Some(f) = succ_floor {
+        if r <= f {
+            return None;
+        }
+    }
+    Some(reduced)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +422,59 @@ mod tests {
         let _ = s_bad;
         let s_above = l(1, 1, 2);
         assert!(!check_order(&good, &own, &cached, &adv, Some(&s_above)).existing_successors);
+    }
+
+    #[test]
+    fn reduce_label_simplifies_within_definition1_interval() {
+        // g = mediant-grown 400/1000 between adv 1/3 and cached 1/2: the
+        // simplest fraction in (1/3, 1/2) is 2/5, and it must satisfy the
+        // same Definition 1 inequalities g did.
+        let own = l(4, 600, 1000);
+        let cached = l(4, 1, 2);
+        let adv = l(4, 1, 3);
+        let g = l(4, 400, 1000);
+        assert!(maintains_order(&g, &own, &cached, &adv, None));
+        let r = reduce_label(&g, &own, &cached, &adv, None).expect("reducible");
+        assert_eq!(r, l(4, 2, 5));
+        assert!(maintains_order(&r, &own, &cached, &adv, None));
+    }
+
+    #[test]
+    fn reduce_label_respects_successor_floor() {
+        let own = l(4, 600, 1000);
+        let cached = l(4, 1, 2);
+        let adv = l(4, 1, 3);
+        let g = l(4, 440, 1000);
+        // A surviving successor at 2/5 forbids reducing to 2/5 or below.
+        let floor = Some(Fraction::new(2, 5).unwrap());
+        let r = reduce_label(&g, &own, &cached, &adv, floor).expect("reducible");
+        assert!(r.fd() > Fraction::new(2, 5).unwrap());
+        assert!(r.fd() < Fraction::new(1, 2).unwrap());
+        assert!(r.fd().den() < 1000);
+    }
+
+    #[test]
+    fn reduce_label_declines_when_already_simplest() {
+        // g = 2/5 in (1/3, 1/2) is already the simplest fraction there.
+        let own = l(4, 1, 2);
+        let cached = una();
+        let adv = l(4, 1, 3);
+        let g = l(4, 2, 5);
+        assert!(reduce_label(&g, &own, &cached, &adv, None).is_none());
+    }
+
+    #[test]
+    fn reduce_label_fresher_seqno_ignores_stale_fractions() {
+        // own/cached sit at an older seqno: their fractions do not bound
+        // the interval, so the reduction may use the whole (adv, 1).
+        let own = l(1, 1, 9);
+        let cached = l(1, 1, 8);
+        let adv = l(2, 1, 3);
+        let g = l(2, 400, 1000);
+        assert!(maintains_order(&g, &own, &cached, &adv, None));
+        let r = reduce_label(&g, &own, &cached, &adv, None).expect("reducible");
+        assert_eq!(r, l(2, 1, 2));
+        assert!(maintains_order(&r, &own, &cached, &adv, None));
     }
 
     #[test]

@@ -10,8 +10,6 @@
 //! eliminating successors that would be out of order under a proposed new
 //! label.
 
-use std::collections::BTreeMap;
-
 use crate::fraction::FracInt;
 use crate::label::SplitLabel;
 
@@ -42,17 +40,25 @@ pub struct SuccessorEntry<T: FracInt> {
 /// assert_eq!(s.best_successor().unwrap().0, 7);
 /// # Ok::<(), slr_core::FractionError>(())
 /// ```
+/// Backed by one sorted `Vec` rather than a `BTreeMap`: a node's
+/// successor set for one destination holds a handful of entries, and at
+/// 100k+ nodes the tree's per-node allocations dominated the table's
+/// payload. Iteration stays in ascending neighbor order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuccessorTable<K: Ord + Copy, T: FracInt> {
-    entries: BTreeMap<K, SuccessorEntry<T>>,
+    entries: Vec<(K, SuccessorEntry<T>)>,
 }
 
 impl<K: Ord + Copy, T: FracInt> SuccessorTable<K, T> {
     /// Creates an empty successor table (an *invalid* route, Definition 2).
     pub fn new() -> Self {
         SuccessorTable {
-            entries: BTreeMap::new(),
+            entries: Vec::new(),
         }
+    }
+
+    fn index_of(&self, neighbor: &K) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(neighbor))
     }
 
     /// Whether the table is empty (the route is invalid, Definition 2).
@@ -68,14 +74,20 @@ impl<K: Ord + Copy, T: FracInt> SuccessorTable<K, T> {
     /// Installs or refreshes a successor with the ordering its
     /// advertisement carried (`S_A^{T,B} ← O_?^T`, Procedure 3).
     pub fn insert(&mut self, neighbor: K, label: SplitLabel<T>, distance: u32) {
-        self.entries
-            .insert(neighbor, SuccessorEntry { label, distance });
+        let entry = SuccessorEntry { label, distance };
+        match self.index_of(&neighbor) {
+            Ok(i) => self.entries[i].1 = entry,
+            Err(i) => self.entries.insert(i, (neighbor, entry)),
+        }
     }
 
     /// Removes a successor (link break, RERR, or route timeout). Returns the
     /// removed entry if present.
     pub fn remove(&mut self, neighbor: &K) -> Option<SuccessorEntry<T>> {
-        self.entries.remove(neighbor)
+        match self.index_of(neighbor) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
     }
 
     /// Clears all successors (invalidating the route).
@@ -85,24 +97,30 @@ impl<K: Ord + Copy, T: FracInt> SuccessorTable<K, T> {
 
     /// Looks up a successor's entry.
     pub fn get(&self, neighbor: &K) -> Option<&SuccessorEntry<T>> {
-        self.entries.get(neighbor)
+        self.index_of(neighbor).ok().map(|i| &self.entries[i].1)
     }
 
     /// Whether `neighbor` is currently a successor.
     pub fn contains(&self, neighbor: &K) -> bool {
-        self.entries.contains_key(neighbor)
+        self.index_of(neighbor).is_ok()
     }
 
     /// Iterates over `(neighbor, entry)` pairs in neighbor order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &SuccessorEntry<T>)> {
-        self.entries.iter()
+        self.entries.iter().map(|(k, e)| (k, e))
+    }
+
+    /// Live heap bytes held by this table (capacity, not length — the
+    /// allocator holds capacity).
+    pub fn mem_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(K, SuccessorEntry<T>)>()
     }
 
     /// The maximum successor ordering `S_max` — the strict lower bound for
     /// this node's own label (Eq. 6). `None` when the table is empty (the
     /// paper then takes the least element, making Eq. 6 trivial).
     pub fn max_label(&self) -> Option<SplitLabel<T>> {
-        let mut it = self.entries.values();
+        let mut it = self.entries.iter().map(|(_, e)| e);
         let first = it.next()?.label;
         Some(it.fold(first, |acc, e| SplitLabel::max_label(acc, e.label)))
     }
@@ -112,7 +130,7 @@ impl<K: Ord + Copy, T: FracInt> SuccessorTable<K, T> {
     pub fn best_successor(&self) -> Option<(K, SuccessorEntry<T>)> {
         self.entries
             .iter()
-            .min_by_key(|(k, e)| (e.distance, **k))
+            .min_by_key(|(k, e)| (e.distance, *k))
             .map(|(k, e)| (*k, *e))
     }
 
@@ -120,15 +138,15 @@ impl<K: Ord + Copy, T: FracInt> SuccessorTable<K, T> {
     /// ordering is not strictly below a proposed label `g`
     /// (`G_A^T ⊀ S_A^{T,i}`). Returns the neighbors removed.
     pub fn prune_out_of_order(&mut self, g: &SplitLabel<T>) -> Vec<K> {
-        let doomed: Vec<K> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| !g.precedes(&e.label))
-            .map(|(k, _)| *k)
-            .collect();
-        for k in &doomed {
-            self.entries.remove(k);
-        }
+        let mut doomed = Vec::new();
+        self.entries.retain(|(k, e)| {
+            if g.precedes(&e.label) {
+                true
+            } else {
+                doomed.push(*k);
+                false
+            }
+        });
         doomed
     }
 }

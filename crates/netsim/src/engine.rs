@@ -66,6 +66,11 @@ impl<E> Simulator<E> {
         self.queue.len()
     }
 
+    /// Live heap bytes of the event queue (see [`EventQueue::mem_bytes`]).
+    pub fn queue_mem_bytes(&self) -> usize {
+        self.queue.mem_bytes()
+    }
+
     /// Schedules an event at an absolute time.
     ///
     /// # Panics

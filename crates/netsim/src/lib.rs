@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod admittance;
+pub mod compact;
 pub mod engine;
 pub mod hash;
 pub mod pool;
@@ -40,6 +41,7 @@ pub mod spatial;
 pub mod time;
 
 pub use admittance::{Admittance, DynAction};
+pub use compact::VecMap;
 pub use engine::Simulator;
 pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use pool::{with_pool, WorkerPool};

@@ -174,6 +174,12 @@ impl<E> EventQueue<E> {
         self.compact_floor
     }
 
+    /// Live heap bytes of the heap storage and the slot table.
+    pub fn mem_bytes(&self) -> usize {
+        self.heap.capacity() * std::mem::size_of::<Entry<E>>()
+            + self.slots.capacity() * std::mem::size_of::<Slot>()
+    }
+
     fn alloc_slot(&mut self) -> u32 {
         if self.free_head != u32::MAX {
             let slot = self.free_head;

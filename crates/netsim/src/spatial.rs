@@ -33,19 +33,36 @@ type CellKey = (i64, i64);
 // too) replaces the map's default hasher.
 type CellMap = HashMap<CellKey, Vec<usize>, BuildHasherDefault<FastHasher>>;
 
+/// Number of bucket-storage shards (power of two). At 100k+ nodes a
+/// single cell map concentrates every bucket in one allocation whose
+/// doubling resize stalls the event loop and strands up to half the
+/// table as dead capacity; sixteen shards cap the largest single resize
+/// at 1/16 of the cells while leaving lookups O(1).
+const SHARDS: usize = 16;
+
 /// A grid-bucketed index over `n` movable points.
 #[derive(Debug, Clone)]
 pub struct SpatialIndex {
     /// Cell side length in meters.
     cell_m: f64,
-    /// Cell → the nodes currently bucketed in it. Only ever *indexed* by
-    /// key (never iterated), so the map's internal order cannot leak into
-    /// results.
-    cells: CellMap,
+    /// Cell → the nodes currently bucketed in it, sharded by cell-key
+    /// hash. Only ever *indexed* by key (never iterated), so neither the
+    /// shard split nor the maps' internal order can leak into results.
+    cells: Vec<CellMap>,
     /// Per-node current cell key.
     keys: Vec<CellKey>,
     /// Per-node last-bucketed position (diagnostics and standalone use).
     points: Vec<(f64, f64)>,
+}
+
+/// The shard holding `key`'s bucket. Uses the hash's *top* bits: the
+/// shard maps index buckets by the low bits, so carving the shard out of
+/// those would put every key of a shard in the same bucket class.
+fn shard_of(key: CellKey) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = FastHasher::default();
+    key.hash(&mut h);
+    (h.finish() >> 60) as usize & (SHARDS - 1)
 }
 
 impl SpatialIndex {
@@ -61,13 +78,16 @@ impl SpatialIndex {
         );
         let mut index = SpatialIndex {
             cell_m,
-            cells: CellMap::default(),
+            cells: (0..SHARDS).map(|_| CellMap::default()).collect(),
             keys: Vec::with_capacity(points.len()),
             points: Vec::with_capacity(points.len()),
         };
         for &p in points {
             let key = index.key_of(p);
-            index.cells.entry(key).or_default().push(index.keys.len());
+            index.cells[shard_of(key)]
+                .entry(key)
+                .or_default()
+                .push(index.keys.len());
             index.keys.push(key);
             index.points.push(p);
         }
@@ -111,18 +131,40 @@ impl SpatialIndex {
         if new_key == old_key {
             return false;
         }
-        let old_cell = self.cells.get_mut(&old_key).expect("node's cell exists");
+        let old_shard = &mut self.cells[shard_of(old_key)];
+        let old_cell = old_shard.get_mut(&old_key).expect("node's cell exists");
         let at = old_cell
             .iter()
             .position(|&v| v == node)
             .expect("node listed in its cell");
         old_cell.swap_remove(at);
         if old_cell.is_empty() {
-            self.cells.remove(&old_key);
+            old_shard.remove(&old_key);
         }
-        self.cells.entry(new_key).or_default().push(node);
+        self.cells[shard_of(new_key)]
+            .entry(new_key)
+            .or_default()
+            .push(node);
         self.keys[node] = new_key;
         true
+    }
+
+    /// Live heap bytes held by the index (bucket shards including their
+    /// node vectors, plus the per-node key/point tables).
+    pub fn mem_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(CellKey, Vec<usize>)>() + 1;
+        self.cells
+            .iter()
+            .map(|shard| {
+                shard.capacity() * entry
+                    + shard
+                        .values()
+                        .map(|v| v.capacity() * std::mem::size_of::<usize>())
+                        .sum::<usize>()
+            })
+            .sum::<usize>()
+            + self.keys.capacity() * std::mem::size_of::<CellKey>()
+            + self.points.capacity() * std::mem::size_of::<(f64, f64)>()
     }
 
     /// Appends every node bucketed in a cell intersecting the closed disc
@@ -161,7 +203,8 @@ impl SpatialIndex {
                 if gap_x * gap_x + gap_y * gap_y > limit_sq {
                     continue;
                 }
-                if let Some(cell) = self.cells.get(&(cx + dx, cy + dy)) {
+                let key = (cx + dx, cy + dy);
+                if let Some(cell) = self.cells[shard_of(key)].get(&key) {
                     out.extend_from_slice(cell);
                 }
             }

@@ -365,6 +365,10 @@ impl RoutingProtocol for Adversary {
     fn as_any(&self) -> &dyn std::any::Any {
         self.inner.as_any()
     }
+
+    fn mem_bytes(&self) -> usize {
+        self.inner.mem_bytes()
+    }
 }
 
 #[cfg(test)]

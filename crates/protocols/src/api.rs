@@ -269,6 +269,13 @@ pub trait RoutingProtocol: Send {
     /// Dynamic downcast hook, used by the harness for protocol-specific
     /// oracles (e.g. SRP's global loop-freedom check).
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Live heap bytes of this node's routing state, for the per-node
+    /// memory report at scale. Protocols without accounting report 0 so
+    /// the report understates rather than guesses.
+    fn mem_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// A bounded buffer of data packets awaiting routes, with per-packet
@@ -338,6 +345,12 @@ impl PacketBuffer {
     /// Whether any packet waits for `dst`.
     pub fn has_for(&self, dst: NodeId) -> bool {
         self.entries.iter().any(|(p, _)| p.dst == dst)
+    }
+
+    /// Live heap bytes held by the buffer (capacity, since the allocator
+    /// holds capacity whether or not entries are live).
+    pub fn mem_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(DataPacket, SimTime)>()
     }
 }
 

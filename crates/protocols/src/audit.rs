@@ -231,6 +231,10 @@ impl RoutingProtocol for Audit {
     fn as_any(&self) -> &dyn std::any::Any {
         self.inner.as_any()
     }
+
+    fn mem_bytes(&self) -> usize {
+        self.inner.mem_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,21 @@
 //! The SRP protocol engine: Procedures 1–4, Algorithm 1, SDC and the
 //! Eq. 9–11 relay rules from §III of the paper.
 
-use slr_netsim::hash::FastHashMap;
-
-use slr_core::{maintains_order, new_order, Frac32, SplitLabel32, SuccessorTable};
+use slr_core::{
+    maintains_order, new_order, reduce_label, Frac32, LabelHandle, LabelInterner, SplitLabel32,
+    SuccessorTable,
+};
 use slr_netsim::time::{SimDuration, SimTime};
+use slr_netsim::VecMap;
+
+// The per-node tables behind one alias: compact sorted-vec maps by
+// default, the seed's hash maps under `--features legacy-tables`. The
+// nightly bit-identity diff builds both and compares `TrialSummary`s;
+// nothing in the engine may depend on which representation is active.
+#[cfg(feature = "legacy-tables")]
+use slr_netsim::hash::FastHashMap as Table;
+#[cfg(not(feature = "legacy-tables"))]
+use slr_netsim::VecMap as Table;
 
 use crate::api::{
     ControlPacket, DataDropReason, DataPacket, NodeId, PacketBuffer, ProtoCtx, ProtoEffect,
@@ -63,6 +74,21 @@ pub struct SrpConfig {
     /// Data-plane successor choice (§III leaves this open; the paper's
     /// evaluation is uni-path).
     pub multipath: MultipathPolicy,
+    /// Feasible-distance denominator at which Set Route attempts the
+    /// Farey reduction of §VI (replace the raw mediant with
+    /// [`slr_core::reduce_label`]'s simplest order-preserving fraction).
+    /// The default, `2^27`, sits above the largest denominator any
+    /// registry family reaches (~8.0×10⁷), so default runs adopt exactly
+    /// the paper's unreduced mediants bit for bit; scale profiles lower
+    /// it to bound label width under churn.
+    pub reduce_den_threshold: u32,
+    /// Retention horizon for engaged-calculation cache entries
+    /// (`rreq_seen`). An engaged entry is only consulted while its flood's
+    /// reply can still arrive — bounded by the largest ring timeout
+    /// (2 × 64 hops × per-hop latency ≈ 5 s) — so entries older than this
+    /// are dead weight; without the sweep the cache grows by one entry
+    /// per flood forever, the dominant per-node leak at 100k nodes.
+    pub rreq_cache_lifetime: SimDuration,
 }
 
 impl Default for SrpConfig {
@@ -80,6 +106,8 @@ impl Default for SrpConfig {
             rerr_rate_limit: SimDuration::from_secs(1),
             probe_on_no_reverse: false,
             multipath: MultipathPolicy::SingleMinHop,
+            reduce_den_threshold: 1 << 27,
+            rreq_cache_lifetime: SimDuration::from_secs(120),
         }
     }
 }
@@ -102,7 +130,7 @@ struct DestState {
     /// and a neighbor that forgot and re-adopted a regressed label at
     /// the same sequence number closes a successor cycle the per-node
     /// order checks cannot see.
-    fresh: std::collections::BTreeMap<NodeId, SimTime>,
+    fresh: VecMap<NodeId, SimTime>,
     /// Route expiry (refreshed on use). The route is *active* while
     /// `now < expires` and the successor set is non-empty (Definition 2).
     expires: SimTime,
@@ -119,7 +147,7 @@ impl DestState {
             label: SplitLabel32::unassigned(),
             dist: u32::MAX,
             succs: SuccessorTable::new(),
-            fresh: std::collections::BTreeMap::new(),
+            fresh: VecMap::new(),
             expires: SimTime::ZERO,
             forget_at: None,
             rr_counter: 0,
@@ -128,17 +156,36 @@ impl DestState {
 }
 
 /// Engaged-calculation cache entry (Procedure 2): `{A, ID_A, O_#, lasthop}`.
-#[derive(Debug, Clone)]
+///
+/// The cached solicitation ordering is an interned [`LabelHandle`] — the
+/// flood delivers the same few orderings to every node it reaches, and
+/// this cache is the highest-population table at scale.
+#[derive(Debug, Clone, Copy)]
 struct RreqCache {
-    cached: SplitLabel32,
+    cached: LabelHandle,
     last_hop: NodeId,
     replied: bool,
+    /// When the entry was created, for the amortized retention sweep.
+    seen_at: SimTime,
 }
 
 /// An in-progress route discovery at this node.
 #[derive(Debug, Clone, Copy)]
 struct Discovery {
     attempt: u32,
+}
+
+/// Heap bytes held by a protocol table (capacity, not length), for either
+/// representation behind the [`Table`] alias.
+#[cfg(not(feature = "legacy-tables"))]
+fn table_mem<K: Ord + Copy, V>(t: &Table<K, V>) -> usize {
+    t.mem_bytes()
+}
+
+/// Open-addressing estimate: capacity × (entry + one control byte).
+#[cfg(feature = "legacy-tables")]
+fn table_mem<K, V>(t: &Table<K, V>) -> usize {
+    t.capacity() * (std::mem::size_of::<(K, V)>() + 1)
 }
 
 const DISCOVERY_TOKEN_BIT: u64 = 1 << 63;
@@ -165,12 +212,12 @@ pub struct Srp {
     /// Definition 7). Only we may increment it.
     own_seqno: u64,
     seqno_increments: u64,
-    dests: FastHashMap<NodeId, DestState>,
-    rreq_seen: FastHashMap<(NodeId, u64), RreqCache>,
+    dests: Table<NodeId, DestState>,
+    rreq_seen: Table<(NodeId, u64), RreqCache>,
     next_rreq_id: u64,
-    discoveries: FastHashMap<NodeId, Discovery>,
+    discoveries: Table<NodeId, Discovery>,
     buffer: PacketBuffer,
-    last_rerr: FastHashMap<NodeId, SimTime>,
+    last_rerr: Table<NodeId, SimTime>,
     /// The highest destination sequence number ever *held* per
     /// destination. Unlike the label, this survives DELETE_PERIOD
     /// forgetting (the AODV §6.13 discipline): a destination's sequence
@@ -178,7 +225,13 @@ pub struct Srp {
     /// below the floor is provably stale or forged and re-adopting it
     /// after the label was forgotten can close a routing loop two honest
     /// nodes' local order checks cannot see.
-    seqno_floor: FastHashMap<NodeId, u64>,
+    seqno_floor: Table<NodeId, u64>,
+    /// Interner backing the [`RreqCache`] handles (per node: the protocol
+    /// state machine owns no trial-wide shared state, and the parallel
+    /// engine ships instances across threads).
+    interner: LabelInterner<u32>,
+    /// Next time the amortized `rreq_seen`/`last_rerr` sweep runs.
+    next_prune_at: SimTime,
     max_denominator: u64,
     discoveries_started: u64,
     resets_requested: u64,
@@ -192,17 +245,62 @@ impl Srp {
             cfg,
             own_seqno: 1,
             seqno_increments: 0,
-            dests: FastHashMap::default(),
-            rreq_seen: FastHashMap::default(),
+            dests: Table::default(),
+            rreq_seen: Table::default(),
             next_rreq_id: 0,
-            discoveries: FastHashMap::default(),
+            discoveries: Table::default(),
             buffer: PacketBuffer::new(cfg.buffer_capacity),
-            last_rerr: FastHashMap::default(),
-            seqno_floor: FastHashMap::default(),
+            last_rerr: Table::default(),
+            seqno_floor: Table::default(),
+            interner: LabelInterner::new(),
+            next_prune_at: SimTime::ZERO,
             max_denominator: 1,
             discoveries_started: 0,
             resets_requested: 0,
         }
+    }
+
+    /// Amortized retention sweep: drop engaged-calculation entries whose
+    /// flood can no longer produce a reply, and rate-limit stamps old
+    /// enough to be no-ops. Runs at most once per
+    /// [`SrpConfig::rreq_cache_lifetime`], from the paths that insert
+    /// into the swept tables, so a node's tables are bounded by its
+    /// *recent* flood arrival rate instead of growing for the whole
+    /// trial. Purely age-based, so behavior is identical under both
+    /// table representations.
+    fn prune_caches(&mut self, now: SimTime) {
+        if now < self.next_prune_at {
+            return;
+        }
+        let lifetime = self.cfg.rreq_cache_lifetime;
+        self.next_prune_at = now + lifetime;
+        self.rreq_seen
+            .retain(|_, c| now.saturating_since(c.seen_at) < lifetime);
+        let rate_limit = self.cfg.rerr_rate_limit;
+        self.last_rerr
+            .retain(|_, t| now.saturating_since(*t) < rate_limit);
+        self.rreq_seen.shrink_to_fit();
+        self.last_rerr.shrink_to_fit();
+    }
+
+    /// Live heap bytes of this node's protocol state: every table, the
+    /// per-destination successor/freshness sets, the route-pending buffer
+    /// and the label interner. Counts capacities (what the allocator
+    /// holds), not lengths.
+    pub fn mem_bytes(&self) -> usize {
+        let dest_inner: usize = self
+            .dests
+            .values()
+            .map(|ds| ds.succs.mem_bytes() + ds.fresh.mem_bytes())
+            .sum();
+        table_mem(&self.dests)
+            + dest_inner
+            + table_mem(&self.rreq_seen)
+            + table_mem(&self.discoveries)
+            + table_mem(&self.last_rerr)
+            + table_mem(&self.seqno_floor)
+            + self.interner.mem_bytes()
+            + self.buffer.mem_bytes()
     }
 
     /// Our current label (ordering) for destination `t`.
@@ -377,12 +475,14 @@ impl Srp {
         };
         // We are *active* for our own calculation: mark engaged so the
         // flood cannot re-enter.
+        let cached = self.interner.intern(SplitLabel32::unassigned());
         self.rreq_seen.insert(
             (self.node, rreq_id),
             RreqCache {
-                cached: SplitLabel32::unassigned(),
+                cached,
                 last_hop: self.node,
                 replied: false,
+                seen_at: now,
             },
         );
         fx.push(ProtoEffect::SendControl {
@@ -439,10 +539,29 @@ impl Srp {
         if !maintains_order(&g.label, &own, &cached, &adv, None) {
             return None;
         }
+        // §VI Farey reduction: once the raw mediant's denominator crosses
+        // the configured width threshold, adopt the *simplest* fraction
+        // satisfying the same Definition 1 inequalities instead. The
+        // successor floor keeps every same-seqno successor that survives
+        // line 13 strictly below the reduced label (Eq. 6).
+        let mut adopted = g.label;
+        if adopted.fd().den() >= self.cfg.reduce_den_threshold {
+            let succ_floor = self.dests.get(&t).and_then(|ds| {
+                ds.succs
+                    .iter()
+                    .map(|(_, e)| e.label)
+                    .filter(|l| adopted.precedes(l) && l.seqno() == adopted.seqno())
+                    .map(|l| l.fd())
+                    .max()
+            });
+            if let Some(r) = reduce_label(&g.label, &own, &cached, &adv, succ_floor) {
+                adopted = r;
+            }
+        }
         let ds = self.dests.entry(t).or_insert_with(DestState::unassigned);
-        ds.label = g.label;
+        ds.label = adopted;
         // Line 13 of Algorithm 1.
-        ds.succs.prune_out_of_order(&g.label);
+        ds.succs.prune_out_of_order(&adopted);
         let dist = adv_dist.saturating_add(1);
         ds.succs.insert(from, adv, dist);
         ds.fresh.insert(from, now);
@@ -454,12 +573,12 @@ impl Srp {
         ds.expires = now + self.cfg.route_lifetime;
         ds.forget_at = None;
         let floor = self.seqno_floor.entry(t).or_insert(0);
-        *floor = (*floor).max(g.label.seqno());
-        let den = g.label.fd().den() as u64;
+        *floor = (*floor).max(adopted.seqno());
+        let den = adopted.fd().den() as u64;
         if den > self.max_denominator {
             self.max_denominator = den;
         }
-        Some(g.label)
+        Some(adopted)
     }
 
     /// Flush buffered packets toward `dst` once a route exists.
@@ -508,6 +627,7 @@ impl Srp {
     ) -> Vec<ProtoEffect> {
         let mut fx = Vec::new();
         let now = ctx.now;
+        self.prune_caches(now);
         if rreq.src == self.node {
             return fx; // our own flood echoed back
         }
@@ -559,12 +679,14 @@ impl Srp {
         } else {
             SplitLabel32::new(rreq.dst_seqno, rreq.fd)
         };
+        let cached = self.interner.intern(solicited);
         self.rreq_seen.insert(
             key,
             RreqCache {
-                cached: solicited,
+                cached,
                 last_hop: prev,
                 replied: false,
+                seen_at: now,
             },
         );
 
@@ -711,7 +833,7 @@ impl Srp {
             SplitLabel32::unassigned()
         } else {
             match &cache {
-                Some(c) => c.cached,
+                Some(c) => self.interner.get(c.cached),
                 None => return fx, // not engaged: cannot route the reply
             }
         };
@@ -821,12 +943,14 @@ impl Srp {
             src_lfd: Frac32::zero(),
             src_ld: 0,
         };
+        let cached = self.interner.intern(SplitLabel32::unassigned());
         self.rreq_seen.insert(
             (self.node, self.next_rreq_id),
             RreqCache {
-                cached: SplitLabel32::unassigned(),
+                cached,
                 last_hop: self.node,
                 replied: false,
+                seen_at: now,
             },
         );
         fx.push(ProtoEffect::SendControl {
@@ -844,7 +968,10 @@ impl Srp {
         // node (label-unassigned, so it accepts any route offer) adopt a
         // path back through us and close a loop.
         if rerr.cold_reboot {
-            let dests: Vec<NodeId> = self.dests.keys().copied().collect();
+            // Ascending destination order, so the RERR cascade is
+            // identical under both table representations.
+            let mut dests: Vec<NodeId> = self.dests.keys().copied().collect();
+            dests.sort_unstable();
             for t in dests {
                 let ds = self.dests.get_mut(&t).expect("iterating keys");
                 if ds.succs.contains(&prev) {
@@ -976,6 +1103,7 @@ impl RoutingProtocol for Srp {
     fn on_timer(&mut self, ctx: &mut ProtoCtx<'_>, token: u64) -> Vec<ProtoEffect> {
         let mut fx = Vec::new();
         let now = ctx.now;
+        self.prune_caches(now);
         // Sweep stale buffered packets on any timer activity.
         for packet in self.buffer.take_expired(now, self.cfg.buffer_timeout) {
             fx.push(ProtoEffect::DropData {
@@ -1012,9 +1140,11 @@ impl RoutingProtocol for Srp {
     ) -> Vec<ProtoEffect> {
         let mut fx = Vec::new();
         let now = ctx.now;
-        // Break the next hop everywhere.
+        // Break the next hop everywhere (ascending destination order, so
+        // the RERR cascade is identical under both table representations).
         let mut lost = Vec::new();
-        let dests: Vec<NodeId> = self.dests.keys().copied().collect();
+        let mut dests: Vec<NodeId> = self.dests.keys().copied().collect();
+        dests.sort_unstable();
         for t in dests {
             let ds = self.dests.get_mut(&t).expect("iterating keys");
             if ds.succs.contains(&next_hop) {
@@ -1061,6 +1191,10 @@ impl RoutingProtocol for Srp {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn mem_bytes(&self) -> usize {
+        Srp::mem_bytes(self)
     }
 }
 
@@ -1238,12 +1372,14 @@ mod tests {
         let half = Fraction::new(1, 2).unwrap();
         // Engaged relay whose cached minimum-predecessor ordering is
         // (3, 1/2) for the flood (src 0, id 7).
+        let cached = b.interner.intern(SplitLabel32::new(3, half));
         b.rreq_seen.insert(
             (0, 7),
             RreqCache {
-                cached: SplitLabel32::new(3, half),
+                cached,
                 last_hop: 0,
                 replied: false,
+                seen_at: SimTime::ZERO,
             },
         );
         // A reply advertising *exactly* the cached ordering — honest
@@ -1359,12 +1495,14 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut a = Srp::new(0, SrpConfig::default());
         // Give node 0 a label for destination 9 by feeding it a reply.
+        let cached = a.interner.intern(SplitLabel32::unassigned());
         a.rreq_seen.insert(
             (0, 999),
             RreqCache {
-                cached: SplitLabel32::unassigned(),
+                cached,
                 last_hop: 0,
                 replied: false,
+                seen_at: SimTime::ZERO,
             },
         );
         let rrep = SrpRrep {
@@ -1399,12 +1537,14 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut b = Srp::new(1, SrpConfig::default());
         // Node 1 holds an active route to 9 with label (5, 1/2).
+        let cached = b.interner.intern(SplitLabel32::unassigned());
         b.rreq_seen.insert(
             (1, 999),
             RreqCache {
-                cached: SplitLabel32::unassigned(),
+                cached,
                 last_hop: 1,
                 replied: false,
+                seen_at: SimTime::ZERO,
             },
         );
         let seed_rrep = SrpRrep {
@@ -1485,18 +1625,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let mut b = Srp::new(1, SrpConfig::default());
         // Node 1 has a *fresher* stale label (seqno 7) for 9 but no route.
-        b.dests.insert(
-            9,
-            DestState {
-                label: SplitLabel32::new(7, Fraction::new(2, 3).unwrap()),
-                dist: 2,
-                succs: SuccessorTable::new(),
-                fresh: std::collections::BTreeMap::new(),
-                expires: SimTime::ZERO,
-                forget_at: None,
-                rr_counter: 0,
-            },
-        );
+        let mut ds = DestState::unassigned();
+        ds.label = SplitLabel32::new(7, Fraction::new(2, 3).unwrap());
+        ds.dist = 2;
+        b.dests.insert(9, ds);
         let rreq = SrpRreq {
             src: 7,
             rreq_id: 1,
@@ -1531,18 +1663,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let mut b = Srp::new(1, SrpConfig::default());
         let big = Fraction::<u32>::new(u32::MAX - 2, u32::MAX - 1).unwrap();
-        b.dests.insert(
-            9,
-            DestState {
-                label: SplitLabel32::new(5, big),
-                dist: 2,
-                succs: SuccessorTable::new(),
-                fresh: std::collections::BTreeMap::new(),
-                expires: SimTime::ZERO,
-                forget_at: None,
-                rr_counter: 0,
-            },
-        );
+        let mut ds = DestState::unassigned();
+        ds.label = SplitLabel32::new(5, big);
+        ds.dist = 2;
+        b.dests.insert(9, ds);
         // Solicitation at the same seqno whose fraction is *above* ours
         // (so we are out of order) and overflows on mediant.
         let rreq = SrpRreq {
@@ -1687,12 +1811,14 @@ mod tests {
     fn route_expires_without_use_and_label_is_retained() {
         let mut rng = SmallRng::seed_from_u64(9);
         let mut a = Srp::new(0, SrpConfig::default());
+        let cached = a.interner.intern(SplitLabel32::unassigned());
         a.rreq_seen.insert(
             (0, 999),
             RreqCache {
-                cached: SplitLabel32::unassigned(),
+                cached,
                 last_hop: 0,
                 replied: false,
+                seen_at: SimTime::ZERO,
             },
         );
         let rrep = SrpRrep {

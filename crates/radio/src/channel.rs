@@ -226,6 +226,31 @@ impl<P: Clone> Channel<P> {
         &self.phy
     }
 
+    /// Live heap bytes of the channel's per-node radio state, in-flight
+    /// window, and recycled scratch.
+    pub fn mem_bytes(&self) -> usize {
+        let rx = std::mem::size_of::<Receiver>();
+        self.in_flight.capacity() * std::mem::size_of::<Option<InFlight<P>>>()
+            + self
+                .in_flight
+                .iter()
+                .flatten()
+                .map(|f| f.receivers.capacity() * rx)
+                .sum::<usize>()
+            + self.nodes.capacity() * std::mem::size_of::<NodeState>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.spill.capacity() * std::mem::size_of::<Signal>())
+                .sum::<usize>()
+            + self.neighbor_scratch.capacity() * std::mem::size_of::<(usize, f64)>()
+            + self
+                .receiver_pool
+                .iter()
+                .map(|v| v.capacity() * rx)
+                .sum::<usize>()
+    }
+
     /// Whether `node`'s medium is physically busy (any audible signal).
     pub fn is_busy(&self, node: usize) -> bool {
         self.nodes[node].is_busy()

@@ -21,7 +21,7 @@
 
 use std::collections::VecDeque;
 
-use slr_netsim::hash::FastHashMap;
+use slr_netsim::VecMap;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -270,7 +270,9 @@ pub struct Mac<P> {
 
     next_seq: u64,
     /// Last data sequence number delivered per source (duplicate filter).
-    rx_dedup: FastHashMap<usize, u64>,
+    /// Neighbor-count-bounded, lookup-only: a compact sorted-vec map
+    /// beats a per-node hash table's fixed overhead at 100k+ nodes.
+    rx_dedup: VecMap<usize, u64>,
 
     /// Statistics.
     pub counters: MacCounters,
@@ -295,7 +297,7 @@ impl<P: Clone> Mac<P> {
             transmitting: false,
             nav_until: SimTime::ZERO,
             next_seq: 0,
-            rx_dedup: FastHashMap::default(),
+            rx_dedup: VecMap::new(),
             counters: MacCounters::default(),
         }
     }
@@ -303,6 +305,12 @@ impl<P: Clone> Mac<P> {
     /// This MAC's node id.
     pub fn node(&self) -> usize {
         self.node
+    }
+
+    /// Live heap bytes of this MAC's queues and receive-dedup table.
+    pub fn mem_bytes(&self) -> usize {
+        let out = std::mem::size_of::<Outgoing<P>>();
+        (self.hi_queue.capacity() + self.lo_queue.capacity()) * out + self.rx_dedup.mem_bytes()
     }
 
     /// Whether this MAC currently believes the physical carrier is busy.

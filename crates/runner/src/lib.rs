@@ -46,7 +46,7 @@ pub use cli::{parse_cli, CliAction, CliOptions};
 pub use dynamics::DynamicsSpec;
 pub use experiment::{run_sweep, run_trial, Metric, SweepConfig, SweepResult, PAUSE_TIMES};
 pub use medium::{MediumView, PositionTracker};
-pub use metrics::{Metrics, TrialSummary};
+pub use metrics::{MemReport, Metrics, TrialSummary};
 pub use registry::{Family, SweepParam};
 pub use scenario::{MobilitySpec, ProtocolKind, Scenario, TopologySpec, TrafficSpec};
 pub use sim::{EngineKind, MediumKind, Payload, PhaseTimes, Sim};

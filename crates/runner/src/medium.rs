@@ -120,6 +120,17 @@ impl PositionTracker {
         }
     }
 
+    /// Live heap bytes of the spatial index, deadline heap, segment cache
+    /// and query scratch.
+    pub fn mem_bytes(&self) -> usize {
+        let scratch = self.scratch.borrow();
+        self.index.mem_bytes()
+            + self.deadlines.capacity() * std::mem::size_of::<Reverse<(SimTime, usize)>>()
+            + self.segments.capacity() * std::mem::size_of::<Segment>()
+            + (scratch.candidates.capacity() + scratch.bitmap.capacity()) * 8
+            + (scratch.cand_dist.capacity() + scratch.dist.capacity()) * 8
+    }
+
     /// Brings every bucket up to date for queries at `now`: processes all
     /// expired deadlines, re-bucketing each dirty node at its position at
     /// `now`, refreshing its cached segment and scheduling its next

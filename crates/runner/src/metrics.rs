@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+#[cfg(feature = "legacy-tables")]
 use slr_netsim::hash::FastHashSet;
 
 use slr_netsim::admittance::DynAction;
@@ -92,7 +93,88 @@ pub struct Metrics {
     /// (label-order violations, seqno regressions, replays, first-hop
     /// impersonation, blacklisted neighbors); 0 in honest trials.
     pub audit_rejections: u64,
+    /// Sum over first-time deliveries of geodesic stretch: hops taken
+    /// divided by the minimum hop count at radio range over the
+    /// straight-line src–dst distance. Serial engines only (the parallel
+    /// engine's merged delivery ops do not carry the remaining TTL), so —
+    /// like `sim_events` — it is diagnostics, not [`TrialSummary`].
+    pub stretch_sum: f64,
+    /// First-time deliveries contributing to `stretch_sum`.
+    pub stretch_count: u64,
+    #[cfg(feature = "legacy-tables")]
     delivered_uids: FastHashSet<u64>,
+    #[cfg(not(feature = "legacy-tables"))]
+    delivered_uids: DeliveryLedger,
+}
+
+/// Bounded delivery dedup over flow-structured uids
+/// (`(flow << 32) | seq`, see `TrafficScript::uid`).
+///
+/// The legacy `FastHashSet<u64>` grew without bound for the whole trial —
+/// at 100k nodes with long durations that set alone rivals the protocol
+/// state. The ledger instead keeps one bit window per flow: a `base`
+/// below which every seq is known delivered, plus a bitset for the seqs
+/// above it. Fully-delivered leading words compact into `base`, so the
+/// window tracks the reorder span (bounded by one flow's in-flight
+/// packets), not the trial length. Dedup decisions are exactly those of
+/// the hashset: a (flow, seq) pair is accepted the first time it is seen
+/// and rejected after.
+#[derive(Debug, Clone, Default)]
+struct DeliveryLedger {
+    flows: Vec<FlowWindow>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FlowWindow {
+    /// Every seq below this is delivered.
+    base: u32,
+    /// Delivery bits for seqs `base .. base + 64 * bits.len()`.
+    bits: Vec<u64>,
+}
+
+impl FlowWindow {
+    /// Returns `true` if `seq` was not delivered before, marking it.
+    fn insert(&mut self, seq: u32) -> bool {
+        if seq < self.base {
+            return false;
+        }
+        let off = (seq - self.base) as usize;
+        let (word, bit) = (off / 64, off % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask != 0 {
+            return false;
+        }
+        self.bits[word] |= mask;
+        let lead = self.bits.iter().take_while(|&&w| w == u64::MAX).count();
+        if lead > 0 {
+            self.bits.drain(..lead);
+            self.base += (lead * 64) as u32;
+        }
+        true
+    }
+
+    fn mem_bytes(&self) -> usize {
+        self.bits.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+impl DeliveryLedger {
+    fn insert(&mut self, uid: u64) -> bool {
+        let flow = (uid >> 32) as usize;
+        let seq = uid as u32;
+        if flow >= self.flows.len() {
+            self.flows.resize_with(flow + 1, FlowWindow::default);
+        }
+        self.flows[flow].insert(seq)
+    }
+
+    fn mem_bytes(&self) -> usize {
+        self.flows.capacity() * std::mem::size_of::<FlowWindow>()
+            + self.flows.iter().map(FlowWindow::mem_bytes).sum::<usize>()
+    }
 }
 
 impl Metrics {
@@ -111,6 +193,33 @@ impl Metrics {
             self.duplicate_deliveries += 1;
             false
         }
+    }
+
+    /// Live heap bytes of the delivery-dedup state — the only metrics
+    /// structure whose size scales with traffic volume rather than node
+    /// or flow count, hence the one the bounded-memory regression watches.
+    pub fn dedup_mem_bytes(&self) -> usize {
+        #[cfg(feature = "legacy-tables")]
+        {
+            self.delivered_uids.capacity() * (std::mem::size_of::<u64>() + 1)
+        }
+        #[cfg(not(feature = "legacy-tables"))]
+        {
+            self.delivered_uids.mem_bytes()
+        }
+    }
+
+    /// Records one delivered packet's geodesic stretch.
+    pub fn record_stretch(&mut self, hops: u32, min_hops: u32) {
+        self.stretch_sum += f64::from(hops) / f64::from(min_hops.max(1));
+        self.stretch_count += 1;
+    }
+
+    /// Mean geodesic stretch of first-time deliveries, if any were
+    /// recorded (always ≥ 1 − ε up to the hop-count granularity; lower in
+    /// denser networks, where near-straight multihop paths exist).
+    pub fn geodesic_stretch(&self) -> Option<f64> {
+        (self.stretch_count > 0).then(|| self.stretch_sum / self.stretch_count as f64)
     }
 
     /// Records a routing-layer data drop.
@@ -187,6 +296,53 @@ impl Metrics {
             return 0.0;
         }
         self.latency_sum / self.data_delivered as f64
+    }
+}
+
+/// Live heap bytes per harness subsystem, snapshotted from a running
+/// trial (`Sim::mem_report`). Capacity-based: counts what the allocator
+/// holds, not just what is in use, because capacity is what bounds the
+/// reachable N. The per-node quotient is the scale profile's headline
+/// number (`bench_scale` budgets protocol + MAC state per node).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemReport {
+    /// Node count the per-node quotients divide by.
+    pub nodes: usize,
+    /// Routing-protocol state summed over nodes (tables, buffers,
+    /// interners).
+    pub proto_bytes: usize,
+    /// MAC state summed over nodes (queues, dedup filters).
+    pub mac_bytes: usize,
+    /// Shared-channel state (per-node radio state, in-flight window).
+    pub channel_bytes: usize,
+    /// Spatial index + position tracker.
+    pub spatial_bytes: usize,
+    /// Pending-event queue.
+    pub queue_bytes: usize,
+    /// Metrics bookkeeping (delivery dedup windows).
+    pub metrics_bytes: usize,
+}
+
+impl MemReport {
+    /// Total accounted bytes.
+    pub fn total(&self) -> usize {
+        self.proto_bytes
+            + self.mac_bytes
+            + self.channel_bytes
+            + self.spatial_bytes
+            + self.queue_bytes
+            + self.metrics_bytes
+    }
+
+    /// Accounted bytes per node.
+    pub fn bytes_per_node(&self) -> f64 {
+        self.total() as f64 / self.nodes.max(1) as f64
+    }
+
+    /// Protocol + MAC state per node — the budgeted quantity (the other
+    /// subsystems either scale with traffic or are shared).
+    pub fn proto_mac_bytes_per_node(&self) -> f64 {
+        (self.proto_bytes + self.mac_bytes) as f64 / self.nodes.max(1) as f64
     }
 }
 
@@ -313,6 +469,33 @@ mod tests {
         let s = m.summarize(3);
         assert_eq!(s.dynamics_events, 6);
         assert!((s.repair_latency - 1.5).abs() < 1e-12);
+    }
+
+    #[cfg(not(feature = "legacy-tables"))]
+    #[test]
+    fn ledger_compacts_and_stays_bounded() {
+        let mut m = Metrics::new();
+        // 10k in-order deliveries on flow 0: the window compacts behind
+        // the delivery front instead of growing with the trial.
+        for seq in 0..10_000u64 {
+            assert!(m.record_delivery(seq, SimTime::ZERO, SimTime::from_secs(1)));
+            assert!(!m.record_delivery(seq, SimTime::ZERO, SimTime::from_secs(1)));
+        }
+        // A hashset would hold all 10k uids (≥ 80 KiB); the compacted
+        // window is a few words plus per-flow struct overhead.
+        assert!(
+            m.dedup_mem_bytes() <= 1024,
+            "in-order flow window grew: {} bytes",
+            m.dedup_mem_bytes()
+        );
+        // A compacted-away seq is still recognized as a duplicate.
+        assert!(!m.record_delivery(0, SimTime::ZERO, SimTime::from_secs(2)));
+        // Other flows keep independent windows.
+        let uid = (1u64 << 32) | 77;
+        assert!(m.record_delivery(uid, SimTime::ZERO, SimTime::from_secs(2)));
+        assert!(!m.record_delivery(uid, SimTime::ZERO, SimTime::from_secs(2)));
+        assert_eq!(m.data_delivered, 10_001);
+        assert_eq!(m.duplicate_deliveries, 10_002);
     }
 
     #[test]

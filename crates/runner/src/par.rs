@@ -209,7 +209,7 @@ pub(crate) fn run_task(
             let packet = DataPacket {
                 src: spec.src,
                 dst: spec.dst,
-                uid: i as u64,
+                uid: ctx.traffic.uid(i as usize),
                 origin_time: ctx.now,
                 bytes: spec.bytes,
                 ttl: DATA_TTL,

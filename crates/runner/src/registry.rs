@@ -197,11 +197,18 @@ pub enum Family {
     /// control traffic and flaps its own links on purpose; swept over
     /// the adversarial fraction.
     Chaos,
+    /// Hundred-thousand-node scale: a constant-density static disc of
+    /// 100k–1M nodes with locality-bounded flows (sinks within
+    /// [`Family::HUGE_LOCALITY_M`] of the source — a uniform pair on such
+    /// a disc is hundreds of hops apart, far past the data TTL). The
+    /// memory-lean profile's home turf; sweeping max speed turns it into
+    /// the slow-waypoint variant. Swept over node count.
+    Huge,
 }
 
 impl Family {
     /// Every registered family, in presentation order.
-    pub const ALL: [Family; 12] = [
+    pub const ALL: [Family; 13] = [
         Family::PaperSweep,
         Family::Grid,
         Family::Line,
@@ -211,6 +218,7 @@ impl Family {
         Family::Partition,
         Family::CrashRejoin,
         Family::Dense,
+        Family::Huge,
         Family::Byzantine,
         Family::Sybil,
         Family::Chaos,
@@ -221,6 +229,12 @@ impl Family {
     /// enough that the O(N) brute-force scan, not the local degree,
     /// dominates an unindexed channel).
     pub const DENSE_AREA_PER_NODE_M2: f64 = 20_000.0;
+
+    /// The huge family's flow-locality radius: sinks land within this
+    /// many meters of the source, ≈ 8 hops at the 250 m reception range
+    /// — comfortably inside the 64-hop data TTL, so delivery failures
+    /// measure the protocol, not an unreachable script.
+    pub const HUGE_LOCALITY_M: f64 = 2_000.0;
 
     /// CLI / JSON name.
     pub fn name(&self) -> &'static str {
@@ -234,6 +248,7 @@ impl Family {
             Family::Partition => "partition",
             Family::CrashRejoin => "crash-rejoin",
             Family::Dense => "dense",
+            Family::Huge => "huge",
             Family::Byzantine => "byzantine",
             Family::Sybil => "sybil",
             Family::Chaos => "chaos",
@@ -255,6 +270,9 @@ impl Family {
             Family::CrashRejoin => "static grid with nodes crashing cold and rejoining mid-run",
             Family::Dense => {
                 "constant-density mobile disc at 1000-5000 nodes, swept over node count"
+            }
+            Family::Huge => {
+                "memory-lean 100k+-node static disc with locality-bounded flows, swept over node count"
             }
             Family::Byzantine => {
                 "static grid with label/seqno-forging nodes, swept over adversary fraction"
@@ -284,8 +302,11 @@ impl Family {
     /// either elsewhere would produce identical points.
     pub fn supports(&self, param: SweepParam) -> bool {
         match param {
-            SweepParam::Pause | SweepParam::MaxSpeed => {
-                matches!(self, Family::PaperSweep | Family::Scaling)
+            SweepParam::Pause => matches!(self, Family::PaperSweep | Family::Scaling),
+            // On the huge family the speed sweep *selects* the
+            // slow-waypoint variant (the base disc is static).
+            SweepParam::MaxSpeed => {
+                matches!(self, Family::PaperSweep | Family::Scaling | Family::Huge)
             }
             SweepParam::ChurnRate => matches!(self, Family::Churn),
             SweepParam::Adversaries => {
@@ -304,7 +325,8 @@ impl Family {
             | Family::Scaling
             | Family::Partition
             | Family::CrashRejoin
-            | Family::Dense => SweepParam::Nodes,
+            | Family::Dense
+            | Family::Huge => SweepParam::Nodes,
             Family::Disc => SweepParam::Flows,
             Family::Churn => SweepParam::ChurnRate,
             Family::Byzantine | Family::Sybil | Family::Chaos => SweepParam::Adversaries,
@@ -328,6 +350,8 @@ impl Family {
             (Family::Partition | Family::CrashRejoin, true) => vec![25, 49, 100],
             (Family::Dense, false) => vec![500, 1000],
             (Family::Dense, true) => vec![1000, 2000, 5000],
+            (Family::Huge, false) => vec![100_000],
+            (Family::Huge, true) => vec![100_000, 250_000, 500_000, 1_000_000],
             (Family::Byzantine | Family::Sybil | Family::Chaos, false) => vec![10, 25],
             (Family::Byzantine | Family::Sybil | Family::Chaos, true) => vec![5, 10, 25, 40],
         }
@@ -407,6 +431,24 @@ impl Family {
                 Family::scale_disc(&mut s);
                 s
             }
+            Family::Huge => {
+                // The memory-lean scale profile: static on purpose, so
+                // the per-node table footprint — not mobility churn — is
+                // what the trial exercises. Short runs and few flows keep
+                // a 100k-node trial affordable on one core; the sinks are
+                // locality-bounded so the script stays deliverable.
+                let mut s = Scenario::quick(protocol, 0, seed, trial);
+                s.nodes = 100_000;
+                s.mobility = MobilitySpec::Static;
+                s.traffic = TrafficSpec {
+                    locality_m: Some(Family::HUGE_LOCALITY_M),
+                    ..TrafficSpec::paper_cbr(if paper_scale { 30 } else { 10 })
+                };
+                s.traffic_start = SimTime::from_secs(5);
+                s.end = SimTime::from_secs(if paper_scale { 60 } else { 30 });
+                Family::scale_disc(&mut s);
+                s
+            }
             // The adversary families share the static-grid substrate too:
             // every anomaly is attributable to the misbehaving nodes, not
             // to mobility or environmental churn.
@@ -474,6 +516,21 @@ impl Family {
         if *self == Family::Dense && param == SweepParam::Nodes {
             // Constant density: disc area grows linearly with nodes.
             Family::scale_disc(&mut s);
+        }
+        if *self == Family::Huge {
+            if param == SweepParam::Nodes {
+                Family::scale_disc(&mut s);
+            }
+            if param == SweepParam::MaxSpeed {
+                // The slow-waypoint variant: drifting nodes with long
+                // pauses, not the dense family's continuous 20 m/s churn
+                // (`apply` no-ops on a static base, so the variant is
+                // selected here).
+                s.mobility = MobilitySpec::RandomWaypoint {
+                    pause: SimDuration::from_secs(30),
+                    max_speed: (value as f64).max(0.2),
+                };
+            }
         }
         s
     }

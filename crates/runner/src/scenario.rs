@@ -237,6 +237,11 @@ pub struct TrafficSpec {
     pub packet_bytes: u32,
     /// Mean exponential flow lifetime in seconds.
     pub mean_flow_secs: f64,
+    /// When set, flow sinks are sampled within this many meters of the
+    /// source over the initial layout instead of uniformly — keeps paths
+    /// inside the data TTL on huge-scale discs, where a uniform pair
+    /// would be hundreds of hops apart.
+    pub locality_m: Option<f64>,
 }
 
 impl TrafficSpec {
@@ -248,6 +253,7 @@ impl TrafficSpec {
             packets_per_second: 4.0,
             packet_bytes: 512,
             mean_flow_secs: 60.0,
+            locality_m: None,
         }
     }
 
@@ -546,6 +552,7 @@ mod tests {
             packets_per_second: 2.0,
             packet_bytes: 256,
             mean_flow_secs: 30.0,
+            locality_m: None,
         };
         assert_eq!(s.traffic_config().concurrent_flows, 3);
         assert_eq!(s.traffic_config().arrival, ArrivalProcess::Poisson);

@@ -31,7 +31,7 @@ use slr_radio::{
 use slr_traffic::TrafficScript;
 
 use crate::medium::{MediumView, PositionTracker};
-use crate::metrics::{Metrics, TrialSummary};
+use crate::metrics::{MemReport, Metrics, TrialSummary};
 use crate::par::{self, Op, Shard, SharedCtx, Task, TaskKind, WorkerScratch};
 use crate::scenario::{MobilitySpec, Scenario, TopologySpec};
 use crate::trace::{TraceEvent, TraceLog};
@@ -347,11 +347,22 @@ impl Sim {
                 MobilityScript::stationary(&positions)
             }
         };
-        let traffic = TrafficScript::generate(
-            n,
-            &scenario.traffic_config(),
-            &mut stream(master, "traffic", 0),
-        );
+        let traffic = match scenario.traffic.locality_m {
+            None => TrafficScript::generate(
+                n,
+                &scenario.traffic_config(),
+                &mut stream(master, "traffic", 0),
+            ),
+            // Locality-bounded sinks need the layout; existing families
+            // keep locality off and stay stream-identical to the uniform
+            // generator above.
+            Some(max_dist_m) => TrafficScript::generate_local(
+                &scenario.traffic_config(),
+                &mut stream(master, "traffic", 0),
+                &mobility.positions_at(SimTime::ZERO),
+                max_dist_m,
+            ),
+        };
         Sim::assemble(scenario, mobility, traffic, None)
     }
 
@@ -591,6 +602,18 @@ impl Sim {
         self.run_detailed().0
     }
 
+    /// Like [`Sim::run_detailed`], additionally reporting the end-of-run
+    /// per-subsystem memory footprint ([`Sim::mem_report`]) — the probe
+    /// behind `bench_scale`'s bytes-per-node curve.
+    pub fn run_with_mem_report(self) -> (TrialSummary, Metrics, MemReport) {
+        let mut sim = self;
+        sim.run_loop();
+        let report = sim.mem_report();
+        let nodes = sim.scenario.nodes;
+        let metrics = sim.finalize_metrics();
+        (metrics.summarize(nodes), metrics, report)
+    }
+
     /// Like [`Sim::run_detailed`], additionally reporting where the wall
     /// clock went by harness phase (enables phase timing if the caller
     /// has not already). The attribution behind `bench_events`'
@@ -787,6 +810,23 @@ impl Sim {
         self.channel.stats.collisions
     }
 
+    /// Live heap bytes per subsystem at this instant (capacity-based; see
+    /// [`MemReport`]). Cheap enough to sample mid-trial: every term is a
+    /// capacity read or a short iteration over per-node structures.
+    pub fn mem_report(&self) -> MemReport {
+        MemReport {
+            nodes: self.scenario.nodes,
+            proto_bytes: self.protos.iter().map(|p| p.mem_bytes()).sum(),
+            mac_bytes: self.macs.iter().map(Mac::mem_bytes).sum::<usize>()
+                + self.mac_timers.capacity()
+                    * std::mem::size_of::<[Option<EventToken>; MacTimer::COUNT]>(),
+            channel_bytes: self.channel.mem_bytes(),
+            spatial_bytes: self.tracker.mem_bytes(),
+            queue_bytes: self.sim.queue_mem_bytes(),
+            metrics_bytes: self.metrics.dedup_mem_bytes(),
+        }
+    }
+
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::App(i) => {
@@ -794,7 +834,7 @@ impl Sim {
                 let packet = DataPacket {
                     src: spec.src,
                     dst: spec.dst,
-                    uid: i as u64,
+                    uid: self.traffic.uid(i),
                     origin_time: self.sim.now(),
                     bytes: spec.bytes,
                     ttl: DATA_TTL,
@@ -1618,6 +1658,16 @@ impl Sim {
                             now.saturating_since(t0).as_secs_f64();
                         self.metrics.route_repairs += 1;
                     }
+                    // Geodesic stretch: hops taken (the originator sends
+                    // at full TTL, each forwarder decrements once) vs the
+                    // straight-line minimum at radio range.
+                    let hops = u32::from(DATA_TTL - dp.ttl) + 1;
+                    let line = self
+                        .mobility
+                        .position(dp.src, now)
+                        .distance(&self.mobility.position(node, now));
+                    let min_hops = (line / self.scenario.mac.phy.rx_range_m).ceil() as u32;
+                    self.metrics.record_stretch(hops, min_hops);
                 }
             }
             ProtoEffect::DropData { packet, reason } => {

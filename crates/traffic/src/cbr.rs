@@ -2,6 +2,7 @@
 
 use rand::Rng;
 
+use slr_mobility::Position;
 use slr_netsim::rng::sample_exponential;
 use slr_netsim::time::{SimDuration, SimTime};
 
@@ -73,6 +74,10 @@ pub struct PacketSpec {
 pub struct TrafficScript {
     flows: Vec<Flow>,
     packets: Vec<PacketSpec>,
+    /// Per-packet uid: `(flow << 32) | seq-within-flow`, aligned with
+    /// `packets`. Flow-structured so delivery dedup can run on bounded
+    /// per-flow windows instead of an ever-growing uid set.
+    uids: Vec<u64>,
 }
 
 impl TrafficScript {
@@ -89,6 +94,41 @@ impl TrafficScript {
     /// Panics if `n < 2` or the configuration is degenerate.
     pub fn generate<R: Rng + ?Sized>(n: usize, cfg: &TrafficConfig, rng: &mut R) -> Self {
         assert!(n >= 2, "need at least two nodes for traffic");
+        Self::generate_with(cfg, rng, |rng| random_pair(n, rng))
+    }
+
+    /// Like [`TrafficScript::generate`], but flow sinks are sampled within
+    /// `max_dist_m` of the source over the actual `positions` layout —
+    /// the locality-bounded workload of huge-scale discs, where a uniform
+    /// endpoint pair would be hundreds of hops apart, far past the data
+    /// TTL. Sources stay uniform; the sink is drawn uniformly from the
+    /// nodes within range of the source, falling back to the nearest
+    /// other node when the source has no neighbor in range (degenerate
+    /// placements still yield a valid script).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two positions or the configuration is
+    /// degenerate.
+    pub fn generate_local<R: Rng + ?Sized>(
+        cfg: &TrafficConfig,
+        rng: &mut R,
+        positions: &[Position],
+        max_dist_m: f64,
+    ) -> Self {
+        assert!(positions.len() >= 2, "need at least two nodes for traffic");
+        Self::generate_with(cfg, rng, |rng| local_pair(positions, max_dist_m, rng))
+    }
+
+    /// Shared slot loop behind both generators; `pick` draws one flow's
+    /// `(src, dst)` endpoints from `rng` (exactly one logical draw per
+    /// flow, so the two generators stay stream-compatible in everything
+    /// but endpoint choice).
+    fn generate_with<R: Rng + ?Sized>(
+        cfg: &TrafficConfig,
+        rng: &mut R,
+        mut pick: impl FnMut(&mut R) -> (usize, usize),
+    ) -> Self {
         assert!(cfg.packets_per_second > 0.0 && cfg.mean_flow_secs > 0.0);
         assert!(cfg.end > cfg.start, "traffic window is empty");
 
@@ -104,7 +144,7 @@ impl TrafficScript {
                 let lifetime =
                     SimDuration::from_secs_f64(sample_exponential(rng, cfg.mean_flow_secs));
                 let flow_end = (t + lifetime).min(cfg.end);
-                let (src, dst) = random_pair(n, rng);
+                let (src, dst) = pick(rng);
                 let flow_idx = flows.len();
                 flows.push(Flow {
                     src,
@@ -128,7 +168,12 @@ impl TrafficScript {
             let _ = slot;
         }
         packets.sort_by_key(|p| (p.time, p.src, p.dst));
-        TrafficScript { flows, packets }
+        let uids = assign_uids(&packets);
+        TrafficScript {
+            flows,
+            packets,
+            uids,
+        }
     }
 
     /// All flows, in slot order then time order.
@@ -141,15 +186,43 @@ impl TrafficScript {
         &self.packets
     }
 
+    /// The flow-structured uid of packet `i`: `(flow << 32) | seq`, where
+    /// `seq` counts the flow's packets in origination order. Unique across
+    /// the script; the flow half lets the metrics layer dedup deliveries
+    /// in a bounded per-flow window.
+    pub fn uid(&self, i: usize) -> u64 {
+        self.uids[i]
+    }
+
     /// Builds a fixed script from explicit packets (tests/examples).
     pub fn from_packets(packets: Vec<PacketSpec>) -> Self {
         let mut packets = packets;
         packets.sort_by_key(|p| (p.time, p.src, p.dst));
+        let uids = assign_uids(&packets);
         TrafficScript {
             flows: Vec::new(),
             packets,
+            uids,
         }
     }
+}
+
+/// Numbers each flow's packets 0, 1, 2, … in script order and packs
+/// `(flow << 32) | seq`. Packets are already time-sorted, so `seq` is the
+/// packet's origination rank within its flow.
+fn assign_uids(packets: &[PacketSpec]) -> Vec<u64> {
+    let mut next_seq: Vec<u32> = Vec::new();
+    packets
+        .iter()
+        .map(|p| {
+            if p.flow >= next_seq.len() {
+                next_seq.resize(p.flow + 1, 0);
+            }
+            let seq = next_seq[p.flow];
+            next_seq[p.flow] = seq + 1;
+            ((p.flow as u64) << 32) | u64::from(seq)
+        })
+        .collect()
 }
 
 fn random_pair<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (usize, usize) {
@@ -159,6 +232,38 @@ fn random_pair<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (usize, usize) {
         dst += 1;
     }
     (src, dst)
+}
+
+/// Uniform source, sink uniform among the nodes within `max_dist_m` of it
+/// (nearest other node if none are). One full scan per flow: flows are
+/// rare next to packets, so O(n) here never shows up in a profile, and it
+/// avoids the unbounded worst case of rejection sampling around an
+/// isolated source.
+fn local_pair<R: Rng + ?Sized>(
+    positions: &[Position],
+    max_dist_m: f64,
+    rng: &mut R,
+) -> (usize, usize) {
+    let src = rng.gen_range(0..positions.len());
+    let mut in_range = Vec::new();
+    let (mut nearest, mut nearest_d) = (usize::MAX, f64::INFINITY);
+    for (i, p) in positions.iter().enumerate() {
+        if i == src {
+            continue;
+        }
+        let d = positions[src].distance(p);
+        if d <= max_dist_m {
+            in_range.push(i);
+        }
+        if d < nearest_d {
+            (nearest, nearest_d) = (i, d);
+        }
+    }
+    if in_range.is_empty() {
+        (src, nearest)
+    } else {
+        (src, in_range[rng.gen_range(0..in_range.len())])
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +410,50 @@ mod tests {
     fn rejects_single_node() {
         let c = cfg(0, 10);
         let _ = TrafficScript::generate(1, &c, &mut stream(6, "traffic", 0));
+    }
+
+    #[test]
+    fn local_pairs_stay_within_range() {
+        // A 20×20 grid at 300 m spacing: every node has a neighbor well
+        // inside the 800 m locality radius, so no flow may fall back to
+        // the nearest-node escape hatch.
+        let positions: Vec<Position> = (0..400)
+            .map(|i| Position::new(300.0 * (i % 20) as f64, 300.0 * (i / 20) as f64))
+            .collect();
+        let c = cfg(10, 60);
+        let s = TrafficScript::generate_local(&c, &mut stream(11, "traffic", 0), &positions, 800.0);
+        assert!(!s.flows().is_empty());
+        for f in s.flows() {
+            assert_ne!(f.src, f.dst);
+            let d = positions[f.src].distance(&positions[f.dst]);
+            assert!(d <= 800.0, "flow {}→{} spans {d} m", f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn local_pair_falls_back_to_nearest_when_isolated() {
+        // Three nodes, none within range: the sink is the nearest other
+        // node, so the script stays valid instead of looping forever.
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(5_000.0, 0.0),
+            Position::new(11_000.0, 0.0),
+        ];
+        let mut rng = stream(12, "traffic", 0);
+        for _ in 0..50 {
+            let (src, dst) = local_pair(&positions, 100.0, &mut rng);
+            assert_ne!(src, dst);
+            let nearest = (0..positions.len())
+                .filter(|&i| i != src)
+                .min_by(|&a, &b| {
+                    positions[src]
+                        .distance(&positions[a])
+                        .partial_cmp(&positions[src].distance(&positions[b]))
+                        .unwrap()
+                })
+                .unwrap();
+            assert_eq!(dst, nearest);
+        }
     }
 
     #[test]

@@ -22,6 +22,9 @@ fn small_scenario(family: Family, kind: ProtocolKind, seed: u64) -> slr_runner::
         // CI-sized slice of the thousand-node family (the full scale is
         // covered by the dense CI smoke run and BENCH_channel.json).
         Family::Dense => (SweepParam::Nodes, 100),
+        // CI-sized slice of the 100k-node memory-lean family (full scale
+        // is covered by the huge CI smoke run and BENCH_scale.json).
+        Family::Huge => (SweepParam::Nodes, 400),
         // Default fraction (10% → one adversary at this scale): higher
         // fractions legitimately collapse delivery (that is the measured
         // effect, not a harness failure) and belong to the sweeps.
