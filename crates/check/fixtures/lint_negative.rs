@@ -1,0 +1,15 @@
+//! Negative fixture for `lint-determinism --self-test`: this file is
+//! NOT compiled (it lives outside any src/ tree); it exists so CI can
+//! prove the lint still fires on every denied construct. Each line
+//! below must keep tripping exactly one token.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn bad() {
+    let _order_randomized: HashMap<u32, u32> = Default::default();
+    let _also_randomized: HashSet<u32> = Default::default();
+    let _wall_clock = std::time::SystemTime::now();
+    let _monotonic_host_clock = std::time::Instant::now();
+    let _os_seeded = rand::thread_rng();
+}

@@ -1,0 +1,82 @@
+//! The workspace determinism lint CLI (see [`slr_check::lint`]).
+//!
+//! ```text
+//! lint-determinism             # scan the workspace's simulation crates
+//! lint-determinism --self-test # additionally prove the negative fixture trips it
+//! ```
+//!
+//! Exit codes: 0 — clean (and, with `--self-test`, the fixture failed as
+//! it must); 1 — findings; 2 — I/O or configuration error.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use slr_check::lint;
+
+fn main() -> ExitCode {
+    let self_test = std::env::args().skip(1).any(|a| a == "--self-test");
+    // The binary lives in crates/check; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+
+    if self_test {
+        let fixture = root.join("crates/check/fixtures/lint_negative.rs");
+        let src = match std::fs::read_to_string(&fixture) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!(
+                    "lint-determinism: cannot read fixture {}: {e}",
+                    fixture.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let hits = lint::scan_source(
+            Path::new("crates/check/fixtures/lint_negative.rs"),
+            &src,
+            &[],
+        );
+        let tokens: Vec<&str> = hits.iter().map(|h| h.token).collect();
+        let all_found = lint::DENY_TOKENS.iter().all(|t| tokens.contains(t));
+        if !all_found {
+            eprintln!(
+                "lint-determinism: SELF-TEST FAILED — fixture only tripped {tokens:?}, \
+                 expected all of {:?}",
+                lint::DENY_TOKENS
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "self-test ok: fixture tripped all {} denied tokens",
+            lint::DENY_TOKENS.len()
+        );
+    }
+
+    match lint::scan_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!(
+                "determinism lint clean ({} trees scanned)",
+                lint::SCAN_ROOTS.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!(
+                "lint-determinism: {} finding(s). Use slr_netsim::hash::FastHashMap/FastHashSet, \
+                 SimTime, and seeded SmallRng — or add a justified entry to \
+                 crates/check/lint-allow.txt.",
+                findings.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lint-determinism: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Counterexample trace files: JSON serialization + replay plumbing.
+//!
+//! A trace pins the config *name* (topology/budgets are code, not data —
+//! replay refuses unknown names) and the regress feature it was found
+//! under, so `slr-check --replay` can verify it was built with the same
+//! fault injected.
+
+use crate::bfs::Violation;
+use crate::json::{self, Json};
+use crate::model::Action;
+
+/// A serialized counterexample.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Name of the [`crate::configs`] entry the trace was found on.
+    pub config: String,
+    /// The regress feature active when it was found (empty = none).
+    pub feature: String,
+    /// Scripted prefix (mirrors the config; stored for self-containment).
+    pub prefix: Vec<Action>,
+    /// The explored suffix reaching the violation.
+    pub actions: Vec<Action>,
+    /// Human-readable description of the violated invariant.
+    pub violation: String,
+}
+
+/// The regress feature compiled into this binary, if any.
+pub fn active_regress_feature() -> &'static str {
+    if cfg!(feature = "regress-pr2-cold-reboot") {
+        "regress-pr2-cold-reboot"
+    } else if cfg!(feature = "regress-pr7-entry-expiry") {
+        "regress-pr7-entry-expiry"
+    } else {
+        ""
+    }
+}
+
+impl Trace {
+    /// Builds a trace from an exploration result.
+    pub fn from_violation(config: &str, v: &Violation) -> Trace {
+        Trace {
+            config: config.to_string(),
+            feature: active_regress_feature().to_string(),
+            prefix: v.prefix.clone(),
+            actions: v.actions.clone(),
+            violation: v.desc.clone(),
+        }
+    }
+
+    /// The full action script (prefix then suffix).
+    pub fn script(&self) -> Vec<Action> {
+        self.prefix.iter().chain(&self.actions).copied().collect()
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let list = |v: &[Action]| {
+            v.iter()
+                .map(|a| json::quote(&a.to_string()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!(
+            "{{\n  \"config\": {},\n  \"feature\": {},\n  \"prefix\": [{}],\n  \"actions\": [{}],\n  \"violation\": {}\n}}\n",
+            json::quote(&self.config),
+            json::quote(&self.feature),
+            list(&self.prefix),
+            list(&self.actions),
+            json::quote(&self.violation),
+        )
+    }
+
+    /// Parses a trace document.
+    pub fn from_json(src: &str) -> Result<Trace, String> {
+        let v = json::parse(src)?;
+        let field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("trace missing string field '{k}'"))
+        };
+        let actions = |k: &str| -> Result<Vec<Action>, String> {
+            v.get(k)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("trace missing array field '{k}'"))?
+                .iter()
+                .map(|j| {
+                    j.as_str()
+                        .ok_or_else(|| format!("non-string entry in '{k}'"))
+                        .and_then(Action::parse)
+                })
+                .collect()
+        };
+        Ok(Trace {
+            config: field("config")?,
+            feature: field("feature")?,
+            prefix: actions("prefix")?,
+            actions: actions("actions")?,
+            violation: field("violation")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_json_round_trips() {
+        let t = Trace {
+            config: "line3".into(),
+            feature: "regress-pr2-cold-reboot".into(),
+            prefix: vec![Action::AppSend { flow: 0 }, Action::Deliver { msg: 0 }],
+            actions: vec![Action::Crash { node: 1 }, Action::Rejoin { node: 1 }],
+            violation: "dest 2: successor cycle [0, 1]".into(),
+        };
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.config, t.config);
+        assert_eq!(back.feature, t.feature);
+        assert_eq!(back.prefix, t.prefix);
+        assert_eq!(back.actions, t.actions);
+        assert_eq!(back.violation, t.violation);
+        assert_eq!(back.script().len(), 4);
+    }
+}

@@ -52,6 +52,7 @@ pub mod dag;
 pub mod engine;
 pub mod fraction;
 pub mod intern;
+pub mod invariant;
 pub mod label;
 pub mod neworder;
 pub mod slr;
@@ -60,6 +61,7 @@ pub mod successors;
 
 pub use fraction::{Frac32, Frac64, FracInt, Fraction, FractionError};
 pub use intern::{LabelHandle, LabelInterner};
+pub use invariant::{InvariantViolation, SuccessorEdge};
 pub use label::{SeqNo, SplitLabel, SplitLabel32, SplitLabel64};
 pub use neworder::{
     check_order, maintains_order, needs_denominator_reset, new_order, reduce_label, NewOrder,

@@ -305,6 +305,13 @@ impl PacketBuffer {
         self.entries.is_empty()
     }
 
+    /// Iterates over `(packet, enqueued_at)` pairs in arrival order
+    /// (introspection for oracles and the model checker's canonical
+    /// state serialization).
+    pub fn iter(&self) -> impl Iterator<Item = (&DataPacket, SimTime)> {
+        self.entries.iter().map(|(p, t)| (p, *t))
+    }
+
     /// Buffers a packet; returns it back if the buffer is full.
     pub fn push(&mut self, packet: DataPacket, now: SimTime) -> Option<DataPacket> {
         if self.entries.len() >= self.capacity {

@@ -29,6 +29,8 @@ pub mod api;
 pub mod audit;
 pub mod dsr;
 pub mod ldr;
+#[cfg(feature = "model-check")]
+pub mod model;
 pub mod olsr;
 pub mod srp;
 

@@ -205,6 +205,11 @@ fn decode_token(token: u64) -> Option<(NodeId, u32)> {
 }
 
 /// The Split-label Routing Protocol instance on one node.
+///
+/// `Clone` exists for the model checker (`slr-check`), which snapshots
+/// whole instances while enumerating interleavings; the simulation
+/// harness never clones a live protocol.
+#[derive(Clone)]
 pub struct Srp {
     node: NodeId,
     cfg: SrpConfig,
@@ -328,6 +333,12 @@ impl Srp {
     /// the half of Definition 2 the per-destination `expires` clock cannot
     /// provide — see the `fresh` field.
     fn prune_stale_succs(&mut self, t: NodeId, now: SimTime) {
+        // Test-only regression flag: disable the PR 7 fix so the model
+        // checker can re-find the DELETE_PERIOD equal-seqno re-adoption
+        // loop. Never enabled in a shipping build.
+        if cfg!(feature = "regress-pr7-entry-expiry") {
+            return;
+        }
         let lifetime = self.cfg.route_lifetime;
         let Some(ds) = self.dests.get_mut(&t) else {
             return;
@@ -578,7 +589,51 @@ impl Srp {
         if den > self.max_denominator {
             self.max_denominator = den;
         }
+        // Debug builds re-verify the Definition 1 invariants at the only
+        // point that installs or rewrites successor entries, so every
+        // integration/proptest run invariant-checks for free. Release
+        // builds compile this out (the 100k-node scale profile is
+        // untouched).
+        #[cfg(debug_assertions)]
+        self.debug_assert_local_order(t);
         Some(adopted)
+    }
+
+    /// Definition 1 (Eq. 5) and the floor/label consistency checks for
+    /// one destination's installed successor set, as hard assertions.
+    /// Compiled only under `debug_assertions`; both historical SRP loops
+    /// were *globally* cyclic while every node stayed locally order-clean,
+    /// so these asserts must hold even under the `regress-*` flags — the
+    /// global half (Theorem 3 acyclicity) needs the model checker's
+    /// cross-node view.
+    #[cfg(debug_assertions)]
+    fn debug_assert_local_order(&self, t: NodeId) {
+        use slr_core::invariant::{check_edge_order, SuccessorEdge};
+        let Some(ds) = self.dests.get(&t) else {
+            return;
+        };
+        let edges: Vec<SuccessorEdge<u32>> = ds
+            .succs
+            .iter()
+            .map(|(n, e)| SuccessorEdge {
+                from: self.node,
+                to: *n,
+                own: ds.label,
+                recorded: e.label,
+            })
+            .collect();
+        if let Err(v) = check_edge_order(t, &edges) {
+            panic!("SRP local invariant broken at node {}: {v}", self.node);
+        }
+        let floor = self.seqno_floor.get(&t).copied().unwrap_or(0);
+        assert!(
+            ds.succs.is_empty() || floor >= ds.label.seqno(),
+            "node {}: seqno floor {} below installed label seqno {} for dest {}",
+            self.node,
+            floor,
+            ds.label.seqno(),
+            t
+        );
     }
 
     /// Flush buffered packets toward `dst` once a route exists.
@@ -660,7 +715,13 @@ impl Srp {
         // route expired) — answering from that route would hand it a path
         // through itself and close a two-node cycle the moment it adopts
         // the reply. Drop the stale edge first.
-        let stale_requester = {
+        // (`regress-pr2-cold-reboot` disables this purge — together with
+        // the cold-reboot RERR in `on_rejoin` — so the model checker can
+        // re-find the PR 2 crash–rejoin cycle. Never enabled in a
+        // shipping build.)
+        let stale_requester = if cfg!(feature = "regress-pr2-cold-reboot") {
+            false
+        } else {
             match self.dests.get_mut(&rreq.dst) {
                 Some(ds) if ds.succs.contains(&rreq.src) => {
                     ds.succs.remove(&rreq.src);
@@ -1015,6 +1076,12 @@ impl RoutingProtocol for Srp {
     }
 
     fn on_rejoin(&mut self, _ctx: &mut ProtoCtx<'_>) -> Vec<ProtoEffect> {
+        // Test-only regression flag (see `prune_stale_succs` for the
+        // PR 7 twin): silence the cold-reboot announcement so the model
+        // checker can re-find the PR 2 crash–rejoin cycle.
+        if cfg!(feature = "regress-pr2-cold-reboot") {
+            return Vec::new();
+        }
         // Cold reboot: announce it so neighbors purge every stale
         // successor edge toward this node before it re-acquires labels
         // (see [`SrpRerr::cold_reboot`]). Without the announcement, a
@@ -1224,10 +1291,14 @@ impl Srp {
                 d.succs
                     .iter()
                     .filter(|(n, _)| {
-                        d.fresh
-                            .get(n)
-                            .map(|t0| now.saturating_since(*t0) < lifetime)
-                            .unwrap_or(true)
+                        // Mirror the engine: under the PR 7 regression
+                        // flag the freshness horizon does not exist, so
+                        // the oracle graph must keep stale entries too.
+                        cfg!(feature = "regress-pr7-entry-expiry")
+                            || d.fresh
+                                .get(n)
+                                .map(|t0| now.saturating_since(*t0) < lifetime)
+                                .unwrap_or(true)
                     })
                     .map(|(n, e)| (*n, e.label))
                     .collect()
@@ -1242,6 +1313,156 @@ impl Srp {
             .filter(|(_, d)| !d.succs.is_empty())
             .map(|(t, _)| *t)
             .collect()
+    }
+}
+
+/// Canonical state serialization for the model checker: every
+/// behavior-relevant field, with stored absolute times rewritten as
+/// deltas from `now` (clamped at the horizon that governs them) so two
+/// states that behave identically hash identically regardless of the
+/// absolute clock. Pure statistics counters (`seqno_increments`,
+/// `discoveries_started`, `resets_requested`, `max_denominator`) are
+/// excluded — they never influence a protocol decision.
+#[cfg(feature = "model-check")]
+impl crate::model::ModelCheckable for Srp {
+    fn model_canonical(&self, now: SimTime, out: &mut Vec<u8>) {
+        fn put(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_label(out: &mut Vec<u8>, l: &SplitLabel32) {
+            put(out, l.seqno());
+            put(out, l.fd().num() as u64);
+            put(out, l.fd().den() as u64);
+        }
+        /// Age of a stored stamp, saturated at `cap` — ages at or past
+        /// the horizon are behaviorally identical.
+        fn age(out: &mut Vec<u8>, now: SimTime, then: SimTime, cap: SimDuration) {
+            put(
+                out,
+                now.saturating_since(then).as_nanos().min(cap.as_nanos()),
+            );
+        }
+        /// Time remaining until a stored deadline (0 once passed).
+        fn remaining(out: &mut Vec<u8>, deadline: SimTime, now: SimTime) {
+            put(out, deadline.saturating_since(now).as_nanos());
+        }
+
+        put(out, 0xA0);
+        put(out, self.node as u64);
+        put(out, self.own_seqno);
+        put(out, self.next_rreq_id);
+
+        put(out, 0xA1);
+        let mut dest_keys: Vec<NodeId> = self.dests.keys().copied().collect();
+        dest_keys.sort_unstable();
+        put(out, dest_keys.len() as u64);
+        for t in dest_keys {
+            let ds = self.dests.get(&t).expect("iterating keys");
+            put(out, t as u64);
+            put_label(out, &ds.label);
+            put(out, ds.dist as u64);
+            put(out, ds.succs.len() as u64);
+            for (n, e) in ds.succs.iter() {
+                put(out, *n as u64);
+                put_label(out, &e.label);
+                put(out, e.distance as u64);
+            }
+            let mut fresh: Vec<(NodeId, SimTime)> =
+                ds.fresh.iter().map(|(n, t0)| (*n, *t0)).collect();
+            fresh.sort_unstable_by_key(|(n, _)| *n);
+            put(out, fresh.len() as u64);
+            for (n, t0) in fresh {
+                put(out, n as u64);
+                age(out, now, t0, self.cfg.route_lifetime);
+            }
+            remaining(out, ds.expires, now);
+            match ds.forget_at {
+                None => put(out, u64::MAX),
+                Some(f) => remaining(out, f, now),
+            }
+            put(out, ds.rr_counter as u64);
+        }
+
+        put(out, 0xA2);
+        let mut seen_keys: Vec<(NodeId, u64)> = self.rreq_seen.keys().copied().collect();
+        seen_keys.sort_unstable();
+        put(out, seen_keys.len() as u64);
+        for key in seen_keys {
+            let c = self.rreq_seen.get(&key).expect("iterating keys");
+            put(out, key.0 as u64);
+            put(out, key.1);
+            put_label(out, &self.interner.get(c.cached));
+            put(out, c.last_hop as u64);
+            put(out, c.replied as u64);
+            age(out, now, c.seen_at, self.cfg.rreq_cache_lifetime);
+        }
+
+        put(out, 0xA3);
+        let mut disc_keys: Vec<NodeId> = self.discoveries.keys().copied().collect();
+        disc_keys.sort_unstable();
+        put(out, disc_keys.len() as u64);
+        for dst in disc_keys {
+            put(out, dst as u64);
+            put(
+                out,
+                self.discoveries.get(&dst).expect("iterating keys").attempt as u64,
+            );
+        }
+
+        put(out, 0xA4);
+        put(out, self.buffer.len() as u64);
+        for (p, enq) in self.buffer.iter() {
+            // `origin_time` is a delivery-latency stat, never a protocol
+            // input: mask it so the clock cannot leak into the hash.
+            put(out, p.src as u64);
+            put(out, p.dst as u64);
+            put(out, p.uid);
+            put(out, p.bytes as u64);
+            put(out, p.ttl as u64);
+            age(out, now, enq, self.cfg.buffer_timeout);
+        }
+
+        put(out, 0xA5);
+        let mut rerr_keys: Vec<NodeId> = self.last_rerr.keys().copied().collect();
+        rerr_keys.sort_unstable();
+        put(out, rerr_keys.len() as u64);
+        for d in rerr_keys {
+            put(out, d as u64);
+            age(
+                out,
+                now,
+                *self.last_rerr.get(&d).expect("iterating keys"),
+                self.cfg.rerr_rate_limit,
+            );
+        }
+
+        put(out, 0xA6);
+        let mut floor_keys: Vec<NodeId> = self.seqno_floor.keys().copied().collect();
+        floor_keys.sort_unstable();
+        put(out, floor_keys.len() as u64);
+        for d in floor_keys {
+            put(out, d as u64);
+            put(out, *self.seqno_floor.get(&d).expect("iterating keys"));
+        }
+
+        put(out, 0xA7);
+        remaining(out, self.next_prune_at, now);
+    }
+
+    fn model_label(&self, dst: NodeId) -> SplitLabel32 {
+        self.oracle_label(dst)
+    }
+
+    fn model_successors(&self, dst: NodeId, now: SimTime) -> Vec<(NodeId, SplitLabel32)> {
+        self.oracle_successors(dst, now)
+    }
+
+    fn model_destinations(&self) -> Vec<NodeId> {
+        self.oracle_destinations()
+    }
+
+    fn model_seqno_floor(&self, dst: NodeId) -> u64 {
+        self.seqno_floor.get(&dst).copied().unwrap_or(0)
     }
 }
 
