@@ -8,10 +8,20 @@
 //! * the **batched baseline** wall clock;
 //! * the **parallel** wall clock at workers ∈ {1, 2, 4, 8}, each trial's
 //!   summary asserted **bit-identical** to the batched baseline (the
-//!   determinism contract the engine-equivalence proptests fuzz);
+//!   determinism contract the engine-equivalence proptests fuzz), each
+//!   entry carrying its free window-occupancy counters (mean width,
+//!   multi-event share, MAC-timer hops, speculation hit rate);
 //! * `speedup_vs_batched` per worker count — workers@1 isolates the
-//!   windowed-dispatch overhead (task building + canonical side-effect
-//!   merge, no threads), so the curve decomposes into overhead × scaling.
+//!   windowed-dispatch overhead (window composition plus, for the rare
+//!   window whose execution width exceeds 1, task building and the
+//!   canonical side-effect merge; width-1 windows collapse to the serial
+//!   batched walk), so the curve decomposes into overhead × scaling;
+//! * a **widening A/B** at 2 workers: the same trial with MAC-timer
+//!   hopping disabled (the pre-widening engine) vs enabled, with
+//!   wall-clock attribution of serial vs parallel dispatch sections —
+//!   `width_gain` is how much the widened join rule grows the mean
+//!   window, `serial_share_*` is how much of the dispatch clock stays
+//!   serial either way.
 //!
 //! It also runs one oracle-checked parallel trial (SRP loop-freedom
 //! oracle, 1 s checkpoints + after every dynamics event) and records that
@@ -23,7 +33,8 @@
 //! on a single-core container every extra worker is pure scheduling
 //! overhead, so the committed curve documents the overhead floor, not
 //! the multi-core scaling (the nightly workflow exercises `--workers 4`
-//! on multi-core runners). The per-phase breakdown in
+//! on multi-core runners). The occupancy counters are deterministic and
+//! meaningful at any core count. The per-phase breakdown in
 //! `BENCH_events.json` attributes what fraction of a trial the windows
 //! can parallelize at all.
 //!
@@ -42,7 +53,7 @@ use slr_netsim::time::{SimDuration, SimTime};
 use slr_runner::cli::parse_cli;
 use slr_runner::registry::{Family, SweepParam};
 use slr_runner::scenario::ProtocolKind;
-use slr_runner::sim::{EngineKind, Sim};
+use slr_runner::sim::{EngineKind, Sim, WindowStats};
 use slr_runner::TrialSummary;
 
 /// Worker counts swept per point (1 = inline windows, no threads).
@@ -81,7 +92,7 @@ fn main() {
         };
         let duration_s = duration.unwrap_or_else(|| scenario_for().end.as_secs_f64() as u64);
         eprintln!("bench_parallel: N = {n} (batched baseline) …");
-        let (baseline, batched_ms) = run_trial(scenario_for(), EngineKind::Batched, 1);
+        let (baseline, batched_ms, _) = run_trial(scenario_for(), EngineKind::Batched, 1, true);
 
         let mut worker_fields = Vec::new();
         for &w in &WORKER_COUNTS {
@@ -99,7 +110,7 @@ fn main() {
                     ""
                 }
             );
-            let (summary, ms) = run_trial(scenario_for(), EngineKind::Parallel, w);
+            let (summary, ms, stats) = run_trial(scenario_for(), EngineKind::Parallel, w, true);
             assert_eq!(
                 baseline, summary,
                 "parallel@{w} diverged from batched at N={n}"
@@ -107,19 +118,58 @@ fn main() {
             worker_fields.push(format!(
                 "        {{ \"workers\": {w}, \"trial_ms\": {ms:.1}, \
                  \"speedup_vs_batched\": {:.2}, \"summary_identical\": true, \
-                 \"oversubscribed\": {oversubscribed} }}",
+                 \"oversubscribed\": {oversubscribed}, \"occupancy\": {} }}",
                 batched_ms / ms,
+                occupancy_json(&stats),
             ));
             eprintln!(
-                "bench_parallel: N = {n}: parallel@{w} {ms:.0} ms ({:.2}x vs batched {batched_ms:.0} ms), summary identical",
-                batched_ms / ms
+                "bench_parallel: N = {n}: parallel@{w} {ms:.0} ms ({:.2}x vs batched {batched_ms:.0} ms), \
+                 mean width {:.2}, {} MAC hops, summary identical",
+                batched_ms / ms,
+                stats.mean_width(),
+                stats.mac_hops,
             );
         }
+
+        // Widening A/B at 2 workers, with wall-clock attribution: the
+        // unwidened run is the pre-hopping engine (every MAC timer ends
+        // its window), so width_gain measures what the widened join rule
+        // buys and the serial shares bound Amdahl either way. Timing
+        // probes perturb wall clock, which is why the speedup sweep above
+        // uses the probe-free counters instead.
+        eprintln!("bench_parallel: N = {n} (widening A/B, 2 workers, timed) …");
+        let (sum_off, _, off) = run_timed(scenario_for(), 2, false);
+        let (sum_on, _, on) = run_timed(scenario_for(), 2, true);
+        assert_eq!(baseline, sum_off, "unwidened parallel diverged at N={n}");
+        assert_eq!(baseline, sum_on, "widened parallel diverged at N={n}");
+        let width_gain = if off.mean_width() > 0.0 {
+            on.mean_width() / off.mean_width()
+        } else {
+            0.0
+        };
+        eprintln!(
+            "bench_parallel: N = {n}: width {:.2} -> {:.2} ({width_gain:.2}x), \
+             serial share {:.3} -> {:.3}",
+            off.mean_width(),
+            on.mean_width(),
+            off.serial_share(),
+            on.serial_share(),
+        );
+
         points.push(format!(
             "    {{\n      \"nodes\": {n},\n      \"duration_s\": {duration_s},\n      \
              \"trial_ms_batched\": {batched_ms:.1},\n      \"workers\": [\n{}\n      ],\n      \
+             \"widening_ab\": {{\n        \"workers\": 2,\n        \
+             \"unwidened\": {},\n        \"widened\": {},\n        \
+             \"width_gain\": {width_gain:.2},\n        \
+             \"serial_share_unwidened\": {:.4},\n        \
+             \"serial_share_widened\": {:.4}\n      }},\n      \
              \"delivery_ratio\": {:.4}\n    }}",
             worker_fields.join(",\n"),
+            occupancy_json(&off),
+            occupancy_json(&on),
+            off.serial_share(),
+            on.serial_share(),
             baseline.delivery_ratio,
         ));
     }
@@ -154,7 +204,7 @@ fn main() {
     println!(
         "{{\n  \"benchmark\": \"parallel-event-engine\",\n  \
          \"command\": \"cargo run --release -p slr-bench --bin bench_parallel > BENCH_parallel.json\",\n  \
-         \"description\": \"conservative-lookahead parallel engine (same-timestamp windows of node-local tasks sharded over a persistent worker pool, canonical side-effect merge) vs the serial batched engine on dense-family SRP trials; every parallel trial's summary is asserted bit-identical to batched; workers=1 isolates the windowed-dispatch overhead; interpret speedups against host_parallelism — with fewer cores than workers the curve measures scheduling overhead, not scaling (nightly CI exercises --workers 4 on multi-core runners)\",\n  \
+         \"description\": \"conservative-lookahead parallel engine (same-timestamp windows of node-local tasks sharded over a work-stealing pool, widened across independent MAC timers via spatial disjointness, canonical side-effect merge) vs the serial batched engine on dense-family SRP trials; every parallel trial's summary is asserted bit-identical to batched; workers=1 isolates the windowed-dispatch overhead (width-1 windows collapse to the serial batched walk); each worker entry carries probe-free window-occupancy counters and the widening_ab block times the pre-hopping engine against the widened one at 2 workers; interpret speedups against host_parallelism — with fewer cores than workers the curve measures scheduling overhead, not scaling (nightly CI exercises --workers 4 on multi-core runners)\",\n  \
          \"seed\": {seed},\n  \"host_parallelism\": {host_parallelism},\n  \
          \"oracle\": {{\n    \"family\": \"crash-rejoin\", \"nodes\": 60, \"workers\": 4,\n    \
          \"hard_violations\": 0, \"soft_order_drifts\": {soft},\n    \
@@ -164,15 +214,57 @@ fn main() {
     );
 }
 
-/// Times one full dense trial under `engine` with `workers` workers.
+/// Serializes the probe-free occupancy counters of one trial.
+fn occupancy_json(s: &WindowStats) -> String {
+    format!(
+        "{{ \"mean_width\": {:.2}, \"multi_share\": {:.4}, \"max_width\": {}, \
+         \"windows\": {}, \"widened_windows\": {}, \"mac_hops\": {}, \
+         \"spec_hits\": {}, \"spec_misses\": {} }}",
+        s.mean_width(),
+        s.multi_share(),
+        s.max_width,
+        s.windows,
+        s.widened_windows,
+        s.mac_hops,
+        s.spec_hits,
+        s.spec_misses,
+    )
+}
+
+/// Times one full dense trial under `engine` with `workers` workers,
+/// returning the free occupancy counters alongside (no timing probes —
+/// the wall clock is undisturbed).
 fn run_trial(
     scenario: slr_runner::Scenario,
     engine: EngineKind,
     workers: usize,
-) -> (TrialSummary, f64) {
-    let sim = Sim::new(scenario).with_engine(engine).with_workers(workers);
+    widening: bool,
+) -> (TrialSummary, f64, WindowStats) {
+    let sim = Sim::new(scenario)
+        .with_engine(engine)
+        .with_workers(workers)
+        .with_widening(widening);
     let start = Instant::now();
-    let summary = sim.run();
+    let (summary, stats) = sim.run_counted();
     let ms = start.elapsed().as_secs_f64() * 1e3;
-    (summary, ms)
+    (summary, ms, stats)
+}
+
+/// Like [`run_trial`] but on the parallel engine with the serial /
+/// parallel wall-clock attribution probes enabled (for the widening A/B
+/// `serial_share` fields; the probes make the trial_ms incomparable to
+/// the probe-free sweep, so it is not reported).
+fn run_timed(
+    scenario: slr_runner::Scenario,
+    workers: usize,
+    widening: bool,
+) -> (TrialSummary, f64, WindowStats) {
+    let sim = Sim::new(scenario)
+        .with_engine(EngineKind::Parallel)
+        .with_workers(workers)
+        .with_widening(widening);
+    let start = Instant::now();
+    let (summary, stats) = sim.run_with_window_stats();
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    (summary, ms, stats)
 }

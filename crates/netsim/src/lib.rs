@@ -32,6 +32,7 @@
 
 pub mod admittance;
 pub mod compact;
+pub mod deque;
 pub mod engine;
 pub mod hash;
 pub mod pool;
@@ -42,9 +43,10 @@ pub mod time;
 
 pub use admittance::{Admittance, DynAction};
 pub use compact::VecMap;
+pub use deque::StealDeque;
 pub use engine::Simulator;
 pub use hash::{FastHashMap, FastHashSet, FastHasher};
-pub use pool::{with_pool, WorkerPool};
+pub use pool::{with_core_pool, with_pool, CorePool, CoreSession, WindowExec, WorkerPool};
 pub use queue::{EventQueue, EventToken, Scheduled};
 pub use spatial::SpatialIndex;
 pub use time::{SimDuration, SimTime};

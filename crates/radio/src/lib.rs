@@ -34,5 +34,7 @@ pub use channel::{
 };
 pub use frame::{Frame, FrameKind};
 pub use mac::{DropReason, Mac, MacConfig, MacCounters, MacEffect, MacTimer};
-pub use medium::{BruteForceMedium, NeighborQuery, StaticGridMedium, ValidatingQuery};
+pub use medium::{
+    BruteForceMedium, NeighborQuery, PrecomputedQuery, StaticGridMedium, ValidatingQuery,
+};
 pub use phy::PhyConfig;

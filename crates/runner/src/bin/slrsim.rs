@@ -34,9 +34,12 @@
 //!   `--oracle`; restores the old O(N)-per-transmission cost)
 //! * `--engine batched|per-receiver|parallel` — transmission-end event
 //!   dispatch; all three are bit-identical, they trade wall clock only
-//! * `--workers N` — intra-trial workers for `--engine parallel`
-//!   (default: the machine's cores, capped at 8); the sweep budgets
-//!   `workers × threads` against the available cores
+//! * `--workers N|auto` — intra-trial workers for `--engine parallel`
+//!   (default: the machine's cores, capped at 8; `auto` resolves to the
+//!   host's full parallelism and the JSON echo records the resolved
+//!   number); the sweep sizes one unified work-stealing pool at
+//!   `workers × threads` capped at the available cores, shared by
+//!   cross-trial jobs and intra-trial window shards
 //! * `--list-scenarios` — print the registry and exit
 
 use slr_netsim::time::SimDuration;
@@ -121,6 +124,8 @@ fn main() {
                 family: cfg.family,
                 param: cfg.param,
                 values: cfg.values.clone(),
+                engine: cfg.engine,
+                workers: cfg.workers,
             }
         } else {
             run_sweep(&others, &cfg)

@@ -42,8 +42,10 @@ pub struct CliOptions {
     pub seed: u64,
     /// Worker threads across trials (`--threads`), if given.
     pub threads: Option<usize>,
-    /// Workers *within* a trial for `--engine parallel` (`--workers`),
-    /// if given.
+    /// Workers *within* a trial for `--engine parallel` (`--workers
+    /// N|auto`), if given. `auto` is resolved to the host's parallelism
+    /// at parse time, so downstream consumers (and the JSON config echo)
+    /// always see a concrete number.
     pub workers: Option<usize>,
     /// Node-count override (`--nodes`), if given.
     pub nodes: Option<usize>,
@@ -126,7 +128,7 @@ pub fn usage(bin: &str) -> String {
          [--dynamics churn[:RATE]|partition[:K]|crash[:N]|none] \
          [--adversary byzantine[:PCT]|sybil[:PCT]|chaos[:PCT]|none] [--paper] \
          [--json] [--oracle] [--validate-spatial] \
-         [--engine batched|per-receiver|parallel] [--workers N] \
+         [--engine batched|per-receiver|parallel] [--workers N|auto] \
          [--list-scenarios]"
     )
 }
@@ -235,10 +237,24 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
             "--seed" => opts.seed = parse_num(flag, &take_value()?)?,
             "--threads" => opts.threads = Some(parse_num(flag, &take_value()?)? as usize),
             "--workers" => {
-                let w = parse_num(flag, &take_value()?)? as usize;
-                if w == 0 {
-                    return Err("--workers needs at least 1".to_string());
-                }
+                let v = take_value()?;
+                let w = if v.eq_ignore_ascii_case("auto") {
+                    // Resolve immediately: everything downstream (the
+                    // unified core budget, the JSON echo) wants the
+                    // concrete number, not the sentinel.
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                } else {
+                    let w = parse_num(flag, &v)? as usize;
+                    if w == 0 {
+                        return Err(
+                            "--workers needs at least 1 (or `auto` for the host's parallelism)"
+                                .to_string(),
+                        );
+                    }
+                    w
+                };
                 opts.workers = Some(w);
             }
             "--nodes" => opts.nodes = Some(parse_num(flag, &take_value()?)? as usize),
@@ -277,8 +293,10 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
     }
     if opts.workers.is_some() && opts.engine != EngineKind::Parallel {
         return Err(
-            "--workers only applies to --engine parallel (trials of the \
-             serial engines parallelize across trials via --threads)"
+            "--workers only applies to --engine parallel: the unified core \
+             budget sizes one pool at threads x workers, and only parallel \
+             trials open windows that can occupy the extra cores (serial \
+             engines parallelize across trials via --threads alone)"
                 .to_string(),
         );
     }
@@ -474,6 +492,23 @@ mod tests {
         assert!(parse(&["--engine", "parallel", "--workers", "0"]).is_err());
         assert!(parse(&["--engine", "quantum"]).is_err());
         assert!(usage("slrsim").contains("--workers"));
+    }
+
+    #[test]
+    fn workers_auto_resolves_to_host_parallelism() {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let o = parse(&["--engine", "parallel", "--workers", "auto"]).unwrap();
+        assert_eq!(o.workers, Some(host), "auto must resolve at parse time");
+        let o = parse(&["--engine", "parallel", "--workers", "AUTO"]).unwrap();
+        assert_eq!(o.workers, Some(host), "auto is case-insensitive");
+        // The sentinel still needs the parallel engine, and the guard
+        // explains the unified budget rather than just refusing.
+        let e = parse(&["--workers", "auto"]).unwrap_err();
+        assert!(e.contains("unified core budget"), "{e}");
+        // Non-numeric non-auto values are still parse errors.
+        assert!(parse(&["--engine", "parallel", "--workers", "many"]).is_err());
     }
 
     #[test]

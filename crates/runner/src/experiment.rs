@@ -8,9 +8,10 @@
 //! registry understands.
 
 use std::collections::BTreeMap;
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::thread;
 
+use slr_netsim::pool::with_core_pool;
 use slr_netsim::time::{SimDuration, SimTime};
 
 use crate::adversary::AdversarySpec;
@@ -247,12 +248,18 @@ impl SweepConfig {
             }
         }
         if self.workers == 0 {
-            return Err("workers must be at least 1".to_string());
+            return Err(
+                "workers must be at least 1 (`--workers auto` resolves the host's parallelism)"
+                    .to_string(),
+            );
         }
         if self.workers > 1 && self.engine != EngineKind::Parallel {
             return Err(format!(
-                "workers = {} requires the parallel engine (serial engines \
-                 parallelize across trials via threads)",
+                "workers = {} requires the parallel engine: the unified core \
+                 budget sizes one pool at threads x workers and only \
+                 parallel trials open windows that can occupy the extra \
+                 cores (serial engines parallelize across trials via \
+                 threads alone)",
                 self.workers
             ));
         }
@@ -272,12 +279,16 @@ impl SweepConfig {
         Ok(())
     }
 
-    /// The cross-trial thread count after budgeting against the
-    /// intra-trial workers: under the parallel engine every trial wants
-    /// `workers` cores of its own, so the sweep caps its thread count at
+    /// The cross-trial thread count under the legacy *static split* of
+    /// the core budget: every parallel-engine trial reserves `workers`
+    /// cores of its own, so the sweep caps its thread count at
     /// `available_cores / workers` (never below 1, never above the
-    /// configured `threads`). Serial engines use `threads` as-is. This is
-    /// the `--workers` × `--threads` core-budget rule.
+    /// configured `threads`). Serial engines use `threads` as-is.
+    ///
+    /// [`run_sweep`] no longer uses this — it sizes one unified
+    /// work-stealing pool via [`SweepConfig::core_budget`] instead — but
+    /// [`run_sweep_static_split`] keeps the old split alive for
+    /// equivalence testing.
     pub fn effective_threads(&self) -> usize {
         let threads = self.threads.max(1);
         if self.engine != EngineKind::Parallel || self.workers <= 1 {
@@ -287,6 +298,27 @@ impl SweepConfig {
             .map(|n| n.get())
             .unwrap_or(threads * self.workers);
         (cores / self.workers).clamp(1, threads)
+    }
+
+    /// The unified core budget: the thread count of the single
+    /// work-stealing pool that both cross-trial jobs and intra-trial
+    /// window shards draw from. Serial engines need exactly `threads`.
+    /// Under the parallel engine each in-flight trial can additionally
+    /// occupy up to `workers - 1` shard thieves, so the budget grows to
+    /// `threads × workers`, capped at the host's cores (but never below
+    /// `workers`, so a lone trial always reaches its configured width).
+    /// Unlike the old static split, idle capacity flows wherever work
+    /// is: a sweep's tail converts spare trial threads into window
+    /// thieves automatically.
+    pub fn core_budget(&self) -> usize {
+        let threads = self.threads.max(1);
+        if self.engine != EngineKind::Parallel || self.workers <= 1 {
+            return threads;
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(threads * self.workers);
+        (threads * self.workers).min(cores.max(self.workers))
     }
 
     /// Builds the scenario for one sweep point.
@@ -337,6 +369,13 @@ pub struct SweepResult {
     pub param: SweepParam,
     /// The values it took.
     pub values: Vec<u64>,
+    /// The engine that dispatched the trials.
+    pub engine: EngineKind,
+    /// The resolved intra-trial worker count (always a concrete number —
+    /// `--workers auto` resolves before the sweep runs; 1 for the serial
+    /// engines). Echoed into the JSON config block so archived results
+    /// record what actually ran.
+    pub workers: usize,
 }
 
 impl SweepResult {
@@ -394,10 +433,17 @@ pub fn parse_values(list: &str) -> Result<Vec<u64>, String> {
     Ok(values)
 }
 
-/// Runs a full sweep: `protocols × values × trials`, parallelized over a
-/// worker pool. Deterministic per `(seed, trial)` regardless of thread
-/// interleaving (each trial is an isolated simulation, and results are
-/// re-ordered by trial index on collection).
+/// Runs a full sweep: `protocols × values × trials`, drawn from one
+/// unified work-stealing core budget — every trial is submitted as a job
+/// to a single [`with_core_pool`] pool, and parallel-engine trials
+/// publish their window shards back into the *same* pool, so idle
+/// cross-trial threads become intra-trial window thieves (and vice
+/// versa) instead of idling behind the old static `cores / workers`
+/// split. Deterministic per `(seed, trial)` regardless of scheduling
+/// (each trial is an isolated simulation with its own derived RNG
+/// streams, window scheduling cannot reach simulation output, and
+/// results are re-ordered by trial index on collection) — bit-identical
+/// to [`run_sweep_static_split`].
 ///
 /// # Panics
 ///
@@ -417,10 +463,57 @@ pub fn run_sweep(protocols: &[ProtocolKind], cfg: &SweepConfig) -> SweepResult {
         }
     }
 
+    let results: Mutex<Vec<(&'static str, u64, u64, TrialSummary)>> =
+        Mutex::new(Vec::with_capacity(jobs.len()));
+    with_core_pool(cfg.core_budget(), |pool| {
+        for (kind, value, trial) in jobs {
+            let results = &results;
+            pool.submit(Box::new(move |exec| {
+                let scenario = cfg.scenario_for(kind, value, trial);
+                let mut sim = Sim::new(scenario)
+                    .with_engine(cfg.engine)
+                    .with_workers(cfg.workers);
+                if cfg.validate_spatial {
+                    sim.enable_spatial_validation();
+                }
+                let summary = if cfg.engine == EngineKind::Parallel && cfg.workers > 1 {
+                    // Windows draw thieves from the shared pool.
+                    sim.run_detailed_under(exec).0
+                } else {
+                    sim.run()
+                };
+                results
+                    .lock()
+                    .expect("sweep results")
+                    .push((kind.name(), value, trial, summary));
+            }));
+        }
+        pool.wait_all();
+    });
+
+    collect_runs(results.into_inner().expect("sweep results"), protocols, cfg)
+}
+
+/// The pre-unification sweep driver: a fixed team of
+/// [`SweepConfig::effective_threads`] threads, each running whole trials
+/// with a private per-trial worker pool (the static `workers × threads ≤
+/// cores` split). Kept callable so the equivalence suite can assert
+/// [`run_sweep`] is bit-identical to it; prefer [`run_sweep`].
+pub fn run_sweep_static_split(protocols: &[ProtocolKind], cfg: &SweepConfig) -> SweepResult {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid sweep configuration: {e}");
+    }
+    let mut jobs: Vec<(ProtocolKind, u64, u64)> = Vec::new();
+    for &kind in protocols {
+        for &value in &cfg.values {
+            for trial in 0..cfg.trials {
+                jobs.push((kind, value, trial));
+            }
+        }
+    }
+
     let (result_tx, result_rx) = mpsc::channel();
     let job_queue = std::sync::Arc::new(std::sync::Mutex::new(jobs));
-    // Budget workers × threads against the cores: a parallel-engine trial
-    // occupies `cfg.workers` cores by itself.
     let sweep_threads = cfg.effective_threads();
     let mut handles = Vec::new();
     for _ in 0..sweep_threads {
@@ -446,18 +539,28 @@ pub fn run_sweep(protocols: &[ProtocolKind], cfg: &SweepConfig) -> SweepResult {
     }
     drop(result_tx);
 
+    let collected: Vec<_> = result_rx.into_iter().collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    collect_runs(collected, protocols, cfg)
+}
+
+/// Re-orders raw trial results by trial index into the sweep's keyed
+/// cells: completion order must not leak into aggregation (float sums
+/// are not associative).
+fn collect_runs(
+    collected: Vec<(&'static str, u64, u64, TrialSummary)>,
+    protocols: &[ProtocolKind],
+    cfg: &SweepConfig,
+) -> SweepResult {
     let mut indexed: BTreeMap<(&'static str, u64), Vec<(u64, TrialSummary)>> = BTreeMap::new();
-    for (name, value, trial, summary) in result_rx {
+    for (name, value, trial, summary) in collected {
         indexed
             .entry((name, value))
             .or_default()
             .push((trial, summary));
     }
-    for h in handles {
-        h.join().expect("worker panicked");
-    }
-    // Re-order each cell by trial index: thread completion order must not
-    // leak into aggregation (float sums are not associative).
     let mut runs: BTreeMap<(&'static str, u64), Vec<TrialSummary>> = BTreeMap::new();
     for (key, mut cell) in indexed {
         cell.sort_by_key(|(trial, _)| *trial);
@@ -470,6 +573,8 @@ pub fn run_sweep(protocols: &[ProtocolKind], cfg: &SweepConfig) -> SweepResult {
         family: cfg.family,
         param: cfg.param,
         values: cfg.values.clone(),
+        engine: cfg.engine,
+        workers: cfg.workers,
     }
 }
 
@@ -620,12 +725,27 @@ mod tests {
 
     #[test]
     fn worker_thread_core_budget() {
-        // Serial engines: threads pass through untouched.
+        // Serial engines: threads pass through untouched, under both the
+        // unified budget and the legacy static split.
         let cfg = SweepConfig {
             threads: 6,
             ..SweepConfig::default()
         };
         assert_eq!(cfg.effective_threads(), 6);
+        assert_eq!(cfg.core_budget(), 6);
+        // Unified budget: threads × workers, capped at the host's cores
+        // but never below the per-trial width.
+        let cfg = SweepConfig {
+            threads: 3,
+            engine: EngineKind::Parallel,
+            workers: 2,
+            ..SweepConfig::default()
+        };
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(6);
+        assert_eq!(cfg.core_budget(), 6.min(cores.max(2)));
+        assert!(cfg.core_budget() >= 2, "a lone trial must reach its width");
         // Parallel engine: workers × threads is capped by the cores.
         let cfg = SweepConfig {
             threads: 16,
@@ -684,6 +804,28 @@ mod tests {
         // The whole sweep result — every trial summary — is bit-identical.
         for (key, cell) in &batched.runs {
             assert_eq!(cell, &parallel.runs[key], "sweep diverged at {key:?}");
+        }
+    }
+
+    #[test]
+    fn unified_budget_matches_static_split() {
+        // The work-stealing pool and the legacy static split must produce
+        // bit-identical trial-ordered output: scheduling cannot reach
+        // simulation results.
+        let cfg = SweepConfig {
+            seed: 23,
+            trials: 2,
+            values: vec![150],
+            threads: 2,
+            engine: EngineKind::Parallel,
+            workers: 2,
+            ..SweepConfig::default()
+        };
+        let unified = run_sweep(&[ProtocolKind::Srp], &cfg);
+        let split = run_sweep_static_split(&[ProtocolKind::Srp], &cfg);
+        assert_eq!(unified.runs.len(), split.runs.len());
+        for (key, cell) in &split.runs {
+            assert_eq!(cell, &unified.runs[key], "unified pool diverged at {key:?}");
         }
     }
 

@@ -70,6 +70,13 @@ pub struct PositionTracker {
     scratch: RefCell<QueryScratch>,
     /// The largest query range the index can serve.
     max_range_m: f64,
+    /// Bumped once per processed deadline in [`PositionTracker::sync_to`].
+    /// Speculative neighbor queries (parallel-engine workers pre-computing
+    /// the candidate filter for a MAC-timer transmission) are stamped with
+    /// this counter and discarded if it moved before consumption — an
+    /// unchanged generation proves every cached segment the speculation
+    /// read is still the segment a fresh query would read.
+    generation: u64,
 }
 
 /// Per-query working memory: candidate list, plus an index bitmap and a
@@ -117,6 +124,7 @@ impl PositionTracker {
                 bitmap: vec![0; script.len().div_ceil(64)],
             }),
             max_range_m,
+            generation: 0,
         }
     }
 
@@ -141,6 +149,7 @@ impl PositionTracker {
                 break;
             }
             self.deadlines.pop();
+            self.generation = self.generation.wrapping_add(1);
             let tr = script.trajectory(node);
             let seg = tr.segments()[tr.segment_index_at(now)];
             self.segments[node] = seg;
@@ -171,6 +180,73 @@ impl PositionTracker {
     /// The largest range [`MediumView`] queries may use.
     pub fn max_range_m(&self) -> f64 {
         self.max_range_m
+    }
+
+    /// Segment-refresh counter: advances exactly once per deadline
+    /// processed by [`PositionTracker::sync_to`]. See the field docs for
+    /// the speculation-validity argument.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// A `Sync` borrow of the tracker's segment cache and bucket index
+    /// for speculative queries on worker threads (the tracker itself is
+    /// not `Sync` — its query scratch is a `RefCell`; the view carries
+    /// none and callers bring their own buffers).
+    pub fn view(&self) -> TrackerView<'_> {
+        TrackerView {
+            segments: &self.segments,
+            index: &self.index,
+            max_range_m: self.max_range_m,
+        }
+    }
+}
+
+/// The shareable slice of tracker state parallel-engine workers need to
+/// pre-compute a whole neighbor query off the serial path: the cached
+/// trajectory segments (exact positions) and the bucket index (candidate
+/// enumeration — a pure read). Valid only while the tracker's generation
+/// is unchanged; the harness stamps every speculation and re-checks at
+/// consumption.
+#[derive(Clone, Copy)]
+pub struct TrackerView<'a> {
+    segments: &'a [Segment],
+    index: &'a SpatialIndex,
+    max_range_m: f64,
+}
+
+impl TrackerView<'_> {
+    /// Speculative replay of `MediumView::neighbors_within(node, range)`
+    /// at `now`, end to end: the same padded candidate scan over the same
+    /// buckets, then an exact-distance filter with the *same arithmetic*
+    /// as the serial query (same `Segment::position_at`, same
+    /// `Position::distance`, same `d <= range` accept test), survivors
+    /// appended to `out` in the same ascending node order. `candidates`
+    /// is caller scratch (cleared here). Valid only while the tracker's
+    /// generation matches the one the view was captured under.
+    pub fn speculate_query(
+        &self,
+        node: usize,
+        now: SimTime,
+        range: f64,
+        candidates: &mut Vec<usize>,
+        out: &mut Vec<(usize, f64)>,
+    ) {
+        debug_assert!(range <= self.max_range_m);
+        let center = self.segments[node].position_at(now);
+        candidates.clear();
+        self.index
+            .candidates_within((center.x, center.y), range + CELL_PAD_M, candidates);
+        let start = out.len();
+        for &v in candidates.iter() {
+            let d = center.distance(&self.segments[v].position_at(now));
+            if (v != node) & (d <= range) {
+                out.push((v, d));
+            }
+        }
+        // Candidate order is cell-scan order; node indices are unique, so
+        // an unstable sort yields exactly the serial bitmap-emit order.
+        out[start..].sort_unstable_by_key(|&(v, _)| v);
     }
 }
 
@@ -352,6 +428,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn speculation_matches_serial_query_and_generation_gates_staleness() {
+        let script = waypoint_script(40, 7);
+        let mut tracker = PositionTracker::new(&script, 550.0);
+        for ms in (0..120_000).step_by(777) {
+            let now = SimTime::from_millis(ms);
+            tracker.sync_to(&script, now);
+            let gen = tracker.generation();
+            for node in [0, 17, 39] {
+                for range in [250.0, 550.0] {
+                    // The worker-side replay: padded candidate scan plus
+                    // exact-distance filter, all through the view.
+                    let mut candidates = Vec::new();
+                    let mut spec = Vec::new();
+                    tracker
+                        .view()
+                        .speculate_query(node, now, range, &mut candidates, &mut spec);
+                    let mut serial = Vec::new();
+                    MediumView::new(&tracker, &script, now).neighbors_within(
+                        node,
+                        range,
+                        &mut serial,
+                    );
+                    assert_eq!(spec, serial, "t={ms}ms node {node} range {range}");
+                }
+            }
+            // A sync that processed no deadline must not move the
+            // generation (speculation stays valid through same-time
+            // re-syncs inside a window).
+            tracker.sync_to(&script, now);
+            assert_eq!(tracker.generation(), gen);
+        }
+        // Mobility eventually processes deadlines, so the counter moved.
+        assert!(tracker.generation() > 0);
     }
 
     #[test]

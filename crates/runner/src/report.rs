@@ -159,6 +159,8 @@ pub fn render_json(result: &SweepResult) -> String {
     out.push_str("{\n");
     out.push_str(&format!("  \"family\": \"{}\",\n", result.family.name()));
     out.push_str(&format!("  \"param\": \"{}\",\n", result.param.name()));
+    out.push_str(&format!("  \"engine\": \"{}\",\n", result.engine.name()));
+    out.push_str(&format!("  \"workers\": {},\n", result.workers));
     out.push_str(&format!(
         "  \"values\": [{}],\n",
         result
@@ -254,6 +256,8 @@ mod tests {
             family: Family::PaperSweep,
             param: SweepParam::Pause,
             values: vec![0, 900],
+            engine: crate::sim::EngineKind::Batched,
+            workers: 1,
         }
     }
 
@@ -300,6 +304,8 @@ mod tests {
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(j.contains("\"family\": \"paper-sweep\""));
         assert!(j.contains("\"param\": \"pause\""));
+        assert!(j.contains("\"engine\": \"batched\""));
+        assert!(j.contains("\"workers\": 1"));
         assert!(j.contains("\"delivery_ratio\""));
         assert!(j.contains("\"trials\""));
         assert!(j.contains("\"protocol\":\"SRP\""));

@@ -16,7 +16,7 @@ use rand::SeedableRng;
 
 use slr_mobility::{MobilityScript, Position};
 use slr_netsim::admittance::{Admittance, DynAction};
-use slr_netsim::pool::{with_pool, WorkerPool};
+use slr_netsim::pool::{with_core_pool, WindowExec};
 use slr_netsim::rng::{derive_seed, stream};
 use slr_netsim::time::{SimDuration, SimTime};
 use slr_netsim::{EventToken, Simulator};
@@ -26,13 +26,13 @@ use slr_protocols::{
 };
 use slr_radio::{
     BeginTx, BruteForceMedium, Channel, Frame, FrameKind, Mac, MacEffect, MacTimer, NeighborQuery,
-    Receiver, TxId, ValidatingQuery,
+    PrecomputedQuery, Receiver, TxId, ValidatingQuery,
 };
 use slr_traffic::TrafficScript;
 
-use crate::medium::{MediumView, PositionTracker};
+use crate::medium::{MediumView, PositionTracker, CELL_PAD_M};
 use crate::metrics::{MemReport, Metrics, TrialSummary};
-use crate::par::{self, Op, Shard, SharedCtx, Task, TaskKind, WorkerScratch};
+use crate::par::{self, Op, Shard, SharedCtx, SpecCtx, Task, TaskKind, WorkerScratch};
 use crate::scenario::{MobilitySpec, Scenario, TopologySpec};
 use crate::trace::{TraceEvent, TraceLog};
 
@@ -63,7 +63,7 @@ pub enum Payload {
 /// ends carry no epoch — crashed receivers are quarantined channel-side
 /// ([`Channel::crash_receiver`]), and busy/idle transitions track the
 /// physical medium, reaching whichever MAC incarnation is up at fire time.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum Event {
     /// A scripted application packet enters the network at its source.
     App(usize),
@@ -167,6 +167,18 @@ pub enum EngineKind {
     Parallel,
 }
 
+impl EngineKind {
+    /// The engine's CLI spelling (`--engine` value), used by the JSON
+    /// config echo.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Batched => "batched",
+            EngineKind::PerReceiver => "per-receiver",
+            EngineKind::Parallel => "parallel",
+        }
+    }
+}
+
 /// One running trial.
 pub struct Sim {
     scenario: Scenario,
@@ -234,11 +246,42 @@ pub struct Sim {
     /// Worker count for [`EngineKind::Parallel`] (1 = inline windowed
     /// execution, no threads). Ignored by the serial engines.
     workers: usize,
+    /// Whether parallel windows may widen over independent MAC timers
+    /// (see the invariant docs in [`crate::par`]). On by default; the
+    /// bench turns it off to measure the pre-widening baseline.
+    widening: bool,
     /// Reusable window buffers for the parallel engine.
     win: WindowBufs,
     /// Persistent per-worker scratch (op buffers, MAC-effect buffers,
     /// work queues) for the parallel engine.
     par_scratch: Vec<WorkerScratch>,
+    /// Whether heap insertions are being deferred into [`Sim::pend`]
+    /// (true exactly while a window merge runs).
+    merging: bool,
+    /// Deferred heap insertions of the in-progress merge, in canonical
+    /// emission order; survivors bulk-insert at merge end. A later
+    /// set/cancel for the same MAC timer marks the earlier entry dead —
+    /// dead entries never consume sequence numbers, which cannot change
+    /// pop order (sequence only tie-breaks *coexisting* same-time
+    /// entries).
+    pend: Vec<Pend>,
+    /// Reusable bulk-insert staging for [`Sim::flush_pend`].
+    pend_items: Vec<(SimTime, Event)>,
+    pend_tokens: Vec<EventToken>,
+    pend_macs: Vec<Option<(u32, MacTimer)>>,
+    /// The staged speculative neighbor set for the MAC timer currently
+    /// being merge-dispatched: `(node, tracker generation at capture)`.
+    /// Consumed by [`Sim::begin_tx_on_medium`] iff the node transmits and
+    /// the tracker generation still matches.
+    spec_node: Option<(u32, u64)>,
+    /// The staged speculative `(node, distance)` pairs for `spec_node`.
+    spec_buf: Vec<(usize, f64)>,
+    /// Window-occupancy statistics for the parallel engine (cheap
+    /// counters, always maintained; wall-clock shares only when
+    /// [`Sim::enable_window_stats`] turned timing on).
+    wstats: WindowStats,
+    /// Whether to pay for the serial/parallel wall-clock attribution.
+    wstats_timing: bool,
     /// Per-phase wall-clock accumulators (serial engines only; enabled by
     /// [`Sim::enable_phase_timing`]).
     phase: Option<Box<PhaseTimes>>,
@@ -265,6 +308,91 @@ struct WindowBufs {
     /// Outer vector collecting each worker's op buffer for the merge (the
     /// inner vectors live in [`WorkerScratch`] between windows).
     op_lists: Vec<Vec<(u32, Op)>>,
+    /// Accepted hopped MAC timers with their window-time positions; a
+    /// later safe event may join only while its owners are outside every
+    /// timer's padded carrier-sense disc. Doubles as the hop count for
+    /// the window stats.
+    macs: Vec<(u32, f64, f64)>,
+    /// Completed speculations, collected from the worker scratches after
+    /// the parallel phase: `(node, worker, start, len)` into that
+    /// worker's `spec_pairs`.
+    spec_done: Vec<(u32, u32, u32, u32)>,
+    /// Tracker generation the window's speculation context was frozen at.
+    spec_gen: u64,
+}
+
+/// One deferred heap insertion (see [`Sim::pend`]).
+struct Pend {
+    time: SimTime,
+    event: Event,
+    dead: bool,
+    /// `Some((node, kind))` iff this is a MAC-timer arm whose token must
+    /// land in the node's timer slot after the bulk insert.
+    mac: Option<(u32, MacTimer)>,
+}
+
+/// Window-occupancy statistics of one parallel-engine trial — the
+/// observable behind the widened-window performance claims (reported by
+/// `bench_parallel` and `slrsim --window-stats`). Counters are
+/// worker-count independent diagnostics; the wall-clock fields need
+/// [`Sim::enable_window_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowStats {
+    /// Events dispatched serially between windows (MAC timers that could
+    /// not hop, dynamics).
+    pub serial_events: u64,
+    /// Conservative windows executed.
+    pub windows: u64,
+    /// Windows that contain at least one hopped MAC timer.
+    pub widened_windows: u64,
+    /// Events dispatched through windows.
+    pub windowed_events: u64,
+    /// Events in windows of two or more events.
+    pub multi_events: u64,
+    /// Largest window, in events.
+    pub max_width: u64,
+    /// MAC timers that hopped into windows.
+    pub mac_hops: u64,
+    /// Speculative medium queries consumed at merge time.
+    pub spec_hits: u64,
+    /// Speculations discarded (tracker generation moved, or the staged
+    /// node did not transmit with a matching query).
+    pub spec_misses: u64,
+    /// Wall clock of the serial sections (inter-window dispatch, window
+    /// build, merge and epilogue). Zero unless timing is enabled.
+    pub serial_ns: u64,
+    /// Wall clock of the windows' task-execution phase. Zero unless
+    /// timing is enabled.
+    pub parallel_ns: u64,
+}
+
+impl WindowStats {
+    /// Mean events per window.
+    pub fn mean_width(&self) -> f64 {
+        if self.windows == 0 {
+            return 0.0;
+        }
+        self.windowed_events as f64 / self.windows as f64
+    }
+
+    /// Share of all dispatched events that rode in a multi-event window.
+    pub fn multi_share(&self) -> f64 {
+        let total = self.windowed_events + self.serial_events;
+        if total == 0 {
+            return 0.0;
+        }
+        self.multi_events as f64 / total as f64
+    }
+
+    /// Share of the measured dispatch wall clock spent in serial
+    /// sections (needs timing; 1.0 when nothing parallel ran).
+    pub fn serial_share(&self) -> f64 {
+        let total = self.serial_ns + self.parallel_ns;
+        if total == 0 {
+            return 1.0;
+        }
+        self.serial_ns as f64 / total as f64
+    }
 }
 
 /// Where a serial trial's wall clock goes, by harness phase (see
@@ -498,8 +626,18 @@ impl Sim {
             pending_repair: None,
             trace: None,
             workers: 1,
+            widening: true,
             win: WindowBufs::default(),
             par_scratch: Vec::new(),
+            merging: false,
+            pend: Vec::new(),
+            pend_items: Vec::new(),
+            pend_tokens: Vec::new(),
+            pend_macs: Vec::new(),
+            spec_node: None,
+            spec_buf: Vec::new(),
+            wstats: WindowStats::default(),
+            wstats_timing: false,
             phase: None,
             metrics: Metrics::new(),
         }
@@ -558,6 +696,60 @@ impl Sim {
         self
     }
 
+    /// Enables or disables widened windows (MAC-timer hopping) under
+    /// [`EngineKind::Parallel`]. On by default; the off switch exists for
+    /// A/B benchmarking and for the equivalence suite's "widening cannot
+    /// change output" axis. No effect on the serial engines.
+    pub fn set_widening(&mut self, on: bool) {
+        self.widening = on;
+    }
+
+    /// Builder form of [`Sim::set_widening`].
+    pub fn with_widening(mut self, on: bool) -> Self {
+        self.set_widening(on);
+        self
+    }
+
+    /// Turns on wall-clock attribution of the parallel engine's serial
+    /// vs. parallel sections in [`Sim::window_stats`]. Off by default —
+    /// the counters are always maintained, only the `Instant` probes are
+    /// gated (they are per-event, so never free).
+    pub fn enable_window_stats(&mut self) {
+        self.wstats_timing = true;
+    }
+
+    /// Window-occupancy statistics accumulated so far (parallel engine;
+    /// all-zero under the serial engines).
+    pub fn window_stats(&self) -> WindowStats {
+        self.wstats
+    }
+
+    /// Runs the trial with serial/parallel wall-clock attribution enabled
+    /// and returns the summary plus the window-occupancy statistics —
+    /// the probe behind `bench_parallel`'s occupancy table.
+    pub fn run_with_window_stats(mut self) -> (TrialSummary, WindowStats) {
+        self.enable_window_stats();
+        self.run_loop();
+        let stats = self.wstats;
+        let nodes = self.scenario.nodes;
+        let metrics = self.finalize_metrics();
+        (metrics.summarize(nodes), stats)
+    }
+
+    /// Like [`Sim::run`], but also returns the window-occupancy counters.
+    /// The counters are maintained unconditionally, so unlike
+    /// [`Sim::run_with_window_stats`] this perturbs the trial's wall
+    /// clock by nothing — the attribution fields (`serial_ns`,
+    /// `parallel_ns`) simply stay zero. `bench_parallel` uses this for
+    /// the speedup sweep so occupancy comes free with honest timings.
+    pub fn run_counted(mut self) -> (TrialSummary, WindowStats) {
+        self.run_loop();
+        let stats = self.wstats;
+        let nodes = self.scenario.nodes;
+        let metrics = self.finalize_metrics();
+        (metrics.summarize(nodes), stats)
+    }
+
     /// Accumulates per-phase wall-clock attribution (medium / signal /
     /// MAC / protocol) during the trial, reported by [`Sim::run_phased`].
     /// Serial engines only — the parallel engine's workers overlap phases
@@ -600,6 +792,21 @@ impl Sim {
     /// Runs the trial to completion and returns its summary.
     pub fn run(self) -> TrialSummary {
         self.run_detailed().0
+    }
+
+    /// Like [`Sim::run_detailed`], but drives the trial under an
+    /// *external* window executor instead of standing up a private pool —
+    /// the unified core budget: a sweep submits each trial as a job to
+    /// one work-stealing pool and the trial publishes its windows' shards
+    /// back into the same pool through `exec`. [`Sim::set_workers`] still
+    /// caps this trial's window width.
+    pub fn run_detailed_under(mut self, exec: &dyn WindowExec) -> (TrialSummary, Metrics) {
+        self.ensure_started();
+        let end = self.scenario.end;
+        while self.pump(end, Some(exec)) != Pumped::Idle {}
+        let nodes = self.scenario.nodes;
+        let metrics = self.finalize_metrics();
+        (metrics.summarize(nodes), metrics)
     }
 
     /// Like [`Sim::run_detailed`], additionally reporting the end-of-run
@@ -689,27 +896,30 @@ impl Sim {
         self.drive(end);
     }
 
-    /// Drives the trial to `end`, standing up the worker pool once for
-    /// the whole run when the parallel engine wants more than one worker.
+    /// Drives the trial to `end`, standing up the unified core pool once
+    /// for the whole run when the parallel engine wants more than one
+    /// worker. A trial driven *under* an external pool (the sweep's
+    /// unified budget — [`Sim::run_detailed_under`]) never reaches this
+    /// branch with `workers > 1`.
     fn drive(&mut self, end: SimTime) {
         if self.engine == EngineKind::Parallel && self.workers > 1 {
             let threads = self.workers - 1;
             let this = &mut *self;
-            with_pool(
-                threads,
-                move |pool| {
-                    while this.pump(end, Some(pool)) != Pumped::Idle {}
-                },
-            );
+            with_core_pool(threads, move |pool| {
+                let sess = pool.session();
+                while this.pump(end, Some(&sess)) != Pumped::Idle {}
+            });
         } else {
             while self.pump(end, None) != Pumped::Idle {}
         }
     }
 
     /// Processes one unit of work strictly before `end`: a single serial
-    /// event (serial engines; MAC-timer/dynamics events under the
-    /// parallel engine) or one conservative window of node-local tasks.
-    fn pump(&mut self, end: SimTime, pool: Option<&WorkerPool<'_>>) -> Pumped {
+    /// event (serial engines; non-hoppable MAC-timer and dynamics events
+    /// under the parallel engine) or one conservative window of
+    /// node-local tasks, possibly widened with independent MAC timers
+    /// (see the invariant write-up in [`crate::par`]).
+    fn pump(&mut self, end: SimTime, exec: Option<&dyn WindowExec>) -> Pumped {
         if self.engine != EngineKind::Parallel {
             return match self.sim.next_before(end) {
                 Some(ev) => {
@@ -720,36 +930,168 @@ impl Sim {
                 None => Pumped::Idle,
             };
         }
-        let (t, safe) = match self.sim.peek_event() {
-            Some((t, ev)) if t < end => (t, window_safe(ev)),
+        // MAC-timer hopping needs the incrementally synced tracker that
+        // only the spatial-grid production path maintains; the oracle
+        // media keep the narrow (safe-events-only) windows.
+        let widen =
+            self.widening && self.medium == MediumKind::SpatialGrid && !self.validate_spatial;
+        let (t, head_safe, head_mac) = match self.sim.peek_event() {
+            Some((t, ev)) if t < end => (
+                t,
+                window_safe(ev),
+                widen && matches!(ev, Event::MacTimer(..)),
+            ),
             _ => return Pumped::Idle,
         };
-        if !safe {
+        if !head_safe && !head_mac {
+            let t0 = self.ws_t0();
             let ev = self.sim.next().expect("peeked above");
             let dynamics = matches!(ev.event, Event::Dynamics(_));
             self.dispatch(ev.event);
+            self.wstats.serial_events += 1;
+            self.ws_serial(t0);
             return Pumped::Event { dynamics };
         }
-        // Pop the maximal run of window-safe events sharing the head
+        // Pop the maximal run of compatible events sharing the head
         // timestamp, in heap order. The conservative bound (every newly
         // scheduled event is strictly later than `t`: SIFS/DIFS, airtimes
         // and timer delays are all positive) means nothing processed here
         // can insert ahead of anything popped here; an event arriving *at*
         // `t` during the window sorts after every already-scheduled entry
         // by sequence number and is picked up by the next pump.
+        //
+        // Every MAC timer joins: it dispatches *serially at the merge
+        // cursor*, after the worker barrier, so it canonically observes
+        // everything sequenced before it regardless of spatial overlap.
+        // Its padded carrier-sense disc (`cs_range_m + CELL_PAD_M`, a
+        // superset of any fan-out its dispatch can perform) is recorded,
+        // and a later *safe* event joins only while its owners stay clear
+        // of every accepted disc — a worker-run task inside a disc would
+        // miss the timer's merge-time writes. See `crate::par` for the
+        // full soundness argument.
+        let t0 = self.ws_t0();
         let mut events = std::mem::take(&mut self.win.events);
         debug_assert!(events.is_empty());
+        debug_assert!(self.win.macs.is_empty());
+        let mut synced = false;
+        // A MAC-timer head is popped *provisionally*: its window-time
+        // position is only looked up (and its disc only recorded) once a
+        // second same-timestamp event actually peeks — a single-event
+        // "window" short-circuits to the plain serial dispatch below, so
+        // sparse regions never pay for the tracker sync.
+        let mut head_pending = head_mac;
+        let head_ev = self.sim.next().expect("peeked above").event;
+        events.push(head_ev);
         loop {
-            events.push(self.sim.next().expect("peeked above").event);
-            match self.sim.peek_event() {
-                Some((t2, ev)) if t2 == t && window_safe(ev) => continue,
-                _ => break,
+            // Copy the joining decision's inputs out of the peeked
+            // borrow before mutating anything.
+            enum Peeked {
+                App(usize),
+                Proto(usize, u64),
+                Tx(usize, TxId),
+                Mac(usize),
+                Stop,
             }
+            let peeked = match self.sim.peek_event() {
+                Some((t2, ev)) if t2 == t => match *ev {
+                    Event::App(i) => Peeked::App(i),
+                    Event::ProtoTimer(node, epoch, _) => Peeked::Proto(node, epoch),
+                    Event::TxComplete(node, _, tx) => Peeked::Tx(node, tx),
+                    Event::MacTimer(node, _) if widen => Peeked::Mac(node),
+                    _ => Peeked::Stop,
+                },
+                _ => Peeked::Stop,
+            };
+            if matches!(peeked, Peeked::Stop) {
+                break;
+            }
+            // Commit the provisional head: record its disc now that the
+            // window is known to grow past it.
+            if head_pending {
+                if !synced {
+                    self.tracker.sync_to(&self.mobility, t);
+                    synced = true;
+                }
+                let Event::MacTimer(head_node, _) = events[0] else {
+                    unreachable!("head_pending implies a MAC-timer head");
+                };
+                self.join_mac(head_node, t);
+                head_pending = false;
+            }
+            let joins = match peeked {
+                // Without widening no MAC timer can be in the window and
+                // every safe event joins unconditionally (the
+                // pre-widening window rule).
+                Peeked::App(_) | Peeked::Proto(..) | Peeked::Tx(..) if !widen => true,
+                Peeked::App(i) => self.mac_clear(self.traffic.packets()[i].src, t),
+                // A stale proto timer is an epoch-gated no-op: no owner.
+                Peeked::Proto(node, epoch) => epoch != self.epochs[node] || self.mac_clear(node, t),
+                Peeked::Tx(node, tx) => {
+                    self.mac_clear(node, t)
+                        && self
+                            .channel
+                            .tx_receivers(tx)
+                            .iter()
+                            .all(|r| self.mac_clear(r.node as usize, t))
+                }
+                Peeked::Mac(node) => {
+                    if !synced {
+                        self.tracker.sync_to(&self.mobility, t);
+                        synced = true;
+                    }
+                    self.join_mac(node, t);
+                    true
+                }
+                Peeked::Stop => unreachable!("handled above"),
+            };
+            if !joins {
+                break;
+            }
+            let ev = self.sim.next().expect("peeked above").event;
+            events.push(ev);
         }
-        self.execute_window(t, &events, pool);
+        let out = if events.len() == 1 {
+            // A one-event window would only route the same serial
+            // dispatch through task assembly and merge — output-identical
+            // by the canonical-order argument, pure overhead — so
+            // dispatch it directly. A lone MAC timer (nothing else peeked
+            // at `t`, or the one peeked safe event failed its disc test)
+            // counts as a serial event; a lone safe event still counts as
+            // a width-1 window so the occupancy stats describe window
+            // *composition*, not the execution shortcut.
+            let ev = events.pop().expect("pushed above");
+            if matches!(ev, Event::MacTimer(..)) {
+                self.wstats.serial_events += 1;
+            } else {
+                self.wstats.windows += 1;
+                self.wstats.windowed_events += 1;
+                self.wstats.max_width = self.wstats.max_width.max(1);
+            }
+            self.dispatch(ev);
+            Pumped::Event { dynamics: false }
+        } else {
+            let macs = self.win.macs.len() as u64;
+            self.wstats.windows += 1;
+            self.wstats.windowed_events += events.len() as u64;
+            if events.len() >= 2 {
+                self.wstats.multi_events += events.len() as u64;
+            }
+            self.wstats.max_width = self.wstats.max_width.max(events.len() as u64);
+            self.wstats.mac_hops += macs;
+            if macs > 0 {
+                self.wstats.widened_windows += 1;
+            }
+            self.ws_serial(t0);
+            self.execute_window(t, &events, exec);
+            Pumped::Window
+        };
         events.clear();
         self.win.events = events;
-        Pumped::Window
+        if matches!(out, Pumped::Event { .. }) {
+            self.win.macs.clear();
+            self.ws_serial(t0);
+        }
+        out
     }
 
     /// Processes events strictly before `horizon` (clamped to the
@@ -945,12 +1287,67 @@ impl Sim {
     /// node-local tasks (canonical order: events in heap-pop order; a
     /// transmission's receivers in ascending node order, then its
     /// transmitter — exactly the serial batched walk), runs them sharded
-    /// by node ownership (on the pool when the window is big enough,
-    /// inline otherwise), then replays every buffered global side effect
-    /// in canonical (task, emission) order and retires the window's
-    /// transmissions. Bit-identical to dispatching the same events
-    /// through the serial batched path, at any worker count.
-    fn execute_window(&mut self, now: SimTime, events: &[Event], pool: Option<&WorkerPool<'_>>) {
+    /// by node ownership (on the work-stealing executor when the window
+    /// is big enough, inline otherwise), then replays every buffered
+    /// global side effect in canonical (task, emission) order — hopped
+    /// MAC timers dispatching serially at their canonical positions —
+    /// and retires the window's transmissions. Bit-identical to
+    /// dispatching the same events through the serial batched path, at
+    /// any worker count.
+    fn execute_window(&mut self, now: SimTime, events: &[Event], exec: Option<&dyn WindowExec>) {
+        // Execution width, decided from a counting pass before anything
+        // is mutated: pooled workers only pay off past a per-worker grain
+        // of *worker* tasks (MAC-fire placeholders run at the merge, so
+        // they don't count). The width is clamped to the node count (a
+        // shard needs at least one node) and to the executor's shard
+        // capacity.
+        let n = self.protos.len();
+        let mut worker_tasks = 0usize;
+        for ev in events {
+            match *ev {
+                Event::App(_) => worker_tasks += 1,
+                Event::ProtoTimer(node, epoch, _) => {
+                    // The epoch gate the serial dispatch applies at fire
+                    // time; epochs cannot change inside a window.
+                    if epoch == self.epochs[node] {
+                        worker_tasks += 1;
+                    }
+                }
+                Event::TxComplete(node, epoch, tx) => {
+                    worker_tasks += self.channel.tx_receivers(tx).len();
+                    if epoch == self.epochs[node] {
+                        worker_tasks += 1;
+                    }
+                }
+                Event::MacTimer(..) => {}
+                _ => unreachable!("non-windowable event in a window"),
+            }
+        }
+        let width = match exec {
+            Some(exec) => {
+                let cap = self.workers.min(exec.shard_cap()).min(n.max(1));
+                if cap > 1 && worker_tasks >= cap * PAR_MIN_TASKS_PER_WORKER {
+                    cap
+                } else {
+                    1
+                }
+            }
+            None => 1,
+        };
+        if width == 1 {
+            // No shard can run concurrently with another, so the
+            // task/op/merge machinery would reproduce the serial walk at
+            // a detour: dispatching the events in pop order *is* the
+            // batched engine, bit for bit. This keeps the window path's
+            // cost proportional to the parallelism actually available.
+            let t_ser = self.ws_t0();
+            for &ev in events {
+                self.dispatch(ev);
+            }
+            self.win.macs.clear();
+            self.ws_serial(t_ser);
+            return;
+        }
         let mut tasks = std::mem::take(&mut self.win.tasks);
         let mut txs = std::mem::take(&mut self.win.txs);
         debug_assert!(tasks.is_empty() && txs.is_empty());
@@ -964,8 +1361,6 @@ impl Sim {
                     });
                 }
                 Event::ProtoTimer(node, epoch, token) => {
-                    // The epoch gate the serial dispatch applies at fire
-                    // time; epochs cannot change inside a window.
                     if epoch == self.epochs[node] {
                         tasks.push(Task {
                             owner: node as u32,
@@ -989,36 +1384,31 @@ impl Sim {
                     }
                     txs.push((tx, receivers));
                 }
-                _ => unreachable!("non-window-safe event in a window"),
+                // A hopped MAC timer: a placeholder task holding its
+                // canonical slot in the merge order. Workers never
+                // execute it — they may *speculate* its medium query —
+                // and it dispatches serially at the merge cursor.
+                Event::MacTimer(node, kind) => {
+                    tasks.push(Task {
+                        owner: node as u32,
+                        kind: TaskKind::MacFire(kind),
+                    });
+                }
+                _ => unreachable!("non-windowable event in a window"),
             }
         }
-
-        // Execution width: pool workers only pay off past a per-worker
-        // task grain; below it (or without a pool) the window runs inline
-        // through the identical task machinery. The width is additionally
-        // clamped to the node count (a shard needs at least one node).
-        let n = self.protos.len();
-        let width = match pool {
-            Some(pool) => {
-                let cap = (pool.threads() + 1).min(n.max(1));
-                if cap > 1 && tasks.len() >= cap * PAR_MIN_TASKS_PER_WORKER {
-                    cap
-                } else {
-                    1
-                }
-            }
-            None => 1,
-        };
         let mut bounds = std::mem::take(&mut self.win.bounds);
         par::shard_bounds_into(n, width, &mut bounds);
         while self.par_scratch.len() < width {
             self.par_scratch.push(WorkerScratch::default());
         }
 
+        let t_par = self.ws_t0();
         let mut chan_delivered = 0u64;
         let mut chan_collisions = 0u64;
         let mut ops_by_worker = std::mem::take(&mut self.win.op_lists);
         debug_assert!(ops_by_worker.is_empty());
+        self.win.spec_gen = self.tracker.generation();
         {
             let (frames, mut chan_shards) = self.channel.par_views(&bounds);
             let ctx = SharedCtx {
@@ -1030,6 +1420,12 @@ impl Sim {
                 has_dynamics: self.has_dynamics,
                 rx_range_m: self.scenario.mac.phy.rx_range_m,
                 trace_on: self.trace.is_some(),
+                // Width > 1 here, so another worker can overlap the
+                // speculation with real task work.
+                spec: (!self.win.macs.is_empty()).then(|| SpecCtx {
+                    view: self.tracker.view(),
+                    cs_range_m: self.scenario.mac.phy.cs_range_m,
+                }),
             };
             // Split every per-node table at the same bounds.
             let mut shards: Vec<Shard<'_>> = Vec::with_capacity(width);
@@ -1063,60 +1459,71 @@ impl Sim {
                 }
             }
 
-            if width == 1 {
-                let shard = &mut shards[0];
-                let scratch = &mut self.par_scratch[0];
+            let exec = exec.expect("width > 1 implies an executor");
+            let taken: Vec<WorkerScratch> = self.par_scratch.drain(..width).collect();
+            let slots: Vec<Mutex<Option<(Shard<'_>, WorkerScratch)>>> = shards
+                .into_iter()
+                .zip(taken)
+                .map(|pair| Mutex::new(Some(pair)))
+                .collect();
+            let tasks_ref: &[Task] = &tasks;
+            let ctx_ref = &ctx;
+            exec.run_window(width, &|wi| {
+                let slot = &slots[wi];
+                let (mut shard, mut scratch) =
+                    slot.lock().expect("window slot").take().expect("filled");
                 debug_assert!(scratch.ops.is_empty());
-                for (i, task) in tasks.iter().enumerate() {
-                    par::run_task(i as u32, task, shard, &ctx, scratch);
-                }
-                chan_delivered = shard.chan.delivered;
-                chan_collisions = shard.chan.collisions;
-                ops_by_worker.push(std::mem::take(&mut scratch.ops));
-            } else {
-                let pool = pool.expect("width > 1 implies a pool");
-                let taken: Vec<WorkerScratch> = self.par_scratch.drain(..width).collect();
-                let slots: Vec<Mutex<Option<(Shard<'_>, WorkerScratch)>>> = shards
-                    .into_iter()
-                    .zip(taken)
-                    .map(|pair| Mutex::new(Some(pair)))
-                    .collect();
-                let tasks_ref: &[Task] = &tasks;
-                pool.broadcast(&|wi| {
-                    // `width` can be clamped below the pool size when the
-                    // node count is tiny; surplus workers sit this one out.
-                    let Some(slot) = slots.get(wi) else { return };
-                    let (mut shard, mut scratch) =
-                        slot.lock().expect("window slot").take().expect("filled");
-                    debug_assert!(scratch.ops.is_empty());
-                    for (i, task) in tasks_ref.iter().enumerate() {
-                        if shard.owns(task.owner) {
-                            par::run_task(i as u32, task, &mut shard, &ctx, &mut scratch);
-                        }
+                for (i, task) in tasks_ref.iter().enumerate() {
+                    if !shard.owns(task.owner) {
+                        continue;
                     }
-                    *slot.lock().expect("window slot") = Some((shard, scratch));
-                });
-                for slot in slots {
-                    let (shard, mut scratch) =
-                        slot.into_inner().expect("window mutex").expect("refilled");
-                    chan_delivered += shard.chan.delivered;
-                    chan_collisions += shard.chan.collisions;
-                    ops_by_worker.push(std::mem::take(&mut scratch.ops));
-                    self.par_scratch.push(scratch);
+                    if matches!(task.kind, TaskKind::MacFire(_)) {
+                        // Pre-compute the hopped timer's medium query
+                        // while the window is in flight; validated
+                        // against the tracker generation at the merge.
+                        par::speculate_medium(task, ctx_ref, &mut scratch);
+                    } else {
+                        par::run_task(i as u32, task, &mut shard, ctx_ref, &mut scratch);
+                    }
                 }
+                *slot.lock().expect("window slot") = Some((shard, scratch));
+            });
+            for (w, slot) in slots.into_iter().enumerate() {
+                let (shard, mut scratch) =
+                    slot.into_inner().expect("window mutex").expect("refilled");
+                chan_delivered += shard.chan.delivered;
+                chan_collisions += shard.chan.collisions;
+                ops_by_worker.push(std::mem::take(&mut scratch.ops));
+                for m in scratch.spec_meta.drain(..) {
+                    self.win.spec_done.push((m.node, w as u32, m.start, m.len));
+                }
+                self.par_scratch.push(scratch);
             }
         }
+        self.ws_parallel(t_par);
+        let t_ser = self.ws_t0();
         self.channel.stats.delivered += chan_delivered;
         self.channel.stats.collisions += chan_collisions;
 
         // Replay the buffered global effects in canonical order: tasks in
-        // window order, each task's ops in emission order. Each worker's
-        // buffer is already sorted by task index (it walked its tasks in
-        // window order), so the merge is a cursor walk.
+        // window order, each task's ops in emission order; hopped MAC
+        // timers dispatch in place, seeing exactly the global state the
+        // serial walk would have built before them. Each worker's buffer
+        // is already sorted by task index (it walked its tasks in window
+        // order), so the merge is a cursor walk. Schedule/cancel effects
+        // are deferred into the pend buffer throughout (`merging`), then
+        // flushed as one canonical-order bulk insert.
         for v in &mut ops_by_worker {
             v.reverse(); // pop from the back = front of the op stream
         }
+        self.merging = true;
         for (t, task) in tasks.iter().enumerate() {
+            if let TaskKind::MacFire(kind) = task.kind {
+                self.stage_spec(task.owner);
+                self.dispatch(Event::MacTimer(task.owner as usize, kind));
+                self.spec_node = None;
+                continue;
+            }
             let w = if width == 1 {
                 0
             } else {
@@ -1130,17 +1537,27 @@ impl Sim {
                 self.apply_op(op, now);
             }
         }
+        self.merging = false;
+        self.flush_pend();
         debug_assert!(ops_by_worker.iter().all(|v| v.is_empty()));
         // Hand the (now empty, capacity-retaining) op buffers back.
         for (i, v) in ops_by_worker.drain(..).enumerate() {
             self.par_scratch[i].ops = v;
+            self.par_scratch[i].spec_pairs.clear();
         }
         self.win.op_lists = ops_by_worker;
         self.win.bounds = bounds;
+        self.win.spec_done.clear();
+        self.win.macs.clear();
 
         // Channel epilogue, in window order: recycle each transmission's
         // receiver vector and retire its in-flight entry — the tail of
-        // the serial batched walk.
+        // the serial batched walk. Sound even with hopped MAC timers in
+        // the window: retirement touches no per-node state (the taken
+        // entry is a `None` hole until the deque front-compacts) and
+        // `TxId` allocation (`base + len`) is invariant under the
+        // compaction, so nothing a merge-time timer reads or allocates
+        // can tell deferred retirement from the batched interleaving.
         for (tx, receivers) in txs.drain(..) {
             self.channel.recycle_receivers(receivers);
             self.channel.finish_tx_batched(tx);
@@ -1148,30 +1565,200 @@ impl Sim {
         tasks.clear();
         self.win.tasks = tasks;
         self.win.txs = txs;
+        self.ws_serial(t_ser);
+    }
+
+    /// Window-stats timing probe: the start instant, only when enabled.
+    #[inline]
+    fn ws_t0(&self) -> Option<Instant> {
+        if self.wstats_timing {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Accumulates elapsed serial-section wall clock since `t0`.
+    #[inline]
+    fn ws_serial(&mut self, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.wstats.serial_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Accumulates elapsed parallel-section wall clock since `t0`.
+    #[inline]
+    fn ws_parallel(&mut self, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.wstats.parallel_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Tests whether `node` sits outside the padded carrier-sense disc
+    /// of every accepted hopped MAC timer (vacuously true when none are
+    /// in the window — the common case, which pays no position lookup).
+    /// The tracker is always synced to `t` before the first disc is
+    /// recorded, so positions here are window-time exact.
+    #[inline]
+    fn mac_clear(&self, node: usize, t: SimTime) -> bool {
+        if self.win.macs.is_empty() {
+            return true;
+        }
+        let range = self.scenario.mac.phy.cs_range_m + CELL_PAD_M;
+        let r2 = range * range;
+        let p = self.tracker.position(node, t);
+        self.win.macs.iter().all(|&(_, x, y)| {
+            let (dx, dy) = (p.x - x, p.y - y);
+            dx * dx + dy * dy > r2
+        })
+    }
+
+    /// Admits a same-timestamp MAC timer into the window under
+    /// construction — unconditionally. The timer dispatches serially at
+    /// the merge cursor, after every worker task has completed, so it
+    /// canonically observes all state sequenced before it; nothing about
+    /// the already-accepted events can make admission unsound. What the
+    /// admission *constrains* is the future: the timer's dispatch can
+    /// read or write any node inside its carrier-sense range at `t`, so
+    /// its padded disc (`cs_range_m + CELL_PAD_M`, squared-distance test
+    /// — the pad dwarfs any f64 rounding between this test and the
+    /// dispatch's own exact-distance arithmetic) is recorded, and every
+    /// later safe joiner must keep its owners outside all recorded discs
+    /// ([`Sim::mac_clear`]).
+    fn join_mac(&mut self, node: usize, t: SimTime) {
+        let p = self.tracker.position(node, t);
+        self.win.macs.push((node as u32, p.x, p.y));
+    }
+
+    /// Stages the speculative neighbor set for `node`'s imminent
+    /// MAC-timer dispatch, if some worker completed one this window; the
+    /// staged buffer is consumed (generation-checked) by
+    /// [`Sim::begin_tx_on_medium`] iff the dispatch actually transmits.
+    fn stage_spec(&mut self, node: u32) {
+        self.spec_node = None;
+        for &(sn, w, start, len) in &self.win.spec_done {
+            if sn == node {
+                let (start, len) = (start as usize, len as usize);
+                self.spec_buf.clear();
+                self.spec_buf.extend_from_slice(
+                    &self.par_scratch[w as usize].spec_pairs[start..start + len],
+                );
+                self.spec_node = Some((node, self.win.spec_gen));
+                return;
+            }
+        }
+    }
+
+    /// Arms a MAC timer: the serial path schedules directly; during a
+    /// window merge the insertion is deferred into the pend buffer (the
+    /// real token lands in the slot at [`Sim::flush_pend`]). Either way
+    /// any previously armed instance — real or pending — is cancelled
+    /// first, preserving the at-most-one-live-per-(node, kind) invariant.
+    fn mac_set(&mut self, node: usize, kind: MacTimer, delay: SimDuration) {
+        if let Some(tok) = self.mac_timers[node][kind.index()].take() {
+            self.sim.cancel(tok);
+        }
+        if self.merging {
+            self.kill_pending_mac(node, kind);
+            let time = self.sim.now() + delay;
+            self.pend.push(Pend {
+                time,
+                event: Event::MacTimer(node, kind),
+                dead: false,
+                mac: Some((node as u32, kind)),
+            });
+        } else {
+            let tok = self.sim.schedule_in(delay, Event::MacTimer(node, kind));
+            self.mac_timers[node][kind.index()] = Some(tok);
+        }
+    }
+
+    /// Disarms a MAC timer (real token or pending insertion).
+    fn mac_cancel(&mut self, node: usize, kind: MacTimer) {
+        if let Some(tok) = self.mac_timers[node][kind.index()].take() {
+            self.sim.cancel(tok);
+        }
+        if self.merging {
+            self.kill_pending_mac(node, kind);
+        }
+    }
+
+    /// Schedules a protocol timer, deferring into the pend buffer during
+    /// a merge (proto timers carry no cancellation tokens, so no
+    /// kill-scan is needed).
+    fn proto_set(&mut self, node: usize, token: u64, delay: SimDuration) {
+        let ev = Event::ProtoTimer(node, self.epochs[node], token);
+        if self.merging {
+            let time = self.sim.now() + delay;
+            self.pend.push(Pend {
+                time,
+                event: ev,
+                dead: false,
+                mac: None,
+            });
+        } else {
+            self.sim.schedule_in(delay, ev);
+        }
+    }
+
+    /// Marks the (at most one) live pending insertion for `(node, kind)`
+    /// dead. Back-scan: a re-arm always follows the latest instance.
+    fn kill_pending_mac(&mut self, node: usize, kind: MacTimer) {
+        for p in self.pend.iter_mut().rev() {
+            if !p.dead {
+                if let Some((pn, pk)) = p.mac {
+                    if pn == node as u32 && pk == kind {
+                        p.dead = true;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flushes the merge's deferred insertions as one slab-aware bulk
+    /// insert, in pend (= canonical serial) order, then lands the fresh
+    /// MAC-timer tokens in their slots. Dead entries are skipped before
+    /// the queue ever sees them, so they consume no sequence numbers —
+    /// sound because sequence numbers only tie-break *coexisting*
+    /// same-time entries, and the relative order of the surviving
+    /// insertions is unchanged.
+    fn flush_pend(&mut self) {
+        debug_assert!(self.pend_items.is_empty() && self.pend_macs.is_empty());
+        let mut pend = std::mem::take(&mut self.pend);
+        for p in pend.drain(..) {
+            if p.dead {
+                continue;
+            }
+            self.pend_items.push((p.time, p.event));
+            self.pend_macs.push(p.mac);
+        }
+        self.pend = pend;
+        let mut items = std::mem::take(&mut self.pend_items);
+        let mut tokens = std::mem::take(&mut self.pend_tokens);
+        self.sim.schedule_bulk(&mut items, &mut tokens);
+        debug_assert_eq!(tokens.len(), self.pend_macs.len());
+        for (tok, mac) in tokens.drain(..).zip(self.pend_macs.drain(..)) {
+            if let Some((node, kind)) = mac {
+                debug_assert!(
+                    self.mac_timers[node as usize][kind.index()].is_none(),
+                    "pending MAC arm raced a live token"
+                );
+                self.mac_timers[node as usize][kind.index()] = Some(tok);
+            }
+        }
+        items.clear();
+        self.pend_items = items;
+        self.pend_tokens = tokens;
     }
 
     /// Applies one buffered global side effect — each arm is the exact
     /// statement the serial dispatch path would have executed in place.
     fn apply_op(&mut self, op: Op, now: SimTime) {
         match op {
-            Op::MacSet { node, kind, delay } => {
-                let node = node as usize;
-                if let Some(tok) = self.mac_timers[node][kind.index()].take() {
-                    self.sim.cancel(tok);
-                }
-                let tok = self.sim.schedule_in(delay, Event::MacTimer(node, kind));
-                self.mac_timers[node][kind.index()] = Some(tok);
-            }
-            Op::MacCancel { node, kind } => {
-                if let Some(tok) = self.mac_timers[node as usize][kind.index()].take() {
-                    self.sim.cancel(tok);
-                }
-            }
-            Op::ProtoSet { node, token, delay } => {
-                let node = node as usize;
-                self.sim
-                    .schedule_in(delay, Event::ProtoTimer(node, self.epochs[node], token));
-            }
+            Op::MacSet { node, kind, delay } => self.mac_set(node as usize, kind, delay),
+            Op::MacCancel { node, kind } => self.mac_cancel(node as usize, kind),
+            Op::ProtoSet { node, token, delay } => self.proto_set(node as usize, token, delay),
             Op::Control { kind } => self.metrics.record_control(kind),
             Op::DataTx => self.metrics.data_tx += 1,
             Op::Originated => self.metrics.data_originated += 1,
@@ -1414,14 +2001,42 @@ impl Sim {
         let gate = |s: usize, v: usize| adm.allows(s, v);
         match self.medium {
             MediumKind::SpatialGrid => {
+                let src = frame.src;
                 self.tracker.sync_to(&self.mobility, now);
+                // Consume a staged speculative neighbor set iff it is for
+                // this transmitter and the tracker generation has not
+                // moved since the workers computed it.
+                let spec_fresh = match self.spec_node {
+                    Some((n, generation)) if n as usize == src => {
+                        if generation == self.tracker.generation() {
+                            self.wstats.spec_hits += 1;
+                            true
+                        } else {
+                            self.wstats.spec_misses += 1;
+                            false
+                        }
+                    }
+                    _ => false,
+                };
                 let view = MediumView::new(&self.tracker, &self.mobility, now);
                 let oracle = BruteForceMedium(&self.snapshot);
                 let checked = ValidatingQuery {
                     fast: &view,
                     oracle: &oracle,
                 };
-                let medium: &dyn NeighborQuery = if validate { &checked } else { &view };
+                let pre = PrecomputedQuery {
+                    inner: &view,
+                    src,
+                    range: self.scenario.mac.phy.cs_range_m,
+                    pairs: &self.spec_buf,
+                };
+                let medium: &dyn NeighborQuery = if validate {
+                    &checked
+                } else if spec_fresh {
+                    &pre
+                } else {
+                    &view
+                };
                 if gated {
                     self.channel.begin_tx_gated(frame, now, medium, gate)
                 } else {
@@ -1458,12 +2073,21 @@ impl Sim {
                 let end_at = now + begin.airtime;
                 match self.engine {
                     // The parallel engine schedules exactly like the
-                    // batched one; only dispatch differs.
+                    // batched one; only dispatch differs. During a window
+                    // merge the insertion joins the pend buffer (never
+                    // cancelled, so no kill-scan bookkeeping).
                     EngineKind::Batched | EngineKind::Parallel => {
-                        self.sim.schedule_at(
-                            end_at,
-                            Event::TxComplete(node, self.epochs[node], begin.tx_id),
-                        );
+                        let ev = Event::TxComplete(node, self.epochs[node], begin.tx_id);
+                        if self.merging {
+                            self.pend.push(Pend {
+                                time: end_at,
+                                event: ev,
+                                dead: false,
+                                mac: None,
+                            });
+                        } else {
+                            self.sim.schedule_at(end_at, ev);
+                        }
                     }
                     EngineKind::PerReceiver => {
                         for r in self.channel.tx_receivers(begin.tx_id) {
@@ -1504,19 +2128,8 @@ impl Sim {
                     self.ph_add(t0, PhaseSel::Mac);
                 }
             }
-            MacEffect::SetTimer(kind, delay) => {
-                let slot = &mut self.mac_timers[node][kind.index()];
-                if let Some(tok) = slot.take() {
-                    self.sim.cancel(tok);
-                }
-                let tok = self.sim.schedule_in(delay, Event::MacTimer(node, kind));
-                self.mac_timers[node][kind.index()] = Some(tok);
-            }
-            MacEffect::CancelTimer(kind) => {
-                if let Some(tok) = self.mac_timers[node][kind.index()].take() {
-                    self.sim.cancel(tok);
-                }
-            }
+            MacEffect::SetTimer(kind, delay) => self.mac_set(node, kind, delay),
+            MacEffect::CancelTimer(kind) => self.mac_cancel(node, kind),
             MacEffect::Deliver { from, payload } => match payload {
                 Payload::Control(cp) => {
                     let cp = Arc::try_unwrap(cp).unwrap_or_else(|arc| (*arc).clone());
@@ -1683,10 +2296,7 @@ impl Sim {
                 }
                 self.metrics.record_drop(reason);
             }
-            ProtoEffect::SetTimer { token, delay } => {
-                self.sim
-                    .schedule_in(delay, Event::ProtoTimer(node, self.epochs[node], token));
-            }
+            ProtoEffect::SetTimer { token, delay } => self.proto_set(node, token, delay),
         }
     }
 
@@ -1850,8 +2460,9 @@ impl Sim {
         let (mut soft, mut checks) = if self.engine == EngineKind::Parallel && self.workers > 1 {
             let threads = self.workers - 1;
             let this = &mut self;
-            with_pool(threads, move |pool| {
-                this.oracle_loop(end, check_interval, Some(pool))
+            with_core_pool(threads, move |pool| {
+                let sess = pool.session();
+                this.oracle_loop(end, check_interval, Some(&sess))
             })
         } else {
             self.oracle_loop(end, check_interval, None)
@@ -1874,7 +2485,7 @@ impl Sim {
         &mut self,
         end: SimTime,
         check_interval: SimDuration,
-        pool: Option<&WorkerPool<'_>>,
+        exec: Option<&dyn WindowExec>,
     ) -> (u64, u64) {
         let mut next_check = SimTime::ZERO + check_interval;
         let mut soft = 0u64;
@@ -1882,7 +2493,7 @@ impl Sim {
         let has_adversaries = !self.adversary_mask.is_empty();
         let mut adv_actions = 0u64;
         loop {
-            let pumped = self.pump(end, pool);
+            let pumped = self.pump(end, exec);
             if pumped == Pumped::Idle {
                 break;
             }

@@ -12,13 +12,22 @@
 //!   ends — must come back with a MAC whose carrier view matches the
 //!   channel's ground truth at every instant, without phantom collision
 //!   accounting from the undecodable signal (run under every engine,
-//!   including the parallel engine's mixed `advance_until` stepping).
+//!   including the parallel engine's mixed `advance_until` stepping);
+//! * the CLI JSON regression: the full `run_sweep` + `render_json`
+//!   pipeline (the path behind `slrsim --json`, with and without
+//!   `--oracle`) emits byte-identical documents under the parallel
+//!   engine and under batched, once the two config-echo lines that
+//!   legitimately differ (`"engine"`, `"workers"`) are stripped.
+
+use std::collections::BTreeMap;
 
 use slr_netsim::admittance::DynAction;
 use slr_netsim::time::{SimDuration, SimTime};
 use slr_runner::registry::{Family, SweepParam};
+use slr_runner::report::render_json;
 use slr_runner::scenario::{ProtocolKind, Scenario};
 use slr_runner::sim::{EngineKind, Sim};
+use slr_runner::{run_sweep, DynamicsSpec, SweepConfig, SweepResult, TrialSummary};
 use slr_traffic::{PacketSpec, TrafficScript};
 
 use slr_mobility::Position;
@@ -265,4 +274,116 @@ fn injected_mid_airtime_dynamics_keep_engines_identical() {
     let batched = run(EngineKind::Batched);
     assert_eq!(batched, run(EngineKind::PerReceiver));
     assert_eq!(batched, run(EngineKind::Parallel));
+}
+
+/// Drops the two config-echo lines (`"engine"`, `"workers"`) that
+/// legitimately differ between engine runs of the same sweep; everything
+/// else in the JSON document — aggregates, confidence intervals, raw
+/// per-trial summaries — must be byte-identical.
+fn strip_engine_echo(json: &str) -> String {
+    let stripped: Vec<&str> = json
+        .lines()
+        .filter(|line| {
+            let t = line.trim_start();
+            !t.starts_with("\"engine\":") && !t.starts_with("\"workers\":")
+        })
+        .collect();
+    // The echo lines must actually be present, or the filter proves
+    // nothing (e.g. after a rename in `render_json`).
+    assert_eq!(
+        json.lines().count(),
+        stripped.len() + 2,
+        "engine/workers echo missing from JSON"
+    );
+    stripped.join("\n")
+}
+
+/// A CI-sized fixed-seed sweep for the JSON regressions: two dense
+/// trials per protocol at one point, shortened so the whole matrix
+/// (batched plus parallel at 2 and 8 workers) stays fast.
+fn json_sweep_config() -> SweepConfig {
+    let mut cfg = SweepConfig::for_family(Family::Dense, false);
+    cfg.seed = 42;
+    cfg.trials = 2;
+    cfg.threads = 1;
+    cfg.values = vec![60];
+    cfg.override_duration = Some(20);
+    cfg
+}
+
+/// The exact path behind `slrsim --json`: `run_sweep` + `render_json`
+/// with a fixed seed produces byte-identical documents under the
+/// parallel engine (2 and 8 workers, widened windows on by default) and
+/// under batched, modulo the engine/workers echo. This pins the whole
+/// pipeline — trial scheduling, per-trial RNG derivation, metric
+/// aggregation and JSON formatting — not just the trial summaries the
+/// other tests compare.
+#[test]
+fn cli_json_byte_identical_across_engines() {
+    let protocols = [ProtocolKind::Srp, ProtocolKind::Aodv];
+    let mut cfg = json_sweep_config();
+
+    cfg.engine = EngineKind::Batched;
+    let batched = render_json(&run_sweep(&protocols, &cfg));
+
+    for workers in [2usize, 8] {
+        cfg.engine = EngineKind::Parallel;
+        cfg.workers = workers;
+        let par = render_json(&run_sweep(&protocols, &cfg));
+        // The raw documents must differ (the echo is honest)...
+        assert_ne!(batched, par, "engine echo missing at {workers} workers");
+        // ...and agree byte for byte once the echo is stripped.
+        assert_eq!(
+            strip_engine_echo(&batched),
+            strip_engine_echo(&par),
+            "CLI JSON diverged between batched and parallel@{workers}"
+        );
+    }
+}
+
+/// The `--oracle` variant of the same regression: SRP trials run under
+/// the loop-freedom oracle (mirroring `run_oracle_pass` in the `slrsim`
+/// binary) on a crash–rejoin workload, and the rendered JSON must still
+/// be byte-identical between batched and parallel@2 after stripping the
+/// engine/workers echo.
+#[test]
+fn cli_json_byte_identical_with_oracle() {
+    let oracle_json = |engine: EngineKind, workers: usize| {
+        let mut cfg = json_sweep_config();
+        cfg.values = vec![40];
+        cfg.override_dynamics = Some(DynamicsSpec::default_crash(2));
+        cfg.engine = engine;
+        cfg.workers = workers;
+        let mut runs: BTreeMap<(&'static str, u64), Vec<TrialSummary>> = BTreeMap::new();
+        for &value in &cfg.values {
+            for trial in 0..cfg.trials {
+                let scenario = cfg.scenario_for(ProtocolKind::Srp, value, trial);
+                let (summary, _soft_drifts) = Sim::new(scenario)
+                    .with_engine(cfg.engine)
+                    .with_workers(cfg.workers)
+                    .run_with_loop_oracle(SimDuration::from_secs(1));
+                runs.entry((ProtocolKind::Srp.name(), value))
+                    .or_default()
+                    .push(summary);
+            }
+        }
+        render_json(&SweepResult {
+            runs,
+            protocols: vec![ProtocolKind::Srp],
+            family: cfg.family,
+            param: cfg.param,
+            values: cfg.values.clone(),
+            engine: cfg.engine,
+            workers: cfg.workers,
+        })
+    };
+
+    let batched = oracle_json(EngineKind::Batched, 1);
+    let par = oracle_json(EngineKind::Parallel, 2);
+    assert_ne!(batched, par, "engine echo missing");
+    assert_eq!(
+        strip_engine_echo(&batched),
+        strip_engine_echo(&par),
+        "oracle CLI JSON diverged between batched and parallel@2"
+    );
 }

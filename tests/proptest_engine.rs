@@ -5,8 +5,9 @@
 //! per-receiver `RxEnd`/`TxEnd` scheduling — the reference oracle, the
 //! same way `BruteForceMedium` anchors the spatial index in
 //! `proptest_spatial.rs` — and the conservative-window *parallel* engine
-//! is bit-identical to batched at every worker count (1, 2 and 8),
-//! fuzzed over the same axes.
+//! is bit-identical to batched at every worker count (1, 2 and 8) and on
+//! both sides of the window-widening (MAC-timer hopping) switch, fuzzed
+//! over the same axes.
 //!
 //! This is the contract that makes the batched engine safe to use by
 //! default: both engines share the per-receiver completion code verbatim
@@ -83,6 +84,32 @@ fn parallel_agrees_at_all_widths(s: Scenario) -> Result<(), TestCaseError> {
             workers,
             s.describe()
         );
+    }
+    prop_assert!(batched.originated > 0, "no traffic in {}", s.describe());
+    Ok(())
+}
+
+/// The widening axis: MAC-timer hopping on or off, at any worker count,
+/// cannot change a single bit of the summary — window composition is a
+/// pure execution heuristic under the canonical merge (see `crate::par`).
+fn widening_axis_agrees(s: Scenario) -> Result<(), TestCaseError> {
+    let batched = Sim::new(s).with_engine(EngineKind::Batched).run();
+    for widening in [false, true] {
+        for workers in [1usize, 2, 8] {
+            let par = Sim::new(s)
+                .with_engine(EngineKind::Parallel)
+                .with_workers(workers)
+                .with_widening(widening)
+                .run();
+            prop_assert_eq!(
+                &batched,
+                &par,
+                "parallel@{} widening={} diverged from batched on {}",
+                workers,
+                widening,
+                s.describe()
+            );
+        }
     }
     prop_assert!(batched.originated > 0, "no traffic in {}", s.describe());
     Ok(())
@@ -200,5 +227,43 @@ proptest! {
         );
         s.end = SimTime::from_secs(20);
         parallel_agrees_at_all_widths(s)?;
+    }
+
+    /// The widening axis over topology × mobility × dynamics: widened
+    /// (MAC-timer hopping) and unwidened windows at workers ∈ {1, 2, 8}
+    /// all reproduce the batched summary bit for bit, including under
+    /// timer-cancel storms and crash epochs.
+    #[test]
+    fn widening_bit_identical_across_worker_counts(
+        seed in 0u64..100_000,
+        nodes in 12usize..=40,
+        topology in 0u8..4,
+        mobile in proptest::bool::ANY,
+        dynamics in 0u8..3,
+    ) {
+        let dynamics = match dynamics {
+            0 => DynamicsSpec::None,
+            1 => DynamicsSpec::LinkChurn { flaps_per_minute: 8.0, mean_down_secs: 2.0 },
+            _ => DynamicsSpec::default_crash(2),
+        };
+        let s = scenario(
+            ProtocolKind::Srp, seed, nodes, topology, mobile, 3, dynamics,
+        );
+        widening_axis_agrees(s)?;
+    }
+
+    /// The widening axis on the dense family (CI-scaled), where
+    /// same-timestamp MAC timers are plentiful enough that hopping
+    /// actually composes multi-timer windows.
+    #[test]
+    fn dense_family_widening_agrees(
+        seed in 0u64..100_000,
+        nodes in 60u64..=100,
+    ) {
+        let mut s = Family::Dense.scenario_at(
+            ProtocolKind::Srp, seed, 0, false, SweepParam::Nodes, nodes,
+        );
+        s.end = SimTime::from_secs(20);
+        widening_axis_agrees(s)?;
     }
 }
